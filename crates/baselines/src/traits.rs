@@ -1,0 +1,41 @@
+//! The common interface of directionality-function learners.
+
+use dd_graph::{MixedSocialNetwork, NodeId};
+
+/// A learner that fits a directionality function `d : E → [0, 1]` on a mixed
+/// social network (the TDL problem, Definition 3).
+pub trait DirectionalityLearner {
+    /// Fits the learner and returns a scorer for ordered ties.
+    fn fit(&self, g: &MixedSocialNetwork) -> Box<dyn TieScorer>;
+
+    /// Human-readable method name (used in experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// A fitted directionality function.
+pub trait TieScorer: Send {
+    /// Directionality value `d(u, v) ∈ [0, 1]`. Implementations must return a
+    /// neutral `0.5` for pairs they cannot score rather than panicking.
+    fn score(&self, u: NodeId, v: NodeId) -> f64;
+}
+
+/// Blanket scorer wrapper around a closure (useful in tests and harnesses).
+pub struct FnScorer<F: Fn(NodeId, NodeId) -> f64 + Send>(pub F);
+
+impl<F: Fn(NodeId, NodeId) -> f64 + Send> TieScorer for FnScorer<F> {
+    fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        (self.0)(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_scorer_delegates() {
+        let s = FnScorer(|u: NodeId, v: NodeId| if u < v { 1.0 } else { 0.0 });
+        assert_eq!(s.score(NodeId(1), NodeId(2)), 1.0);
+        assert_eq!(s.score(NodeId(2), NodeId(1)), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Cost-side ablations supporting the design arguments of Sec. 4:
+//!
+//! * the line-graph blow-up (`|V_L| = |E|`, `|E_L| = Σ d_in·d_out`) that
+//!   makes "node-embed the line graph" unattractive, vs the direct
+//!   connected-tie sampling DeepDirect uses;
+//! * Hogwild parallel E-Step vs sequential (the scalability extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::linegraph::LineGraph;
+use dd_graph::sampling::hide_directions;
+use dd_linalg::rng::Pcg32;
+use deepdirect::{estep, DeepDirectConfig, TieUniverse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn line_graph_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_graph_build");
+    for n in [500usize, 1000, 2000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = social_network(&SocialNetConfig { n_nodes: n, ..Default::default() }, &mut rng)
+            .network;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| LineGraph::new(g, false))
+        });
+        let lg = LineGraph::new(&g, false);
+        let stats = lg.stats(&g);
+        eprintln!(
+            "line graph at n={n}: {} tie-nodes, {} edges (expansion {:.1}x)",
+            stats.orig_ties, stats.line_edges, stats.expansion
+        );
+    }
+    group.finish();
+}
+
+fn hogwild_speedup(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = social_network(&SocialNetConfig { n_nodes: 600, ..Default::default() }, &mut rng)
+        .network;
+    let hidden = hide_directions(&g, 0.5, &mut rng).network;
+    let mut prng = Pcg32::seed_from_u64(9);
+    let universe = TieUniverse::build(&hidden, 10, &mut prng);
+    let mut group = c.benchmark_group("estep_threads");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let cfg = DeepDirectConfig {
+                dim: 64,
+                threads,
+                max_iterations: Some(200_000),
+                ..DeepDirectConfig::default()
+            };
+            b.iter(|| estep::train(&universe, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = line_graph_blowup, hogwild_speedup
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E-Step throughput: per-iteration cost as a function of `l` and `λ`,
+//! validating the `O(λ · l)` per-iteration analysis of Sec. 4.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::sampling::hide_directions;
+use dd_linalg::rng::Pcg32;
+use deepdirect::{estep, DeepDirectConfig, TieUniverse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_universe() -> TieUniverse {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = social_network(&SocialNetConfig { n_nodes: 500, ..Default::default() }, &mut rng)
+        .network;
+    let hidden = hide_directions(&g, 0.5, &mut rng).network;
+    let mut prng = Pcg32::seed_from_u64(1);
+    TieUniverse::build(&hidden, 10, &mut prng)
+}
+
+fn estep_iterations(c: &mut Criterion) {
+    let universe = bench_universe();
+    const ITERS: u64 = 50_000;
+
+    let mut group = c.benchmark_group("estep_dim");
+    for dim in [16usize, 32, 64, 128] {
+        group.throughput(Throughput::Elements(ITERS));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let cfg = DeepDirectConfig {
+                dim,
+                max_iterations: Some(ITERS),
+                ..DeepDirectConfig::default()
+            };
+            b.iter(|| estep::train(&universe, &cfg));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("estep_negatives");
+    for lambda in [1usize, 3, 5, 10] {
+        group.throughput(Throughput::Elements(ITERS));
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, &lambda| {
+            let cfg = DeepDirectConfig {
+                dim: 64,
+                negatives: lambda,
+                max_iterations: Some(ITERS),
+                ..DeepDirectConfig::default()
+            };
+            b.iter(|| estep::train(&universe, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn universe_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = social_network(&SocialNetConfig { n_nodes: 1000, ..Default::default() }, &mut rng)
+        .network;
+    let hidden = hide_directions(&g, 0.5, &mut rng).network;
+    c.bench_function("universe_build_1k_nodes", |b| {
+        b.iter(|| {
+            let mut prng = Pcg32::seed_from_u64(3);
+            TieUniverse::build(&hidden, 10, &mut prng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = estep_iterations, universe_build
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Handcrafted-feature extraction cost (Sec. 3.1): per-node statistics,
+//! per-tie feature assembly, and the triad census.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dd_baselines::hf::{tie_features, HfConfig, NodeStats};
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::triads::triad_counts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feature_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = social_network(&SocialNetConfig { n_nodes: 800, ..Default::default() }, &mut rng)
+        .network;
+    let cfg = HfConfig::default();
+
+    c.bench_function("node_stats_800_nodes_sampled64", |b| {
+        b.iter(|| NodeStats::compute(&g, &cfg))
+    });
+
+    let stats = NodeStats::compute(&g, &cfg);
+    let ties: Vec<_> = g.iter_ties().map(|(_, t)| (t.src, t.dst)).collect();
+    let mut group = c.benchmark_group("per_tie");
+    group.throughput(Throughput::Elements(ties.len() as u64));
+    group.bench_function("tie_features_all", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &(u, v) in &ties {
+                acc += tie_features(&g, &stats, u, v)[0];
+            }
+            acc
+        })
+    });
+    group.bench_function("triad_census_all", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(u, v) in &ties {
+                acc += triad_counts(&g, u, v)[0];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = feature_benches
+}
+criterion_main!(benches);

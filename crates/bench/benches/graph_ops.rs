@@ -1,0 +1,57 @@
+//! Graph-primitive costs: network construction, BFS, alias sampling, and
+//! connected-tie sampling — the operations dominating the E-Step's setup
+//! and inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::traversal::bfs_distances;
+use dd_graph::ties::all_tie_degrees;
+use dd_graph::NodeId;
+use dd_linalg::alias::AliasTable;
+use dd_linalg::rng::Pcg32;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SocialNetConfig { n_nodes: 2000, ..Default::default() };
+
+    c.bench_function("generate_2k_node_network", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(2);
+            social_network(&cfg, &mut r)
+        })
+    });
+
+    let g = social_network(&cfg, &mut rng).network;
+
+    c.bench_function("bfs_distances_2k", |b| b.iter(|| bfs_distances(&g, NodeId(0))));
+
+    c.bench_function("all_tie_degrees_2k", |b| b.iter(|| all_tie_degrees(&g)));
+
+    let weights: Vec<f64> = all_tie_degrees(&g).iter().map(|&d| d as f64).collect();
+    c.bench_function("alias_table_build", |b| b.iter(|| AliasTable::new(&weights)));
+
+    let table = AliasTable::new(&weights);
+    let mut group = c.benchmark_group("sampling");
+    const DRAWS: u64 = 100_000;
+    group.throughput(Throughput::Elements(DRAWS));
+    group.bench_function("alias_draws", |b| {
+        b.iter(|| {
+            let mut prng = Pcg32::seed_from_u64(3);
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                acc ^= table.sample(&mut prng);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = graph_benches
+}
+criterion_main!(benches);

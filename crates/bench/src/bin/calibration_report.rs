@@ -1,0 +1,59 @@
+//! Calibration of the learned directionality functions (beyond-paper
+//! analysis): Definition 2 interprets `d(u, v)` as the *probability* that
+//! the tie runs `u → v`, so a good model should be calibrated, not just
+//! accurate. For each method we score every hidden tie in both orders,
+//! label the true orientation, and report the expected calibration error
+//! plus a 95% bootstrap CI of direction-discovery accuracy.
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin calibration_report
+//! ```
+
+use dd_bench::{bench_suite, BenchEnv};
+use dd_datasets::tencent;
+use dd_eval::metrics::{bootstrap_mean_ci, calibration};
+use dd_graph::hash::FxHashSet;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let hidden = env.hidden_split(&tencent(), 0.2, env.seed);
+    let truth: FxHashSet<(u32, u32)> =
+        hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+    println!(
+        "Tencent analog, 20% directed, {} hidden ties\n",
+        hidden.truth.len()
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>22}",
+        "method", "accuracy", "ECE", "95% bootstrap CI"
+    );
+    for method in bench_suite(env.seed) {
+        let scorer = method.fit(&hidden.network);
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        let mut outcomes = Vec::new();
+        for (_, u, v) in hidden.network.undirected_pairs() {
+            let duv = scorer.score(u, v);
+            let dvu = scorer.score(v, u);
+            // Calibration sample: both orders with their truth.
+            preds.push(duv.clamp(0.0, 1.0));
+            labels.push(truth.contains(&(u.0, v.0)));
+            preds.push(dvu.clamp(0.0, 1.0));
+            labels.push(truth.contains(&(v.0, u.0)));
+            // Discovery outcome per Eq. 28.
+            let predicted_uv = duv >= dvu;
+            let correct = predicted_uv == truth.contains(&(u.0, v.0));
+            outcomes.push(if correct { 1.0 } else { 0.0 });
+        }
+        let (_, ece) = calibration(&preds, &labels, 10);
+        let ci = bootstrap_mean_ci(&outcomes, 0.95, 1000, env.seed);
+        println!(
+            "{:<16} {:>9.4} {:>9.4}     [{:.4}, {:.4}]",
+            method.name(),
+            ci.estimate,
+            ece,
+            ci.lower,
+            ci.upper
+        );
+    }
+}

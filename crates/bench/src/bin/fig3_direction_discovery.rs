@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 3** — accuracy of direction discovery on the five
+//! datasets, five methods, sweeping the fraction of ties that remain
+//! directed.
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig3_direction_discovery
+//! ```
+//!
+//! Expected shape (paper): DeepDirect on top everywhere; ReDirect-N/sm and
+//! ReDirect-T/sm in the second tier; LINE and HF at the bottom.
+
+use dd_bench::{bench_suite, BenchEnv};
+use dd_datasets::all_datasets;
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, ResultSink};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let percents = [0.05, 0.1, 0.2, 0.5, 0.8];
+    let mut sink = ResultSink::new();
+    for spec in all_datasets() {
+        for &pct in &percents {
+            for s in 0..env.n_seeds {
+                let seed = env.seed + s;
+                let hidden = env.hidden_split(&spec, pct, seed);
+                for method in bench_suite(seed) {
+                    let acc = direction_discovery_accuracy(&method, &hidden);
+                    sink.push(ExperimentRow {
+                        experiment: "fig3".into(),
+                        dataset: spec.name.into(),
+                        method: method.name().into(),
+                        x_name: "percent_directed".into(),
+                        x: pct,
+                        value: acc,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    for &pct in &percents {
+        println!("\n{}", sink.pivot_table("fig3", pct));
+    }
+    sink.write_jsonl(&env.out_path("fig3.jsonl")).expect("write fig3.jsonl");
+    println!("wrote {}", env.out_path("fig3.jsonl"));
+}

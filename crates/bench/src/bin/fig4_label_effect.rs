@@ -1,0 +1,50 @@
+//! Regenerates **Fig. 4** — effectiveness of labeled data in the E-Step:
+//! DeepDirect accuracy for `α ∈ {0, 0.1, 1, 5}` with `β = 0`, across label
+//! fractions and datasets.
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig4_label_effect
+//! ```
+//!
+//! Expected shape (paper): any `α > 0` beats `α = 0`, with `α = 5` usually
+//! best.
+
+use dd_bench::{bench_deepdirect_config, BenchEnv};
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
+use dd_datasets::all_datasets;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let alphas = [0.0f32, 0.1, 1.0, 5.0];
+    let percents = [0.05, 0.1, 0.2, 0.5];
+    let mut sink = ResultSink::new();
+    for spec in all_datasets() {
+        for &pct in &percents {
+            for s in 0..env.n_seeds {
+                let seed = env.seed + s;
+                let hidden = env.hidden_split(&spec, pct, seed);
+                for &alpha in &alphas {
+                    let mut cfg = bench_deepdirect_config(64, seed);
+                    cfg.alpha = alpha;
+                    cfg.beta = 0.0;
+                    let acc =
+                        direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                    sink.push(ExperimentRow {
+                        experiment: "fig4".into(),
+                        dataset: spec.name.into(),
+                        method: format!("alpha={alpha}"),
+                        x_name: "percent_directed".into(),
+                        x: pct,
+                        value: acc,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    for &pct in &percents {
+        println!("\n{}", sink.pivot_table("fig4", pct));
+    }
+    sink.write_jsonl(&env.out_path("fig4.jsonl")).expect("write fig4.jsonl");
+    println!("wrote {}", env.out_path("fig4.jsonl"));
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Fig. 5** — effectiveness of the directionality patterns in
+//! the E-Step: six `(α, β)` groups at low label fractions (≤ 15%).
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig5_pattern_effect
+//! ```
+//!
+//! Expected shape (paper): `β > 0` helps, most at the lowest label
+//! fractions; the best cell has both `α > 0` and `β > 0`.
+
+use dd_bench::{bench_deepdirect_config, BenchEnv};
+use dd_datasets::all_datasets;
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let groups: [(f32, f32); 6] =
+        [(0.0, 0.0), (0.0, 0.1), (0.0, 1.0), (5.0, 0.0), (5.0, 0.1), (5.0, 1.0)];
+    let percents = [0.01, 0.05, 0.1, 0.15];
+    let mut sink = ResultSink::new();
+    for spec in all_datasets() {
+        for &pct in &percents {
+            for s in 0..env.n_seeds {
+                let seed = env.seed + s;
+                let hidden = env.hidden_split(&spec, pct, seed);
+                for &(alpha, beta) in &groups {
+                    let mut cfg = bench_deepdirect_config(64, seed);
+                    cfg.alpha = alpha;
+                    cfg.beta = beta;
+                    let acc =
+                        direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                    sink.push(ExperimentRow {
+                        experiment: "fig5".into(),
+                        dataset: spec.name.into(),
+                        method: format!("alpha={alpha} beta={beta}"),
+                        x_name: "percent_directed".into(),
+                        x: pct,
+                        value: acc,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    for &pct in &percents {
+        println!("\n{}", sink.pivot_table("fig5", pct));
+    }
+    sink.write_jsonl(&env.out_path("fig5.jsonl")).expect("write fig5.jsonl");
+    println!("wrote {}", env.out_path("fig5.jsonl"));
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Fig. 6(a)** — sensitivity to the embedding dimension `l`
+//! (with 20% of ties remaining directed).
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig6a_dimensions
+//! ```
+//!
+//! Expected shape (paper): accuracy rises with `l` and saturates around
+//! `l = 128`.
+
+use dd_bench::{bench_deepdirect_config, BenchEnv};
+use dd_datasets::all_datasets;
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let dims = [16usize, 32, 64, 128, 256];
+    let pct = 0.2;
+    let mut sink = ResultSink::new();
+    for spec in all_datasets() {
+        for s in 0..env.n_seeds {
+            let seed = env.seed + s;
+            let hidden = env.hidden_split(&spec, pct, seed);
+            for &dim in &dims {
+                let cfg = bench_deepdirect_config(dim, seed);
+                let acc = direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                sink.push(ExperimentRow {
+                    experiment: "fig6a".into(),
+                    dataset: spec.name.into(),
+                    method: "DeepDirect".into(),
+                    x_name: "dimensions".into(),
+                    x: dim as f64,
+                    value: acc,
+                    seed,
+                });
+            }
+        }
+    }
+    for &dim in &dims {
+        println!("\n{}", sink.pivot_table("fig6a", dim as f64));
+    }
+    sink.write_jsonl(&env.out_path("fig6a.jsonl")).expect("write fig6a.jsonl");
+    println!("wrote {}", env.out_path("fig6a.jsonl"));
+}

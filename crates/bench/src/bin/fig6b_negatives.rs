@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 6(b)** — sensitivity to the number of negative
+//! samples `λ` (with 20% of ties remaining directed).
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig6b_negatives
+//! ```
+//!
+//! Expected shape (paper): `λ ∈ {5, 10}` beats `λ = 1`, with `λ = 5` the
+//! cost/quality sweet spot.
+
+use dd_bench::{bench_deepdirect_config, BenchEnv};
+use dd_datasets::all_datasets;
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let lambdas = [1usize, 3, 5, 10];
+    let pct = 0.2;
+    let mut sink = ResultSink::new();
+    for spec in all_datasets() {
+        for s in 0..env.n_seeds {
+            let seed = env.seed + s;
+            let hidden = env.hidden_split(&spec, pct, seed);
+            for &lambda in &lambdas {
+                let mut cfg = bench_deepdirect_config(64, seed);
+                cfg.negatives = lambda;
+                let acc = direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                sink.push(ExperimentRow {
+                    experiment: "fig6b".into(),
+                    dataset: spec.name.into(),
+                    method: "DeepDirect".into(),
+                    x_name: "negatives".into(),
+                    x: lambda as f64,
+                    value: acc,
+                    seed,
+                });
+            }
+        }
+    }
+    for &lambda in &lambdas {
+        println!("\n{}", sink.pivot_table("fig6b", lambda as f64));
+    }
+    sink.write_jsonl(&env.out_path("fig6b.jsonl")).expect("write fig6b.jsonl");
+    println!("wrote {}", env.out_path("fig6b.jsonl"));
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Fig. 7** — t-SNE visualization of tie embeddings:
+//! DeepDirect vs LINE on a high-degree Slashdot sub-network with 90% of
+//! directions hidden, points colored by true direction.
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin fig7_visualization
+//! ```
+//!
+//! Outputs `results/fig7_deepdirect.csv` and `results/fig7_line.csv`
+//! (`x,y,label`) and prints the silhouette separability of each embedding.
+//! Expected shape (paper): DeepDirect separable (silhouette ≫ 0), LINE
+//! mixed (silhouette ≈ 0).
+
+use dd_baselines::{LineConfig, LineLearner};
+use dd_bench::{bench_deepdirect_config, write_csv, BenchEnv};
+use dd_datasets::slashdot;
+use dd_eval::silhouette::silhouette_2d;
+use dd_eval::tsne::{tsne_2d, TsneConfig};
+use dd_graph::hash::FxHashSet;
+use dd_graph::sampling::{hide_directions, induced_subnetwork};
+use dd_graph::NodeId;
+use deepdirect::DeepDirect;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    // Slashdot analog; keep the top-1%-degree nodes (at least 120 so the
+    // sub-network is non-trivial at small scales).
+    let g = slashdot().generate(env.scale, env.seed).network;
+    let mut by_degree: Vec<NodeId> = g.nodes().collect();
+    by_degree.sort_by_key(|&u| std::cmp::Reverse(g.social_degree(u)));
+    let keep = (g.n_nodes() / 100).max(120).min(g.n_nodes());
+    let (sub, _) = induced_subnetwork(&g, &by_degree[..keep]);
+    println!(
+        "top-degree sub-network: {} nodes, {} ties",
+        sub.n_nodes(),
+        sub.counts().total()
+    );
+
+    // Hide 90% of the directed ties.
+    let mut rng = StdRng::seed_from_u64(env.seed ^ 0xf16);
+    let hidden = hide_directions(&sub, 0.1, &mut rng);
+    let truth: FxHashSet<(u32, u32)> =
+        hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+
+    // The visualized points are the hidden ties (canonical order instance);
+    // label = "canonical source is the true source".
+    let pairs: Vec<(NodeId, NodeId)> =
+        hidden.network.undirected_pairs().map(|(_, u, v)| (u, v)).collect();
+    let labels: Vec<bool> = pairs.iter().map(|&(u, v)| truth.contains(&(u.0, v.0))).collect();
+
+    // --- DeepDirect tie embeddings ---
+    let model = DeepDirect::new(bench_deepdirect_config(64, env.seed)).fit(&hidden.network);
+    let dd_vecs: Vec<Vec<f32>> = pairs
+        .iter()
+        .map(|&(u, v)| model.embedding(u, v).expect("embedded").to_vec())
+        .collect();
+
+    // --- LINE tie features (endpoint concatenation) ---
+    let line = LineLearner::new(LineConfig {
+        dim: 32,
+        seed: env.seed,
+        max_iterations: Some(2_000_000),
+        ..Default::default()
+    });
+    let nodes = line.embed(&hidden.network);
+    let line_vecs: Vec<Vec<f32>> = pairs
+        .iter()
+        .map(|&(u, v)| {
+            let mut x = nodes.row(u.index()).to_vec();
+            x.extend_from_slice(nodes.row(v.index()));
+            x
+        })
+        .collect();
+
+    let tsne_cfg = TsneConfig { seed: env.seed, ..Default::default() };
+    for (name, vecs) in [("deepdirect", dd_vecs), ("line", line_vecs)] {
+        let pts = tsne_2d(&vecs, &tsne_cfg);
+        let sil = silhouette_2d(&pts, &labels);
+        println!("{name}: {} points, silhouette = {sil:.4}", pts.len());
+        let rows: Vec<String> = pts
+            .iter()
+            .zip(&labels)
+            .map(|((x, y), &l)| format!("{x:.4},{y:.4},{}", l as u8))
+            .collect();
+        let path = env.out_path(&format!("fig7_{name}.csv"));
+        write_csv(&path, "x,y,true_source_is_canonical", &rows).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,53 @@
+//! The α/β grid search with validation of Sec. 6.1 ("we use the grid
+//! search with cross-validation to determine the optimal values").
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin grid_search [-- <dataset>]
+//! ```
+//!
+//! Prints the validation-accuracy grid and the winning `(α, β)` per
+//! dataset.
+
+use dd_bench::{bench_deepdirect_config, BenchEnv};
+use dd_datasets::all_datasets;
+use dd_eval::grid::grid_search_alpha_beta;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let filter = std::env::args().nth(1).map(|s| s.to_lowercase());
+    let alphas = [0.0f32, 0.1, 1.0, 5.0];
+    let betas = [0.0f32, 0.1, 1.0];
+    for spec in all_datasets() {
+        if let Some(f) = &filter {
+            if spec.name.to_lowercase() != *f {
+                continue;
+            }
+        }
+        let g = spec.generate(env.scale, env.seed).network;
+        let base = bench_deepdirect_config(64, env.seed);
+        let mut rng = StdRng::seed_from_u64(env.seed ^ 0x9d1d);
+        let (alpha, beta, table) =
+            grid_search_alpha_beta(&g, &alphas, &betas, &base, 0.5, 2, &mut rng);
+        println!("\n{} — validation accuracy (2 folds, 50% hidden):", spec.name);
+        print!("{:>8}", "α \\ β");
+        for b in &betas {
+            print!("{b:>10}");
+        }
+        println!();
+        for a in &alphas {
+            print!("{a:>8}");
+            for b in &betas {
+                let acc = table
+                    .iter()
+                    .find(|p| p.alpha == *a && p.beta == *b)
+                    .map(|p| p.accuracy)
+                    .unwrap_or(f64::NAN);
+                print!("{acc:>10.4}");
+            }
+            println!();
+        }
+        println!("winner: α = {alpha}, β = {beta}");
+    }
+}

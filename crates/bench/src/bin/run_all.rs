@@ -1,0 +1,65 @@
+//! Runs the complete evaluation suite — every table and figure binary —
+//! in sequence, in this process (no subprocess spawning, so one build
+//! serves all). Equivalent to invoking each `--bin` target by hand.
+//!
+//! ```text
+//! DD_SCALE=250 cargo run --release -p dd-bench --bin run_all
+//! ```
+//!
+//! Expect roughly an hour at the default scale on a 2-core machine;
+//! increase `DD_SCALE` to shrink the datasets further.
+
+use std::process::Command;
+use std::time::Instant;
+
+const TARGETS: &[&str] = &[
+    "table2_datasets",
+    "fig3_direction_discovery",
+    "fig4_label_effect",
+    "fig5_pattern_effect",
+    "fig6a_dimensions",
+    "fig6b_negatives",
+    "fig7_visualization",
+    "fig8_link_prediction",
+    "fig9_scalability",
+    "ablation_study",
+    "calibration_report",
+];
+
+fn main() {
+    // Each figure binary lives next to this one in the target directory;
+    // invoke the sibling executables so each runs with its own stdout
+    // header and the shared DD_* environment.
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("target dir").to_path_buf();
+    let started = Instant::now();
+    let mut failures = Vec::new();
+    for target in TARGETS {
+        let exe = dir.join(target);
+        if !exe.exists() {
+            eprintln!(
+                "skipping {target}: {} not built (run `cargo build --release -p dd-bench --bins`)",
+                exe.display()
+            );
+            failures.push(*target);
+            continue;
+        }
+        println!("\n================ {target} ================");
+        let t = Instant::now();
+        let status = Command::new(&exe).status().expect("spawn figure binary");
+        println!("[{target}: {:.1}s, {status}]", t.elapsed().as_secs_f64());
+        if !status.success() {
+            failures.push(*target);
+        }
+    }
+    println!(
+        "\ncompleted {}/{} targets in {:.1}s",
+        TARGETS.len() - failures.len(),
+        TARGETS.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table 2** — dataset statistics.
+//!
+//! ```text
+//! cargo run --release -p dd-bench --bin table2_datasets
+//! ```
+//!
+//! `DD_SCALE=1` reproduces the paper's node counts (needs a few GB of RAM
+//! and a few minutes); the default scale keeps the table proportional.
+
+use dd_bench::BenchEnv;
+use dd_datasets::{all_datasets, DatasetStats};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Table 2: data sets (scale divisor {})", env.scale);
+    println!("{:<12} {:>8} {:>10}   {:>7} {:>7} {:>11}", "Data sets", "Nodes", "Ties", "dir", "bidir", "reciprocity");
+    let mut rows = Vec::new();
+    for spec in all_datasets() {
+        let g = spec.generate(env.scale, env.seed);
+        let s = DatasetStats::compute(spec.name, &g.network);
+        println!(
+            "{:<12} {:>8} {:>10}   {:>7} {:>7} {:>10.1}%",
+            s.name,
+            s.nodes,
+            s.ties,
+            s.directed,
+            s.bidirectional,
+            100.0 * s.reciprocity
+        );
+        rows.push(serde_json::to_string(&s).expect("stats serialize"));
+    }
+    let path = env.out_path("table2.jsonl");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&path, rows.join("\n") + "\n").expect("write table2.jsonl");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,163 @@
+//! # dd-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Sec. 6):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table2_datasets` | Table 2 — dataset statistics |
+//! | `fig3_direction_discovery` | Fig. 3 — accuracy of all five methods |
+//! | `fig4_label_effect` | Fig. 4 — effect of `α` (labeled data) |
+//! | `fig5_pattern_effect` | Fig. 5 — effect of `β` (patterns) |
+//! | `fig6a_dimensions` | Fig. 6(a) — sensitivity to `l` |
+//! | `fig6b_negatives` | Fig. 6(b) — sensitivity to `λ` |
+//! | `fig7_visualization` | Fig. 7 — t-SNE of DeepDirect vs LINE |
+//! | `fig8_link_prediction` | Fig. 8 — link-prediction AUC |
+//! | `fig9_scalability` | Fig. 9 — runtime vs `\|E\|` |
+//! | `ablation_study` | extra — design-choice ablations (DESIGN.md §5) |
+//!
+//! Environment knobs shared by every binary:
+//!
+//! * `DD_SCALE` — dataset scale divisor (default 150; `1` = paper scale),
+//! * `DD_SEED` — base RNG seed (default 7),
+//! * `DD_SEEDS` — number of seeds to average (default 1),
+//! * `DD_OUT` — results directory (default `results/`).
+//!
+//! Criterion micro-benchmarks (`cargo bench -p dd-bench`) cover the
+//! performance claims: E-Step iteration cost vs `l` and `λ` (the `O(λ·l)`
+//! per-iteration analysis of Sec. 4.6), feature extraction, graph
+//! primitives, and the line-graph blow-up of Sec. 4.
+
+use dd_datasets::DatasetSpec;
+use dd_eval::runner::Method;
+use dd_graph::sampling::{hide_directions, HiddenDirections};
+use deepdirect::DeepDirectConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared experiment environment read from `DD_*` variables.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Dataset scale divisor.
+    pub scale: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Seeds averaged per measurement.
+    pub n_seeds: u64,
+    /// Output directory for JSONL rows and CSVs.
+    pub out_dir: String,
+}
+
+impl BenchEnv {
+    /// Reads the environment (with defaults).
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        BenchEnv {
+            scale: get("DD_SCALE").and_then(|v| v.parse().ok()).unwrap_or(150),
+            seed: get("DD_SEED").and_then(|v| v.parse().ok()).unwrap_or(7),
+            n_seeds: get("DD_SEEDS").and_then(|v| v.parse().ok()).unwrap_or(1),
+            out_dir: get("DD_OUT").unwrap_or_else(|| "results".to_string()),
+        }
+    }
+
+    /// Output path inside the results directory.
+    pub fn out_path(&self, file: &str) -> String {
+        format!("{}/{}", self.out_dir, file)
+    }
+
+    /// Hidden-direction split of a dataset at this environment's scale.
+    pub fn hidden_split(
+        &self,
+        spec: &DatasetSpec,
+        keep_directed: f64,
+        seed: u64,
+    ) -> HiddenDirections {
+        let g = spec.generate(self.scale, seed).network;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5011d);
+        hide_directions(&g, keep_directed, &mut rng)
+    }
+}
+
+/// DeepDirect configuration used across the figure binaries: paper
+/// hyper-parameters with a wall-clock-bounding iteration cap and Hogwild
+/// parallelism (the cap only binds on the densest datasets; `DD_SCALE=1`
+/// users should raise it).
+pub fn bench_deepdirect_config(dim: usize, seed: u64) -> DeepDirectConfig {
+    DeepDirectConfig {
+        dim,
+        seed,
+        max_iterations: Some(4_000_000),
+        threads: num_threads(),
+        ..Default::default()
+    }
+}
+
+/// The five-method suite at bench-friendly sizes.
+pub fn bench_suite(seed: u64) -> Vec<Method> {
+    use dd_baselines::{HfConfig, LineConfig, RedirectNConfig, RedirectTConfig};
+    vec![
+        Method::DeepDirect(bench_deepdirect_config(64, seed)),
+        Method::Hf(HfConfig::default()),
+        Method::Line(LineConfig {
+            dim: 32,
+            seed,
+            max_iterations: Some(2_000_000),
+            ..Default::default()
+        }),
+        Method::RedirectN(RedirectNConfig { seed, ..Default::default() }),
+        Method::RedirectT(RedirectTConfig::default()),
+    ]
+}
+
+/// Worker threads for Hogwild E-Steps: physical parallelism minus one,
+/// clamped to `[1, 8]`.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).saturating_sub(1).clamp(1, 8)
+}
+
+/// Writes a simple CSV file (creating parent directories).
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_datasets::twitter;
+
+    #[test]
+    fn env_defaults() {
+        let env = BenchEnv::from_env();
+        assert!(env.scale >= 1);
+        assert!(env.n_seeds >= 1);
+        assert!(env.out_path("x.csv").ends_with("/x.csv"));
+    }
+
+    #[test]
+    fn hidden_split_respects_keep() {
+        let env = BenchEnv { scale: 400, seed: 1, n_seeds: 1, out_dir: "/tmp".into() };
+        let h = env.hidden_split(&twitter(), 0.3, 1);
+        let d = h.network.counts().directed as f64;
+        let u = h.network.counts().undirected as f64;
+        let frac = d / (d + u);
+        assert!((frac - 0.3).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn suite_and_config_are_sane() {
+        let suite = bench_suite(1);
+        assert_eq!(suite.len(), 5);
+        let cfg = bench_deepdirect_config(64, 1);
+        assert!(cfg.validate().is_ok());
+        assert!(num_threads() >= 1);
+    }
+}

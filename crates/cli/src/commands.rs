@@ -1,0 +1,285 @@
+//! Subcommand implementations for the `deepdirect` CLI.
+//!
+//! | command | action |
+//! |---|---|
+//! | `train <edges> --out model.json` | fit DeepDirect on an edge list |
+//! | `predict <model> <src> <dst>` | print `d(src, dst)` and `d(dst, src)` |
+//! | `discover <edges> [--model m]` | orient every undirected tie (Eq. 28) |
+//! | `quantify <edges> [--model m]` | print the directionality adjacency entries for bidirectional ties |
+//! | `generate <dataset> --out f` | write a synthetic dataset analog |
+//! | `stats <edges>` | dataset statistics (Table 2 columns) |
+//!
+//! Edge-list format: `d|b|u <src> <dst>` per line (see `dd-graph::io`).
+
+use dd_datasets::all_datasets;
+use dd_datasets::DatasetStats;
+use dd_graph::io::{load_edge_list, save_edge_list};
+use dd_graph::{MixedSocialNetwork, NodeId};
+use deepdirect::apps::discovery::discover_directions;
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+
+use crate::args::Args;
+
+/// Runs a parsed command line; returns the text to print.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "train" => train(args),
+        "predict" => predict(args),
+        "discover" => discover(args),
+        "quantify" => quantify(args),
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "help" | "" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "dd (deepdirect CLI) — tie direction learning (Wang et al., TKDE 2018)
+
+USAGE:
+  dd train   <edges>          --out <model.json> [--dim N] [--alpha A] [--beta B]
+                                      [--iterations N] [--threads T] [--seed S]
+  dd predict <model.json> <src> <dst>
+  dd discover <edges>         [--model <model.json>] [--top N]
+  dd quantify <edges>         [--model <model.json>] [--top N]
+  dd generate <dataset>       --out <edges> [--scale K] [--seed S]
+                                      (datasets: twitter livejournal epinions slashdot tencent)
+  dd stats   <edges>
+"
+    .to_string()
+}
+
+fn model_config(args: &Args) -> Result<DeepDirectConfig, String> {
+    let mut cfg = DeepDirectConfig {
+        dim: args.get_num("dim", 64usize)?,
+        alpha: args.get_num("alpha", 5.0f32)?,
+        beta: args.get_num("beta", 0.1f32)?,
+        threads: args.get_num("threads", 1usize)?,
+        seed: args.get_num("seed", 0xdeedu64)?,
+        ..Default::default()
+    };
+    let iterations: u64 = args.get_num("iterations", 0u64)?;
+    if iterations > 0 {
+        cfg.max_iterations = Some(iterations);
+    }
+    if args.get_bool("context-features") {
+        cfg.context_features = true;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn load_net(path: &str) -> Result<MixedSocialNetwork, String> {
+    load_edge_list(path).map_err(|e| format!("loading '{path}': {e}"))
+}
+
+fn fit_or_load(args: &Args, g: &MixedSocialNetwork) -> Result<DirectionalityModel, String> {
+    let model_path = args.get("model", "");
+    if model_path.is_empty() {
+        Ok(DeepDirect::new(model_config(args)?).fit(g))
+    } else {
+        DirectionalityModel::load_from_path(model_path)
+    }
+}
+
+fn train(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let out = args.flags.get("out").ok_or("train requires --out <model.json>")?;
+    let g = load_net(input)?;
+    let cfg = model_config(args)?;
+    let model = DeepDirect::new(cfg).fit(&g);
+    model.save_to_path(out)?;
+    Ok(format!(
+        "trained on {} nodes / {} ties ({} E-Step iterations); model written to {out}",
+        g.n_nodes(),
+        g.counts().total(),
+        model.estep_iterations(),
+    ))
+}
+
+fn predict(args: &Args) -> Result<String, String> {
+    let model_path = args.positional(0, "model")?;
+    let src: u32 = args.positional(1, "src")?.parse().map_err(|_| "src must be a node id")?;
+    let dst: u32 = args.positional(2, "dst")?.parse().map_err(|_| "dst must be a node id")?;
+    let model = DirectionalityModel::load_from_path(model_path)?;
+    let fwd = model.score(NodeId(src), NodeId(dst));
+    let rev = model.score(NodeId(dst), NodeId(src));
+    match (fwd, rev) {
+        (Some(f), Some(r)) => {
+            let dir = if f >= r { format!("{src} -> {dst}") } else { format!("{dst} -> {src}") };
+            Ok(format!("d({src},{dst}) = {f:.4}\nd({dst},{src}) = {r:.4}\npredicted direction: {dir}"))
+        }
+        _ => Err(format!("tie between {src} and {dst} was not in the training network")),
+    }
+}
+
+fn discover(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let g = load_net(input)?;
+    if g.counts().undirected == 0 {
+        return Err("network has no undirected ties to orient".into());
+    }
+    let model = fit_or_load(args, &g)?;
+    let mut preds = discover_directions(&g, |u, v| model.score(u, v).unwrap_or(0.5));
+    preds.sort_by(|a, b| b.margin().partial_cmp(&a.margin()).unwrap());
+    let top: usize = args.get_num("top", preds.len())?;
+    let mut out = format!("oriented {} undirected ties (most confident first):\n", preds.len());
+    for p in preds.iter().take(top) {
+        out.push_str(&format!(
+            "{} -> {}   d = {:.4} vs {:.4}\n",
+            p.src.0, p.dst.0, p.forward, p.backward
+        ));
+    }
+    Ok(out)
+}
+
+fn quantify(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let g = load_net(input)?;
+    if g.counts().bidirectional == 0 {
+        return Err("network has no bidirectional ties to quantify".into());
+    }
+    let model = fit_or_load(args, &g)?;
+    let mut rows: Vec<(f64, String)> = g
+        .bidirectional_pairs()
+        .map(|(_, u, v)| {
+            let duv = model.score(u, v).unwrap_or(0.5);
+            let dvu = model.score(v, u).unwrap_or(0.5);
+            ((duv - dvu).abs(), format!("A[{}][{}] = {duv:.4}   A[{}][{}] = {dvu:.4}", u.0, v.0, v.0, u.0))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let top: usize = args.get_num("top", rows.len())?;
+    let mut out = format!(
+        "directionality adjacency entries for {} bidirectional ties (most asymmetric first):\n",
+        rows.len()
+    );
+    for (_, line) in rows.iter().take(top) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    let name = args.positional(0, "dataset")?.to_lowercase();
+    let out = args.flags.get("out").ok_or("generate requires --out <edges>")?;
+    let scale: usize = args.get_num("scale", 150usize)?;
+    let seed: u64 = args.get_num("seed", 7u64)?;
+    let spec = all_datasets()
+        .into_iter()
+        .find(|s| s.name.to_lowercase() == name)
+        .ok_or_else(|| format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)"))?;
+    let g = spec.generate(scale, seed);
+    save_edge_list(&g.network, out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} analog ({} nodes, {} ties) to {out}",
+        spec.name,
+        g.network.n_nodes(),
+        g.network.counts().total(),
+    ))
+}
+
+fn stats(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let g = load_net(input)?;
+    let s = DatasetStats::compute(input, &g);
+    Ok(format!(
+        "nodes: {}\nties: {} (directed {}, bidirectional {}, undirected {})\nreciprocity: {:.1}%\nties/node: {:.2}\nmax degree: {}",
+        s.nodes, s.ties, s.directed, s.bidirectional, s.undirected,
+        100.0 * s.reciprocity, s.ties_per_node, s.max_degree,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::NetworkBuilder;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dd_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().to_string()
+    }
+
+    fn demo_network_file() -> String {
+        let mut b = NetworkBuilder::new(6);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(2), NodeId(3)).unwrap();
+        b.add_directed(NodeId(3), NodeId(4)).unwrap();
+        b.add_bidirectional(NodeId(4), NodeId(5)).unwrap();
+        b.add_undirected(NodeId(5), NodeId(0)).unwrap();
+        let g = b.build().unwrap();
+        let path = tmp("demo.edges");
+        save_edge_list(&g, &path).unwrap();
+        path
+    }
+
+    fn run_words(words: &[&str]) -> Result<String, String> {
+        run(&Args::parse(words.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_words(&["help"]).unwrap().contains("USAGE"));
+        let err = run_words(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let path = demo_network_file();
+        let out = run_words(&["stats", &path]).unwrap();
+        assert!(out.contains("nodes: 6"));
+        assert!(out.contains("directed 4"));
+        assert!(out.contains("bidirectional 1"));
+    }
+
+    #[test]
+    fn train_predict_roundtrip() {
+        let edges = demo_network_file();
+        let model = tmp("model.json");
+        let out = run_words(&[
+            "train", &edges, "--out", &model, "--dim", "8", "--iterations", "3000",
+        ])
+        .unwrap();
+        assert!(out.contains("trained"));
+        let pred = run_words(&["predict", &model, "0", "1"]).unwrap();
+        assert!(pred.contains("predicted direction"));
+        // Unknown pair errors cleanly.
+        assert!(run_words(&["predict", &model, "0", "3"]).is_err());
+    }
+
+    #[test]
+    fn discover_and_quantify_run() {
+        let edges = demo_network_file();
+        let out = run_words(&["discover", &edges, "--dim", "8", "--iterations", "3000"]).unwrap();
+        assert!(out.contains("oriented 1 undirected ties"));
+        let out = run_words(&["quantify", &edges, "--dim", "8", "--iterations", "3000"]).unwrap();
+        assert!(out.contains("bidirectional ties"));
+        assert!(out.contains("A[4][5]") || out.contains("A[5][4]"));
+    }
+
+    #[test]
+    fn generate_writes_dataset() {
+        let out_path = tmp("twitter.edges");
+        let out =
+            run_words(&["generate", "twitter", "--out", &out_path, "--scale", "600"]).unwrap();
+        assert!(out.contains("Twitter analog"));
+        let g = load_edge_list(&out_path).unwrap();
+        assert!(g.n_nodes() >= 50);
+        // Unknown dataset errors.
+        assert!(run_words(&["generate", "myspace", "--out", &out_path]).is_err());
+    }
+
+    #[test]
+    fn missing_arguments_error_cleanly() {
+        assert!(run_words(&["train"]).is_err());
+        assert!(run_words(&["predict", "nofile.json"]).is_err());
+        let edges = demo_network_file();
+        assert!(run_words(&["train", &edges]).unwrap_err().contains("--out"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Bidirectionality analysis of undirected ties — the paper's third
+//! future-work direction ("study the possibility that an undirected tie is
+//! actually bidirectional and analyze its directionality of two directions").
+//!
+//! For an undirected tie `(u, v)` with directionality values `d(u, v)` and
+//! `d(v, u)`, we read high values *in both directions* as evidence the tie is
+//! really bidirectional, and a strong asymmetry as evidence of a single
+//! direction. The bidirectionality score is the balance-weighted strength
+//! `2 · min(d_uv, d_vu) · max(d_uv, d_vu) / (d_uv + d_vu)` — the harmonic
+//! mean of the two direction values, which is near 1 only when both
+//! directions are strong and near 0 when either is weak.
+
+use dd_graph::{MixedSocialNetwork, NodeId};
+
+/// Bidirectionality assessment of one undirected tie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidirScore {
+    /// Canonical endpoints (`u < v`).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// `d(u, v)`.
+    pub d_uv: f64,
+    /// `d(v, u)`.
+    pub d_vu: f64,
+    /// Harmonic-mean bidirectionality score in `[0, 1]`.
+    pub score: f64,
+}
+
+impl BidirScore {
+    /// The stronger direction of the tie.
+    pub fn dominant(&self) -> (NodeId, NodeId) {
+        if self.d_uv >= self.d_vu {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+}
+
+/// Scores how likely each undirected tie of `g` is to be bidirectional.
+pub fn bidirectionality_scores<F>(g: &MixedSocialNetwork, mut score: F) -> Vec<BidirScore>
+where
+    F: FnMut(NodeId, NodeId) -> f64,
+{
+    let mut out = Vec::new();
+    for (_, u, v) in g.undirected_pairs() {
+        let d_uv = score(u, v);
+        let d_vu = score(v, u);
+        let s = if d_uv + d_vu > 0.0 { 2.0 * d_uv * d_vu / (d_uv + d_vu) } else { 0.0 };
+        out.push(BidirScore { u, v, d_uv, d_vu, score: s });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::NetworkBuilder;
+
+    fn two_undirected() -> MixedSocialNetwork {
+        let mut b = NetworkBuilder::new(4);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_undirected(NodeId(1), NodeId(2)).unwrap();
+        b.add_undirected(NodeId(2), NodeId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn symmetric_strong_ties_score_high() {
+        let g = two_undirected();
+        let scores = bidirectionality_scores(&g, |_, _| 0.9);
+        for s in &scores {
+            assert!((s.score - 0.9).abs() < 1e-12, "harmonic mean of equal values");
+        }
+    }
+
+    #[test]
+    fn asymmetric_ties_score_low() {
+        let g = two_undirected();
+        let scores = bidirectionality_scores(&g, |u, v| if u < v { 0.95 } else { 0.05 });
+        for s in &scores {
+            assert!(s.score < 0.2, "asymmetric tie must look one-directional");
+            assert_eq!(s.dominant(), (s.u, s.v));
+        }
+    }
+
+    #[test]
+    fn zero_scores_are_safe() {
+        let g = two_undirected();
+        let scores = bidirectionality_scores(&g, |_, _| 0.0);
+        for s in &scores {
+            assert_eq!(s.score, 0.0);
+        }
+    }
+
+    #[test]
+    fn canonical_order_and_dominance() {
+        let g = two_undirected();
+        let scores = bidirectionality_scores(&g, |u, v| if u > v { 0.8 } else { 0.3 });
+        for s in &scores {
+            assert!(s.u < s.v);
+            assert_eq!(s.dominant(), (s.v, s.u));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Direction discovery on undirected ties (Sec. 5.1, Eq. 28).
+//!
+//! For each undirected tie `(u, v)` the predicted direction is `u → v` when
+//! `d(u, v) ≥ d(v, u)`, else `v → u`.
+
+use dd_graph::{MixedSocialNetwork, NodeId};
+
+/// One discovered direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveredDirection {
+    /// Predicted source.
+    pub src: NodeId,
+    /// Predicted destination.
+    pub dst: NodeId,
+    /// `d(src, dst)` under the scorer.
+    pub forward: f64,
+    /// `d(dst, src)` under the scorer.
+    pub backward: f64,
+}
+
+impl DiscoveredDirection {
+    /// Confidence margin `d(src, dst) − d(dst, src) ∈ [0, 1]`.
+    pub fn margin(&self) -> f64 {
+        self.forward - self.backward
+    }
+}
+
+/// Predicts directions for every undirected tie in `g` using `score`.
+///
+/// Ties are reported with their *predicted* orientation; `score` is queried
+/// in both orders per Eq. 28.
+pub fn discover_directions<F>(g: &MixedSocialNetwork, mut score: F) -> Vec<DiscoveredDirection>
+where
+    F: FnMut(NodeId, NodeId) -> f64,
+{
+    let mut out = Vec::new();
+    for (_, u, v) in g.undirected_pairs() {
+        let duv = score(u, v);
+        let dvu = score(v, u);
+        if duv >= dvu {
+            out.push(DiscoveredDirection { src: u, dst: v, forward: duv, backward: dvu });
+        } else {
+            out.push(DiscoveredDirection { src: v, dst: u, forward: dvu, backward: duv });
+        }
+    }
+    out
+}
+
+/// Fraction of hidden ties whose direction was predicted correctly
+/// (the accuracy metric of Sec. 6.2).
+///
+/// `truth` holds the true orientations of the hidden ties, in any order.
+pub fn discovery_accuracy(
+    predictions: &[DiscoveredDirection],
+    truth: &[(NodeId, NodeId)],
+) -> f64 {
+    use dd_graph::hash::FxHashSet;
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let truth_set: FxHashSet<(u32, u32)> = truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+    let correct = predictions
+        .iter()
+        .filter(|p| truth_set.contains(&(p.src.0, p.dst.0)))
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::NetworkBuilder;
+
+    fn net_with_undirected() -> MixedSocialNetwork {
+        let mut b = NetworkBuilder::new(4);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_undirected(NodeId(1), NodeId(2)).unwrap();
+        b.add_undirected(NodeId(2), NodeId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn picks_higher_scoring_orientation() {
+        let g = net_with_undirected();
+        // Score favors lower id → higher id.
+        let preds = discover_directions(&g, |u, v| if u < v { 0.9 } else { 0.1 });
+        assert_eq!(preds.len(), 2);
+        for p in &preds {
+            assert!(p.src < p.dst);
+            assert_eq!(p.forward, 0.9);
+            assert_eq!(p.backward, 0.1);
+            assert!((p.margin() - 0.8).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tie_breaks_toward_first_order() {
+        let g = net_with_undirected();
+        // Constant scorer: Eq. 28 assigns u → v on equality, where (u, v) is
+        // the canonical (src < dst) instance.
+        let preds = discover_directions(&g, |_, _| 0.5);
+        for p in &preds {
+            assert!(p.src < p.dst);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let g = net_with_undirected();
+        let preds = discover_directions(&g, |u, v| if u < v { 1.0 } else { 0.0 });
+        // Truth: (1,2) correct, (3,2) means prediction (2,3) is wrong.
+        let truth = vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(2))];
+        let acc = discovery_accuracy(&preds, &truth);
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(discovery_accuracy(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let g = net_with_undirected();
+        let preds = discover_directions(&g, |u, v| if u < v { 1.0 } else { 0.0 });
+        let all_right: Vec<_> = preds.iter().map(|p| (p.src, p.dst)).collect();
+        assert_eq!(discovery_accuracy(&preds, &all_right), 1.0);
+        let all_wrong: Vec<_> = preds.iter().map(|p| (p.dst, p.src)).collect();
+        assert_eq!(discovery_accuracy(&preds, &all_wrong), 0.0);
+    }
+}

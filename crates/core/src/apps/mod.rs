@@ -1,0 +1,14 @@
+//! Applications of the directionality function (Sec. 5).
+//!
+//! All application entry points are generic over a scorer closure
+//! `Fn(NodeId, NodeId) -> f64` returning `d(u, v)`, so they work identically
+//! with [`crate::DirectionalityModel`] and with the baseline learners in
+//! `dd-baselines`.
+
+pub mod bidir;
+pub mod discovery;
+pub mod quantify;
+
+pub use bidir::{bidirectionality_scores, BidirScore};
+pub use discovery::{discover_directions, discovery_accuracy, DiscoveredDirection};
+pub use quantify::DirectionalityAdjacency;

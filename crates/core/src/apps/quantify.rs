@@ -1,0 +1,264 @@
+//! Direction quantification on bidirectional ties: the *directionality
+//! adjacency matrix* (Sec. 5.2).
+//!
+//! Starting from the 0/1 adjacency matrix, the two cells of every
+//! bidirectional tie are replaced by the directionality values `d(u, v)` and
+//! `d(v, u)`, quantifying which direction of the relationship is stronger.
+//! The matrix is stored sparsely (CSR over rows plus a column index) so the
+//! weighted Jaccard link predictor of Sec. 6.3 can stream rows and columns.
+
+use dd_graph::hash::FxHashMap;
+use dd_graph::{MixedSocialNetwork, NodeId, TieKind};
+
+/// Sparse weighted adjacency matrix with directionality-quantified
+/// bidirectional ties.
+#[derive(Debug, Clone)]
+pub struct DirectionalityAdjacency {
+    n_nodes: usize,
+    row_offsets: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    /// Column view: for each node, (row, value) of incoming entries.
+    col_offsets: Vec<u32>,
+    row_idx: Vec<u32>,
+    col_values: Vec<f64>,
+    row_sums: Vec<f64>,
+    col_sums: Vec<f64>,
+}
+
+impl DirectionalityAdjacency {
+    /// Builds the plain 0/1 adjacency matrix of `g` (undirected ties
+    /// contribute both orders with weight 1). This is the baseline the
+    /// directionality matrix is compared against in Fig. 8.
+    pub fn unweighted(g: &MixedSocialNetwork) -> Self {
+        Self::build(g, |_, _| 1.0)
+    }
+
+    /// Builds the directionality adjacency matrix: directed and undirected
+    /// entries keep weight 1, bidirectional entries are replaced by
+    /// `score(u, v)`.
+    pub fn quantified<F>(g: &MixedSocialNetwork, mut score: F) -> Self
+    where
+        F: FnMut(NodeId, NodeId) -> f64,
+    {
+        Self::build_kinded(g, |kind, u, v| match kind {
+            TieKind::Bidirectional => score(u, v),
+            _ => 1.0,
+        })
+    }
+
+    fn build<F>(g: &MixedSocialNetwork, mut weight: F) -> Self
+    where
+        F: FnMut(NodeId, NodeId) -> f64,
+    {
+        Self::build_kinded(g, |_, u, v| weight(u, v))
+    }
+
+    fn build_kinded<F>(g: &MixedSocialNetwork, mut weight: F) -> Self
+    where
+        F: FnMut(TieKind, NodeId, NodeId) -> f64,
+    {
+        let n = g.n_nodes();
+        let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(g.n_ordered_ties());
+        for (_, t) in g.iter_ties() {
+            let w = weight(t.kind, t.src, t.dst);
+            entries.push((t.src.0, t.dst.0, w));
+        }
+        // Row CSR via counting sort.
+        let mut row_offsets = vec![0u32; n + 1];
+        let mut col_offsets = vec![0u32; n + 1];
+        for &(r, c, _) in &entries {
+            row_offsets[r as usize + 1] += 1;
+            col_offsets[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_offsets[i + 1] += row_offsets[i];
+            col_offsets[i + 1] += col_offsets[i];
+        }
+        let mut col_idx = vec![0u32; entries.len()];
+        let mut values = vec![0.0f64; entries.len()];
+        let mut row_idx = vec![0u32; entries.len()];
+        let mut col_values = vec![0.0f64; entries.len()];
+        let mut rcur: Vec<u32> = row_offsets[..n].to_vec();
+        let mut ccur: Vec<u32> = col_offsets[..n].to_vec();
+        let mut row_sums = vec![0.0f64; n];
+        let mut col_sums = vec![0.0f64; n];
+        for &(r, c, w) in &entries {
+            let ri = &mut rcur[r as usize];
+            col_idx[*ri as usize] = c;
+            values[*ri as usize] = w;
+            *ri += 1;
+            let ci = &mut ccur[c as usize];
+            row_idx[*ci as usize] = r;
+            col_values[*ci as usize] = w;
+            *ci += 1;
+            row_sums[r as usize] += w;
+            col_sums[c as usize] += w;
+        }
+        DirectionalityAdjacency {
+            n_nodes: n,
+            row_offsets,
+            col_idx,
+            values,
+            col_offsets,
+            row_idx,
+            col_values,
+            row_sums,
+            col_sums,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Non-zero entries of row `u`: `(column, weight)`.
+    pub fn row(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let s = self.row_offsets[u.index()] as usize;
+        let e = self.row_offsets[u.index() + 1] as usize;
+        self.col_idx[s..e].iter().zip(&self.values[s..e]).map(|(&c, &w)| (NodeId(c), w))
+    }
+
+    /// Non-zero entries of column `v`: `(row, weight)`.
+    pub fn col(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let s = self.col_offsets[v.index()] as usize;
+        let e = self.col_offsets[v.index() + 1] as usize;
+        self.row_idx[s..e].iter().zip(&self.col_values[s..e]).map(|(&r, &w)| (NodeId(r), w))
+    }
+
+    /// Sum of row `u` (`sum(A_{u,:})`).
+    pub fn row_sum(&self, u: NodeId) -> f64 {
+        self.row_sums[u.index()]
+    }
+
+    /// Sum of column `v` (`sum(A_{:,v})`).
+    pub fn col_sum(&self, v: NodeId) -> f64 {
+        self.col_sums[v.index()]
+    }
+
+    /// Entry `A[u][v]`, `0` when absent.
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.row(u).find(|&(c, _)| c == v).map_or(0.0, |(_, w)| w)
+    }
+
+    /// Weighted Jaccard coefficient of Eq. 29:
+    /// `f(u → v) = sum(A_{u,:} · A_{:,v}) / (sum(A_{u,:}) + sum(A_{:,v}))`.
+    ///
+    /// The numerator is the weighted count of 2-hop paths `u → w → v`.
+    pub fn jaccard(&self, u: NodeId, v: NodeId) -> f64 {
+        let denom = self.row_sum(u) + self.col_sum(v);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        // Sparse dot of row u with column v via a hash of the shorter side.
+        let ru = self.row_offsets[u.index() + 1] - self.row_offsets[u.index()];
+        let cv = self.col_offsets[v.index() + 1] - self.col_offsets[v.index()];
+        let mut num = 0.0;
+        if ru <= cv {
+            let lookup: FxHashMap<u32, f64> =
+                self.row(u).map(|(c, w)| (c.0, w)).collect();
+            for (r, w) in self.col(v) {
+                if let Some(&wu) = lookup.get(&r.0) {
+                    num += wu * w;
+                }
+            }
+        } else {
+            let lookup: FxHashMap<u32, f64> =
+                self.col(v).map(|(r, w)| (r.0, w)).collect();
+            for (c, w) in self.row(u) {
+                if let Some(&wv) = lookup.get(&c.0) {
+                    num += w * wv;
+                }
+            }
+        }
+        num / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::NetworkBuilder;
+
+    fn mixed_net() -> MixedSocialNetwork {
+        let mut b = NetworkBuilder::new(4);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_bidirectional(NodeId(1), NodeId(2)).unwrap();
+        b.add_undirected(NodeId(2), NodeId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unweighted_matches_adjacency() {
+        let g = mixed_net();
+        let a = DirectionalityAdjacency::unweighted(&g);
+        assert_eq!(a.n_nodes(), 4);
+        assert_eq!(a.get(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(a.get(NodeId(1), NodeId(0)), 0.0); // directed, one way
+        assert_eq!(a.get(NodeId(1), NodeId(2)), 1.0);
+        assert_eq!(a.get(NodeId(2), NodeId(1)), 1.0);
+        assert_eq!(a.get(NodeId(2), NodeId(3)), 1.0);
+        assert_eq!(a.get(NodeId(3), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn quantified_replaces_only_bidirectional_cells() {
+        let g = mixed_net();
+        let a = DirectionalityAdjacency::quantified(&g, |u, v| {
+            if u < v {
+                0.8
+            } else {
+                0.2
+            }
+        });
+        // Directed and undirected cells keep weight 1.
+        assert_eq!(a.get(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(a.get(NodeId(2), NodeId(3)), 1.0);
+        // Bidirectional cells carry d values.
+        assert_eq!(a.get(NodeId(1), NodeId(2)), 0.8);
+        assert_eq!(a.get(NodeId(2), NodeId(1)), 0.2);
+    }
+
+    #[test]
+    fn sums_are_consistent() {
+        let g = mixed_net();
+        let a = DirectionalityAdjacency::unweighted(&g);
+        for u in g.nodes() {
+            let rs: f64 = a.row(u).map(|(_, w)| w).sum();
+            assert!((rs - a.row_sum(u)).abs() < 1e-12);
+            let cs: f64 = a.col(u).map(|(_, w)| w).sum();
+            assert!((cs - a.col_sum(u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_counts_two_hop_paths() {
+        // 0 → 1 → 2 and 0 → 3 → 2: two 2-hop paths from 0 to 2.
+        let mut b = NetworkBuilder::new(4);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(0), NodeId(3)).unwrap();
+        b.add_directed(NodeId(3), NodeId(2)).unwrap();
+        let g = b.build().unwrap();
+        let a = DirectionalityAdjacency::unweighted(&g);
+        // numerator 2, denominator row_sum(0)=2 + col_sum(2)=2 → 0.5.
+        assert!((a.jaccard(NodeId(0), NodeId(2)) - 0.5).abs() < 1e-12);
+        // No path 2 → 0.
+        assert_eq!(a.jaccard(NodeId(2), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn jaccard_respects_weights() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_bidirectional(NodeId(0), NodeId(1)).unwrap();
+        b.add_bidirectional(NodeId(1), NodeId(2)).unwrap();
+        let _ = b.add_directed(NodeId(2), NodeId(0));
+        let g = b.build().unwrap();
+        let full = DirectionalityAdjacency::unweighted(&g);
+        let half = DirectionalityAdjacency::quantified(&g, |_, _| 0.5);
+        // Weighted path strength through node 1 shrinks when bidirectional
+        // cells drop to 0.5.
+        assert!(half.jaccard(NodeId(0), NodeId(2)) < full.jaccard(NodeId(0), NodeId(2)));
+    }
+}

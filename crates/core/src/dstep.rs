@@ -1,0 +1,194 @@
+//! The D-Step: learning the directionality function from the embeddings
+//! (Sec. 4.5.2, Algorithm 1 lines 19–21).
+//!
+//! The labeled universe ties (directed ties and their mirrors) form the
+//! training set; features are the embedding rows `m_e`. The paper's head is
+//! a logistic regression with L2 regularization, warm-started from the
+//! E-Step's joint classifier `(w', b')`. The future-work MLP head is also
+//! available via [`DStepHead::Mlp`](crate::config::DStepHead).
+
+use dd_linalg::logreg::{LogRegConfig, LogisticRegression};
+use dd_linalg::mlp::{Mlp, MlpConfig};
+use dd_linalg::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DStepHead, DeepDirectConfig};
+use crate::estep::EStepParams;
+use crate::universe::TieUniverse;
+
+/// The trained directionality-function head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DirectionalityHead {
+    /// Logistic regression `d(e) = σ(w · m_e + b)` (Eq. 26).
+    Logistic(LogisticRegression),
+    /// Non-linear head (paper's future-work extension).
+    Mlp(Mlp),
+}
+
+impl DirectionalityHead {
+    /// Directionality value `d(e) ∈ [0, 1]` for an embedding row.
+    #[inline]
+    pub fn score(&self, embedding: &[f32]) -> f64 {
+        match self {
+            DirectionalityHead::Logistic(lr) => lr.predict_proba(embedding) as f64,
+            DirectionalityHead::Mlp(mlp) => mlp.predict_proba(embedding) as f64,
+        }
+    }
+}
+
+/// Builds the D-Step feature vector for universe tie row `i`: the embedding
+/// `m_e`, optionally extended with the connection vector `n_e` (the
+/// `context_features` extension).
+pub fn tie_feature_vector(estep: &EStepParams, cfg: &DeepDirectConfig, i: usize) -> Vec<f32> {
+    if cfg.context_features {
+        let mut x = estep.m.row(i).to_vec();
+        x.extend_from_slice(estep.n.row(i));
+        x
+    } else {
+        estep.m.row(i).to_vec()
+    }
+}
+
+/// Feature dimensionality of the D-Step under `cfg`.
+pub fn feature_dim(cfg: &DeepDirectConfig) -> usize {
+    if cfg.context_features {
+        2 * cfg.dim
+    } else {
+        cfg.dim
+    }
+}
+
+/// Trains the D-Step head on the labeled ties of the universe.
+pub fn train(universe: &TieUniverse, estep: &EStepParams, cfg: &DeepDirectConfig) -> DirectionalityHead {
+    let mut xs: Vec<Vec<f32>> = Vec::new();
+    let mut ys: Vec<f32> = Vec::new();
+    for (i, tie) in universe.labeled_ties() {
+        xs.push(tie_feature_vector(estep, cfg, i));
+        ys.push(tie.label.expect("labeled_ties yields labeled ties"));
+    }
+    assert!(!xs.is_empty(), "TDL requires at least one directed tie (Definition 1)");
+    match cfg.head {
+        DStepHead::Logistic => {
+            // Warm start from (w', b') per Algorithm 1 line 20; the context
+            // half (extension) starts at zero.
+            let mut w0 = estep.w.clone();
+            w0.resize(feature_dim(cfg), 0.0);
+            let mut lr = LogisticRegression::from_params(w0, estep.b);
+            lr.fit(
+                &xs,
+                &ys,
+                None,
+                &LogRegConfig {
+                    epochs: cfg.dstep_epochs,
+                    lr: 0.05,
+                    l2: cfg.dstep_l2,
+                    seed: cfg.seed ^ 0xd5,
+                },
+            );
+            DirectionalityHead::Logistic(lr)
+        }
+        DStepHead::Mlp => {
+            let mut rng = Pcg32::seed_from_u64(cfg.seed ^ 0x31a9);
+            let mut mlp = Mlp::new(feature_dim(cfg), cfg.mlp_hidden, &mut rng);
+            mlp.fit(
+                &xs,
+                &ys,
+                &MlpConfig {
+                    hidden: cfg.mlp_hidden,
+                    epochs: cfg.dstep_epochs,
+                    lr: 0.05,
+                    l2: cfg.dstep_l2,
+                    seed: cfg.seed ^ 0x31aa,
+                },
+            );
+            DirectionalityHead::Mlp(mlp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estep;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use dd_graph::sampling::hide_directions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (TieUniverse, EStepParams, DeepDirectConfig) {
+        let gen_cfg = SocialNetConfig { n_nodes: 120, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(seed);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        let hidden = hide_directions(&net, 0.5, &mut grng);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let u = TieUniverse::build(&hidden.network, 8, &mut rng);
+        let cfg = DeepDirectConfig {
+            dim: 16,
+            max_iterations: Some(50_000),
+            ..DeepDirectConfig::default()
+        };
+        let e = estep::train(&u, &cfg);
+        (u, e.params, cfg)
+    }
+
+    #[test]
+    fn logistic_head_fits_labels() {
+        let (u, params, cfg) = setup(1);
+        let head = train(&u, &params, &cfg);
+        let mut correct = 0;
+        let mut total = 0;
+        for (i, tie) in u.labeled_ties() {
+            let d = head.score(params.m.row(i));
+            assert!((0.0..=1.0).contains(&d));
+            if (d >= 0.5) == (tie.label.unwrap() >= 0.5) {
+                correct += 1;
+            }
+            total += 1;
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.85, "D-Step train accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_head_fits_labels() {
+        let (u, params, mut cfg) = setup(2);
+        cfg.head = DStepHead::Mlp;
+        cfg.mlp_hidden = 16;
+        let head = train(&u, &params, &cfg);
+        assert!(matches!(head, DirectionalityHead::Mlp(_)));
+        let mut correct = 0;
+        let mut total = 0;
+        for (i, tie) in u.labeled_ties() {
+            let d = head.score(params.m.row(i));
+            if (d >= 0.5) == (tie.label.unwrap() >= 0.5) {
+                correct += 1;
+            }
+            total += 1;
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "MLP D-Step train accuracy {acc}");
+    }
+
+    #[test]
+    fn reverse_pairs_get_complementary_scores() {
+        let (u, params, cfg) = setup(3);
+        let head = train(&u, &params, &cfg);
+        // For a directed tie and its mirror the scores should mostly
+        // straddle 0.5 in opposite directions.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (i, tie) in u.labeled_ties() {
+            if tie.label == Some(1.0) {
+                let rev = u.find(tie.dst, tie.src).unwrap();
+                let d_fwd = head.score(params.m.row(i));
+                let d_rev = head.score(params.m.row(rev));
+                if d_fwd > d_rev {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.85, "forward beats mirror on {frac} of ties");
+    }
+}

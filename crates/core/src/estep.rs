@@ -1,0 +1,461 @@
+//! The E-Step: learning the embedding matrix `M` (Sec. 4.2–4.5.1).
+//!
+//! Implements the sampled SGD of Algorithm 1, lines 11–18. Each iteration
+//! draws a connected tie pair `(e, e')` — `e ~ P_c ∝ deg_tie`, `e'` uniform
+//! from `c(e)` — plus `λ` negatives from `P_n ∝ deg_tie^{3/4}`, and applies
+//! the closed-form gradients of Eqs. 21–25 for the combined per-pair loss
+//! `L'` (Eq. 20):
+//!
+//! * topology: skip-gram with negative sampling over `M` and the connection
+//!   matrix `N` (Eq. 10),
+//! * labels: the joint logistic regression `(w', b')` on directed ties and
+//!   mirrors, weighted by `α` (Eq. 13),
+//! * patterns: the same regression against the pseudo-labels `y^d` (Eq. 14,
+//!   thresholded by `T`) and `y^t` (Eq. 15, recomputed on the fly from the
+//!   current predictions on the sampled common-neighbor ties), weighted by
+//!   `β` (Eq. 16).
+//!
+//! With `threads > 1` the loop runs Hogwild-style: workers share `M`, `N`,
+//! `w'`, `b'` without locks. Updates may race; on sparse graphs collisions
+//! are rare and SGD tolerates the noise (Niu et al., 2011). All shared
+//! access goes through raw-pointer reads/writes so no aliased `&mut`
+//! references are ever formed.
+
+use crossbeam::thread;
+use dd_linalg::activations::sigmoid;
+use dd_linalg::alias::AliasTable;
+use dd_linalg::matrix::DenseMatrix;
+use dd_linalg::rng::Pcg32;
+
+use crate::config::DeepDirectConfig;
+use crate::universe::{TieUniverse, UniverseKind};
+
+/// Learned E-Step parameters.
+#[derive(Debug, Clone)]
+pub struct EStepParams {
+    /// Embedding matrix `M` (one row per universe tie).
+    pub m: DenseMatrix,
+    /// Connection matrix `N` (one row per universe tie).
+    pub n: DenseMatrix,
+    /// Joint classifier weights `w'`.
+    pub w: Vec<f32>,
+    /// Joint classifier bias `b'`.
+    pub b: f32,
+    /// Number of SGD iterations actually run.
+    pub iterations: u64,
+}
+
+/// Raw shared view of the trainable parameters for (possibly) lock-free
+/// concurrent SGD.
+#[derive(Clone, Copy)]
+struct RawParams {
+    m: *mut f32,
+    n: *mut f32,
+    w: *mut f32,
+    b: *mut f32,
+    dim: usize,
+}
+
+// SAFETY: used only under the Hogwild protocol — concurrent unsynchronized
+// updates are an accepted approximation; see module docs.
+unsafe impl Send for RawParams {}
+unsafe impl Sync for RawParams {}
+
+#[inline]
+unsafe fn dot_raw(a: *const f32, b: *const f32, dim: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..dim {
+        acc += *a.add(i) * *b.add(i);
+    }
+    acc
+}
+
+#[inline]
+unsafe fn axpy_raw(alpha: f32, x: *const f32, y: *mut f32, dim: usize) {
+    for i in 0..dim {
+        *y.add(i) += alpha * *x.add(i);
+    }
+}
+
+impl RawParams {
+    #[inline]
+    unsafe fn m_row(&self, e: usize) -> *mut f32 {
+        self.m.add(e * self.dim)
+    }
+
+    #[inline]
+    unsafe fn n_row(&self, e: usize) -> *mut f32 {
+        self.n.add(e * self.dim)
+    }
+
+    /// Current joint-classifier probability for universe tie `e`:
+    /// `σ(w' · m_e + b')` (Eq. 11).
+    #[inline]
+    unsafe fn predict(&self, e: usize) -> f32 {
+        sigmoid(dot_raw(self.m_row(e), self.w, self.dim) + *self.b)
+    }
+}
+
+/// One SGD iteration of Algorithm 1 (lines 13–17).
+///
+/// # Safety
+/// `raw` must point to buffers of `universe.len() × dim` (matrices) and
+/// `dim` (weights) floats that stay alive for the call. Concurrent callers
+/// race benignly per the Hogwild protocol.
+#[allow(clippy::too_many_arguments)]
+unsafe fn sgd_iteration(
+    raw: &RawParams,
+    universe: &TieUniverse,
+    pc: &AliasTable,
+    pn: &AliasTable,
+    cfg: &DeepDirectConfig,
+    lr: f32,
+    rng: &mut Pcg32,
+    grad: &mut [f32],
+) {
+    let dim = raw.dim;
+    debug_assert_eq!(grad.len(), dim);
+
+    // Line 13: sample e ~ P_c, e' uniform from c(e).
+    let e = pc.sample(rng);
+    let Some(ep) = universe.sample_connected(e, rng) else {
+        return; // deg_tie(e) = 0 has zero P_c mass; defensive only
+    };
+    let me = raw.m_row(e);
+    for g in grad.iter_mut() {
+        *g = 0.0;
+    }
+    let gptr = grad.as_mut_ptr();
+
+    // --- Topology: positive pair (Eqs. 23–24) ---
+    let nep = raw.n_row(ep);
+    let g_pos = sigmoid(dot_raw(me, nep, dim)) - 1.0;
+    axpy_raw(g_pos, nep, gptr, dim);
+    axpy_raw(-lr * g_pos, me, nep, dim);
+
+    // --- Topology: λ negatives (Eqs. 23, 25) ---
+    for _ in 0..cfg.negatives {
+        let ei = pn.sample(rng);
+        if ei == ep {
+            continue; // drawing the positive as noise would cancel it
+        }
+        let nei = raw.n_row(ei);
+        let g_neg = sigmoid(dot_raw(me, nei, dim));
+        axpy_raw(g_neg, nei, gptr, dim);
+        axpy_raw(-lr * g_neg, me, nei, dim);
+    }
+
+    // --- Label / pattern terms (Eqs. 21–22 feeding Eq. 23) ---
+    let tie = universe.tie(e);
+    let mut g_coef = 0.0f32; // ∂L'/∂b'
+    if let Some(y) = tie.label {
+        if cfg.alpha > 0.0 {
+            g_coef += cfg.alpha * (raw.predict(e) - y);
+        }
+    } else if tie.kind == UniverseKind::Undirected && cfg.beta > 0.0 {
+        let p = raw.predict(e);
+        // Triad Status pseudo-label y^t (Eq. 15), from current predictions.
+        let samples = universe.triad_samples(e);
+        if !samples.is_empty() {
+            let mut yt = 0.0f32;
+            for &(uw, vw) in samples {
+                let puw = raw.predict(uw as usize);
+                let pvw = raw.predict(vw as usize);
+                yt += puw / (puw + pvw).max(1e-12);
+            }
+            yt /= samples.len() as f32;
+            g_coef += cfg.beta * (p - yt);
+        }
+        // Degree Consistency pseudo-label y^d (Eq. 14), gated by T (Eq. 16).
+        if let Some(yd) = tie.pseudo_degree {
+            if yd as f64 > cfg.degree_threshold {
+                g_coef += cfg.beta * (p - yd);
+            }
+        }
+    }
+    if g_coef != 0.0 {
+        // ∂L'/∂m_e gains g_coef · w' (Eq. 23) — read w' before updating it.
+        axpy_raw(g_coef, raw.w, gptr, dim);
+        // w' ← w' − lr · g_coef · m_e (Eq. 22); b' ← b' − lr · g_coef (Eq. 21).
+        axpy_raw(-lr * g_coef, me, raw.w, dim);
+        *raw.b -= lr * g_coef;
+    }
+
+    // Apply the accumulated gradient to m_e (Eq. 23).
+    axpy_raw(-lr, gptr, me, dim);
+}
+
+/// Output of [`train`] plus the sampling tables (reused by diagnostics).
+pub struct EStep {
+    /// Learned parameters.
+    pub params: EStepParams,
+    /// `P_c ∝ deg_tie` over universe ties.
+    pub pc: AliasTable,
+    /// `P_n ∝ deg_tie^{3/4}` over universe ties.
+    pub pn: AliasTable,
+}
+
+/// Runs the E-Step on a prepared tie universe.
+///
+/// Returns initialized-but-untrained parameters when the universe has no
+/// connected tie pairs (a degenerate graph with no length-2 paths).
+pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
+    cfg.validate().expect("invalid DeepDirect configuration");
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let dim = cfg.dim;
+    let rows = universe.len();
+    let mut m = DenseMatrix::uniform_init(rows, dim, &mut rng);
+    let mut n = DenseMatrix::zeros(rows, dim); // word2vec zero-inits contexts
+    let mut w = vec![0.0f32; dim];
+    let mut b = 0.0f32;
+
+    let weights = universe.tie_degree_weights();
+    let pc_weights: Vec<f64> = if cfg.uniform_context_sampling {
+        // Ablation: uniform over ties with at least one connected tie.
+        weights.iter().map(|&w| if w > 0.0 { 1.0 } else { 0.0 }).collect()
+    } else {
+        weights.clone()
+    };
+    let pc = AliasTable::new(&if pc_weights.iter().any(|&x| x > 0.0) {
+        pc_weights
+    } else {
+        vec![1.0; rows.max(1)]
+    });
+    let pn = AliasTable::unigram_pow(&weights, cfg.noise_exponent);
+
+    let planned = (cfg.tau * universe.n_connected_pairs() as f64).round() as u64;
+    let total = cfg.max_iterations.map_or(planned, |cap| cap.min(planned));
+    if total == 0 || universe.n_connected_pairs() == 0 {
+        return EStep {
+            params: EStepParams { m, n, w, b, iterations: 0 },
+            pc,
+            pn,
+        };
+    }
+
+    let raw = RawParams {
+        m: m.as_mut_slice().as_mut_ptr(),
+        n: n.as_mut_slice().as_mut_ptr(),
+        w: w.as_mut_ptr(),
+        b: &mut b as *mut f32,
+        dim,
+    };
+
+    if cfg.threads <= 1 {
+        let mut grad = vec![0.0f32; dim];
+        for it in 0..total {
+            let lr = cfg.lr * (1.0 - it as f32 / total as f32).max(1e-4);
+            // SAFETY: exclusive access — `m`, `n`, `w`, `b` outlive the loop
+            // and no other reference touches them.
+            unsafe {
+                sgd_iteration(&raw, universe, &pc, &pn, cfg, lr, &mut rng, &mut grad);
+            }
+        }
+    } else {
+        let per_worker = total / cfg.threads as u64 + 1;
+        let mut seeds: Vec<Pcg32> = (0..cfg.threads).map(|i| rng.split(i as u64)).collect();
+        thread::scope(|s| {
+            for mut wrng in seeds.drain(..) {
+                let pc = &pc;
+                let pn = &pn;
+                s.spawn(move |_| {
+                    let mut grad = vec![0.0f32; dim];
+                    for it in 0..per_worker {
+                        let lr = cfg.lr * (1.0 - it as f32 / per_worker as f32).max(1e-4);
+                        // SAFETY: Hogwild protocol; see module docs.
+                        unsafe {
+                            sgd_iteration(&raw, universe, pc, pn, cfg, lr, &mut wrng, &mut grad);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("E-Step worker panicked");
+    }
+
+    EStep {
+        params: EStepParams { m, n, w, b, iterations: total },
+        pc,
+        pn,
+    }
+}
+
+/// Monte-Carlo estimate of the per-pair loss `L'` (Eq. 20) under the current
+/// parameters — used to verify that training decreases the objective.
+pub fn estimate_loss(
+    universe: &TieUniverse,
+    params: &EStepParams,
+    pc: &AliasTable,
+    pn: &AliasTable,
+    cfg: &DeepDirectConfig,
+    samples: usize,
+    rng: &mut Pcg32,
+) -> f64 {
+    use dd_linalg::activations::{cross_entropy, log_sigmoid};
+    use dd_linalg::vecops::dot;
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..samples {
+        let e = pc.sample(rng);
+        let Some(ep) = universe.sample_connected(e, rng) else { continue };
+        let me = params.m.row(e);
+        let mut l = -(log_sigmoid(dot(me, params.n.row(ep))) as f64);
+        for _ in 0..cfg.negatives {
+            let ei = pn.sample(rng);
+            if ei == ep {
+                continue;
+            }
+            l -= log_sigmoid(-dot(me, params.n.row(ei))) as f64;
+        }
+        let p = sigmoid(dot(me, &params.w) + params.b) as f64;
+        let tie = universe.tie(e);
+        if let Some(y) = tie.label {
+            l += cfg.alpha as f64 * cross_entropy(y as f64, p);
+        } else if tie.kind == UniverseKind::Undirected {
+            let samples_t = universe.triad_samples(e);
+            if !samples_t.is_empty() {
+                let mut yt = 0.0f64;
+                for &(uw, vw) in samples_t {
+                    let puw =
+                        sigmoid(dot(params.m.row(uw as usize), &params.w) + params.b) as f64;
+                    let pvw =
+                        sigmoid(dot(params.m.row(vw as usize), &params.w) + params.b) as f64;
+                    yt += puw / (puw + pvw).max(1e-12);
+                }
+                yt /= samples_t.len() as f64;
+                l += cfg.beta as f64 * cross_entropy(yt, p);
+            }
+            if let Some(yd) = tie.pseudo_degree {
+                if yd as f64 > cfg.degree_threshold {
+                    l += cfg.beta as f64 * cross_entropy(yd as f64, p);
+                }
+            }
+        }
+        total += l;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use dd_graph::sampling::hide_directions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_universe(seed: u64) -> TieUniverse {
+        let gen_cfg = SocialNetConfig { n_nodes: 150, m_per_node: 4, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(seed);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        let hidden = hide_directions(&net, 0.5, &mut grng);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        TieUniverse::build(&hidden.network, 10, &mut rng)
+    }
+
+    fn small_cfg() -> DeepDirectConfig {
+        DeepDirectConfig {
+            dim: 16,
+            max_iterations: Some(60_000),
+            ..DeepDirectConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_decreases_loss() {
+        let u = test_universe(1);
+        let cfg = small_cfg();
+        let trained = train(&u, &cfg);
+        // Untrained baseline: zero iterations.
+        let cfg0 = DeepDirectConfig { max_iterations: Some(0), ..cfg.clone() };
+        let init = train(&u, &cfg0);
+        let mut rng = Pcg32::seed_from_u64(99);
+        let l_init =
+            estimate_loss(&u, &init.params, &init.pc, &init.pn, &cfg, 3000, &mut rng);
+        let mut rng = Pcg32::seed_from_u64(99);
+        let l_trained =
+            estimate_loss(&u, &trained.params, &trained.pc, &trained.pn, &cfg, 3000, &mut rng);
+        assert!(
+            l_trained < l_init * 0.9,
+            "loss should drop: init {l_init} → trained {l_trained}"
+        );
+    }
+
+    #[test]
+    fn joint_classifier_learns_labels() {
+        let u = test_universe(2);
+        let cfg = small_cfg();
+        let trained = train(&u, &cfg);
+        // Accuracy of σ(w'·m_e + b') on the labeled ties.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (i, tie) in u.labeled_ties() {
+            let p = sigmoid(dd_linalg::vecops::dot(
+                trained.params.m.row(i),
+                &trained.params.w,
+            ) + trained.params.b);
+            if (p >= 0.5) == (tie.label.unwrap() >= 0.5) {
+                correct += 1;
+            }
+            total += 1;
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "joint classifier train accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let u = test_universe(3);
+        let cfg = DeepDirectConfig { max_iterations: Some(5_000), ..small_cfg() };
+        let a = train(&u, &cfg);
+        let b = train(&u, &cfg);
+        assert_eq!(a.params.m.as_slice(), b.params.m.as_slice());
+        assert_eq!(a.params.w, b.params.w);
+        assert_eq!(a.params.b, b.params.b);
+    }
+
+    #[test]
+    fn zero_iterations_returns_init() {
+        let u = test_universe(4);
+        let cfg = DeepDirectConfig { max_iterations: Some(0), ..small_cfg() };
+        let out = train(&u, &cfg);
+        assert_eq!(out.params.iterations, 0);
+        assert_eq!(out.params.w, vec![0.0; cfg.dim]);
+        assert_eq!(out.params.b, 0.0);
+    }
+
+    #[test]
+    fn parallel_training_also_learns() {
+        let u = test_universe(5);
+        let cfg = DeepDirectConfig { threads: 3, ..small_cfg() };
+        let trained = train(&u, &cfg);
+        let cfg0 = DeepDirectConfig { max_iterations: Some(0), ..cfg.clone() };
+        let init = train(&u, &cfg0);
+        let mut rng = Pcg32::seed_from_u64(42);
+        let l_init = estimate_loss(&u, &init.params, &init.pc, &init.pn, &cfg, 2000, &mut rng);
+        let mut rng = Pcg32::seed_from_u64(42);
+        let l_trained =
+            estimate_loss(&u, &trained.params, &trained.pc, &trained.pn, &cfg, 2000, &mut rng);
+        assert!(
+            l_trained < l_init * 0.9,
+            "parallel loss should drop: {l_init} → {l_trained}"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_keeps_classifier_at_init() {
+        let u = test_universe(6);
+        let cfg = DeepDirectConfig { alpha: 0.0, beta: 0.0, ..small_cfg() };
+        let out = train(&u, &cfg);
+        // With both supervised losses off, w' and b' receive no gradient.
+        assert_eq!(out.params.w, vec![0.0; cfg.dim]);
+        assert_eq!(out.params.b, 0.0);
+        // But the embeddings still moved (topology loss).
+        assert!(out.params.iterations > 0);
+    }
+}

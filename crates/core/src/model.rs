@@ -1,0 +1,294 @@
+//! Public model API: fit a [`DeepDirect`] on a mixed social network, get a
+//! [`DirectionalityModel`] that scores ordered ties.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use dd_graph::hash::FxHashMap;
+use dd_graph::{MixedSocialNetwork, NodeId};
+use dd_linalg::matrix::DenseMatrix;
+use dd_linalg::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DeepDirectConfig;
+use crate::dstep::{self, DirectionalityHead};
+use crate::estep;
+use crate::universe::TieUniverse;
+
+/// The DeepDirect learner (Sec. 4). Construct with a config, call
+/// [`DeepDirect::fit`].
+///
+/// ```
+/// use dd_graph::{NetworkBuilder, NodeId};
+/// use deepdirect::{DeepDirect, DeepDirectConfig};
+///
+/// let mut b = NetworkBuilder::new(4);
+/// b.add_directed(NodeId(0), NodeId(1)).unwrap();
+/// b.add_directed(NodeId(1), NodeId(2)).unwrap();
+/// b.add_directed(NodeId(2), NodeId(3)).unwrap();
+/// b.add_undirected(NodeId(3), NodeId(0)).unwrap();
+/// let g = b.build().unwrap();
+///
+/// let mut cfg = DeepDirectConfig::fast();
+/// cfg.dim = 8;
+/// cfg.max_iterations = Some(2_000);
+/// let model = DeepDirect::new(cfg).fit(&g);
+/// let d = model.score(NodeId(3), NodeId(0)).unwrap();
+/// assert!((0.0..=1.0).contains(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeepDirect {
+    cfg: DeepDirectConfig,
+}
+
+impl DeepDirect {
+    /// Creates a learner with the given configuration.
+    pub fn new(cfg: DeepDirectConfig) -> Self {
+        cfg.validate().expect("invalid DeepDirect configuration");
+        DeepDirect { cfg }
+    }
+
+    /// Creates a learner with the paper's default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(DeepDirectConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DeepDirectConfig {
+        &self.cfg
+    }
+
+    /// Runs preprocessing, the E-Step, and the D-Step (Algorithm 1).
+    pub fn fit(&self, g: &MixedSocialNetwork) -> DirectionalityModel {
+        let mut rng = Pcg32::seed_from_u64(self.cfg.seed ^ 0x9e37);
+        let universe = TieUniverse::build(g, self.cfg.gamma, &mut rng);
+        let estep_out = estep::train(&universe, &self.cfg);
+        let head = dstep::train(&universe, &estep_out.params, &self.cfg);
+        let contexts =
+            if self.cfg.context_features { Some(estep_out.params.n.clone()) } else { None };
+        let mut pair_index = FxHashMap::default();
+        let mut ties = Vec::with_capacity(universe.len());
+        for (i, t) in universe.ties().iter().enumerate() {
+            pair_index.insert((t.src.0, t.dst.0), i as u32);
+            ties.push((t.src.0, t.dst.0));
+        }
+        DirectionalityModel {
+            cfg: self.cfg.clone(),
+            ties,
+            pair_index,
+            embeddings: estep_out.params.m,
+            contexts,
+            head,
+            estep_iterations: estep_out.params.iterations,
+        }
+    }
+}
+
+/// A learned directionality function `d : E → [0, 1]` with the tie
+/// embeddings that produced it.
+#[derive(Debug, Clone)]
+pub struct DirectionalityModel {
+    cfg: DeepDirectConfig,
+    /// Ordered universe ties as raw id pairs, row-aligned with `embeddings`.
+    ties: Vec<(u32, u32)>,
+    pair_index: FxHashMap<(u32, u32), u32>,
+    embeddings: DenseMatrix,
+    /// Connection matrix rows, kept only under the `context_features`
+    /// extension (they double the persisted size otherwise for no benefit).
+    contexts: Option<DenseMatrix>,
+    head: DirectionalityHead,
+    estep_iterations: u64,
+}
+
+/// Serializable snapshot of a [`DirectionalityModel`].
+#[derive(Serialize, Deserialize)]
+struct ModelSnapshot {
+    cfg: DeepDirectConfig,
+    ties: Vec<(u32, u32)>,
+    embeddings: DenseMatrix,
+    contexts: Option<DenseMatrix>,
+    head: DirectionalityHead,
+    estep_iterations: u64,
+}
+
+impl DirectionalityModel {
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &DeepDirectConfig {
+        &self.cfg
+    }
+
+    /// Number of embedded ordered ties.
+    pub fn n_ties(&self) -> usize {
+        self.ties.len()
+    }
+
+    /// E-Step iterations that were run.
+    pub fn estep_iterations(&self) -> u64 {
+        self.estep_iterations
+    }
+
+    /// Row index for the ordered tie `(u, v)`, if embedded.
+    pub fn tie_row(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.pair_index.get(&(u.0, v.0)).map(|&i| i as usize)
+    }
+
+    /// Embedding vector `m_{uv}`, if the ordered tie was embedded.
+    pub fn embedding(&self, u: NodeId, v: NodeId) -> Option<&[f32]> {
+        self.tie_row(u, v).map(|i| self.embeddings.row(i))
+    }
+
+    /// The full embedding matrix `M` (rows align with [`Self::ties`]).
+    pub fn embedding_matrix(&self) -> &DenseMatrix {
+        &self.embeddings
+    }
+
+    /// The embedded ordered ties, row-aligned with the embedding matrix.
+    pub fn ties(&self) -> &[(u32, u32)] {
+        &self.ties
+    }
+
+    /// The trained directionality head (used by fold-in inference).
+    pub fn head(&self) -> &DirectionalityHead {
+        &self.head
+    }
+
+    /// Directionality value `d(u, v)`; `None` when `(u, v)` was not part of
+    /// the trained universe.
+    pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.tie_row(u, v).map(|i| self.score_row(i))
+    }
+
+    /// Directionality value by embedding row.
+    pub fn score_row(&self, row: usize) -> f64 {
+        match &self.contexts {
+            None => self.head.score(self.embeddings.row(row)),
+            Some(n) => {
+                let mut x = self.embeddings.row(row).to_vec();
+                x.extend_from_slice(n.row(row));
+                self.head.score(&x)
+            }
+        }
+    }
+
+    /// Serializes the model as JSON.
+    pub fn save<W: Write>(&self, w: W) -> Result<(), String> {
+        let snap = ModelSnapshot {
+            cfg: self.cfg.clone(),
+            ties: self.ties.clone(),
+            embeddings: self.embeddings.clone(),
+            contexts: self.contexts.clone(),
+            head: self.head.clone(),
+            estep_iterations: self.estep_iterations,
+        };
+        serde_json::to_writer(w, &snap).map_err(|e| e.to_string())
+    }
+
+    /// Saves the model to a file.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), String> {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        self.save(std::io::BufWriter::new(f))
+    }
+
+    /// Deserializes a model saved with [`Self::save`].
+    pub fn load<R: Read>(r: R) -> Result<Self, String> {
+        let snap: ModelSnapshot = serde_json::from_reader(r).map_err(|e| e.to_string())?;
+        let mut pair_index = FxHashMap::default();
+        pair_index.reserve(snap.ties.len());
+        for (i, &(u, v)) in snap.ties.iter().enumerate() {
+            pair_index.insert((u, v), i as u32);
+        }
+        Ok(DirectionalityModel {
+            cfg: snap.cfg,
+            ties: snap.ties,
+            pair_index,
+            embeddings: snap.embeddings,
+            contexts: snap.contexts,
+            head: snap.head,
+            estep_iterations: snap.estep_iterations,
+        })
+    }
+
+    /// Loads a model from a file.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, String> {
+        let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        Self::load(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use dd_graph::sampling::hide_directions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fit_small(seed: u64) -> (MixedSocialNetwork, DirectionalityModel) {
+        let gen_cfg = SocialNetConfig { n_nodes: 100, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(seed);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        let hidden = hide_directions(&net, 0.5, &mut grng).network;
+        let cfg = DeepDirectConfig {
+            dim: 16,
+            max_iterations: Some(30_000),
+            ..DeepDirectConfig::default()
+        };
+        let model = DeepDirect::new(cfg).fit(&hidden);
+        (hidden, model)
+    }
+
+    #[test]
+    fn scores_cover_all_ordered_ties() {
+        let (g, model) = fit_small(1);
+        for (_, t) in g.iter_ties() {
+            let d = model.score(t.src, t.dst).expect("every ordered tie is embedded");
+            assert!((0.0..=1.0).contains(&d));
+        }
+        // Mirrors of directed ties are scored too.
+        let (_, u, v) = g.directed_ties().next().unwrap();
+        assert!(model.score(v, u).is_some());
+        // Absent pairs are None.
+        assert_eq!(model.score(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn embeddings_have_configured_dim() {
+        let (g, model) = fit_small(2);
+        let (_, u, v) = g.directed_ties().next().unwrap();
+        assert_eq!(model.embedding(u, v).unwrap().len(), 16);
+        assert_eq!(model.embedding_matrix().cols(), 16);
+        assert_eq!(model.n_ties(), model.ties().len());
+        assert!(model.estep_iterations() > 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_scores() {
+        let (g, model) = fit_small(3);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = DirectionalityModel::load(buf.as_slice()).unwrap();
+        for (_, t) in g.iter_ties().take(50) {
+            let a = model.score(t.src, t.dst).unwrap();
+            let b = loaded.score(t.src, t.dst).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(loaded.config().dim, model.config().dim);
+    }
+
+    #[test]
+    fn directed_ties_score_above_mirrors_on_average() {
+        let (g, model) = fit_small(4);
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for (_, u, v) in g.directed_ties() {
+            let fwd = model.score(u, v).unwrap();
+            let rev = model.score(v, u).unwrap();
+            if fwd > rev {
+                wins += 1;
+            }
+            total += 1;
+        }
+        let frac = wins as f64 / total as f64;
+        assert!(frac > 0.8, "training ties correctly oriented: {frac}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Stress tests for the Hogwild-parallel E-Step: under heavy thread
+//! contention the racy updates must stay numerically sane and preserve the
+//! model's learning behavior.
+
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::sampling::hide_directions;
+use dd_linalg::rng::Pcg32;
+use deepdirect::{estep, DeepDirectConfig, TieUniverse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn universe(seed: u64, nodes: usize) -> TieUniverse {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = social_network(&SocialNetConfig { n_nodes: nodes, ..Default::default() }, &mut rng)
+        .network;
+    let hidden = hide_directions(&g, 0.5, &mut rng).network;
+    let mut prng = Pcg32::seed_from_u64(seed);
+    TieUniverse::build(&hidden, 10, &mut prng)
+}
+
+#[test]
+fn many_threads_produce_finite_parameters() {
+    let u = universe(1, 300);
+    // Deliberately oversubscribe threads relative to cores.
+    let cfg = DeepDirectConfig {
+        dim: 32,
+        threads: 8,
+        max_iterations: Some(800_000),
+        ..DeepDirectConfig::default()
+    };
+    let out = estep::train(&u, &cfg);
+    for &x in out.params.m.as_slice() {
+        assert!(x.is_finite(), "embedding NaN/inf under contention");
+    }
+    for &x in out.params.n.as_slice() {
+        assert!(x.is_finite(), "context NaN/inf under contention");
+    }
+    assert!(out.params.w.iter().all(|x| x.is_finite()));
+    assert!(out.params.b.is_finite());
+}
+
+#[test]
+fn parallel_quality_matches_sequential_within_tolerance() {
+    let u = universe(2, 250);
+    let mk = |threads: usize| DeepDirectConfig {
+        dim: 32,
+        threads,
+        max_iterations: Some(700_000),
+        ..DeepDirectConfig::default()
+    };
+    let seq = estep::train(&u, &mk(1));
+    let par = estep::train(&u, &mk(4));
+    let mut rng = Pcg32::seed_from_u64(5);
+    let cfg = mk(1);
+    let l_seq = estep::estimate_loss(&u, &seq.params, &seq.pc, &seq.pn, &cfg, 3000, &mut rng);
+    let mut rng = Pcg32::seed_from_u64(5);
+    let l_par = estep::estimate_loss(&u, &par.params, &par.pc, &par.pn, &cfg, 3000, &mut rng);
+    // Hogwild noise should cost little objective quality.
+    assert!(
+        l_par < l_seq * 1.25,
+        "parallel loss {l_par} should be close to sequential {l_seq}"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_do_not_corrupt_state() {
+    // Re-running training on the same universe from different seeds should
+    // always produce usable models (guards against latent UB surfacing as
+    // flaky corruption).
+    let u = universe(3, 200);
+    for seed in 0..4u64 {
+        let cfg = DeepDirectConfig {
+            dim: 16,
+            threads: 4,
+            seed,
+            max_iterations: Some(300_000),
+            ..DeepDirectConfig::default()
+        };
+        let out = estep::train(&u, &cfg);
+        let norm: f32 = out.params.m.as_slice().iter().map(|x| x * x).sum();
+        assert!(norm.is_finite() && norm > 0.0, "degenerate embedding at seed {seed}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # dd-datasets — synthetic analogs of the paper's five evaluation datasets
+//!
+//! The paper evaluates on BFS samples of Twitter, LiveJournal, Epinions,
+//! Slashdot and Tencent (Table 2). Those crawls are not redistributable, so
+//! this crate generates networks with the same shape — node/tie counts (at a
+//! configurable scale), reciprocity, clustering, heavy-tailed degrees, and a
+//! status-driven direction signal consistent with the paper's two
+//! directionality patterns. See `DESIGN.md` §2 for why this substitution
+//! preserves the evaluation's comparative structure.
+//!
+//! ```
+//! use dd_datasets::{twitter, DatasetStats};
+//!
+//! let g = twitter().generate(400, 7); // scale divisor 400 → ~160 nodes
+//! let stats = DatasetStats::compute("Twitter", &g.network);
+//! assert!(stats.ties_per_node > 4.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod spec;
+pub mod stats;
+
+pub use spec::{
+    all_datasets, bidirectional_heavy_datasets, epinions, livejournal, slashdot, tencent,
+    twitter, DatasetSpec,
+};
+pub use stats::DatasetStats;

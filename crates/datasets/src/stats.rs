@@ -1,0 +1,86 @@
+//! Dataset statistics — regenerates Table 2 of the paper.
+
+use dd_graph::MixedSocialNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one dataset (the columns of Table 2 plus
+/// diagnostics used elsewhere in the evaluation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `|V|`.
+    pub nodes: usize,
+    /// Total social ties (`|E_d| + |E_b| + |E_u|`).
+    pub ties: usize,
+    /// Directed ties.
+    pub directed: usize,
+    /// Bidirectional ties.
+    pub bidirectional: usize,
+    /// Undirected ties.
+    pub undirected: usize,
+    /// Fraction of ties that are bidirectional.
+    pub reciprocity: f64,
+    /// Average ties per node.
+    pub ties_per_node: f64,
+    /// Maximum social degree.
+    pub max_degree: usize,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `g`.
+    pub fn compute(name: &str, g: &MixedSocialNetwork) -> Self {
+        let c = g.counts();
+        let max_degree = g.nodes().map(|u| g.social_degree(u)).max().unwrap_or(0);
+        DatasetStats {
+            name: name.to_string(),
+            nodes: g.n_nodes(),
+            ties: c.total(),
+            directed: c.directed,
+            bidirectional: c.bidirectional,
+            undirected: c.undirected,
+            reciprocity: if c.total() > 0 {
+                c.bidirectional as f64 / c.total() as f64
+            } else {
+                0.0
+            },
+            ties_per_node: if g.n_nodes() > 0 {
+                c.total() as f64 / g.n_nodes() as f64
+            } else {
+                0.0
+            },
+            max_degree,
+        }
+    }
+
+    /// One Table-2-style row: `name, nodes, ties`.
+    pub fn table2_row(&self) -> String {
+        format!("{:<12} {:>8} {:>10}", self.name, self.nodes, self.ties)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::twitter;
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = twitter().generate(300, 1).network;
+        let s = DatasetStats::compute("Twitter", &g);
+        assert_eq!(s.nodes, g.n_nodes());
+        assert_eq!(s.ties, s.directed + s.bidirectional + s.undirected);
+        assert!(s.reciprocity > 0.0 && s.reciprocity < 1.0);
+        assert!(s.max_degree > 0);
+        assert!((s.ties_per_node - s.ties as f64 / s.nodes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let g = twitter().generate(300, 2).network;
+        let s = DatasetStats::compute("Twitter", &g);
+        let row = s.table2_row();
+        assert!(row.starts_with("Twitter"));
+        assert!(row.contains(&s.nodes.to_string()));
+    }
+}

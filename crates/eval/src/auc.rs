@@ -1,0 +1,88 @@
+//! Area under the ROC curve, the metric of the link-prediction experiment
+//! (Fig. 8).
+
+/// Computes ROC-AUC from scores and binary labels via the rank-sum
+/// (Mann–Whitney) formulation, with midrank handling for tied scores.
+///
+/// Returns `0.5` when either class is absent.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    // Assign midranks to ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 share the midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos_f = n_pos as f64;
+    let n_neg_f = n_neg as f64;
+    (rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0) / (n_pos_f * n_neg_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn perfect_inversion() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        // Identical scores → ties everywhere → AUC exactly 0.5.
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // One inversion among 2×2: AUC = 3/4.
+        let scores = [0.1, 0.6, 0.4, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.3, 0.7], &[false, false]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        // Positive tied with one negative, above another negative.
+        let scores = [0.2, 0.5, 0.5];
+        let labels = [false, false, true];
+        // Midrank AUC: pos beats neg1 (1.0), ties neg2 (0.5) → (1 + 0.5)/2.
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Grid search with validation for the loss weights `α` and `β`
+//! (Sec. 6.1: "we use the grid search with cross-validation to determine
+//! the optimal values").
+
+use dd_graph::sampling::{hide_directions, HiddenDirections};
+use dd_graph::MixedSocialNetwork;
+use deepdirect::DeepDirectConfig;
+use rand::Rng;
+
+use crate::runner::{direction_discovery_accuracy, Method};
+
+/// One grid-search evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPoint {
+    /// Evaluated `α`.
+    pub alpha: f32,
+    /// Evaluated `β`.
+    pub beta: f32,
+    /// Mean validation accuracy across folds.
+    pub accuracy: f64,
+}
+
+/// Grid-searches `(α, β)` for DeepDirect on `g`.
+///
+/// Validation protocol: within the training network, a further
+/// `val_hide_frac` of the directed ties are hidden per fold; the
+/// configuration with the best mean validation direction-discovery accuracy
+/// wins. Returns the winning `(α, β)` and the full table.
+pub fn grid_search_alpha_beta<R: Rng>(
+    g: &MixedSocialNetwork,
+    alphas: &[f32],
+    betas: &[f32],
+    base: &DeepDirectConfig,
+    val_hide_frac: f64,
+    folds: usize,
+    rng: &mut R,
+) -> (f32, f32, Vec<GridPoint>) {
+    assert!(!alphas.is_empty() && !betas.is_empty(), "empty grid");
+    assert!(folds >= 1, "need at least one fold");
+    // Pre-generate the folds so every configuration sees the same splits.
+    let splits: Vec<HiddenDirections> =
+        (0..folds).map(|_| hide_directions(g, 1.0 - val_hide_frac, rng)).collect();
+    let mut table = Vec::with_capacity(alphas.len() * betas.len());
+    let mut best = (alphas[0], betas[0], f64::NEG_INFINITY);
+    for &alpha in alphas {
+        for &beta in betas {
+            let cfg = DeepDirectConfig { alpha, beta, ..base.clone() };
+            let mut acc_sum = 0.0;
+            for split in &splits {
+                acc_sum +=
+                    direction_discovery_accuracy(&Method::DeepDirect(cfg.clone()), split);
+            }
+            let accuracy = acc_sum / folds as f64;
+            table.push(GridPoint { alpha, beta, accuracy });
+            if accuracy > best.2 {
+                best = (alpha, beta, accuracy);
+            }
+        }
+    }
+    (best.0, best.1, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_search_covers_all_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = social_network(&SocialNetConfig { n_nodes: 80, ..Default::default() }, &mut rng)
+            .network;
+        let base = DeepDirectConfig {
+            dim: 8,
+            max_iterations: Some(5_000),
+            ..DeepDirectConfig::default()
+        };
+        let (a, b, table) =
+            grid_search_alpha_beta(&g, &[0.0, 1.0], &[0.0, 0.5], &base, 0.3, 1, &mut rng);
+        assert_eq!(table.len(), 4);
+        assert!(table.iter().any(|p| p.alpha == a && p.beta == b));
+        let best = table.iter().map(|p| p.accuracy).fold(f64::MIN, f64::max);
+        assert!(table
+            .iter()
+            .any(|p| p.alpha == a && p.beta == b && (p.accuracy - best).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn rejects_empty_grid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = social_network(&SocialNetConfig { n_nodes: 50, ..Default::default() }, &mut rng)
+            .network;
+        let base = DeepDirectConfig::fast();
+        let _ = grid_search_alpha_beta(&g, &[], &[0.0], &base, 0.3, 1, &mut rng);
+    }
+}

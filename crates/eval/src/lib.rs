@@ -1,0 +1,37 @@
+//! # dd-eval — evaluation harness for the DeepDirect reproduction
+//!
+//! Everything Sec. 6 of the paper needs to score methods:
+//!
+//! * [`runner`] — the five-method registry, the direction-discovery
+//!   protocol (Fig. 3–6) and JSON result rows,
+//! * [`auc`] — ROC-AUC (Fig. 8's metric),
+//! * [`linkpred`] — the 80%-ties / 2-hop-candidates / weighted-Jaccard link
+//!   prediction experiment of Sec. 6.3,
+//! * [`tsne`] + [`pca`] + [`silhouette`] — the embedding visualization and
+//!   its quantitative separability score (Fig. 7),
+//! * [`grid`] — grid search with validation for `α` and `β` (Sec. 6.1),
+//! * [`metrics`] — bootstrap confidence intervals and probability
+//!   calibration (beyond-paper rigor for the smaller synthetic scale).
+
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod grid;
+pub mod linkpred;
+pub mod metrics;
+pub mod pca;
+pub mod runner;
+pub mod silhouette;
+pub mod tsne;
+
+pub use auc::roc_auc;
+pub use grid::{grid_search_alpha_beta, GridPoint};
+pub use linkpred::{build_instance, build_instance_sampled, LinkPredInstance};
+pub use metrics::{bootstrap_mean_ci, calibration, CalibrationBin, ConfidenceInterval};
+pub use pca::pca_project;
+pub use runner::{
+    direction_discovery_accuracy, scorer_accuracy, DeepDirectScorer, ExperimentRow, Method,
+    ResultSink,
+};
+pub use silhouette::silhouette_2d;
+pub use tsne::{tsne_2d, TsneConfig};

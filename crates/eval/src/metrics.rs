@@ -1,0 +1,164 @@
+//! Additional evaluation metrics: bootstrap confidence intervals and
+//! probability calibration for directionality functions.
+//!
+//! The paper reports point accuracies; confidence intervals quantify
+//! whether method differences at our (smaller) evaluation scale are
+//! meaningful, and calibration checks whether `d(e)` behaves like the
+//! probability Definition 2 claims it is.
+
+use dd_linalg::rng::Pcg32;
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+/// Bootstrap percentile CI of the mean of a 0/1 (or any bounded) outcome
+/// vector, e.g. per-tie direction-discovery correctness.
+///
+/// `level` is the coverage (e.g. `0.95`); `resamples` draws with
+/// replacement are taken.
+pub fn bootstrap_mean_ci(
+    outcomes: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(!outcomes.is_empty(), "no outcomes to bootstrap");
+    assert!((0.0..1.0).contains(&level) || level == 0.0, "level must be in [0, 1)");
+    let n = outcomes.len();
+    let estimate = outcomes.iter().sum::<f64>() / n as f64;
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += outcomes[rng.gen_range(n)];
+        }
+        means.push(s / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    ConfidenceInterval { estimate, lower: means[lo_idx], upper: means[hi_idx] }
+}
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Empirical positive rate in the bin.
+    pub empirical: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Builds a reliability diagram over `n_bins` equal-width probability bins
+/// and returns `(bins, expected_calibration_error)`.
+///
+/// ECE is the count-weighted mean absolute gap between predicted and
+/// empirical probability — `0` for a perfectly calibrated scorer.
+pub fn calibration(
+    predictions: &[f64],
+    labels: &[bool],
+    n_bins: usize,
+) -> (Vec<CalibrationBin>, f64) {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert!(n_bins >= 1, "need at least one bin");
+    let mut sums = vec![0.0f64; n_bins];
+    let mut pos = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!((0.0..=1.0).contains(&p), "prediction {p} out of [0,1]");
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b] += p;
+        counts[b] += 1;
+        if l {
+            pos[b] += 1;
+        }
+    }
+    let total: usize = counts.iter().sum();
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut ece = 0.0;
+    for b in 0..n_bins {
+        if counts[b] == 0 {
+            continue;
+        }
+        let mean_predicted = sums[b] / counts[b] as f64;
+        let empirical = pos[b] as f64 / counts[b] as f64;
+        ece += (counts[b] as f64 / total as f64) * (mean_predicted - empirical).abs();
+        bins.push(CalibrationBin { mean_predicted, empirical, count: counts[b] });
+    }
+    (bins, ece)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_ci_brackets_estimate() {
+        let outcomes: Vec<f64> = (0..200).map(|i| if i % 4 == 0 { 0.0 } else { 1.0 }).collect();
+        let ci = bootstrap_mean_ci(&outcomes, 0.95, 500, 1);
+        assert!((ci.estimate - 0.75).abs() < 1e-12);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.upper - ci.lower < 0.2, "CI width plausible for n=200");
+        assert!(ci.lower > 0.6 && ci.upper < 0.9);
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_sample() {
+        let ci = bootstrap_mean_ci(&[1.0; 50], 0.9, 200, 2);
+        assert_eq!(ci.estimate, 1.0);
+        assert_eq!(ci.lower, 1.0);
+        assert_eq!(ci.upper, 1.0);
+    }
+
+    #[test]
+    fn perfectly_calibrated_scorer_has_zero_ece() {
+        // Predictions equal to base rates within two groups.
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..1000 {
+            preds.push(0.25);
+            labels.push(i % 4 == 0);
+            preds.push(0.75);
+            labels.push(i % 4 != 0);
+        }
+        let (bins, ece) = calibration(&preds, &labels, 10);
+        assert!(ece < 0.01, "ECE {ece}");
+        assert!(bins.len() >= 2);
+    }
+
+    #[test]
+    fn overconfident_scorer_has_high_ece() {
+        // Predicts 0.99 on a 50/50 outcome.
+        let preds = vec![0.99; 400];
+        let labels: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let (_, ece) = calibration(&preds, &labels, 10);
+        assert!(ece > 0.4, "ECE {ece}");
+    }
+
+    #[test]
+    fn bins_partition_all_samples() {
+        let preds = vec![0.05, 0.5, 0.51, 0.95, 1.0, 0.0];
+        let labels = vec![false, true, false, true, true, false];
+        let (bins, _) = calibration(&preds, &labels, 4);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, preds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = calibration(&[0.5], &[true, false], 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to initialize t-SNE (standard practice) and as a cheap linear
+//! alternative for embedding inspection.
+
+use dd_linalg::rng::Pcg32;
+
+/// Projects `data` (rows = points) onto its top `k` principal components.
+///
+/// Returns an `n × k` row-major projection. Components are computed by
+/// power iteration on the centered covariance with deflation; adequate for
+/// visualization purposes.
+pub fn pca_project(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(!data.is_empty(), "PCA needs data");
+    let n = data.len();
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "ragged rows");
+    let k = k.min(d);
+    // Center.
+    let mut mean = vec![0.0f64; d];
+    for row in data {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| row.iter().zip(&mean).map(|(&x, &m)| x as f64 - m).collect())
+        .collect();
+
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut v: Vec<f64> = (0..d).map(|_| rng.next_f64() - 0.5).collect();
+        normalize(&mut v);
+        for _ in 0..60 {
+            // w = Cᵀ(Cv) without forming the covariance matrix.
+            let mut w = vec![0.0f64; d];
+            for row in &centered {
+                let proj: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                for (wi, &ri) in w.iter_mut().zip(row) {
+                    *wi += proj * ri;
+                }
+            }
+            // Deflate previously found components.
+            for c in &components {
+                let dot: f64 = w.iter().zip(c).map(|(a, b)| a * b).sum();
+                for (wi, &ci) in w.iter_mut().zip(c) {
+                    *wi -= dot * ci;
+                }
+            }
+            let norm = normalize(&mut w);
+            if norm < 1e-12 {
+                break;
+            }
+            v = w;
+        }
+        components.push(v);
+    }
+
+    centered
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum())
+                .collect()
+        })
+        .collect()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread along the (1, 1) diagonal with small noise in the
+        // orthogonal direction.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            let t = i as f32 / 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            data.push(vec![t + noise, t - noise]);
+        }
+        let proj = pca_project(&data, 2, 1);
+        // Variance along PC1 must dwarf PC2.
+        let var = |k: usize| {
+            let m: f64 = proj.iter().map(|p| p[k]).sum::<f64>() / proj.len() as f64;
+            proj.iter().map(|p| (p[k] - m).powi(2)).sum::<f64>() / proj.len() as f64
+        };
+        assert!(var(0) > 100.0 * var(1), "PC1 var {} vs PC2 var {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_shape() {
+        let data = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 10.0]];
+        let proj = pca_project(&data, 2, 2);
+        assert_eq!(proj.len(), 3);
+        assert_eq!(proj[0].len(), 2);
+        // k capped at dimensionality.
+        let proj = pca_project(&data, 10, 3);
+        assert_eq!(proj[0].len(), 3);
+    }
+
+    #[test]
+    fn centered_output() {
+        let data = vec![vec![10.0, 0.0], vec![12.0, 0.0], vec![14.0, 0.0]];
+        let proj = pca_project(&data, 1, 3);
+        let mean: f64 = proj.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Experiment harness shared by every figure/table binary: a method
+//! registry, the direction-discovery protocol, and JSON result rows.
+
+use dd_baselines::traits::{DirectionalityLearner, TieScorer};
+use dd_baselines::{HfConfig, HfLearner, LineConfig, LineLearner, RedirectNConfig,
+    RedirectNLearner, RedirectTConfig, RedirectTLearner};
+use dd_graph::sampling::HiddenDirections;
+use dd_graph::{MixedSocialNetwork, NodeId};
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use serde::{Deserialize, Serialize};
+
+/// A directionality-learning method under evaluation.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// DeepDirect (Sec. 4).
+    DeepDirect(DeepDirectConfig),
+    /// Handcrafted features + logistic regression (Sec. 3).
+    Hf(HfConfig),
+    /// LINE node embedding + endpoint concatenation.
+    Line(LineConfig),
+    /// ReDirect-N/sm.
+    RedirectN(RedirectNConfig),
+    /// ReDirect-T/sm.
+    RedirectT(RedirectTConfig),
+}
+
+/// Scorer wrapper for a fitted [`DirectionalityModel`].
+pub struct DeepDirectScorer(pub DirectionalityModel);
+
+impl TieScorer for DeepDirectScorer {
+    fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        self.0.score(u, v).unwrap_or(0.5)
+    }
+}
+
+impl Method {
+    /// Method name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::DeepDirect(_) => "DeepDirect",
+            Method::Hf(_) => "HF",
+            Method::Line(_) => "LINE",
+            Method::RedirectN(_) => "ReDirect-N/sm",
+            Method::RedirectT(_) => "ReDirect-T/sm",
+        }
+    }
+
+    /// Fits the method on `g` and returns a directionality scorer.
+    pub fn fit(&self, g: &MixedSocialNetwork) -> Box<dyn TieScorer> {
+        match self {
+            Method::DeepDirect(cfg) => {
+                let model = DeepDirect::new(cfg.clone()).fit(g);
+                Box::new(DeepDirectScorer(model))
+            }
+            Method::Hf(cfg) => HfLearner::new(cfg.clone()).fit(g),
+            Method::Line(cfg) => LineLearner::new(cfg.clone()).fit(g),
+            Method::RedirectN(cfg) => RedirectNLearner::new(cfg.clone()).fit(g),
+            Method::RedirectT(cfg) => RedirectTLearner::new(cfg.clone()).fit(g),
+        }
+    }
+
+    /// The full five-method suite of the paper's comparison at
+    /// bench-friendly parameters (dimensions scaled down from the paper's
+    /// 128 to keep the full evaluation matrix tractable; the ratio between
+    /// methods follows Sec. 6.1 — LINE gets half DeepDirect's dimension,
+    /// ReDirect-N gets `Z = 40`).
+    pub fn suite(dim: usize, seed: u64) -> Vec<Method> {
+        vec![
+            Method::DeepDirect(DeepDirectConfig { dim, seed, ..Default::default() }),
+            Method::Hf(HfConfig::default()),
+            Method::Line(LineConfig { dim: dim / 2, seed, ..Default::default() }),
+            Method::RedirectN(RedirectNConfig { seed, ..Default::default() }),
+            Method::RedirectT(RedirectTConfig::default()),
+        ]
+    }
+}
+
+/// Runs the direction-discovery protocol (Sec. 6.2): fit on the hidden
+/// network, predict every undirected tie per Eq. 28, return accuracy.
+pub fn direction_discovery_accuracy(method: &Method, hidden: &HiddenDirections) -> f64 {
+    let scorer = method.fit(&hidden.network);
+    scorer_accuracy(scorer.as_ref(), hidden)
+}
+
+/// Accuracy of an already-fitted scorer under the protocol of Sec. 6.2.
+pub fn scorer_accuracy(scorer: &dyn TieScorer, hidden: &HiddenDirections) -> f64 {
+    use deepdirect::apps::discovery::{discover_directions, discovery_accuracy};
+    let preds = discover_directions(&hidden.network, |u, v| scorer.score(u, v));
+    discovery_accuracy(&preds, &hidden.truth)
+}
+
+/// One experiment result row, serialized as JSON lines so EXPERIMENTS.md can
+/// quote exact values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment id, e.g. `"fig3"`.
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// X-axis parameter name (e.g. `"percent_directed"`).
+    pub x_name: String,
+    /// X-axis value.
+    pub x: f64,
+    /// Measured value (accuracy, AUC, seconds, …).
+    pub value: f64,
+    /// Random seed used.
+    pub seed: u64,
+}
+
+/// Collects rows and renders/persists them.
+#[derive(Debug, Default)]
+pub struct ResultSink {
+    rows: Vec<ExperimentRow>,
+}
+
+impl ResultSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row (also echoed to stdout as a progress line).
+    pub fn push(&mut self, row: ExperimentRow) {
+        println!(
+            "  {} | {} | {} | {}={:.3} -> {:.4}",
+            row.experiment, row.dataset, row.method, row.x_name, row.x, row.value
+        );
+        self.rows.push(row);
+    }
+
+    /// All collected rows.
+    pub fn rows(&self) -> &[ExperimentRow] {
+        &self.rows
+    }
+
+    /// Writes rows as JSON lines to `path` (creating parent directories).
+    pub fn write_jsonl(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&serde_json::to_string(row).expect("rows serialize"));
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Renders a `dataset × method` pivot for one x value as an ASCII table.
+    pub fn pivot_table(&self, experiment: &str, x: f64) -> String {
+        let mut datasets: Vec<&str> = Vec::new();
+        let mut methods: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if r.experiment == experiment && (r.x - x).abs() < 1e-9 {
+                if !datasets.contains(&r.dataset.as_str()) {
+                    datasets.push(&r.dataset);
+                }
+                if !methods.contains(&r.method.as_str()) {
+                    methods.push(&r.method);
+                }
+            }
+        }
+        let mut s = format!("{experiment} @ x={x}\n{:<14}", "dataset");
+        for m in &methods {
+            s.push_str(&format!("{m:>16}"));
+        }
+        s.push('\n');
+        for d in &datasets {
+            s.push_str(&format!("{d:<14}"));
+            for m in &methods {
+                let v = self
+                    .rows
+                    .iter()
+                    .find(|r| {
+                        r.experiment == experiment
+                            && r.dataset == *d
+                            && r.method == *m
+                            && (r.x - x).abs() < 1e-9
+                    })
+                    .map(|r| r.value);
+                match v {
+                    Some(v) => s.push_str(&format!("{v:>16.4}")),
+                    None => s.push_str(&format!("{:>16}", "-")),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use dd_graph::sampling::hide_directions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suite_has_five_methods() {
+        let suite = Method::suite(32, 1);
+        assert_eq!(suite.len(), 5);
+        let names: Vec<&str> = suite.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["DeepDirect", "HF", "LINE", "ReDirect-N/sm", "ReDirect-T/sm"]);
+    }
+
+    #[test]
+    fn discovery_protocol_runs_for_fast_methods() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = social_network(&SocialNetConfig { n_nodes: 120, ..Default::default() }, &mut rng)
+            .network;
+        let hidden = hide_directions(&g, 0.5, &mut rng);
+        let m = Method::Hf(HfConfig::default());
+        let acc = direction_discovery_accuracy(&m, &hidden);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(acc > 0.5, "HF beats chance: {acc}");
+    }
+
+    #[test]
+    fn sink_round_trips_and_pivots() {
+        let mut sink = ResultSink::new();
+        for (d, m, v) in [("A", "HF", 0.7), ("A", "LINE", 0.6), ("B", "HF", 0.8)] {
+            sink.push(ExperimentRow {
+                experiment: "fig3".into(),
+                dataset: d.into(),
+                method: m.into(),
+                x_name: "pct".into(),
+                x: 0.5,
+                value: v,
+                seed: 1,
+            });
+        }
+        assert_eq!(sink.rows().len(), 3);
+        let table = sink.pivot_table("fig3", 0.5);
+        assert!(table.contains("HF"));
+        assert!(table.contains("0.7000"));
+        assert!(table.contains('-'), "missing cell renders as dash");
+        let dir = std::env::temp_dir().join("dd_eval_sink_test");
+        let path = dir.join("rows.jsonl").to_string_lossy().to_string();
+        sink.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let row: ExperimentRow = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(row.method, "HF");
+        std::fs::remove_file(&path).ok();
+    }
+}

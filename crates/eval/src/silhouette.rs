@@ -1,0 +1,95 @@
+//! Silhouette score — a quantitative stand-in for the visual separability
+//! judgment of Fig. 7 ("points of different colors are separable").
+
+/// Mean silhouette coefficient of 2-D points under binary labels.
+///
+/// For each point: `s = (b − a) / max(a, b)` with `a` the mean distance to
+/// same-label points and `b` the mean distance to other-label points.
+/// Ranges in `[-1, 1]`; higher means better separated. Returns `0` when a
+/// class has fewer than 2 members.
+pub fn silhouette_2d(points: &[(f64, f64)], labels: &[bool]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points and labels must align");
+    let n = points.len();
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = n - n_pos;
+    if n_pos < 2 || n_neg < 2 {
+        return 0.0;
+    }
+    let dist = |i: usize, j: usize| -> f64 {
+        let (dx, dy) = (points[i].0 - points[j].0, points[i].1 - points[j].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut same_sum = 0.0;
+        let mut same_n = 0usize;
+        let mut other_sum = 0.0;
+        let mut other_n = 0usize;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if labels[i] == labels[j] {
+                same_sum += dist(i, j);
+                same_n += 1;
+            } else {
+                other_sum += dist(i, j);
+                other_n += 1;
+            }
+        }
+        let a = same_sum / same_n as f64;
+        let b = other_sum / other_n as f64;
+        let m = a.max(b);
+        if m > 0.0 {
+            total += (b - a) / m;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_clusters_score_high() {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            pts.push((10.0 + (i % 5) as f64 * 0.1, 10.0));
+            labels.push(true);
+            pts.push((-10.0 - (i % 5) as f64 * 0.1, -10.0));
+            labels.push(false);
+        }
+        let s = silhouette_2d(&pts, &labels);
+        assert!(s > 0.9, "well-separated clusters: {s}");
+    }
+
+    #[test]
+    fn mixed_clusters_score_low() {
+        // Interleaved points.
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            pts.push((i as f64 * 0.1, 0.0));
+            labels.push(i % 2 == 0);
+        }
+        let s = silhouette_2d(&pts, &labels);
+        assert!(s.abs() < 0.3, "interleaved clusters: {s}");
+    }
+
+    #[test]
+    fn degenerate_classes_are_zero() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(silhouette_2d(&pts, &[true, true, true]), 0.0);
+        assert_eq!(silhouette_2d(&pts, &[true, true, false]), 0.0);
+    }
+
+    #[test]
+    fn score_in_valid_range() {
+        let pts = vec![(0.0, 0.0), (0.5, 0.1), (3.0, 3.0), (3.5, 2.9)];
+        let labels = vec![true, false, true, false];
+        let s = silhouette_2d(&pts, &labels);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

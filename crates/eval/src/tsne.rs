@@ -1,0 +1,253 @@
+//! Exact t-SNE (van der Maaten & Hinton, JMLR 2008) for the embedding
+//! visualization of Fig. 7.
+//!
+//! The figure projects a few hundred tie embeddings to 2-D, so the exact
+//! `O(n²)` formulation is appropriate (no Barnes–Hut tree needed). The
+//! implementation follows the reference algorithm: per-point bandwidths by
+//! binary search to a target perplexity, symmetrized affinities, early
+//! exaggeration, and momentum gradient descent.
+
+use dd_linalg::rng::Pcg32;
+
+use crate::pca::pca_project;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighborhood size).
+    pub perplexity: f64,
+    /// Gradient descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Early exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+    /// RNG seed (initialization jitter).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig { perplexity: 30.0, iterations: 400, lr: 100.0, exaggeration: 12.0, seed: 0x75e }
+    }
+}
+
+/// Embeds `data` (rows = points) into 2-D with t-SNE. Returns `(x, y)` per
+/// point.
+pub fn tsne_2d(data: &[Vec<f32>], cfg: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+    let perplexity = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(1.0);
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = dd_linalg::vecops::sq_dist(&data[i], &data[j]) as f64;
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Conditional affinities with per-point bandwidth via binary search on
+    // log-perplexity.
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f64, 0.0f64, f64::INFINITY);
+        let row = &d2[i * n..(i + 1) * n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for (j, &dij) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * dij).exp();
+                sum += pij;
+                sum_dp += beta * dij * pij;
+            }
+            let entropy = if sum > 0.0 { sum.ln() + sum_dp / sum } else { 0.0 };
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for (j, &dij) in row.iter().enumerate() {
+            if j != i {
+                let pij = (-beta * dij).exp();
+                p[i * n + j] = pij;
+                sum += pij;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize and normalize.
+    let mut pij = vec![0.0f64; n * n];
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let v = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+            pij[i * n + j] = v;
+            total += v;
+        }
+    }
+    if total > 0.0 {
+        for v in &mut pij {
+            *v = (*v / total).max(1e-12);
+        }
+    }
+
+    // Initialize from PCA with a little jitter.
+    let init = pca_project(data, 2, cfg.seed);
+    let scale = {
+        let max = init.iter().flat_map(|p| p.iter()).fold(0.0f64, |a, &b| a.max(b.abs()));
+        if max > 0.0 {
+            1e-2 / max
+        } else {
+            1.0
+        }
+    };
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let mut y: Vec<f64> = Vec::with_capacity(2 * n);
+    for pt in &init {
+        y.push(pt[0] * scale + (rng.next_f64() - 0.5) * 1e-4);
+        y.push(*pt.get(1).unwrap_or(&0.0) * scale + (rng.next_f64() - 0.5) * 1e-4);
+    }
+    let mut velocity = vec![0.0f64; 2 * n];
+    let mut grad = vec![0.0f64; 2 * n];
+    let mut q = vec![0.0f64; n * n];
+
+    let exag_until = cfg.iterations / 4;
+    for it in 0..cfg.iterations {
+        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j).
+        grad.fill(0.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let coeff = 4.0 * (exag * pij[i * n + j] - w / qsum) * w;
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                grad[2 * i] += coeff * dx;
+                grad[2 * i + 1] += coeff * dy;
+            }
+        }
+        let momentum = if it < exag_until { 0.5 } else { 0.8 };
+        for k in 0..2 * n {
+            velocity[k] = momentum * velocity[k] - cfg.lr * grad[k];
+            y[k] += velocity[k];
+        }
+    }
+
+    (0..n).map(|i| (y[2 * i], y[2 * i + 1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 8-D.
+    fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..2 * n_per {
+            let cls = i % 2 == 0;
+            let center = if cls { 3.0f32 } else { -3.0 };
+            let row: Vec<f32> = (0..8).map(|_| center + rng.next_f32() - 0.5).collect();
+            data.push(row);
+            labels.push(cls);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (data, labels) = blobs(40, 1);
+        let cfg = TsneConfig { iterations: 250, ..Default::default() };
+        let pts = tsne_2d(&data, &cfg);
+        assert_eq!(pts.len(), 80);
+        // Centroid distance between classes should exceed intra-class
+        // spread.
+        let centroid = |cls: bool| {
+            let sel: Vec<&(f64, f64)> =
+                pts.iter().zip(&labels).filter(|(_, &l)| l == cls).map(|(p, _)| p).collect();
+            let n = sel.len() as f64;
+            (sel.iter().map(|p| p.0).sum::<f64>() / n, sel.iter().map(|p| p.1).sum::<f64>() / n)
+        };
+        let (ax, ay) = centroid(true);
+        let (bx, by) = centroid(false);
+        let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let spread = pts
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| {
+                let (cx, cy) = if l { (ax, ay) } else { (bx, by) };
+                ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt()
+            })
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(between > 2.0 * spread, "between {between} vs spread {spread}");
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        assert!(tsne_2d(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(tsne_2d(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![(0.0, 0.0)]);
+        let two = tsne_2d(&[vec![0.0], vec![1.0]], &TsneConfig { iterations: 50, ..Default::default() });
+        assert_eq!(two.len(), 2);
+        assert!(two.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (data, _) = blobs(10, 3);
+        let cfg = TsneConfig { iterations: 60, ..Default::default() };
+        let a = tsne_2d(&data, &cfg);
+        let b = tsne_2d(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_finite() {
+        let (data, _) = blobs(30, 4);
+        let pts = tsne_2d(&data, &TsneConfig { iterations: 120, ..Default::default() });
+        for (x, y) in pts {
+            assert!(x.is_finite() && y.is_finite());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Network analysis: clustering, reciprocity, and the prevalence of the two
+//! directionality patterns DeepDirect leans on.
+//!
+//! The patterns were established empirically in the ReDirect paper; this
+//! module reproduces that measurement so both real edge lists and our
+//! synthetic analogs can be checked for the same structure:
+//!
+//! * **Degree Consistency prevalence** — the fraction of directed ties that
+//!   run from the lower-degree endpoint to the higher-degree endpoint
+//!   (Definition 5),
+//! * **Triad Status Consistency prevalence** — the fraction of directed
+//!   2-paths `u → v → w` with a directed closing tie between `u` and `w`
+//!   where that tie runs `u → w` (avoiding a cycle, Definition 6).
+
+use crate::ids::NodeId;
+use crate::network::MixedSocialNetwork;
+use crate::tie::TieKind;
+
+/// Local clustering coefficient of node `u` on the undirected view: the
+/// fraction of neighbor pairs that are themselves connected.
+pub fn local_clustering(g: &MixedSocialNetwork, u: NodeId) -> f64 {
+    let nbrs = g.neighbors(u);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_tie_between(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (k * (k - 1)) as f64
+}
+
+/// Average local clustering coefficient of the network.
+pub fn average_clustering(g: &MixedSocialNetwork) -> f64 {
+    if g.n_nodes() == 0 {
+        return 0.0;
+    }
+    let total: f64 = g.nodes().map(|u| local_clustering(g, u)).sum();
+    total / g.n_nodes() as f64
+}
+
+/// Fraction of social ties that are bidirectional (reciprocity).
+pub fn reciprocity(g: &MixedSocialNetwork) -> f64 {
+    let c = g.counts();
+    if c.total() == 0 {
+        return 0.0;
+    }
+    c.bidirectional as f64 / c.total() as f64
+}
+
+/// Prevalence of the Degree Consistency Pattern: among directed ties whose
+/// endpoints have different social degrees, the fraction running from the
+/// lower-degree node to the higher-degree node. `0.5` means no pattern.
+pub fn degree_pattern_prevalence(g: &MixedSocialNetwork) -> f64 {
+    let mut up = 0usize;
+    let mut total = 0usize;
+    for (_, u, v) in g.directed_ties() {
+        let du = g.social_degree(u);
+        let dv = g.social_degree(v);
+        if du == dv {
+            continue;
+        }
+        total += 1;
+        if du < dv {
+            up += 1;
+        }
+    }
+    if total == 0 {
+        0.5
+    } else {
+        up as f64 / total as f64
+    }
+}
+
+/// Prevalence of the Triad Status Consistency Pattern: over directed
+/// 2-paths `u → v → w` whose closing `(u, w)` tie is also directed, the
+/// fraction where it runs `u → w` (no directed 3-cycle). `0.5` = no pattern.
+pub fn triad_pattern_prevalence(g: &MixedSocialNetwork) -> f64 {
+    let mut acyclic = 0usize;
+    let mut total = 0usize;
+    for (_, t1) in g.iter_ties() {
+        if t1.kind != TieKind::Directed {
+            continue;
+        }
+        let (u, v) = (t1.src, t1.dst);
+        for &t2 in g.out_ties(v) {
+            let tie2 = g.tie(t2);
+            if tie2.kind != TieKind::Directed {
+                continue;
+            }
+            let w = tie2.dst;
+            if w == u {
+                continue;
+            }
+            if let Some(closing) = g.find_tie(u, w) {
+                if g.tie(closing).kind == TieKind::Directed {
+                    total += 1;
+                    acyclic += 1; // u → w closes forward
+                }
+            } else if let Some(closing) = g.find_tie(w, u) {
+                if g.tie(closing).kind == TieKind::Directed {
+                    total += 1; // w → u closes a directed 3-cycle
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.5
+    } else {
+        acyclic as f64 / total as f64
+    }
+}
+
+/// A bundle of the above measurements, as used by the dataset reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternReport {
+    /// Average local clustering coefficient.
+    pub clustering: f64,
+    /// Fraction of bidirectional ties.
+    pub reciprocity: f64,
+    /// Degree Consistency prevalence.
+    pub degree_pattern: f64,
+    /// Triad Status Consistency prevalence.
+    pub triad_pattern: f64,
+}
+
+impl PatternReport {
+    /// Measures all statistics of `g`.
+    pub fn measure(g: &MixedSocialNetwork) -> Self {
+        PatternReport {
+            clustering: average_clustering(g),
+            reciprocity: reciprocity(g),
+            degree_pattern: degree_pattern_prevalence(g),
+            triad_pattern: triad_pattern_prevalence(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{social_network, SocialNetConfig};
+    use crate::network::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clustering_of_triangle_and_path() {
+        // Triangle: clustering 1 everywhere.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(0), NodeId(2)).unwrap();
+        let tri = b.build().unwrap();
+        for u in tri.nodes() {
+            assert_eq!(local_clustering(&tri, u), 1.0);
+        }
+        assert_eq!(average_clustering(&tri), 1.0);
+        // Path: clustering 0.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        let path = b.build().unwrap();
+        assert_eq!(average_clustering(&path), 0.0);
+    }
+
+    #[test]
+    fn degree_pattern_on_star() {
+        // All spokes point at the hub → perfect degree consistency.
+        let mut b = NetworkBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_directed(NodeId(i), NodeId(0)).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(degree_pattern_prevalence(&g), 1.0);
+        // Reversed star → 0.
+        let mut b = NetworkBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_directed(NodeId(0), NodeId(i)).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(degree_pattern_prevalence(&g), 0.0);
+    }
+
+    #[test]
+    fn triad_pattern_detects_cycles() {
+        // Acyclic triangle 0→1→2, 0→2: prevalence 1.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(0), NodeId(2)).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(triad_pattern_prevalence(&g), 1.0);
+        // Directed 3-cycle 0→1→2→0: every 2-path closes backward → 0.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(2), NodeId(0)).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(triad_pattern_prevalence(&g), 0.0);
+    }
+
+    #[test]
+    fn generator_exhibits_both_patterns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = social_network(&SocialNetConfig { n_nodes: 500, ..Default::default() }, &mut rng)
+            .network;
+        let r = PatternReport::measure(&g);
+        assert!(r.degree_pattern > 0.6, "degree pattern {}", r.degree_pattern);
+        assert!(r.triad_pattern > 0.6, "triad pattern {}", r.triad_pattern);
+        assert!(r.clustering > 0.02, "clustering {}", r.clustering);
+        assert!((r.reciprocity - 0.3).abs() < 0.1, "reciprocity {}", r.reciprocity);
+    }
+
+    #[test]
+    fn degenerate_networks_are_neutral() {
+        let mut b = NetworkBuilder::new(2);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        let g = b.build().unwrap();
+        // Equal degrees → no degree-pattern evidence.
+        assert_eq!(degree_pattern_prevalence(&g), 0.5);
+        assert_eq!(triad_pattern_prevalence(&g), 0.5);
+        assert_eq!(reciprocity(&g), 0.0);
+    }
+}

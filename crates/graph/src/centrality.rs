@@ -1,0 +1,224 @@
+//! Node centrality measures used by the handcrafted features (Sec. 3.1):
+//! closeness centrality (Eq. 3) and betweenness centrality (Eq. 4).
+//!
+//! Both are computed on the *undirected view* of the network, as the paper
+//! prescribes. Exact computation costs one BFS per node (`O(|V||E|)`), which
+//! is fine for the sampled sub-networks of the evaluation but expensive for
+//! full-scale graphs; the `*_sampled` variants estimate both measures from
+//! `k` pivot sources with the standard unbiased scaling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ids::NodeId;
+use crate::network::MixedSocialNetwork;
+use crate::traversal::{bfs_distances, UNREACHABLE};
+
+/// Exact closeness centrality for every node: `cc(u) = 1 / Σ_{v≠u} dis(u,v)`,
+/// summing over nodes reachable from `u`. Isolated nodes get `0`.
+pub fn closeness_all(g: &MixedSocialNetwork) -> Vec<f64> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    closeness_from_sources(g, &sources, g.n_nodes())
+}
+
+/// Approximate closeness from `k` random pivot sources.
+///
+/// Distance sums are scaled by `n/k` so the estimate is comparable with the
+/// exact value. With `k ≥ n` this equals [`closeness_all`].
+pub fn closeness_sampled<R: Rng>(g: &MixedSocialNetwork, k: usize, rng: &mut R) -> Vec<f64> {
+    let mut sources: Vec<NodeId> = g.nodes().collect();
+    sources.shuffle(rng);
+    let k = k.min(sources.len());
+    sources.truncate(k);
+    closeness_from_sources(g, &sources, g.n_nodes())
+}
+
+fn closeness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize) -> Vec<f64> {
+    // BFS from each source accumulates dis(source, v) onto v; by symmetry of
+    // the undirected view this also accumulates Σ_s dis(v, s) for each v.
+    let mut sums = vec![0.0f64; g.n_nodes()];
+    for &s in sources {
+        let dist = bfs_distances(g, s);
+        for (v, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && d > 0 {
+                sums[v] += d as f64;
+            }
+        }
+    }
+    let scale = if sources.is_empty() { 0.0 } else { n as f64 / sources.len() as f64 };
+    sums.iter()
+        .map(|&s| {
+            let est = s * scale;
+            if est > 0.0 {
+                1.0 / est
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Exact betweenness centrality for every node via Brandes' algorithm on the
+/// undirected view: `bc(u) = Σ_{i≠u≠j} σ_ij(u) / σ_ij`.
+pub fn betweenness_all(g: &MixedSocialNetwork) -> Vec<f64> {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    betweenness_from_sources(g, &sources, g.n_nodes())
+}
+
+/// Approximate betweenness from `k` random pivot sources, scaled by `n/k`.
+pub fn betweenness_sampled<R: Rng>(g: &MixedSocialNetwork, k: usize, rng: &mut R) -> Vec<f64> {
+    let mut sources: Vec<NodeId> = g.nodes().collect();
+    sources.shuffle(rng);
+    let k = k.min(sources.len());
+    sources.truncate(k);
+    betweenness_from_sources(g, &sources, g.n_nodes())
+}
+
+fn betweenness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize) -> Vec<f64> {
+    let nn = g.n_nodes();
+    let mut bc = vec![0.0f64; nn];
+    // Brandes working arrays, reused across sources.
+    let mut sigma = vec![0.0f64; nn];
+    let mut dist = vec![-1i32; nn];
+    let mut delta = vec![0.0f64; nn];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nn];
+    let mut stack: Vec<u32> = Vec::with_capacity(nn);
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+
+    for &s in sources {
+        for i in 0..nn {
+            sigma[i] = 0.0;
+            dist[i] = -1;
+            delta[i] = 0.0;
+            preds[i].clear();
+        }
+        stack.clear();
+        queue.clear();
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        queue.push_back(s.0);
+        while let Some(u) = queue.pop_front() {
+            stack.push(u);
+            let du = dist[u as usize];
+            for &w in g.neighbors(NodeId(u)) {
+                let wi = w.index();
+                if dist[wi] < 0 {
+                    dist[wi] = du + 1;
+                    queue.push_back(w.0);
+                }
+                if dist[wi] == du + 1 {
+                    sigma[wi] += sigma[u as usize];
+                    preds[wi].push(u);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            let wi = w as usize;
+            let coeff = (1.0 + delta[wi]) / sigma[wi].max(f64::MIN_POSITIVE);
+            for &p in &preds[wi] {
+                delta[p as usize] += sigma[p as usize] * coeff;
+            }
+            if w != s.0 {
+                bc[wi] += delta[wi];
+            }
+        }
+    }
+    // Undirected: each pair (i, j) is visited from both ends when all sources
+    // are used, so halve; sampled runs additionally scale by n/k.
+    let scale = if sources.is_empty() { 0.0 } else { n as f64 / sources.len() as f64 / 2.0 };
+    for b in &mut bc {
+        *b *= scale;
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Path 0-1-2-3-4 (directed left to right; centrality uses the
+    /// undirected view so orientation is irrelevant).
+    fn path5() -> MixedSocialNetwork {
+        let mut b = NetworkBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_directed(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Star with center 0 and four leaves.
+    fn star5() -> MixedSocialNetwork {
+        let mut b = NetworkBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_directed(NodeId(i), NodeId(0)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closeness_on_path() {
+        let g = path5();
+        let cc = closeness_all(&g);
+        // Node 2 (middle): distances 2,1,1,2 → sum 6 → 1/6.
+        assert!((cc[2] - 1.0 / 6.0).abs() < 1e-12);
+        // Node 0 (end): distances 1,2,3,4 → sum 10 → 1/10.
+        assert!((cc[0] - 0.1).abs() < 1e-12);
+        // Symmetry.
+        assert!((cc[0] - cc[4]).abs() < 1e-12);
+        assert!((cc[1] - cc[3]).abs() < 1e-12);
+        // Middle is most central.
+        assert!(cc[2] > cc[1] && cc[1] > cc[0]);
+    }
+
+    #[test]
+    fn betweenness_on_path() {
+        let g = path5();
+        let bc = betweenness_all(&g);
+        // Standard values for a 5-path: ends 0, next 3, middle 4.
+        assert!((bc[0]).abs() < 1e-9);
+        assert!((bc[4]).abs() < 1e-9);
+        assert!((bc[1] - 3.0).abs() < 1e-9);
+        assert!((bc[3] - 3.0).abs() < 1e-9);
+        assert!((bc[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_on_star() {
+        let g = star5();
+        let bc = betweenness_all(&g);
+        // Center lies on all C(4,2) = 6 leaf pairs.
+        assert!((bc[0] - 6.0).abs() < 1e-9);
+        for leaf in 1..5 {
+            assert!(bc[leaf].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_with_all_pivots_matches_exact() {
+        let g = path5();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cc_s = closeness_sampled(&g, 5, &mut rng);
+        let cc_e = closeness_all(&g);
+        for (a, b) in cc_s.iter().zip(&cc_e) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let bc_s = betweenness_sampled(&g, 5, &mut rng);
+        let bc_e = betweenness_all(&g);
+        for (a, b) in bc_s.iter().zip(&bc_e) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_estimates_are_in_range() {
+        let g = star5();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cc = closeness_sampled(&g, 2, &mut rng);
+        for &c in &cc {
+            assert!(c >= 0.0 && c.is_finite());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Mixed-network degree definitions (Eqs. 1–2 of the paper).
+//!
+//! The paper modifies the usual in/out degrees so that an undirected tie
+//! contributes `1/2` to both the out-degree and the in-degree of both of its
+//! endpoints, while directed and bidirectional ties contribute normally.
+
+use crate::ids::NodeId;
+use crate::network::MixedSocialNetwork;
+use crate::tie::TieKind;
+
+/// All degree figures for one node under the mixed-network definitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedDegrees {
+    /// `deg_out(u)` per Eq. 1.
+    pub out: f64,
+    /// `deg_in(u)` per Eq. 2.
+    pub r#in: f64,
+}
+
+impl MixedDegrees {
+    /// Total degree `deg_out + deg_in`.
+    pub fn total(&self) -> f64 {
+        self.out + self.r#in
+    }
+}
+
+/// Computes `deg_out(u)` per Eq. 1: directed and bidirectional out-ties count
+/// `1`, undirected ties count `1/2`.
+pub fn deg_out(g: &MixedSocialNetwork, u: NodeId) -> f64 {
+    let mut full = 0usize;
+    let mut half = 0usize;
+    for &t in g.out_ties(u) {
+        match g.tie(t).kind {
+            TieKind::Directed | TieKind::Bidirectional => full += 1,
+            TieKind::Undirected => half += 1,
+        }
+    }
+    full as f64 + half as f64 / 2.0
+}
+
+/// Computes `deg_in(u)` per Eq. 2: directed and bidirectional in-ties count
+/// `1`, undirected ties count `1/2`.
+pub fn deg_in(g: &MixedSocialNetwork, u: NodeId) -> f64 {
+    let mut full = 0usize;
+    let mut half = 0usize;
+    for &t in g.in_ties(u) {
+        match g.tie(t).kind {
+            TieKind::Directed | TieKind::Bidirectional => full += 1,
+            TieKind::Undirected => half += 1,
+        }
+    }
+    full as f64 + half as f64 / 2.0
+}
+
+/// Computes both degrees of `u` in one pass over its adjacency.
+pub fn mixed_degrees(g: &MixedSocialNetwork, u: NodeId) -> MixedDegrees {
+    MixedDegrees { out: deg_out(g, u), r#in: deg_in(g, u) }
+}
+
+/// Computes `deg_out` and `deg_in` for every node in one pass over the tie
+/// instances. Returns `(out, in)` vectors indexed by node id.
+pub fn all_mixed_degrees(g: &MixedSocialNetwork) -> (Vec<f64>, Vec<f64>) {
+    let mut out = vec![0.0f64; g.n_nodes()];
+    let mut inn = vec![0.0f64; g.n_nodes()];
+    for (_, t) in g.iter_ties() {
+        let w = match t.kind {
+            TieKind::Directed | TieKind::Bidirectional => 1.0,
+            TieKind::Undirected => 0.5,
+        };
+        out[t.src.index()] += w;
+        inn[t.dst.index()] += w;
+    }
+    (out, inn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1_network;
+
+    #[test]
+    fn fig1_degrees_of_f() {
+        let g = fig1_network();
+        let f = NodeId(5);
+        // Out of f: directed (f,e),(f,j) + bidirectional (f,b),(f,d) → 4.
+        assert_eq!(deg_out(&g, f), 4.0);
+        // Into f: directed (c,f),(h,f),(i,f) + bidirectional (b,f),(d,f) → 5.
+        assert_eq!(deg_in(&g, f), 5.0);
+    }
+
+    #[test]
+    fn undirected_contributes_half_to_both() {
+        let g = fig1_network();
+        // b = 1: bidirectional (b,f) → 1 out + 1 in; undirected (b,d) → ½ + ½.
+        let b = NodeId(1);
+        assert_eq!(deg_out(&g, b), 1.5);
+        assert_eq!(deg_in(&g, b), 1.5);
+        // c = 2: directed out (c,f) → 1; undirected (c,j) → ½ each way.
+        let c = NodeId(2);
+        assert_eq!(deg_out(&g, c), 1.5);
+        assert_eq!(deg_in(&g, c), 0.5);
+    }
+
+    #[test]
+    fn bulk_matches_per_node() {
+        let g = fig1_network();
+        let (out, inn) = all_mixed_degrees(&g);
+        for u in g.nodes() {
+            assert_eq!(out[u.index()], deg_out(&g, u), "out degree of {u}");
+            assert_eq!(inn[u.index()], deg_in(&g, u), "in degree of {u}");
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let g = fig1_network();
+        let (out, inn) = all_mixed_degrees(&g);
+        let total_out: f64 = out.iter().sum();
+        let total_in: f64 = inn.iter().sum();
+        // Every ordered instance contributes equally to one out and one in.
+        assert!((total_out - total_in).abs() < 1e-12);
+        let d = mixed_degrees(&g, NodeId(5));
+        assert_eq!(d.total(), 9.0);
+    }
+}

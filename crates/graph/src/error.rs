@@ -1,0 +1,92 @@
+//! Error types for network construction and I/O.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced while building or loading a [`crate::MixedSocialNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A tie connected a node to itself; the mixed social network model of the
+    /// paper (Definition 1) has no self ties.
+    SelfLoop(NodeId),
+    /// A node id was at or above the declared node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Declared node count of the network.
+        n_nodes: usize,
+    },
+    /// The same node pair was inserted twice (possibly with different kinds).
+    /// Definition 1 requires `E_d`, `E_b`, `E_u` to be pairwise disjoint, and
+    /// a directed tie `(u, v)` forbids `(v, u)` from existing.
+    DuplicateTie {
+        /// First endpoint of the rejected tie.
+        src: NodeId,
+        /// Second endpoint of the rejected tie.
+        dst: NodeId,
+    },
+    /// The network had no directed ties; Definition 1 requires `|E_d| > 0`.
+    NoDirectedTies,
+    /// A text edge list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(n) => write!(f, "self loop at node {n}"),
+            GraphError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {node} out of range for {n_nodes} nodes")
+            }
+            GraphError::DuplicateTie { src, dst } => {
+                write!(f, "tie between {src} and {dst} conflicts with an existing tie")
+            }
+            GraphError::NoDirectedTies => {
+                write!(f, "mixed social network requires at least one directed tie")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::SelfLoop(NodeId(3));
+        assert!(e.to_string().contains("n3"));
+        let e = GraphError::DuplicateTie { src: NodeId(1), dst: NodeId(2) };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+        let e = GraphError::Parse { line: 9, message: "bad kind".into() };
+        assert!(e.to_string().contains("line 9"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

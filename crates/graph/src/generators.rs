@@ -1,0 +1,460 @@
+//! Synthetic network generators.
+//!
+//! The paper evaluates on crawls of Twitter, LiveJournal, Epinions, Slashdot
+//! and Tencent, which are not redistributable. The [`social_network`]
+//! generator produces networks with the structural properties the TDL task
+//! relies on:
+//!
+//! * heavy-tailed degrees (preferential attachment),
+//! * clustering (triangle closure),
+//! * community structure (planted partition bias),
+//! * controllable reciprocity (fraction of bidirectional ties), and
+//! * direction orientation driven by a latent *status* score, consistent with
+//!   the Degree Consistency and Triad Status Consistency patterns: edges run
+//!   from lower-status to higher-status endpoints with probability
+//!   `1 - flip_prob`. Status combines log-degree, a per-community potential
+//!   (a direction signal that is *invisible* to plain degree/centrality
+//!   features but recoverable from topology), and Gaussian noise.
+//!
+//! Simpler [`erdos_renyi`] and [`preferential_attachment`] generators support
+//! unit tests and ablations.
+
+use rand::Rng;
+
+use crate::hash::FxHashSet;
+use crate::ids::NodeId;
+use crate::network::{MixedSocialNetwork, NetworkBuilder};
+
+/// Configuration for [`social_network`].
+#[derive(Debug, Clone)]
+pub struct SocialNetConfig {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Undirected skeleton edges attached per arriving node.
+    pub m_per_node: usize,
+    /// Probability that a new edge closes a triangle (neighbor-of-neighbor)
+    /// instead of attaching preferentially.
+    pub closure_prob: f64,
+    /// Number of planted communities.
+    pub n_communities: usize,
+    /// Probability that a preferential attachment step insists on a target in
+    /// the arriving node's own community.
+    pub p_intra: f64,
+    /// Probability that a skeleton edge becomes a bidirectional social tie.
+    pub reciprocity: f64,
+    /// Status weight on `ln(1 + degree)`.
+    pub w_degree: f64,
+    /// Status weight on the community potential.
+    pub w_community: f64,
+    /// Standard deviation of per-node Gaussian status noise.
+    pub status_noise: f64,
+    /// Probability that a directed edge is oriented *against* the status
+    /// gradient (label noise of the direction signal).
+    pub flip_prob: f64,
+}
+
+impl Default for SocialNetConfig {
+    fn default() -> Self {
+        SocialNetConfig {
+            n_nodes: 2000,
+            m_per_node: 5,
+            closure_prob: 0.3,
+            n_communities: 12,
+            p_intra: 0.7,
+            reciprocity: 0.3,
+            w_degree: 1.0,
+            w_community: 2.0,
+            status_noise: 0.4,
+            flip_prob: 0.1,
+        }
+    }
+}
+
+/// A generated network plus the latent ground truth that produced it.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetwork {
+    /// The mixed social network (directed + bidirectional ties, no
+    /// undirected ties — matching the paper's raw datasets).
+    pub network: MixedSocialNetwork,
+    /// Latent status score per node (higher = higher social status).
+    pub status: Vec<f64>,
+    /// Community assignment per node.
+    pub community: Vec<u32>,
+}
+
+/// Samples a standard Gaussian via Box–Muller (the `rand` crate alone ships
+/// no normal distribution).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Generates a social network per [`SocialNetConfig`]; see the module docs
+/// for the model.
+pub fn social_network<R: Rng>(cfg: &SocialNetConfig, rng: &mut R) -> GeneratedNetwork {
+    assert!(cfg.n_nodes >= 2, "need at least two nodes");
+    assert!(cfg.m_per_node >= 1, "need at least one edge per node");
+    assert!(cfg.n_communities >= 1, "need at least one community");
+    let n = cfg.n_nodes;
+
+    // Community assignments and potentials.
+    let community: Vec<u32> = (0..n).map(|_| rng.gen_range(0..cfg.n_communities as u32)).collect();
+    let potential: Vec<f64> = (0..cfg.n_communities).map(|_| rng.gen::<f64>()).collect();
+
+    // --- Skeleton: preferential attachment with triangle closure ---
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * cfg.m_per_node);
+    // Repeated-endpoint list: each node appears once per incident edge, plus
+    // once at arrival so isolated early nodes remain reachable.
+    let mut pa_pool: Vec<u32> = Vec::with_capacity(2 * n * cfg.m_per_node + n);
+    let mut edge_set: FxHashSet<(u32, u32)> = FxHashSet::default();
+    edge_set.reserve(n * cfg.m_per_node);
+
+    let add_edge = |a: u32,
+                        b: u32,
+                        adj: &mut Vec<Vec<u32>>,
+                        edges: &mut Vec<(u32, u32)>,
+                        pool: &mut Vec<u32>,
+                        set: &mut FxHashSet<(u32, u32)>|
+     -> bool {
+        if a == b {
+            return false;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if !set.insert(key) {
+            return false;
+        }
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+        edges.push(key);
+        pool.push(a);
+        pool.push(b);
+        true
+    };
+
+    pa_pool.push(0);
+    for v in 1..n as u32 {
+        pa_pool.push(v);
+        let want = cfg.m_per_node.min(v as usize);
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < want && attempts < 50 * want {
+            attempts += 1;
+            let use_closure = !adj[v as usize].is_empty() && rng.gen::<f64>() < cfg.closure_prob;
+            let target = if use_closure {
+                // Neighbor of a random existing neighbor → closes a triangle.
+                let nbrs = &adj[v as usize];
+                let u = nbrs[rng.gen_range(0..nbrs.len())];
+                let second = &adj[u as usize];
+                if second.is_empty() {
+                    continue;
+                }
+                second[rng.gen_range(0..second.len())]
+            } else {
+                // Preferential attachment with community bias.
+                let mut t = pa_pool[rng.gen_range(0..pa_pool.len())];
+                if rng.gen::<f64>() < cfg.p_intra {
+                    // Retry a few times for a same-community target.
+                    for _ in 0..8 {
+                        if community[t as usize] == community[v as usize] {
+                            break;
+                        }
+                        t = pa_pool[rng.gen_range(0..pa_pool.len())];
+                    }
+                }
+                t
+            };
+            if target >= v {
+                continue;
+            }
+            if add_edge(v, target, &mut adj, &mut edges, &mut pa_pool, &mut edge_set) {
+                added += 1;
+            }
+        }
+        // Fall back to an arbitrary earlier node so the network stays
+        // connected even when sampling kept colliding.
+        if added == 0 {
+            let mut t = rng.gen_range(0..v);
+            let mut guard = 0;
+            while !add_edge(v, t, &mut adj, &mut edges, &mut pa_pool, &mut edge_set) && guard < 32 {
+                t = rng.gen_range(0..v);
+                guard += 1;
+            }
+        }
+    }
+
+    // --- Status scores ---
+    let status: Vec<f64> = (0..n)
+        .map(|v| {
+            cfg.w_degree * (1.0 + adj[v].len() as f64).ln()
+                + cfg.w_community * potential[community[v] as usize]
+                + cfg.status_noise * gaussian(rng)
+        })
+        .collect();
+
+    // --- Orientation ---
+    let mut builder =
+        NetworkBuilder::with_capacity(n, edges.len(), (edges.len() as f64 * cfg.reciprocity) as usize, 0);
+    for &(a, b) in &edges {
+        if rng.gen::<f64>() < cfg.reciprocity {
+            builder.add_bidirectional(NodeId(a), NodeId(b)).expect("skeleton edges are unique");
+        } else {
+            let (lo, hi) = if status[a as usize] <= status[b as usize] { (a, b) } else { (b, a) };
+            let (src, dst) = if rng.gen::<f64>() < cfg.flip_prob { (hi, lo) } else { (lo, hi) };
+            builder.add_directed(NodeId(src), NodeId(dst)).expect("skeleton edges are unique");
+        }
+    }
+    let network = builder.build().expect("generator always emits directed ties for reciprocity < 1");
+    GeneratedNetwork { network, status, community }
+}
+
+/// Directed Erdős–Rényi-style generator: `m` distinct directed ties sampled
+/// uniformly, with `reciprocity` fraction converted to bidirectional ties.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, reciprocity: f64, rng: &mut R) -> MixedSocialNetwork {
+    assert!(n >= 2);
+    let mut builder = NetworkBuilder::with_capacity(n, m, 0, 0);
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < m && attempts < 100 * m + 1000 {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v || builder.has_tie_between(NodeId(u), NodeId(v)) {
+            continue;
+        }
+        let ok = if rng.gen::<f64>() < reciprocity {
+            builder.add_bidirectional(NodeId(u), NodeId(v)).is_ok()
+        } else {
+            builder.add_directed(NodeId(u), NodeId(v)).is_ok()
+        };
+        if ok {
+            placed += 1;
+        }
+    }
+    builder.build().expect("reciprocity < 1 leaves directed ties")
+}
+
+/// Watts–Strogatz small-world generator: a ring lattice with `k` neighbors
+/// per side, each edge rewired with probability `rewire`, then oriented by
+/// node-id "status" (lower id → higher id with probability `1 − flip`).
+/// Used by tests and ablations that need high clustering with controlled
+/// randomness.
+pub fn watts_strogatz<R: Rng>(
+    n: usize,
+    k: usize,
+    rewire: f64,
+    flip: f64,
+    rng: &mut R,
+) -> MixedSocialNetwork {
+    assert!(n >= 4, "need at least four nodes");
+    assert!(k >= 1 && 2 * k < n, "k must satisfy 1 <= k < n/2");
+    let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for u in 0..n as u32 {
+        for j in 1..=k as u32 {
+            let v = (u + j) % n as u32;
+            let key = if u < v { (u, v) } else { (v, u) };
+            edges.insert(key);
+        }
+    }
+    // Rewire: replace each original lattice edge's far endpoint.
+    let originals: Vec<(u32, u32)> = edges.iter().copied().collect();
+    for (a, b) in originals {
+        if rng.gen::<f64>() >= rewire {
+            continue;
+        }
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            if tries > 32 {
+                break;
+            }
+            let c = rng.gen_range(0..n as u32);
+            if c == a || c == b {
+                continue;
+            }
+            let new_key = if a < c { (a, c) } else { (c, a) };
+            if edges.contains(&new_key) {
+                continue;
+            }
+            edges.remove(&(a.min(b), a.max(b)));
+            edges.insert(new_key);
+            break;
+        }
+    }
+    let mut builder = NetworkBuilder::with_capacity(n, edges.len(), 0, 0);
+    for (a, b) in edges {
+        let (src, dst) = if rng.gen::<f64>() < flip { (b, a) } else { (a, b) };
+        builder.add_directed(NodeId(src), NodeId(dst)).expect("edges are unique");
+    }
+    builder.build().expect("lattice edges exist")
+}
+
+/// Undirected preferential-attachment skeleton exposed for tests and
+/// ablations: returns the edge list of a Barabási–Albert-style graph.
+pub fn preferential_attachment<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    assert!(n >= 2 && m >= 1);
+    let mut pool: Vec<u32> = vec![0];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for v in 1..n as u32 {
+        pool.push(v);
+        let want = m.min(v as usize);
+        let mut added = 0;
+        let mut guard = 0;
+        while added < want && guard < 50 * want {
+            guard += 1;
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t == v {
+                continue;
+            }
+            let key = if t < v { (t, v) } else { (v, t) };
+            if seen.insert(key) {
+                edges.push(key);
+                pool.push(v);
+                pool.push(t);
+                added += 1;
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn social_network_respects_config() {
+        let cfg = SocialNetConfig { n_nodes: 300, m_per_node: 4, reciprocity: 0.4, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = social_network(&cfg, &mut rng);
+        assert_eq!(g.network.n_nodes(), 300);
+        let c = g.network.counts();
+        assert!(c.directed > 0);
+        assert!(c.bidirectional > 0);
+        assert_eq!(c.undirected, 0);
+        // Reciprocity close to requested.
+        let frac = c.bidirectional as f64 / c.total() as f64;
+        assert!((frac - 0.4).abs() < 0.08, "reciprocity {frac} too far from 0.4");
+        assert_eq!(g.status.len(), 300);
+        assert_eq!(g.community.len(), 300);
+    }
+
+    #[test]
+    fn social_network_is_connected() {
+        let cfg = SocialNetConfig { n_nodes: 500, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = social_network(&cfg, &mut rng);
+        let (_, n_comp) = connected_components(&g.network);
+        assert_eq!(n_comp, 1, "attachment process must stay connected");
+    }
+
+    #[test]
+    fn directions_follow_status() {
+        let cfg = SocialNetConfig {
+            n_nodes: 800,
+            flip_prob: 0.05,
+            reciprocity: 0.2,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = social_network(&cfg, &mut rng);
+        let mut up = 0usize;
+        let mut total = 0usize;
+        for (_, u, v) in g.network.directed_ties() {
+            total += 1;
+            if g.status[u.index()] <= g.status[v.index()] {
+                up += 1;
+            }
+        }
+        let frac = up as f64 / total as f64;
+        assert!(frac > 0.9, "expected ≥90% status-increasing edges, got {frac}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let cfg = SocialNetConfig { n_nodes: 1000, m_per_node: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = social_network(&cfg, &mut rng);
+        let mut degs: Vec<usize> = g.network.nodes().map(|u| g.network.social_degree(u)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degs[0] as f64;
+        let median = degs[degs.len() / 2] as f64;
+        assert!(max > 6.0 * median, "max degree {max} should dwarf median {median}");
+    }
+
+    #[test]
+    fn erdos_renyi_produces_requested_ties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(100, 300, 0.25, &mut rng);
+        assert_eq!(g.counts().total(), 300);
+        assert!(g.counts().bidirectional > 20);
+    }
+
+    #[test]
+    fn preferential_attachment_edge_count() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let edges = preferential_attachment(200, 2, &mut rng);
+        // First node contributes 0, second contributes 1, rest ≈ m each.
+        assert!(edges.len() >= 190 && edges.len() <= 200 * 2);
+        let mut seen = FxHashSet::default();
+        for &e in &edges {
+            assert!(seen.insert(e), "duplicate edge {e:?}");
+            assert!(e.0 < e.1);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_ring_structure() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // No rewiring: pure ring lattice with 2k edges per node.
+        let g = watts_strogatz(20, 2, 0.0, 0.0, &mut rng);
+        assert_eq!(g.counts().directed, 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.social_degree(u), 4, "ring lattice degree at {u}");
+        }
+        // All edges oriented low id → high id when flip = 0 (ring wrap
+        // edges order by min/max id).
+        for (_, a, b) in g.directed_ties() {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_changes_edges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ring = watts_strogatz(60, 3, 0.0, 0.0, &mut rng);
+        let rewired = watts_strogatz(60, 3, 0.7, 0.0, &mut rng);
+        assert_eq!(ring.counts().directed, rewired.counts().directed);
+        // Rewired graph has edges the ring lacks.
+        let mut moved = 0;
+        for (_, a, b) in rewired.directed_ties() {
+            if !ring.has_tie_between(a, b) {
+                moved += 1;
+            }
+        }
+        assert!(moved > 10, "rewiring moved {moved} edges");
+        // Clustering drops under rewiring.
+        let c_ring = crate::analysis::average_clustering(&ring);
+        let c_rew = crate::analysis::average_clustering(&rewired);
+        assert!(c_ring > c_rew, "clustering {c_ring} -> {c_rew}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The standard library's SipHash is HashDoS-resistant but slow for the small
+//! integer keys that dominate graph workloads (node pairs, tie ids). This
+//! module provides an FxHash-style multiply-and-rotate hasher, which is the
+//! same family of hash used by `rustc` itself. All inputs here are internal
+//! ids, never attacker-controlled, so DoS resistance is irrelevant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: a single multiply and rotate per word.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Chunked word-at-a-time path; the tail is folded into one word.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_inserts_and_looks_up() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500, 501)), Some(&500));
+        assert_eq!(m.get(&(501, 500)), None);
+    }
+
+    #[test]
+    fn set_distinguishes_pair_order() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(12345), h(12345));
+        assert_ne!(h(12345), h(12346));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

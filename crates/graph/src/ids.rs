@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers for nodes and ordered ties.
+//!
+//! Both identifiers are thin wrappers over `u32`: the paper's networks have at
+//! most a few million ties, and 32-bit ids halve the memory footprint of the
+//! adjacency structures relative to `usize` on 64-bit platforms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (an individual) in a [`crate::MixedSocialNetwork`].
+///
+/// Node ids are dense: a network with `n` nodes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an *ordered tie instance* in a [`crate::MixedSocialNetwork`].
+///
+/// A directed social tie `(u, v)` yields one ordered instance; bidirectional
+/// and undirected social ties yield two (one per direction). Tie ids are dense
+/// within a built network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct TieId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TieId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for TieId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TieId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for TieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn tie_id_roundtrip() {
+        let id = TieId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(TieId::from(7u32), id);
+        assert_eq!(id.to_string(), "t7");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(TieId(0) < TieId(1));
+    }
+}

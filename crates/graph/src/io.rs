@@ -1,0 +1,174 @@
+//! Text edge-list I/O for mixed social networks.
+//!
+//! Format: one tie per line, `<kind> <src> <dst>` where `kind` is `d`
+//! (directed), `b` (bidirectional) or `u` (undirected). Lines starting with
+//! `#` and blank lines are ignored. A header line `n <count>` may declare the
+//! node count; otherwise it is inferred as `max id + 1`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::network::{MixedSocialNetwork, NetworkBuilder};
+use crate::tie::TieKind;
+
+/// Writes `g` in the text edge-list format.
+pub fn write_edge_list<W: Write>(g: &MixedSocialNetwork, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "n {}", g.n_nodes())?;
+    for (_, u, v) in g.directed_ties() {
+        writeln!(w, "d {} {}", u.0, v.0)?;
+    }
+    for (_, u, v) in g.bidirectional_pairs() {
+        writeln!(w, "b {} {}", u.0, v.0)?;
+    }
+    for (_, u, v) in g.undirected_pairs() {
+        writeln!(w, "u {} {}", u.0, v.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a network from the text edge-list format.
+pub fn read_edge_list<R: Read>(r: R) -> Result<MixedSocialNetwork, GraphError> {
+    let reader = BufReader::new(r);
+    let mut declared_nodes: Option<usize> = None;
+    let mut ties: Vec<(TieKind, u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let head = parts.next().unwrap_or("");
+        let parse_err = |msg: &str| GraphError::Parse { line: lineno + 1, message: msg.to_string() };
+        if head == "n" {
+            let count: usize = parts
+                .next()
+                .ok_or_else(|| parse_err("missing node count"))?
+                .parse()
+                .map_err(|_| parse_err("bad node count"))?;
+            declared_nodes = Some(count);
+            continue;
+        }
+        let kind = head
+            .chars()
+            .next()
+            .and_then(TieKind::from_code)
+            .filter(|_| head.len() == 1)
+            .ok_or_else(|| parse_err("kind must be one of d/b/u"))?;
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing src"))?
+            .parse()
+            .map_err(|_| parse_err("bad src id"))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing dst"))?
+            .parse()
+            .map_err(|_| parse_err("bad dst id"))?;
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens"));
+        }
+        max_id = max_id.max(u).max(v);
+        ties.push((kind, u, v));
+    }
+    let n_nodes = declared_nodes.unwrap_or(max_id as usize + 1);
+    let mut b = NetworkBuilder::new(n_nodes);
+    for (kind, u, v) in ties {
+        let (u, v) = (NodeId(u), NodeId(v));
+        match kind {
+            TieKind::Directed => b.add_directed(u, v)?,
+            TieKind::Bidirectional => b.add_bidirectional(u, v)?,
+            TieKind::Undirected => b.add_undirected(u, v)?,
+        };
+    }
+    b.build()
+}
+
+/// Writes `g` to the file at `path`.
+pub fn save_edge_list<P: AsRef<Path>>(g: &MixedSocialNetwork, path: P) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(f))
+}
+
+/// Reads a network from the file at `path`.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<MixedSocialNetwork, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1_network;
+
+    #[test]
+    fn roundtrip_preserves_network() {
+        let g = fig1_network();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.n_nodes(), g.n_nodes());
+        assert_eq!(g2.counts(), g.counts());
+        for (_, t) in g.iter_ties() {
+            let id = g2.find_tie(t.src, t.dst).expect("tie survives roundtrip");
+            assert_eq!(g2.tie(id).kind, t.kind);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# comment\n\nn 4\nd 0 1\nb 1 2\nu 2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.counts().directed, 1);
+        assert_eq!(g.counts().bidirectional, 1);
+        assert_eq!(g.counts().undirected, 1);
+    }
+
+    #[test]
+    fn infers_node_count() {
+        let g = read_edge_list("d 0 7\n".as_bytes()).unwrap();
+        assert_eq!(g.n_nodes(), 8);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            read_edge_list("x 0 1\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("d 0\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("d 0 abc\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("d 0 1 2\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_on_load() {
+        let err = read_edge_list("d 0 1\nd 1 0\n".as_bytes());
+        assert!(matches!(err, Err(GraphError::DuplicateTie { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = fig1_network();
+        let dir = std::env::temp_dir().join("dd_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.edges");
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g2.counts(), g.counts());
+        std::fs::remove_file(&path).ok();
+    }
+}

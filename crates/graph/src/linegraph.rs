@@ -1,0 +1,133 @@
+//! Explicit line-graph construction (Sec. 4 of the paper).
+//!
+//! The line graph `L(G)` has one node per ordered tie of `G` and a directed
+//! edge from `e1` to `e2` whenever the head of `e1` is the tail of `e2`. The
+//! paper argues that embedding `L(G)` with a node-based method is wasteful
+//! because `|V_L| = |E_G|` and a node with in-degree `d1` and out-degree `d2`
+//! spawns `d1 × d2` line-graph edges. This module materializes `L(G)` so that
+//! the size blow-up can be measured (see the `ablations` bench).
+//!
+//! Note the line-graph edge rule `head(e1) = tail(e2)` is slightly *looser*
+//! than the connected-tie rule of Definition 4, which additionally excludes
+//! immediate back-ties; [`LineGraph::new`] offers both variants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::TieId;
+use crate::network::MixedSocialNetwork;
+
+/// A materialized line graph in CSR form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LineGraph {
+    n_nodes: usize,
+    offsets: Vec<u64>,
+    targets: Vec<TieId>,
+}
+
+/// Statistics comparing a graph with its line graph.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LineGraphStats {
+    /// `|V|` of the original graph.
+    pub orig_nodes: usize,
+    /// Ordered ties of the original graph (= nodes of the line graph).
+    pub orig_ties: usize,
+    /// Edges of the line graph.
+    pub line_edges: u64,
+    /// `line_edges / orig_ties`: average out-degree in the line graph.
+    pub expansion: f64,
+}
+
+impl LineGraph {
+    /// Builds the line graph of `g`.
+    ///
+    /// With `exclude_back_ties = true` the edge set equals the connected-tie
+    /// pairs `C(G)` of Definition 4; with `false` it is the classical
+    /// Harary–Norman line digraph.
+    pub fn new(g: &MixedSocialNetwork, exclude_back_ties: bool) -> Self {
+        let n = g.n_ordered_ties();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::new();
+        for (_, t) in g.iter_ties() {
+            for &next in g.out_ties(t.dst) {
+                if exclude_back_ties && g.tie(next).dst == t.src {
+                    continue;
+                }
+                targets.push(next);
+            }
+            offsets.push(targets.len() as u64);
+        }
+        LineGraph { n_nodes: n, offsets, targets }
+    }
+
+    /// Number of line-graph nodes (= ordered ties of the original graph).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of line-graph edges.
+    pub fn n_edges(&self) -> u64 {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Successors of line-graph node `e`.
+    pub fn successors(&self, e: TieId) -> &[TieId] {
+        let s = self.offsets[e.index()] as usize;
+        let t = self.offsets[e.index() + 1] as usize;
+        &self.targets[s..t]
+    }
+
+    /// Size statistics relative to the original graph.
+    pub fn stats(&self, g: &MixedSocialNetwork) -> LineGraphStats {
+        LineGraphStats {
+            orig_nodes: g.n_nodes(),
+            orig_ties: self.n_nodes,
+            line_edges: self.n_edges(),
+            expansion: if self.n_nodes == 0 {
+                0.0
+            } else {
+                self.n_edges() as f64 / self.n_nodes as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::testutil::{diamond_network, fig1_network};
+    use crate::ties::count_connected_pairs;
+
+    #[test]
+    fn line_graph_of_diamond() {
+        let g = diamond_network();
+        let lg = LineGraph::new(&g, false);
+        assert_eq!(lg.n_nodes(), 5);
+        // (0,1)→(1,2); (1,2)→(2,3); (0,4)→(4,3); others dead-end.
+        assert_eq!(lg.n_edges(), 3);
+        let e01 = g.find_tie(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(lg.successors(e01).len(), 1);
+    }
+
+    #[test]
+    fn connected_tie_variant_matches_definition4() {
+        let g = fig1_network();
+        let lg = LineGraph::new(&g, true);
+        assert_eq!(lg.n_edges(), count_connected_pairs(&g));
+        // The classical variant is at least as large.
+        let full = LineGraph::new(&g, false);
+        assert!(full.n_edges() >= lg.n_edges());
+    }
+
+    #[test]
+    fn stats_report_expansion() {
+        let g = fig1_network();
+        let lg = LineGraph::new(&g, false);
+        let s = lg.stats(&g);
+        assert_eq!(s.orig_nodes, 10);
+        assert_eq!(s.orig_ties, g.n_ordered_ties());
+        assert!(s.expansion > 0.0);
+        assert_eq!(s.line_edges, lg.n_edges());
+    }
+}

@@ -1,0 +1,547 @@
+//! The mixed social network (Definition 1 of the paper) and its builder.
+//!
+//! A mixed social network `G = (V, E_d ∪ E_b ∪ E_u)` stores three disjoint
+//! kinds of ties: directed, bidirectional, and undirected. Internally every
+//! social tie is materialized as one or two *ordered tie instances* (see
+//! [`OrderedTie`]): a directed tie `(u, v)` as one instance, bidirectional and
+//! undirected ties as an instance per direction. All adjacency queries operate
+//! over the ordered instances through compact CSR arrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::hash::FxHashMap;
+use crate::ids::{NodeId, TieId};
+use crate::tie::{OrderedTie, TieKind};
+
+/// Counts of social ties by kind (each social tie counted once, not per
+/// ordered instance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieCounts {
+    /// Number of directed social ties (`|E_d|`).
+    pub directed: usize,
+    /// Number of bidirectional social ties (`|E_b|`).
+    pub bidirectional: usize,
+    /// Number of undirected social ties (`|E_u|`).
+    pub undirected: usize,
+}
+
+impl TieCounts {
+    /// Total number of social ties (`|E_d| + |E_b| + |E_u|`).
+    pub fn total(&self) -> usize {
+        self.directed + self.bidirectional + self.undirected
+    }
+}
+
+/// Incremental builder for [`MixedSocialNetwork`].
+///
+/// The builder validates the constraints of Definition 1 eagerly: no self
+/// loops, node ids within range, and pairwise disjoint tie sets (inserting
+/// `(u, v)` twice, in either order for symmetric kinds, is rejected).
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    n_nodes: usize,
+    directed: Vec<(NodeId, NodeId)>,
+    bidirectional: Vec<(NodeId, NodeId)>,
+    undirected: Vec<(NodeId, NodeId)>,
+    seen: FxHashMap<(u32, u32), TieKind>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder for a network with `n_nodes` nodes (ids `0..n_nodes`).
+    pub fn new(n_nodes: usize) -> Self {
+        NetworkBuilder {
+            n_nodes,
+            directed: Vec::new(),
+            bidirectional: Vec::new(),
+            undirected: Vec::new(),
+            seen: FxHashMap::default(),
+        }
+    }
+
+    /// Creates a builder with capacity hints for the three tie sets.
+    pub fn with_capacity(n_nodes: usize, directed: usize, bidirectional: usize, undirected: usize) -> Self {
+        let mut b = Self::new(n_nodes);
+        b.directed.reserve(directed);
+        b.bidirectional.reserve(bidirectional);
+        b.undirected.reserve(undirected);
+        b.seen.reserve(directed + 2 * (bidirectional + undirected));
+        b
+    }
+
+    fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for n in [u, v] {
+            if n.index() >= self.n_nodes {
+                return Err(GraphError::NodeOutOfRange { node: n, n_nodes: self.n_nodes });
+            }
+        }
+        // Any existing tie instance between the pair, in either order,
+        // conflicts: E_d/E_b/E_u are disjoint, symmetric ties occupy both
+        // orders, and a directed (u, v) forbids (v, u).
+        if self.seen.contains_key(&(u.0, v.0)) || self.seen.contains_key(&(v.0, u.0)) {
+            return Err(GraphError::DuplicateTie { src: u, dst: v });
+        }
+        Ok(())
+    }
+
+    /// Adds a directed social tie `u → v`.
+    pub fn add_directed(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        self.check_pair(u, v)?;
+        self.seen.insert((u.0, v.0), TieKind::Directed);
+        self.directed.push((u, v));
+        Ok(self)
+    }
+
+    /// Adds a bidirectional social tie between `u` and `v`.
+    pub fn add_bidirectional(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        self.check_pair(u, v)?;
+        self.seen.insert((u.0, v.0), TieKind::Bidirectional);
+        self.seen.insert((v.0, u.0), TieKind::Bidirectional);
+        self.bidirectional.push((u, v));
+        Ok(self)
+    }
+
+    /// Adds an undirected social tie between `u` and `v` (direction unknown).
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        self.check_pair(u, v)?;
+        self.seen.insert((u.0, v.0), TieKind::Undirected);
+        self.seen.insert((v.0, u.0), TieKind::Undirected);
+        self.undirected.push((u, v));
+        Ok(self)
+    }
+
+    /// Returns whether any tie (of any kind, either order) exists between the
+    /// pair.
+    pub fn has_tie_between(&self, u: NodeId, v: NodeId) -> bool {
+        self.seen.contains_key(&(u.0, v.0)) || self.seen.contains_key(&(v.0, u.0))
+    }
+
+    /// Number of ties added so far (social ties, not ordered instances).
+    pub fn len(&self) -> usize {
+        self.directed.len() + self.bidirectional.len() + self.undirected.len()
+    }
+
+    /// Whether no ties have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalizes the network, freezing the CSR adjacency structures.
+    ///
+    /// Fails with [`GraphError::NoDirectedTies`] when `E_d` is empty, since
+    /// Definition 1 requires `|E_d| > 0` (the TDL problem needs labeled data).
+    pub fn build(self) -> Result<MixedSocialNetwork, GraphError> {
+        if self.directed.is_empty() {
+            return Err(GraphError::NoDirectedTies);
+        }
+        Ok(self.build_unchecked())
+    }
+
+    /// Finalizes the network without requiring directed ties.
+    ///
+    /// Useful for intermediate constructions (e.g. undirected skeletons from
+    /// the generators) that are not yet valid mixed social networks.
+    pub fn build_unchecked(self) -> MixedSocialNetwork {
+        let counts = TieCounts {
+            directed: self.directed.len(),
+            bidirectional: self.bidirectional.len(),
+            undirected: self.undirected.len(),
+        };
+        let n_inst = self.directed.len() + 2 * (self.bidirectional.len() + self.undirected.len());
+        let mut ties: Vec<OrderedTie> = Vec::with_capacity(n_inst);
+        for &(u, v) in &self.directed {
+            ties.push(OrderedTie { src: u, dst: v, kind: TieKind::Directed, reverse: None });
+        }
+        let push_pair = |ties: &mut Vec<OrderedTie>, u: NodeId, v: NodeId, kind: TieKind| {
+            let a = TieId(ties.len() as u32);
+            let b = TieId(ties.len() as u32 + 1);
+            ties.push(OrderedTie { src: u, dst: v, kind, reverse: Some(b) });
+            ties.push(OrderedTie { src: v, dst: u, kind, reverse: Some(a) });
+        };
+        for &(u, v) in &self.bidirectional {
+            push_pair(&mut ties, u, v, TieKind::Bidirectional);
+        }
+        for &(u, v) in &self.undirected {
+            push_pair(&mut ties, u, v, TieKind::Undirected);
+        }
+        MixedSocialNetwork::from_instances(self.n_nodes, ties, counts)
+    }
+}
+
+/// A finalized mixed social network with frozen CSR adjacency.
+///
+/// Construction goes through [`NetworkBuilder`]. All per-node and per-tie
+/// queries are `O(1)` or `O(degree)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedSocialNetwork {
+    n_nodes: usize,
+    counts: TieCounts,
+    ties: Vec<OrderedTie>,
+    /// CSR over ordered instances grouped by source node.
+    out_offsets: Vec<u32>,
+    out_ties: Vec<TieId>,
+    /// CSR over ordered instances grouped by destination node.
+    in_offsets: Vec<u32>,
+    in_ties: Vec<TieId>,
+    /// Distinct undirected-view neighbors per node, sorted ascending.
+    nbr_offsets: Vec<u32>,
+    nbrs: Vec<NodeId>,
+    /// Lookup from ordered pair to instance id.
+    #[serde(skip)]
+    pair_index: FxHashMap<(u32, u32), TieId>,
+}
+
+impl MixedSocialNetwork {
+    fn from_instances(n_nodes: usize, ties: Vec<OrderedTie>, counts: TieCounts) -> Self {
+        // Out-CSR via counting sort on src.
+        let mut out_deg = vec![0u32; n_nodes + 1];
+        let mut in_deg = vec![0u32; n_nodes + 1];
+        for t in &ties {
+            out_deg[t.src.index() + 1] += 1;
+            in_deg[t.dst.index() + 1] += 1;
+        }
+        for i in 0..n_nodes {
+            out_deg[i + 1] += out_deg[i];
+            in_deg[i + 1] += in_deg[i];
+        }
+        let out_offsets = out_deg;
+        let in_offsets = in_deg;
+        let mut out_ties = vec![TieId(0); ties.len()];
+        let mut in_ties = vec![TieId(0); ties.len()];
+        let mut out_cursor: Vec<u32> = out_offsets[..n_nodes].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n_nodes].to_vec();
+        for (i, t) in ties.iter().enumerate() {
+            let id = TieId(i as u32);
+            let oc = &mut out_cursor[t.src.index()];
+            out_ties[*oc as usize] = id;
+            *oc += 1;
+            let ic = &mut in_cursor[t.dst.index()];
+            in_ties[*ic as usize] = id;
+            *ic += 1;
+        }
+        // Distinct sorted neighbors (undirected view). Out instances cover
+        // both directions for symmetric ties; directed ties need the in side.
+        let mut nbr_lists: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
+        for t in &ties {
+            nbr_lists[t.src.index()].push(t.dst);
+            if t.kind == TieKind::Directed {
+                nbr_lists[t.dst.index()].push(t.src);
+            }
+        }
+        let mut nbr_offsets = Vec::with_capacity(n_nodes + 1);
+        nbr_offsets.push(0u32);
+        let mut nbrs = Vec::new();
+        for list in &mut nbr_lists {
+            list.sort_unstable();
+            list.dedup();
+            nbrs.extend_from_slice(list);
+            nbr_offsets.push(nbrs.len() as u32);
+        }
+        let mut pair_index = FxHashMap::default();
+        pair_index.reserve(ties.len());
+        for (i, t) in ties.iter().enumerate() {
+            pair_index.insert((t.src.0, t.dst.0), TieId(i as u32));
+        }
+        MixedSocialNetwork {
+            n_nodes,
+            counts,
+            ties,
+            out_offsets,
+            out_ties,
+            in_offsets,
+            in_ties,
+            nbr_offsets,
+            nbrs,
+            pair_index,
+        }
+    }
+
+    /// Rebuilds the (serde-skipped) pair index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        if self.pair_index.len() == self.ties.len() {
+            return;
+        }
+        self.pair_index = FxHashMap::default();
+        self.pair_index.reserve(self.ties.len());
+        for (i, t) in self.ties.iter().enumerate() {
+            self.pair_index.insert((t.src.0, t.dst.0), TieId(i as u32));
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes as u32).map(NodeId)
+    }
+
+    /// Counts of social ties by kind.
+    #[inline]
+    pub fn counts(&self) -> TieCounts {
+        self.counts
+    }
+
+    /// Number of ordered tie instances (`|E|` in the paper's edge-set sense,
+    /// where symmetric ties contribute both orders).
+    #[inline]
+    pub fn n_ordered_ties(&self) -> usize {
+        self.ties.len()
+    }
+
+    /// The ordered tie instance for `id`.
+    #[inline]
+    pub fn tie(&self, id: TieId) -> &OrderedTie {
+        &self.ties[id.index()]
+    }
+
+    /// All ordered tie instances.
+    #[inline]
+    pub fn ties(&self) -> &[OrderedTie] {
+        &self.ties
+    }
+
+    /// Iterator over `(TieId, &OrderedTie)` pairs.
+    pub fn iter_ties(&self) -> impl Iterator<Item = (TieId, &OrderedTie)> + '_ {
+        self.ties.iter().enumerate().map(|(i, t)| (TieId(i as u32), t))
+    }
+
+    /// Looks up the ordered instance for `(u, v)`, if present.
+    #[inline]
+    pub fn find_tie(&self, u: NodeId, v: NodeId) -> Option<TieId> {
+        self.pair_index.get(&(u.0, v.0)).copied()
+    }
+
+    /// Whether any social tie exists between `u` and `v` (either order).
+    pub fn has_tie_between(&self, u: NodeId, v: NodeId) -> bool {
+        self.pair_index.contains_key(&(u.0, v.0)) || self.pair_index.contains_key(&(v.0, u.0))
+    }
+
+    /// Ordered instances leaving `u` (its out-adjacency).
+    #[inline]
+    pub fn out_ties(&self, u: NodeId) -> &[TieId] {
+        let s = self.out_offsets[u.index()] as usize;
+        let e = self.out_offsets[u.index() + 1] as usize;
+        &self.out_ties[s..e]
+    }
+
+    /// Ordered instances entering `u` (its in-adjacency).
+    #[inline]
+    pub fn in_ties(&self, u: NodeId) -> &[TieId] {
+        let s = self.in_offsets[u.index()] as usize;
+        let e = self.in_offsets[u.index() + 1] as usize;
+        &self.in_ties[s..e]
+    }
+
+    /// Number of ordered instances leaving `u`.
+    #[inline]
+    pub fn out_instance_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]) as usize
+    }
+
+    /// Distinct neighbors of `u` in the undirected view, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let s = self.nbr_offsets[u.index()] as usize;
+        let e = self.nbr_offsets[u.index() + 1] as usize;
+        &self.nbrs[s..e]
+    }
+
+    /// Social degree of `u`: number of distinct neighbors regardless of tie
+    /// kind. This is the `deg(u)` used by the Degree Consistency pseudo-labels
+    /// (Eq. 14).
+    #[inline]
+    pub fn social_degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Iterator over directed social ties `(u, v) ∈ E_d` as `(TieId, u, v)`.
+    pub fn directed_ties(&self) -> impl Iterator<Item = (TieId, NodeId, NodeId)> + '_ {
+        self.iter_ties()
+            .filter(|(_, t)| t.kind == TieKind::Directed)
+            .map(|(id, t)| (id, t.src, t.dst))
+    }
+
+    /// Iterator over undirected social ties, one instance per social tie
+    /// (the instance with `src < dst`).
+    pub fn undirected_pairs(&self) -> impl Iterator<Item = (TieId, NodeId, NodeId)> + '_ {
+        self.iter_ties()
+            .filter(|(_, t)| t.kind == TieKind::Undirected && t.src < t.dst)
+            .map(|(id, t)| (id, t.src, t.dst))
+    }
+
+    /// Iterator over bidirectional social ties, one instance per social tie
+    /// (the instance with `src < dst`).
+    pub fn bidirectional_pairs(&self) -> impl Iterator<Item = (TieId, NodeId, NodeId)> + '_ {
+        self.iter_ties()
+            .filter(|(_, t)| t.kind == TieKind::Bidirectional && t.src < t.dst)
+            .map(|(id, t)| (id, t.src, t.dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example network of Fig. 1 in the paper.
+    pub(crate) fn fig1_network() -> MixedSocialNetwork {
+        // V = {a..j} = 0..10
+        // E_d = {(d,a),(c,f),(e,d),(f,e),(h,f),(i,f),(f,j)}
+        // E_b = {(b,f),(d,f),(e,g),(e,h)}
+        // E_u = {(b,d),(c,j),(h,i)}
+        let (a, b, c, d, e, f, g, h, i, j) = (
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(4),
+            NodeId(5),
+            NodeId(6),
+            NodeId(7),
+            NodeId(8),
+            NodeId(9),
+        );
+        let mut bld = NetworkBuilder::new(10);
+        for (u, v) in [(d, a), (c, f), (e, d), (f, e), (h, f), (i, f), (f, j)] {
+            bld.add_directed(u, v).unwrap();
+        }
+        for (u, v) in [(b, f), (d, f), (e, g), (e, h)] {
+            bld.add_bidirectional(u, v).unwrap();
+        }
+        for (u, v) in [(b, d), (c, j), (h, i)] {
+            bld.add_undirected(u, v).unwrap();
+        }
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_counts() {
+        let g = fig1_network();
+        assert_eq!(g.n_nodes(), 10);
+        assert_eq!(g.counts(), TieCounts { directed: 7, bidirectional: 4, undirected: 3 });
+        assert_eq!(g.counts().total(), 14);
+        assert_eq!(g.n_ordered_ties(), 7 + 2 * 4 + 2 * 3);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = NetworkBuilder::new(3);
+        assert!(matches!(b.add_directed(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = NetworkBuilder::new(3);
+        assert!(matches!(
+            b.add_directed(NodeId(0), NodeId(3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates_across_kinds() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        // Same order, any kind.
+        assert!(b.add_directed(NodeId(0), NodeId(1)).is_err());
+        assert!(b.add_bidirectional(NodeId(0), NodeId(1)).is_err());
+        // Reverse order of a directed tie is also forbidden (Definition 1:
+        // (u,v) ∈ E_d implies (v,u) ∉ E).
+        assert!(b.add_directed(NodeId(1), NodeId(0)).is_err());
+        assert!(b.add_undirected(NodeId(1), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn requires_directed_ties() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_undirected(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::NoDirectedTies)));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = fig1_network();
+        // f = node 5: out instances = (f,e),(f,j) directed + (f,b),(f,d) bidi.
+        let f = NodeId(5);
+        let out: Vec<(NodeId, NodeId)> =
+            g.out_ties(f).iter().map(|&t| g.tie(t).endpoints()).collect();
+        assert_eq!(out.len(), 4);
+        for (s, _) in &out {
+            assert_eq!(*s, f);
+        }
+        // In-instances of f: (c,f),(h,f),(i,f) directed + (b,f),(d,f) bidi.
+        assert_eq!(g.in_ties(f).len(), 5);
+        // Distinct neighbors of f: b,c,d,e,h,i,j = 7.
+        assert_eq!(g.social_degree(f), 7);
+    }
+
+    #[test]
+    fn reverse_links_are_mutual() {
+        let g = fig1_network();
+        for (id, t) in g.iter_ties() {
+            match t.kind {
+                TieKind::Directed => assert!(t.reverse.is_none()),
+                _ => {
+                    let r = t.reverse.expect("symmetric tie must have reverse");
+                    let rt = g.tie(r);
+                    assert_eq!(rt.src, t.dst);
+                    assert_eq!(rt.dst, t.src);
+                    assert_eq!(rt.reverse, Some(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_tie_respects_order() {
+        let g = fig1_network();
+        let (d, a) = (NodeId(3), NodeId(0));
+        assert!(g.find_tie(d, a).is_some());
+        assert!(g.find_tie(a, d).is_none());
+        let (b, f) = (NodeId(1), NodeId(5));
+        assert!(g.find_tie(b, f).is_some());
+        assert!(g.find_tie(f, b).is_some());
+        assert!(g.has_tie_between(a, d));
+        assert!(!g.has_tie_between(NodeId(0), NodeId(9)));
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_deduped() {
+        let g = fig1_network();
+        for u in g.nodes() {
+            let ns = g.neighbors(u);
+            for w in ns.windows(2) {
+                assert!(w[0] < w[1], "neighbors of {u} must be strictly sorted");
+            }
+            assert!(!ns.contains(&u));
+        }
+    }
+
+    #[test]
+    fn kind_iterators_partition_ties() {
+        let g = fig1_network();
+        let d = g.directed_ties().count();
+        let b = g.bidirectional_pairs().count();
+        let u = g.undirected_pairs().count();
+        assert_eq!(d, 7);
+        assert_eq!(b, 4);
+        assert_eq!(u, 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let g = fig1_network();
+        let json = serde_json::to_string(&g).unwrap();
+        let mut g2: MixedSocialNetwork = serde_json::from_str(&json).unwrap();
+        g2.rebuild_index();
+        assert_eq!(g2.n_nodes(), g.n_nodes());
+        assert_eq!(g2.counts(), g.counts());
+        assert_eq!(g2.find_tie(NodeId(3), NodeId(0)), g.find_tie(NodeId(3), NodeId(0)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sub-network sampling and the hide-direction evaluation protocol.
+//!
+//! The paper's experiments (Sec. 6.1–6.2) sample sub-networks by breadth-first
+//! traversal and then *hide the directions* of a random fraction of the
+//! directed ties, turning them into undirected ties whose true orientation is
+//! kept aside as ground truth for the direction-discovery task.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ids::NodeId;
+use crate::network::{MixedSocialNetwork, NetworkBuilder};
+use crate::tie::TieKind;
+use crate::traversal::bfs_order;
+
+/// Induces the sub-network on `nodes`, relabeling them densely `0..k` in the
+/// order given. Returns the sub-network and the mapping `new → old`.
+pub fn induced_subnetwork(
+    g: &MixedSocialNetwork,
+    nodes: &[NodeId],
+) -> (MixedSocialNetwork, Vec<NodeId>) {
+    let mut old_to_new = vec![u32::MAX; g.n_nodes()];
+    for (new, &old) in nodes.iter().enumerate() {
+        old_to_new[old.index()] = new as u32;
+    }
+    let mut b = NetworkBuilder::new(nodes.len());
+    for (_, t) in g.iter_ties() {
+        let su = old_to_new[t.src.index()];
+        let sv = old_to_new[t.dst.index()];
+        if su == u32::MAX || sv == u32::MAX {
+            continue;
+        }
+        match t.kind {
+            TieKind::Directed => {
+                b.add_directed(NodeId(su), NodeId(sv)).expect("induced ties are unique");
+            }
+            // Symmetric kinds appear as two instances; keep the canonical one.
+            TieKind::Bidirectional if t.src < t.dst => {
+                b.add_bidirectional(NodeId(su), NodeId(sv)).expect("induced ties are unique");
+            }
+            TieKind::Undirected if t.src < t.dst => {
+                b.add_undirected(NodeId(su), NodeId(sv)).expect("induced ties are unique");
+            }
+            _ => {}
+        }
+    }
+    (b.build_unchecked(), nodes.to_vec())
+}
+
+/// BFS sub-network sample of roughly `target_nodes` nodes starting from a
+/// random seed, following the dataset preprocessing of Sec. 6.1.
+pub fn bfs_subnetwork<R: Rng>(
+    g: &MixedSocialNetwork,
+    target_nodes: usize,
+    rng: &mut R,
+) -> (MixedSocialNetwork, Vec<NodeId>) {
+    let seed = NodeId(rng.gen_range(0..g.n_nodes() as u32));
+    let order = bfs_order(g, seed, target_nodes);
+    induced_subnetwork(g, &order)
+}
+
+/// Output of [`hide_directions`]: the mixed network with hidden ties plus the
+/// ground truth needed to score direction discovery.
+#[derive(Debug, Clone)]
+pub struct HiddenDirections {
+    /// The network where the selected directed ties became undirected.
+    pub network: MixedSocialNetwork,
+    /// True orientations `(src, dst)` of the hidden ties, in hiding order.
+    pub truth: Vec<(NodeId, NodeId)>,
+}
+
+/// Hides the directions of a random subset of directed ties so that the
+/// fraction of ties that *remain directed* among `E_d ∪ E_u` is
+/// `keep_directed_frac` (the x-axis of Figs. 3–5).
+///
+/// Bidirectional ties are untouched. At least one directed tie is always
+/// kept, as Definition 1 requires.
+pub fn hide_directions<R: Rng>(
+    g: &MixedSocialNetwork,
+    keep_directed_frac: f64,
+    rng: &mut R,
+) -> HiddenDirections {
+    assert!(
+        (0.0..=1.0).contains(&keep_directed_frac),
+        "keep fraction must be in [0, 1], got {keep_directed_frac}"
+    );
+    let directed: Vec<(NodeId, NodeId)> = g.directed_ties().map(|(_, u, v)| (u, v)).collect();
+    let mut idx: Vec<usize> = (0..directed.len()).collect();
+    idx.shuffle(rng);
+    let keep = ((directed.len() as f64) * keep_directed_frac).round() as usize;
+    let keep = keep.clamp(1, directed.len());
+    let mut hidden = vec![false; directed.len()];
+    for &i in &idx[keep..] {
+        hidden[i] = true;
+    }
+
+    let counts = g.counts();
+    let mut b = NetworkBuilder::with_capacity(
+        g.n_nodes(),
+        keep,
+        counts.bidirectional,
+        directed.len() - keep + counts.undirected,
+    );
+    let mut truth = Vec::with_capacity(directed.len() - keep);
+    for (i, &(u, v)) in directed.iter().enumerate() {
+        if hidden[i] {
+            b.add_undirected(u, v).expect("source ties are unique");
+            truth.push((u, v));
+        } else {
+            b.add_directed(u, v).expect("source ties are unique");
+        }
+    }
+    for (_, u, v) in g.bidirectional_pairs() {
+        b.add_bidirectional(u, v).expect("source ties are unique");
+    }
+    for (_, u, v) in g.undirected_pairs() {
+        b.add_undirected(u, v).expect("source ties are unique");
+    }
+    HiddenDirections { network: b.build().expect("at least one directed tie kept"), truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{social_network, SocialNetConfig};
+    use crate::testutil::fig1_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn induced_subnetwork_keeps_internal_ties() {
+        let g = fig1_network();
+        // Take {e(4), f(5), d(3)}: internal ties (e,d) directed, (d,f) bidi,
+        // (f,e) directed.
+        let (sub, map) = induced_subnetwork(&g, &[NodeId(4), NodeId(5), NodeId(3)]);
+        assert_eq!(sub.n_nodes(), 3);
+        assert_eq!(map, vec![NodeId(4), NodeId(5), NodeId(3)]);
+        assert_eq!(sub.counts().directed, 2);
+        assert_eq!(sub.counts().bidirectional, 1);
+        assert_eq!(sub.counts().undirected, 0);
+        // (e,d) in old ids → (0, 2) in new ids.
+        assert!(sub.find_tie(NodeId(0), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn bfs_subnetwork_size() {
+        let cfg = SocialNetConfig { n_nodes: 500, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = social_network(&cfg, &mut rng).network;
+        let (sub, map) = bfs_subnetwork(&g, 120, &mut rng);
+        assert_eq!(sub.n_nodes(), 120);
+        assert_eq!(map.len(), 120);
+    }
+
+    #[test]
+    fn hide_directions_fractions() {
+        let cfg = SocialNetConfig { n_nodes: 400, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = social_network(&cfg, &mut rng).network;
+        let n_dir = g.counts().directed;
+        let h = hide_directions(&g, 0.25, &mut rng);
+        let kept = h.network.counts().directed;
+        let hidden = h.network.counts().undirected;
+        assert_eq!(kept + hidden, n_dir);
+        assert_eq!(h.truth.len(), hidden);
+        let frac = kept as f64 / n_dir as f64;
+        assert!((frac - 0.25).abs() < 0.01, "kept fraction {frac}");
+        // Bidirectional ties untouched.
+        assert_eq!(h.network.counts().bidirectional, g.counts().bidirectional);
+    }
+
+    #[test]
+    fn hidden_truth_matches_undirected_set() {
+        let g = fig1_network();
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = hide_directions(&g, 0.5, &mut rng);
+        for &(u, v) in &h.truth {
+            let t = h
+                .network
+                .find_tie(u, v)
+                .expect("hidden tie must exist as undirected instance");
+            assert_eq!(h.network.tie(t).kind, TieKind::Undirected);
+        }
+    }
+
+    #[test]
+    fn always_keeps_one_directed_tie() {
+        let g = fig1_network();
+        let mut rng = StdRng::seed_from_u64(14);
+        let h = hide_directions(&g, 0.0, &mut rng);
+        assert_eq!(h.network.counts().directed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fraction")]
+    fn rejects_bad_fraction() {
+        let g = fig1_network();
+        let mut rng = StdRng::seed_from_u64(15);
+        let _ = hide_directions(&g, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared fixtures for unit tests (compiled only under `cfg(test)`).
+
+use crate::ids::NodeId;
+use crate::network::{MixedSocialNetwork, NetworkBuilder};
+
+/// The running example network of Fig. 1 in the paper.
+///
+/// `V = {a..j}` mapped to ids `0..10`;
+/// `E_d = {(d,a),(c,f),(e,d),(f,e),(h,f),(i,f),(f,j)}`,
+/// `E_b = {(b,f),(d,f),(e,g),(e,h)}`,
+/// `E_u = {(b,d),(c,j),(h,i)}`.
+pub fn fig1_network() -> MixedSocialNetwork {
+    let n = |i: u32| NodeId(i);
+    let (a, b, c, d, e, f, g, h, i, j) =
+        (n(0), n(1), n(2), n(3), n(4), n(5), n(6), n(7), n(8), n(9));
+    let mut bld = NetworkBuilder::new(10);
+    for (u, v) in [(d, a), (c, f), (e, d), (f, e), (h, f), (i, f), (f, j)] {
+        bld.add_directed(u, v).unwrap();
+    }
+    for (u, v) in [(b, f), (d, f), (e, g), (e, h)] {
+        bld.add_bidirectional(u, v).unwrap();
+    }
+    for (u, v) in [(b, d), (c, j), (h, i)] {
+        bld.add_undirected(u, v).unwrap();
+    }
+    bld.build().unwrap()
+}
+
+/// A small purely-directed path-plus-fan network useful for traversal tests.
+///
+/// Edges: 0→1→2→3 and 0→4, 4→3.
+pub fn diamond_network() -> MixedSocialNetwork {
+    let mut b = NetworkBuilder::new(5);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)] {
+        b.add_directed(NodeId(u), NodeId(v)).unwrap();
+    }
+    b.build().unwrap()
+}

@@ -1,0 +1,101 @@
+//! Tie kinds and ordered tie instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, TieId};
+
+/// The three kinds of social ties in a mixed social network (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TieKind {
+    /// A tie whose direction is known and single: `(u, v) ∈ E_d`.
+    Directed,
+    /// A tie that explicitly runs both ways: `(u, v), (v, u) ∈ E_b`.
+    Bidirectional,
+    /// A tie whose direction is unknown: `(u, v), (v, u) ∈ E_u`.
+    Undirected,
+}
+
+impl TieKind {
+    /// Single-character code used by the text edge-list format.
+    pub fn code(self) -> char {
+        match self {
+            TieKind::Directed => 'd',
+            TieKind::Bidirectional => 'b',
+            TieKind::Undirected => 'u',
+        }
+    }
+
+    /// Parses the single-character code of the text edge-list format.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'd' => Some(TieKind::Directed),
+            'b' => Some(TieKind::Bidirectional),
+            'u' => Some(TieKind::Undirected),
+            _ => None,
+        }
+    }
+}
+
+/// One *ordered* tie instance `(src, dst)`.
+///
+/// A directed social tie materializes as a single instance. Bidirectional and
+/// undirected social ties materialize as two instances that reference each
+/// other through [`OrderedTie::reverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderedTie {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// The kind of the underlying social tie.
+    pub kind: TieKind,
+    /// The instance for `(dst, src)`, when the underlying social tie is
+    /// bidirectional or undirected. `None` for directed ties.
+    pub reverse: Option<TieId>,
+}
+
+impl OrderedTie {
+    /// Returns the `(src, dst)` endpoint pair.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+
+    /// Whether this instance belongs to a directed social tie.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.kind == TieKind::Directed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [TieKind::Directed, TieKind::Bidirectional, TieKind::Undirected] {
+            assert_eq!(TieKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(TieKind::from_code('x'), None);
+    }
+
+    #[test]
+    fn ordered_tie_accessors() {
+        let t = OrderedTie {
+            src: NodeId(1),
+            dst: NodeId(2),
+            kind: TieKind::Directed,
+            reverse: None,
+        };
+        assert_eq!(t.endpoints(), (NodeId(1), NodeId(2)));
+        assert!(t.is_directed());
+        let b = OrderedTie {
+            src: NodeId(2),
+            dst: NodeId(1),
+            kind: TieKind::Bidirectional,
+            reverse: Some(TieId(0)),
+        };
+        assert!(!b.is_directed());
+    }
+}

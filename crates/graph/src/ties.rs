@@ -1,0 +1,163 @@
+//! Connected ties, tie degrees, and the connected-tie-pair structure
+//! (Definition 4 and Eq. 6 of the paper).
+//!
+//! Given ties `e1 = (u1, v1)` and `e2 = (u2, v2)`, `e2` is a *connected tie*
+//! of `e1` iff `v1 = u2` and `u1 ≠ v2` — i.e. `e2` continues from the head of
+//! `e1` without immediately doubling back. The multiset of all ordered
+//! connected tie pairs `C(G)` is the topology signal that the DeepDirect
+//! E-Step preserves.
+//!
+//! The paper states `deg_tie(e) = |c(e)|`; strictly, Eq. 6 counts all
+//! out-ties of `v` including a back-tie `(v, u)`, which `c(e)` excludes. We
+//! follow the operational definition `deg_tie(e) = |c(e)|` (it is the one the
+//! sampling distributions actually need) and document the discrepancy here.
+
+use crate::ids::TieId;
+use crate::network::MixedSocialNetwork;
+
+/// Returns the connected ties `c(e)` of the ordered tie `e` as a vector.
+///
+/// For hot paths prefer [`for_each_connected_tie`] or [`tie_degree`], which do
+/// not allocate.
+pub fn connected_ties(g: &MixedSocialNetwork, e: TieId) -> Vec<TieId> {
+    let mut out = Vec::new();
+    for_each_connected_tie(g, e, |t| out.push(t));
+    out
+}
+
+/// Calls `f` for every connected tie of `e` without allocating.
+#[inline]
+pub fn for_each_connected_tie<F: FnMut(TieId)>(g: &MixedSocialNetwork, e: TieId, mut f: F) {
+    let (u, v) = g.tie(e).endpoints();
+    for &t in g.out_ties(v) {
+        if g.tie(t).dst != u {
+            f(t);
+        }
+    }
+}
+
+/// The tie degree `deg_tie(e) = |c(e)|`: out-ties of the head of `e`,
+/// excluding the immediate back-tie to the tail of `e`.
+#[inline]
+pub fn tie_degree(g: &MixedSocialNetwork, e: TieId) -> usize {
+    let (u, v) = g.tie(e).endpoints();
+    let mut n = 0usize;
+    for &t in g.out_ties(v) {
+        if g.tie(t).dst != u {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Computes `deg_tie` for every ordered tie in one pass.
+///
+/// `deg_tie(e=(u,v))` equals the out-instance degree of `v` minus one if the
+/// back instance `(v, u)` exists.
+pub fn all_tie_degrees(g: &MixedSocialNetwork) -> Vec<u32> {
+    let mut degs = Vec::with_capacity(g.n_ordered_ties());
+    for (_, t) in g.iter_ties() {
+        let mut d = g.out_instance_degree(t.dst) as u32;
+        if g.find_tie(t.dst, t.src).is_some() {
+            d -= 1;
+        }
+        degs.push(d);
+    }
+    degs
+}
+
+/// Number of connected tie pairs `|C(G)| = Σ_e |c(e)|`.
+pub fn count_connected_pairs(g: &MixedSocialNetwork) -> u64 {
+    all_tie_degrees(g).iter().map(|&d| d as u64).sum()
+}
+
+/// Picks the `i`-th connected tie of `e` (0-based, in adjacency order), or
+/// `None` if `i ≥ deg_tie(e)`. Used by the uniform connected-tie sampling of
+/// the E-Step without materializing `c(e)`.
+pub fn nth_connected_tie(g: &MixedSocialNetwork, e: TieId, i: usize) -> Option<TieId> {
+    let (u, v) = g.tie(e).endpoints();
+    let mut seen = 0usize;
+    for &t in g.out_ties(v) {
+        if g.tie(t).dst != u {
+            if seen == i {
+                return Some(t);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+/// Returns whether `(e1, e2)` is a connected tie pair (Definition 4).
+pub fn is_connected_pair(g: &MixedSocialNetwork, e1: TieId, e2: TieId) -> bool {
+    let (u1, v1) = g.tie(e1).endpoints();
+    let (u2, v2) = g.tie(e2).endpoints();
+    v1 == u2 && u1 != v2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::testutil::{diamond_network, fig1_network};
+
+    #[test]
+    fn connected_ties_follow_definition() {
+        let g = diamond_network();
+        // e = (0,1); c(e) = ties out of 1 not returning to 0 = {(1,2)}.
+        let e01 = g.find_tie(NodeId(0), NodeId(1)).unwrap();
+        let c = connected_ties(&g, e01);
+        assert_eq!(c.len(), 1);
+        assert_eq!(g.tie(c[0]).endpoints(), (NodeId(1), NodeId(2)));
+        for t in c {
+            assert!(is_connected_pair(&g, e01, t));
+        }
+    }
+
+    #[test]
+    fn back_tie_is_excluded() {
+        let g = fig1_network();
+        // (b,f) is bidirectional so (f,b) exists; c((b,f)) must not contain it.
+        let bf = g.find_tie(NodeId(1), NodeId(5)).unwrap();
+        let c = connected_ties(&g, bf);
+        for t in &c {
+            assert_ne!(g.tie(*t).endpoints(), (NodeId(5), NodeId(1)));
+            assert_eq!(g.tie(*t).src, NodeId(5));
+        }
+        // Out of f: (f,e),(f,j),(f,b),(f,d) → minus the back tie (f,b) = 3.
+        assert_eq!(c.len(), 3);
+        assert_eq!(tie_degree(&g, bf), 3);
+    }
+
+    #[test]
+    fn bulk_degrees_match_per_tie() {
+        let g = fig1_network();
+        let degs = all_tie_degrees(&g);
+        for (id, _) in g.iter_ties() {
+            assert_eq!(degs[id.index()] as usize, tie_degree(&g, id), "deg_tie of {id}");
+        }
+        let total: u64 = degs.iter().map(|&d| d as u64).sum();
+        assert_eq!(total, count_connected_pairs(&g));
+    }
+
+    #[test]
+    fn nth_connected_tie_enumerates_all() {
+        let g = fig1_network();
+        for (id, _) in g.iter_ties() {
+            let c = connected_ties(&g, id);
+            for (i, &t) in c.iter().enumerate() {
+                assert_eq!(nth_connected_tie(&g, id, i), Some(t));
+            }
+            assert_eq!(nth_connected_tie(&g, id, c.len()), None);
+        }
+    }
+
+    #[test]
+    fn dead_end_tie_has_zero_degree() {
+        let g = diamond_network();
+        // (2,3): node 3 has no out ties.
+        let e = g.find_tie(NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(tie_degree(&g, e), 0);
+        assert!(connected_ties(&g, e).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Traversals over the undirected view of a mixed social network:
+//! breadth-first search, single-source shortest path distances, and connected
+//! components.
+//!
+//! The paper treats the network as undirected whenever distances are needed
+//! (Sec. 3.1: "the network is regarded as an undirected graph when
+//! calculating shortest paths"), and its dataset preprocessing samples
+//! sub-networks by breadth-first traversal (Sec. 6.1).
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::network::MixedSocialNetwork;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances over the undirected view.
+///
+/// Returns a vector indexed by node id containing hop counts, with
+/// [`UNREACHABLE`] for nodes in other components.
+pub fn bfs_distances(g: &MixedSocialNetwork, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS visit order from `source` over the undirected view, stopping after at
+/// most `limit` nodes. Used by the BFS sub-network sampling protocol.
+pub fn bfs_order(g: &MixedSocialNetwork, source: NodeId, limit: usize) -> Vec<NodeId> {
+    let mut visited = vec![false; g.n_nodes()];
+    let mut order = Vec::with_capacity(limit.min(g.n_nodes()));
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        if order.len() >= limit {
+            break;
+        }
+        for &w in g.neighbors(u) {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Labels connected components of the undirected view.
+///
+/// Returns `(component_id_per_node, component_count)`.
+pub fn connected_components(g: &MixedSocialNetwork) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.n_nodes()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Id of the largest connected component and the nodes it contains.
+pub fn largest_component(g: &MixedSocialNetwork) -> Vec<NodeId> {
+    let (comp, n) = connected_components(g);
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; n];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    comp.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == best)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::testutil::{diamond_network, fig1_network};
+
+    #[test]
+    fn distances_on_diamond() {
+        let g = diamond_network();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn fig1_is_connected() {
+        let g = fig1_network();
+        let (_, n) = connected_components(&g);
+        assert_eq!(n, 1);
+        assert_eq!(largest_component(&g).len(), 10);
+        let d = bfs_distances(&g, NodeId(0));
+        assert!(d.iter().all(|&x| x != UNREACHABLE));
+    }
+
+    #[test]
+    fn disconnected_components_are_separated() {
+        let mut b = NetworkBuilder::new(6);
+        b.add_directed(NodeId(0), NodeId(1)).unwrap();
+        b.add_directed(NodeId(1), NodeId(2)).unwrap();
+        b.add_directed(NodeId(3), NodeId(4)).unwrap();
+        // Node 5 is isolated.
+        let g = b.build().unwrap();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+        let lc = largest_component(&g);
+        assert_eq!(lc, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[5], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_order_respects_limit_and_start() {
+        let g = fig1_network();
+        let order = bfs_order(&g, NodeId(0), 4);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeId(0));
+        // All returned nodes are distinct.
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        // Unlimited traversal reaches everything.
+        assert_eq!(bfs_order(&g, NodeId(0), usize::MAX).len(), 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! Directed triad counts (Sec. 3.1) and common-neighbor queries.
+//!
+//! For a social tie `(u, v)`, each common neighbor `w` forms a triad
+//! `{w, u, v}`. The tie between `w` and `u` is in one of four states
+//! (directed `w→u`, directed `u→w`, bidirectional, undirected), and likewise
+//! for `w` and `v`, yielding `4 × 4 = 16` triad types. The 16 per-type counts
+//! `ee_i(u, v)` are features of the tie; the direction of `(u, v)` itself is
+//! *not* part of the type (its direction may be the unknown we are
+//! predicting).
+
+use crate::ids::NodeId;
+use crate::network::MixedSocialNetwork;
+use crate::tie::TieKind;
+
+/// Number of directed triad types.
+pub const N_TRIAD_TYPES: usize = 16;
+
+/// State of the tie between an endpoint `x` and a common neighbor `w`,
+/// oriented from the perspective "`w` relative to `x`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairState {
+    /// Directed tie `w → x`.
+    TowardEndpoint = 0,
+    /// Directed tie `x → w`.
+    FromEndpoint = 1,
+    /// Bidirectional tie between `w` and `x`.
+    Bidirectional = 2,
+    /// Undirected tie between `w` and `x`.
+    Undirected = 3,
+}
+
+/// Classifies the tie between common neighbor `w` and endpoint `x`.
+///
+/// Returns `None` when no tie exists between them (then `w` is not actually a
+/// common neighbor via `x`).
+pub fn pair_state(g: &MixedSocialNetwork, w: NodeId, x: NodeId) -> Option<PairState> {
+    if let Some(t) = g.find_tie(w, x) {
+        return Some(match g.tie(t).kind {
+            TieKind::Directed => PairState::TowardEndpoint,
+            TieKind::Bidirectional => PairState::Bidirectional,
+            TieKind::Undirected => PairState::Undirected,
+        });
+    }
+    if let Some(t) = g.find_tie(x, w) {
+        // Symmetric kinds are indexed under both orders, so reaching here
+        // means the tie is directed x → w.
+        debug_assert_eq!(g.tie(t).kind, TieKind::Directed);
+        return Some(PairState::FromEndpoint);
+    }
+    None
+}
+
+/// Common neighbors of `u` and `v` in the undirected view, via a linear merge
+/// of the two sorted neighbor lists.
+pub fn common_neighbors(g: &MixedSocialNetwork, u: NodeId, v: NodeId) -> Vec<NodeId> {
+    let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+    // Iterate the shorter list against the longer one.
+    if a.len() > b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j < b.len() && b[j] == x && x != u && x != v {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Number of common neighbors of `u` and `v` without allocating.
+pub fn common_neighbor_count(g: &MixedSocialNetwork, u: NodeId, v: NodeId) -> usize {
+    let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+    if a.len() > b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut n = 0usize;
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j < b.len() && b[j] == x && x != u && x != v {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// The 16 directed triad counts `ee_1..ee_16` for the tie `(u, v)`.
+///
+/// Index layout: `4 * state(w, u) + state(w, v)` with [`PairState`] order
+/// `(w→x, x→w, bidirectional, undirected)`.
+pub fn triad_counts(g: &MixedSocialNetwork, u: NodeId, v: NodeId) -> [u32; N_TRIAD_TYPES] {
+    let mut counts = [0u32; N_TRIAD_TYPES];
+    for w in common_neighbors(g, u, v) {
+        let su = pair_state(g, w, u).expect("common neighbor must tie to u");
+        let sv = pair_state(g, w, v).expect("common neighbor must tie to v");
+        counts[4 * su as usize + sv as usize] += 1;
+    }
+    counts
+}
+
+/// Jaccard similarity of the neighbor sets of `u` and `v` in the undirected
+/// view. Used by the Similarity Consistency pattern of ReDirect.
+pub fn neighbor_jaccard(g: &MixedSocialNetwork, u: NodeId, v: NodeId) -> f64 {
+    let inter = common_neighbor_count(g, u, v);
+    let uni = g.neighbors(u).len() + g.neighbors(v).len() - inter;
+    if uni == 0 {
+        0.0
+    } else {
+        inter as f64 / uni as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::testutil::fig1_network;
+
+    #[test]
+    fn common_neighbors_on_fig1() {
+        let g = fig1_network();
+        // Neighbors of e(4): d, f, g, h. Neighbors of f(5): b, c, d, e, h, i, j.
+        let cn = common_neighbors(&g, NodeId(4), NodeId(5));
+        assert_eq!(cn, vec![NodeId(3), NodeId(7)]); // d and h
+        assert_eq!(common_neighbor_count(&g, NodeId(4), NodeId(5)), 2);
+        // Symmetric.
+        assert_eq!(common_neighbors(&g, NodeId(5), NodeId(4)), cn);
+    }
+
+    #[test]
+    fn pair_states_cover_all_kinds() {
+        let g = fig1_network();
+        // (h,f) directed: state of h relative to f = TowardEndpoint.
+        assert_eq!(pair_state(&g, NodeId(7), NodeId(5)), Some(PairState::TowardEndpoint));
+        // f → j directed: state of j... from j's perspective relative to f:
+        // pair_state(w=j, x=f) with tie (f, j): x → w.
+        assert_eq!(pair_state(&g, NodeId(9), NodeId(5)), Some(PairState::FromEndpoint));
+        // (b,f) bidirectional.
+        assert_eq!(pair_state(&g, NodeId(1), NodeId(5)), Some(PairState::Bidirectional));
+        // (b,d) undirected.
+        assert_eq!(pair_state(&g, NodeId(1), NodeId(3)), Some(PairState::Undirected));
+        // No tie between a(0) and j(9).
+        assert_eq!(pair_state(&g, NodeId(0), NodeId(9)), None);
+    }
+
+    #[test]
+    fn triad_counts_sum_to_common_neighbors() {
+        let g = fig1_network();
+        for (_, t) in g.iter_ties() {
+            let counts = triad_counts(&g, t.src, t.dst);
+            let total: u32 = counts.iter().sum();
+            assert_eq!(total as usize, common_neighbor_count(&g, t.src, t.dst));
+        }
+    }
+
+    #[test]
+    fn triad_counts_detect_specific_type() {
+        // w → u directed, w → v directed: type index 4*0 + 0 = 0.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(2), NodeId(0)).unwrap(); // w → u
+        b.add_directed(NodeId(2), NodeId(1)).unwrap(); // w → v
+        b.add_directed(NodeId(0), NodeId(1)).unwrap(); // the tie (u, v)
+        let g = b.build().unwrap();
+        let counts = triad_counts(&g, NodeId(0), NodeId(1));
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts.iter().sum::<u32>(), 1);
+        // Swapping endpoints transposes the type: (v, u) sees u-side state
+        // first. state(w,v)=Toward, state(w,u)=Toward → still index 0 here.
+        let swapped = triad_counts(&g, NodeId(1), NodeId(0));
+        assert_eq!(swapped[0], 1);
+    }
+
+    #[test]
+    fn triad_feature_is_order_sensitive() {
+        // w → u, v → w: for (u,v) index = 4*Toward + From = 4*0+1 = 1;
+        // for (v,u) index = 4*From + Toward = 4*1+0 = 4.
+        let mut b = NetworkBuilder::new(3);
+        b.add_directed(NodeId(2), NodeId(0)).unwrap(); // w → u
+        b.add_directed(NodeId(1), NodeId(2)).unwrap(); // v → w
+        b.add_undirected(NodeId(0), NodeId(1)).unwrap();
+        let g = b.build().unwrap();
+        let uv = triad_counts(&g, NodeId(0), NodeId(1));
+        let vu = triad_counts(&g, NodeId(1), NodeId(0));
+        assert_eq!(uv[1], 1);
+        assert_eq!(vu[4], 1);
+        assert_ne!(uv, vu);
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let g = fig1_network();
+        for (_, t) in g.iter_ties() {
+            let j = neighbor_jaccard(&g, t.src, t.dst);
+            assert!((0.0..=1.0).contains(&j));
+        }
+        // e(4) and f(5): 2 common, |N(e) ∪ N(f)| = 4 + 7 - 2 = 9.
+        assert!((neighbor_jaccard(&g, NodeId(4), NodeId(5)) - 2.0 / 9.0).abs() < 1e-12);
+    }
+}

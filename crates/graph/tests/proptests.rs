@@ -1,0 +1,170 @@
+//! Property-based tests for the graph substrate: structural invariants that
+//! must hold for *any* mixed social network.
+
+use dd_graph::degrees::{all_mixed_degrees, deg_in, deg_out};
+use dd_graph::io::{read_edge_list, write_edge_list};
+use dd_graph::sampling::{hide_directions, induced_subnetwork};
+use dd_graph::ties::{all_tie_degrees, connected_ties, count_connected_pairs, is_connected_pair};
+use dd_graph::triads::{common_neighbor_count, triad_counts};
+use dd_graph::{MixedSocialNetwork, NetworkBuilder, NodeId, TieKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random valid mixed social network with at least one directed
+/// tie. Edges are proposed as (kind, u, v) triples; conflicting proposals
+/// are skipped, which keeps every generated network valid by construction.
+fn arb_network() -> impl Strategy<Value = MixedSocialNetwork> {
+    (3usize..30, proptest::collection::vec((0u8..3, 0u32..30, 0u32..30), 1..120)).prop_map(
+        |(n, proposals)| {
+            let n = n.max(3);
+            let mut b = NetworkBuilder::new(n);
+            // Guaranteed directed tie (Definition 1 requires |E_d| > 0).
+            let _ = b.add_directed(NodeId(0), NodeId(1));
+            for (kind, u, v) in proposals {
+                let (u, v) = (NodeId(u % n as u32), NodeId(v % n as u32));
+                let _ = match kind {
+                    0 => b.add_directed(u, v),
+                    1 => b.add_bidirectional(u, v),
+                    _ => b.add_undirected(u, v),
+                };
+            }
+            b.build().expect("has directed tie")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ordered_instances_match_counts(g in arb_network()) {
+        let c = g.counts();
+        prop_assert_eq!(
+            g.n_ordered_ties(),
+            c.directed + 2 * (c.bidirectional + c.undirected)
+        );
+        let directed = g.iter_ties().filter(|(_, t)| t.kind == TieKind::Directed).count();
+        prop_assert_eq!(directed, c.directed);
+    }
+
+    #[test]
+    fn adjacency_is_self_consistent(g in arb_network()) {
+        // Every instance appears exactly once in its source's out list and
+        // its destination's in list.
+        for (id, t) in g.iter_ties() {
+            prop_assert!(g.out_ties(t.src).contains(&id));
+            prop_assert!(g.in_ties(t.dst).contains(&id));
+            prop_assert_eq!(g.find_tie(t.src, t.dst), Some(id));
+        }
+        let out_total: usize = g.nodes().map(|u| g.out_ties(u).len()).sum();
+        let in_total: usize = g.nodes().map(|u| g.in_ties(u).len()).sum();
+        prop_assert_eq!(out_total, g.n_ordered_ties());
+        prop_assert_eq!(in_total, g.n_ordered_ties());
+    }
+
+    #[test]
+    fn symmetric_ties_have_mutual_reverse(g in arb_network()) {
+        for (id, t) in g.iter_ties() {
+            match t.kind {
+                TieKind::Directed => prop_assert!(t.reverse.is_none()),
+                _ => {
+                    let r = t.reverse.unwrap();
+                    let rt = g.tie(r);
+                    prop_assert_eq!(rt.reverse, Some(id));
+                    prop_assert_eq!((rt.src, rt.dst), (t.dst, t.src));
+                    prop_assert_eq!(rt.kind, t.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_balance(g in arb_network()) {
+        let (out, inn) = all_mixed_degrees(&g);
+        let so: f64 = out.iter().sum();
+        let si: f64 = inn.iter().sum();
+        prop_assert!((so - si).abs() < 1e-9);
+        // Spot-check the per-node functions against the bulk pass.
+        for u in g.nodes() {
+            prop_assert!((out[u.index()] - deg_out(&g, u)).abs() < 1e-12);
+            prop_assert!((inn[u.index()] - deg_in(&g, u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tie_degrees_equal_connected_tie_counts(g in arb_network()) {
+        let degs = all_tie_degrees(&g);
+        let mut total = 0u64;
+        for (id, _) in g.iter_ties() {
+            let c = connected_ties(&g, id);
+            prop_assert_eq!(degs[id.index()] as usize, c.len());
+            for e2 in c {
+                prop_assert!(is_connected_pair(&g, id, e2));
+            }
+            total += degs[id.index()] as u64;
+        }
+        prop_assert_eq!(total, count_connected_pairs(&g));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric(g in arb_network()) {
+        for u in g.nodes() {
+            for &w in g.neighbors(u) {
+                prop_assert!(g.neighbors(w).contains(&u), "neighbor symmetry {u} ~ {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn triad_counts_total_common_neighbors(g in arb_network()) {
+        for (_, t) in g.iter_ties() {
+            let counts = triad_counts(&g, t.src, t.dst);
+            let sum: u32 = counts.iter().sum();
+            prop_assert_eq!(sum as usize, common_neighbor_count(&g, t.src, t.dst));
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_is_identity(g in arb_network()) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.n_nodes(), g.n_nodes());
+        prop_assert_eq!(g2.counts(), g.counts());
+        for (_, t) in g.iter_ties() {
+            let id = g2.find_tie(t.src, t.dst).expect("tie preserved");
+            prop_assert_eq!(g2.tie(id).kind, t.kind);
+        }
+    }
+
+    #[test]
+    fn hide_directions_conserves_ties(g in arb_network(), keep in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = hide_directions(&g, keep, &mut rng);
+        let c0 = g.counts();
+        let c1 = h.network.counts();
+        prop_assert_eq!(c1.directed + h.truth.len(), c0.directed);
+        prop_assert_eq!(c1.bidirectional, c0.bidirectional);
+        prop_assert_eq!(c1.undirected, c0.undirected + h.truth.len());
+        prop_assert!(c1.directed >= 1);
+        // Every hidden truth pair exists as an undirected tie.
+        for &(u, v) in &h.truth {
+            let t = h.network.find_tie(u, v).expect("hidden tie present");
+            prop_assert_eq!(h.network.tie(t).kind, TieKind::Undirected);
+        }
+    }
+
+    #[test]
+    fn induced_subnetwork_is_a_subgraph(g in arb_network(), take in 1usize..10) {
+        let nodes: Vec<NodeId> = g.nodes().take(take.min(g.n_nodes())).collect();
+        let (sub, map) = induced_subnetwork(&g, &nodes);
+        prop_assert_eq!(sub.n_nodes(), nodes.len());
+        // Every sub-tie maps back to an original tie of the same kind.
+        for (_, t) in sub.iter_ties() {
+            let (ou, ov) = (map[t.src.index()], map[t.dst.index()]);
+            let orig = g.find_tie(ou, ov).expect("tie exists in parent");
+            prop_assert_eq!(g.tie(orig).kind, t.kind);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # dd-linalg — math substrate for DeepDirect
+//!
+//! The paper derives every gradient in closed form (Eqs. 21–25), so no
+//! autodiff framework is needed — this crate supplies exactly the numeric
+//! machinery the models consume:
+//!
+//! * dense row-major matrices with split-borrow row access — [`matrix`],
+//! * vector kernels (`dot`, `axpy`, …) — [`vecops`],
+//! * numerically stable `σ` / `log σ` / cross-entropy — [`activations`],
+//! * Walker alias tables for the `P_c` and `P_n` sampling distributions
+//!   — [`alias`],
+//! * a fast PCG32 generator with splittable streams for Hogwild workers
+//!   — [`rng`],
+//! * logistic regression (the directionality function of Sec. 3.2 and the
+//!   D-Step) — [`logreg`], with an optional AdaGrad trainer — [`adagrad`],
+//! * a one-hidden-layer MLP (the paper's proposed non-linear D-Step
+//!   extension) — [`mlp`],
+//! * feature standardization — [`scaler`] — and summary statistics
+//!   — [`stats`].
+
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod adagrad;
+pub mod alias;
+pub mod logreg;
+pub mod matrix;
+pub mod mlp;
+pub mod rng;
+pub mod scaler;
+pub mod stats;
+pub mod vecops;
+
+pub use activations::{cross_entropy, log_sigmoid, sigmoid, sigmoid64};
+pub use adagrad::{fit_logreg_adagrad, AdaGrad};
+pub use alias::AliasTable;
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use matrix::DenseMatrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use rng::Pcg32;
+pub use scaler::StandardScaler;

@@ -1,0 +1,127 @@
+//! Feature standardization for the handcrafted-feature pipeline.
+//!
+//! Degrees, centralities and triad counts live on wildly different scales;
+//! standardizing to zero mean / unit variance keeps the logistic regression
+//! conditioning sane.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature standardizer: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on rows of equal length.
+    ///
+    /// Features with zero variance are passed through centered (scale 1), so
+    /// constant columns do not blow up.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or ragged rows.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for r in rows {
+            assert_eq!(r.len(), dim, "ragged feature rows");
+            for (m, &x) in mean.iter_mut().zip(r) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; dim];
+        for r in rows {
+            for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(r) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let inv_std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    (1.0 / s) as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { mean: mean.into_iter().map(|m| m as f32).collect(), inv_std }
+    }
+
+    /// Transforms a single row in place.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
+        for ((x, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+            *x = (*x - m) * s;
+        }
+    }
+
+    /// Transforms a batch of rows in place.
+    pub fn transform(&self, rows: &mut [Vec<f32>]) {
+        for r in rows {
+            self.transform_row(r);
+        }
+    }
+
+    /// Feature dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let mut rows: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![i as f32, 1000.0 + 2.0 * i as f32]).collect();
+        let scaler = StandardScaler::fit(&rows);
+        scaler.transform(&mut rows);
+        for d in 0..2 {
+            let mean: f32 = rows.iter().map(|r| r[d]).sum::<f32>() / rows.len() as f32;
+            let var: f32 =
+                rows.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / rows.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_scaled() {
+        let mut rows = vec![vec![5.0f32], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&rows);
+        scaler.transform(&mut rows);
+        for r in &rows {
+            assert_eq!(r[0], 0.0);
+            assert!(r[0].is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn rejects_empty() {
+        let _ = StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let _ = StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn dim_reports_fit_shape() {
+        let s = StandardScaler::fit(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(s.dim(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Small statistics helpers shared by evaluation and tests.
+
+/// Arithmetic mean; `0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient; `0` when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must align");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Least-squares slope and intercept of `y ≈ a·x + b`.
+///
+/// Used by the scalability experiment (Fig. 9) to check that runtime is
+/// linear in `|E|`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "series must align");
+    assert!(xs.len() >= 2, "need at least two points");
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    let a = if den > 0.0 { num / den } else { 0.0 };
+    (a, my - a * mx)
+}
+
+/// Coefficient of determination `R²` of a linear fit.
+pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
+    let (a, b) = linear_fit(xs, ys);
+    let my = mean(ys);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        ss_res += (y - (a * x + b)).powi(2);
+        ss_tot += (y - my).powi(2);
+    }
+    if ss_tot <= 0.0 {
+        return 1.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(variance(&[2.0, 4.0]), 1.0);
+        assert_eq!(std_dev(&[2.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn pearson_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r_squared(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_penalizes_nonlinearity() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let r2 = r_squared(&xs, &ys);
+        assert!(r2 < 1.0 && r2 > 0.5); // quadratic is still correlated
+    }
+}

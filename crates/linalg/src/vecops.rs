@@ -1,0 +1,115 @@
+//! Dense vector kernels used by the SGD updates of Eqs. 21–25.
+//!
+//! All kernels operate on `f32` slices (embedding precision) and are written
+//! as simple loops the compiler auto-vectorizes. Debug builds assert matching
+//! lengths; release builds rely on the slice zips.
+
+/// Dot product `x · y`.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// `y += alpha * x` (the BLAS `axpy`).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (b, a) in y.iter_mut().zip(x) {
+        *b += alpha * a;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Sets all elements of `x` to zero.
+#[inline]
+pub fn zero(x: &mut [f32]) {
+    for v in x {
+        *v = 0.0;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance between `x` and `y`.
+#[inline]
+pub fn sq_dist(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = 0.0f32;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Element-wise mean of the rows in `rows` (each of length `dim`).
+pub fn mean_of(rows: &[&[f32]], dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    if rows.is_empty() {
+        return out;
+    }
+    for r in rows {
+        axpy(1.0, r, &mut out);
+    }
+    scale(1.0 / rows.len() as f32, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut x = vec![2.0f32, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+        zero(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(sq_dist(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let a = [1.0f32, 3.0];
+        let b = [3.0f32, 5.0];
+        let m = mean_of(&[&a, &b], 2);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert_eq!(mean_of(&[], 2), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the math substrate.
+
+use dd_linalg::activations::{cross_entropy, log_sigmoid, sigmoid};
+use dd_linalg::alias::AliasTable;
+use dd_linalg::matrix::DenseMatrix;
+use dd_linalg::rng::Pcg32;
+use dd_linalg::scaler::StandardScaler;
+use dd_linalg::vecops::{axpy, dot, norm2, scale, sq_dist};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(x in small_vec(8), y in small_vec(8), a in -10.0f32..10.0) {
+        prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-3);
+        let scaled: Vec<f32> = x.iter().map(|v| v * a).collect();
+        prop_assert!((dot(&scaled, &y) - a * dot(&x, &y)).abs() < 1.0);
+    }
+
+    #[test]
+    fn axpy_matches_manual(alpha in -5.0f32..5.0, x in small_vec(6), y in small_vec(6)) {
+        let mut out = y.clone();
+        axpy(alpha, &x, &mut out);
+        for i in 0..6 {
+            prop_assert!((out[i] - (y[i] + alpha * x[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn norms_are_consistent(x in small_vec(8)) {
+        let n = norm2(&x);
+        prop_assert!(n >= 0.0);
+        prop_assert!((n * n - dot(&x, &x)).abs() < n.max(1.0) * 1e-2);
+        prop_assert!(sq_dist(&x, &x) == 0.0);
+        let mut y = x.clone();
+        scale(2.0, &mut y);
+        prop_assert!((norm2(&y) - 2.0 * n).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_properties(x in -50.0f32..50.0) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s + sigmoid(-x) - 1.0).abs() < 1e-5);
+        // log σ agrees with ln of σ wherever σ is representable.
+        if s > 1e-6 && s < 1.0 {
+            prop_assert!((log_sigmoid(x) - s.ln()).abs() < 1e-3);
+        }
+        // Monotonicity.
+        prop_assert!(sigmoid(x + 0.5) >= s);
+    }
+
+    #[test]
+    fn cross_entropy_is_minimized_at_label(y in 0.01f64..0.99, eps in 0.01f64..0.3) {
+        let at = cross_entropy(y, y);
+        prop_assert!(cross_entropy(y, (y + eps).min(0.999)) >= at - 1e-12);
+        prop_assert!(cross_entropy(y, (y - eps).max(0.001)) >= at - 1e-12);
+        prop_assert!(at.is_finite());
+    }
+
+    #[test]
+    fn alias_samples_in_range_and_skip_zero(weights in proptest::collection::vec(0.0f64..10.0, 1..20), seed in 0u64..500) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let table = AliasTable::new(&weights);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "zero-weight outcome {i} drawn");
+        }
+    }
+
+    #[test]
+    fn pcg_gen_range_is_bounded(bound in 1usize..10_000, seed in 0u64..500) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn two_rows_mut_returns_disjoint_rows(rows in 2usize..10, cols in 1usize..8, a in 0usize..10, b in 0usize..10) {
+        let a = a % rows;
+        let b = b % rows;
+        prop_assume!(a != b);
+        let mut m = DenseMatrix::from_fn(rows, cols, |r, c| (r * 100 + c) as f32);
+        let (ra, rb) = m.two_rows_mut(a, b);
+        prop_assert_eq!(ra[0], (a * 100) as f32);
+        prop_assert_eq!(rb[0], (b * 100) as f32);
+        ra[0] = -1.0;
+        rb[0] = -2.0;
+        prop_assert_eq!(m.get(a, 0), -1.0);
+        prop_assert_eq!(m.get(b, 0), -2.0);
+    }
+
+    #[test]
+    fn scaler_output_is_standardized(rows in proptest::collection::vec(small_vec(4), 3..40)) {
+        // Require some variance in each column to avoid the constant path.
+        let scaler = StandardScaler::fit(&rows);
+        let mut transformed = rows.clone();
+        scaler.transform(&mut transformed);
+        for d in 0..4 {
+            let mean: f64 =
+                transformed.iter().map(|r| r[d] as f64).sum::<f64>() / rows.len() as f64;
+            prop_assert!(mean.abs() < 1e-3, "column {d} mean {mean}");
+            for r in &transformed {
+                prop_assert!(r[d].is_finite());
+            }
+        }
+    }
+}

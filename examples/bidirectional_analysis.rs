@@ -1,0 +1,80 @@
+//! Bidirectionality analysis (the paper's future-work extension): score how
+//! likely each undirected tie is to be *actually bidirectional*, and
+//! quantify which direction dominates existing bidirectional ties.
+//!
+//! ```text
+//! cargo run --release -p deepdirect --example bidirectional_analysis
+//! ```
+
+use dd_datasets::livejournal;
+use dd_graph::sampling::hide_directions;
+use deepdirect::apps::bidir::bidirectionality_scores;
+use deepdirect::apps::quantify::DirectionalityAdjacency;
+use deepdirect::{DeepDirect, DeepDirectConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let network = livejournal().generate(250, 3).network; // ~320 dense nodes
+    let mut rng = StdRng::seed_from_u64(3);
+    let hidden = hide_directions(&network, 0.5, &mut rng);
+    let g = &hidden.network;
+    println!(
+        "LiveJournal analog: {} nodes; {} directed / {} bidirectional / {} undirected ties",
+        g.n_nodes(),
+        g.counts().directed,
+        g.counts().bidirectional,
+        g.counts().undirected,
+    );
+
+    let cfg = DeepDirectConfig {
+        dim: 64,
+        max_iterations: Some(3_000_000),
+        seed: 3,
+        ..Default::default()
+    };
+    let model = DeepDirect::new(cfg).fit(g);
+    let d = |u, v| model.score(u, v).unwrap_or(0.5);
+
+    // --- Which undirected ties look bidirectional? ---
+    let mut scores = bidirectionality_scores(g, d);
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    println!("\nundirected ties most likely to be bidirectional:");
+    for s in scores.iter().take(5) {
+        println!("  {} -- {}   d(u,v)={:.3} d(v,u)={:.3} score={:.3}", s.u, s.v, s.d_uv, s.d_vu, s.score);
+    }
+    println!("undirected ties most likely to be one-way:");
+    for s in scores.iter().rev().take(5) {
+        let (src, dst) = s.dominant();
+        println!("  {src} -> {dst}   score={:.3}", s.score);
+    }
+
+    // --- Direction quantification on the explicit bidirectional ties ---
+    println!("\nmost asymmetric bidirectional relationships (who dominates?):");
+    let mut pairs: Vec<(f64, String)> = g
+        .bidirectional_pairs()
+        .map(|(_, u, v)| {
+            let (duv, dvu) = (d(u, v), d(v, u));
+            let asym = (duv - dvu).abs();
+            let line = if duv >= dvu {
+                format!("  {u} -> {v}   d={duv:.3} vs {dvu:.3}")
+            } else {
+                format!("  {v} -> {u}   d={dvu:.3} vs {duv:.3}")
+            };
+            (asym, line)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (_, line) in pairs.iter().take(5) {
+        println!("{line}");
+    }
+
+    // --- The directionality adjacency matrix those values feed ---
+    let adj = DirectionalityAdjacency::quantified(g, d);
+    let (_, u, v) = g.bidirectional_pairs().next().expect("has bidirectional ties");
+    println!(
+        "\ndirectionality adjacency cells for one bidirectional tie: A[{u}][{v}] = {:.3}, A[{v}][{u}] = {:.3}",
+        adj.get(u, v),
+        adj.get(v, u),
+    );
+}

@@ -1,0 +1,96 @@
+//! Application-level integration (Sec. 5): direction discovery, direction
+//! quantification feeding link prediction, and bidirectionality analysis,
+//! all running on one fitted model.
+
+use dd_bench::BenchEnv;
+use dd_datasets::{epinions, livejournal};
+use dd_eval::linkpred::build_instance;
+use deepdirect::apps::bidir::bidirectionality_scores;
+use deepdirect::apps::discovery::discover_directions;
+use deepdirect::apps::quantify::DirectionalityAdjacency;
+use deepdirect::{DeepDirect, DeepDirectConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_cfg(seed: u64) -> DeepDirectConfig {
+    DeepDirectConfig {
+        dim: 32,
+        max_iterations: Some(800_000),
+        threads: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn one_model_serves_all_applications() {
+    let env = BenchEnv { scale: 300, seed: 21, n_seeds: 1, out_dir: "/tmp".into() };
+    let hidden = env.hidden_split(&livejournal(), 0.5, 21);
+    let g = &hidden.network;
+    let model = DeepDirect::new(fast_cfg(21)).fit(g);
+    let d = |u, v| model.score(u, v).unwrap_or(0.5);
+
+    // Discovery covers every undirected tie.
+    let preds = discover_directions(g, d);
+    assert_eq!(preds.len(), g.counts().undirected);
+
+    // Quantification replaces exactly the bidirectional cells.
+    let adj = DirectionalityAdjacency::quantified(g, d);
+    let mut changed = 0usize;
+    for (_, u, v) in g.bidirectional_pairs() {
+        let a = adj.get(u, v);
+        let b = adj.get(v, u);
+        assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+        if (a - 1.0).abs() > 1e-9 || (b - 1.0).abs() > 1e-9 {
+            changed += 1;
+        }
+    }
+    assert!(changed > 0, "directionality values must differ from the raw 1s");
+    for (_, u, v) in g.directed_ties().take(20) {
+        assert_eq!(adj.get(u, v), 1.0, "directed cells keep weight 1");
+    }
+
+    // Bidirectionality analysis covers every undirected tie and stays in
+    // range.
+    let scores = bidirectionality_scores(g, d);
+    assert_eq!(scores.len(), g.counts().undirected);
+    for s in &scores {
+        assert!((0.0..=1.0).contains(&s.score));
+        let hm = if s.d_uv + s.d_vu > 0.0 { 2.0 * s.d_uv * s.d_vu / (s.d_uv + s.d_vu) } else { 0.0 };
+        assert!((s.score - hm).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn quantified_adjacency_feeds_link_prediction() {
+    let g = epinions().generate(300, 22).network;
+    let mut rng = StdRng::seed_from_u64(22);
+    let inst = build_instance(&g, 0.8, 50_000, &mut rng);
+    assert!(inst.positive_rate() > 0.0);
+
+    let model = DeepDirect::new(fast_cfg(22)).fit(&inst.train);
+    let raw = inst.auc_unweighted();
+    let weighted = inst.auc_quantified(|u, v| model.score(u, v).unwrap_or(0.5));
+    assert!((0.0..=1.0).contains(&raw));
+    assert!((0.0..=1.0).contains(&weighted));
+    // The Fig. 8 claim at integration scale: quantification should not be
+    // materially worse than the raw matrix, and usually improves it.
+    assert!(
+        weighted > raw - 0.05,
+        "directionality matrix should hold up: raw {raw}, weighted {weighted}"
+    );
+}
+
+#[test]
+fn discovery_is_antisymmetric_in_the_scorer() {
+    // Flipping the scorer must flip every predicted direction.
+    let env = BenchEnv { scale: 400, seed: 23, n_seeds: 1, out_dir: "/tmp".into() };
+    let hidden = env.hidden_split(&livejournal(), 0.5, 23);
+    let g = &hidden.network;
+    let fwd = discover_directions(g, |u, v| if u < v { 0.9 } else { 0.1 });
+    let rev = discover_directions(g, |u, v| if u < v { 0.1 } else { 0.9 });
+    assert_eq!(fwd.len(), rev.len());
+    for (a, b) in fwd.iter().zip(&rev) {
+        assert_eq!((a.src, a.dst), (b.dst, b.src));
+    }
+}

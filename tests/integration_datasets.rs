@@ -1,0 +1,90 @@
+//! Dataset-analog integration: the five generators produce networks whose
+//! shape matches their Table 2 specification, remain connected, and carry a
+//! learnable direction signal.
+
+use dd_datasets::{all_datasets, bidirectional_heavy_datasets, DatasetStats};
+use dd_eval::linkpred::is_bidirectional_heavy;
+use dd_graph::traversal::connected_components;
+
+#[test]
+fn all_specs_generate_consistent_networks() {
+    for spec in all_datasets() {
+        let g = spec.generate(250, 5);
+        let stats = DatasetStats::compute(spec.name, &g.network);
+        assert_eq!(stats.nodes, g.network.n_nodes(), "{}", spec.name);
+        assert_eq!(
+            stats.ties,
+            stats.directed + stats.bidirectional + stats.undirected,
+            "{}",
+            spec.name
+        );
+        assert_eq!(stats.undirected, 0, "{}: raw datasets have no undirected ties", spec.name);
+        assert!(
+            (stats.reciprocity - spec.reciprocity).abs() < 0.1,
+            "{}: reciprocity {} vs spec {}",
+            spec.name,
+            stats.reciprocity,
+            spec.reciprocity
+        );
+    }
+}
+
+#[test]
+fn generated_networks_are_connected() {
+    for spec in all_datasets() {
+        let g = spec.generate(300, 6);
+        let (_, n) = connected_components(&g.network);
+        assert_eq!(n, 1, "{} should be connected", spec.name);
+    }
+}
+
+#[test]
+fn bidirectional_heavy_datasets_satisfy_sec63_criterion() {
+    for spec in bidirectional_heavy_datasets() {
+        let g = spec.generate(250, 7);
+        assert!(
+            is_bidirectional_heavy(&g.network),
+            "{}: over half the ties must be bidirectional",
+            spec.name
+        );
+    }
+    // Twitter, by contrast, is follower-dominated.
+    let tw = dd_datasets::twitter().generate(250, 7);
+    assert!(!is_bidirectional_heavy(&tw.network));
+}
+
+#[test]
+fn direction_signal_is_present() {
+    // The latent status must orient most directed ties (the generator's
+    // flip probability is ≤ 0.12 everywhere).
+    for spec in all_datasets() {
+        let g = spec.generate(250, 8);
+        let mut up = 0usize;
+        let mut total = 0usize;
+        for (_, u, v) in g.network.directed_ties() {
+            total += 1;
+            if g.status[u.index()] <= g.status[v.index()] {
+                up += 1;
+            }
+        }
+        let frac = up as f64 / total as f64;
+        assert!(frac > 0.85, "{}: only {frac} of ties follow status", spec.name);
+    }
+}
+
+#[test]
+fn scale_one_config_matches_table2_counts() {
+    // We never *generate* at scale 1 in tests (too large), but the spec
+    // must request exactly the paper's node counts.
+    let expected = [
+        ("Twitter", 65_044),
+        ("LiveJournal", 80_000),
+        ("Epinions", 75_879),
+        ("Slashdot", 77_360),
+        ("Tencent", 75_000),
+    ];
+    for (spec, (name, nodes)) in all_datasets().iter().zip(expected) {
+        assert_eq!(spec.name, name);
+        assert_eq!(spec.config(1).n_nodes, nodes);
+    }
+}
