@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 
-use dd_graph::centrality::{betweenness_all, betweenness_sampled, closeness_all, closeness_sampled};
+use dd_graph::centrality::{
+    betweenness_all, betweenness_sampled, closeness_all, closeness_sampled,
+};
 use dd_graph::degrees::all_mixed_degrees;
 use dd_graph::triads::{triad_counts, N_TRIAD_TYPES};
 use dd_graph::{MixedSocialNetwork, NodeId};
@@ -42,11 +44,7 @@ pub struct HfConfig {
 
 impl Default for HfConfig {
     fn default() -> Self {
-        HfConfig {
-            centrality_samples: Some(64),
-            logreg: LogRegConfig::default(),
-            seed: 0x4f5,
-        }
+        HfConfig { centrality_samples: Some(64), logreg: LogRegConfig::default(), seed: 0x4f5 }
     }
 }
 

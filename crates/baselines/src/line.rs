@@ -80,8 +80,7 @@ impl LineLearner {
         let mut rng = Pcg32::seed_from_u64(cfg.seed);
 
         // Edge list over ordered instances; uniform edge sampling.
-        let edges: Vec<(u32, u32)> =
-            g.iter_ties().map(|(_, t)| (t.src.0, t.dst.0)).collect();
+        let edges: Vec<(u32, u32)> = g.iter_ties().map(|(_, t)| (t.src.0, t.dst.0)).collect();
         if edges.is_empty() {
             return DenseMatrix::zeros(n, 2 * half);
         }
@@ -168,13 +167,17 @@ impl LineLearner {
         }
 
         // Concatenate halves per node.
-        DenseMatrix::from_fn(n, 2 * half, |r, c| {
-            if c < half {
-                v1.get(r, c)
-            } else {
-                v2.get(r, c - half)
-            }
-        })
+        DenseMatrix::from_fn(
+            n,
+            2 * half,
+            |r, c| {
+                if c < half {
+                    v1.get(r, c)
+                } else {
+                    v2.get(r, c - half)
+                }
+            },
+        )
     }
 }
 
@@ -264,9 +267,7 @@ mod tests {
             .network;
         let e = LineLearner::new(quick_cfg()).embed(&g);
         use dd_linalg::vecops::{norm2, sq_dist};
-        let cos = |a: &[f32], b: &[f32]| {
-            dot(a, b) / (norm2(a) * norm2(b)).max(1e-9)
-        };
+        let cos = |a: &[f32], b: &[f32]| dot(a, b) / (norm2(a) * norm2(b)).max(1e-9);
         let _ = sq_dist;
         let mut adj_sum = 0.0;
         let mut adj_n = 0;

@@ -135,8 +135,7 @@ impl Node2VecLearner {
         let corpus = self.walks(g, &mut rng);
         let mut vectors = DenseMatrix::uniform_init(n, cfg.dim, &mut rng);
         let mut contexts = DenseMatrix::zeros(n, cfg.dim);
-        let weights: Vec<f64> =
-            (0..n).map(|i| g.social_degree(NodeId(i as u32)) as f64).collect();
+        let weights: Vec<f64> = (0..n).map(|i| g.social_degree(NodeId(i as u32)) as f64).collect();
         if weights.iter().all(|&w| w == 0.0) {
             return vectors;
         }
@@ -159,8 +158,7 @@ impl Node2VecLearner {
                             continue;
                         }
                         step += 1;
-                        let lr =
-                            cfg.lr * (1.0 - step as f32 / total_pairs as f32).max(1e-4);
+                        let lr = cfg.lr * (1.0 - step as f32 / total_pairs as f32).max(1e-4);
                         let ctx = ctx_node as usize;
                         let c = center as usize;
                         grad.iter_mut().for_each(|x| *x = 0.0);
@@ -306,10 +304,7 @@ mod tests {
         };
         let outward = distinct(0.25);
         let inward = distinct(4.0);
-        assert!(
-            outward > inward,
-            "low q should reach more distinct nodes: {outward} vs {inward}"
-        );
+        assert!(outward > inward, "low q should reach more distinct nodes: {outward} vs {inward}");
     }
 
     #[test]
@@ -323,11 +318,7 @@ mod tests {
             .network;
         let h = hide_directions(&g, 0.5, &mut rng);
         let scorer = Node2VecLearner::new(quick()).fit(&h.network);
-        let ok = h
-            .truth
-            .iter()
-            .filter(|&&(u, v)| scorer.score(u, v) >= scorer.score(v, u))
-            .count();
+        let ok = h.truth.iter().filter(|&&(u, v)| scorer.score(u, v) >= scorer.score(v, u)).count();
         let acc = ok as f64 / h.truth.len() as f64;
         assert!(acc > 0.52, "node2vec accuracy {acc}");
     }

@@ -120,8 +120,9 @@ pub fn similarity_estimate(
     // Similar endpoints → direction ambiguous (pull toward 0.5); dissimilar
     // endpoints → trust the propensity balance.
     let balance = 0.5
-        + 0.5 * ((dst_receptivity[v.index()] - dst_receptivity[u.index()])
-            + (src_propensity[u.index()] - src_propensity[v.index()]))
+        + 0.5
+            * ((dst_receptivity[v.index()] - dst_receptivity[u.index()])
+                + (src_propensity[u.index()] - src_propensity[v.index()]))
             / 2.0;
     let balance = balance.clamp(0.0, 1.0);
     j * 0.5 + (1.0 - j) * balance

@@ -22,8 +22,7 @@ use dd_linalg::rng::Pcg32;
 use dd_linalg::vecops::dot;
 
 use crate::patterns::{
-    collaborative_estimate, degree_estimate, node_propensities, similarity_estimate,
-    triad_estimate,
+    collaborative_estimate, degree_estimate, node_propensities, similarity_estimate, triad_estimate,
 };
 use crate::traits::{DirectionalityLearner, TieScorer};
 
@@ -239,9 +238,8 @@ impl DirectionalityLearner for RedirectTLearner {
 
         for _sweep in 0..cfg.max_sweeps {
             let lookup = values.clone();
-            let score = |a: NodeId, b: NodeId| -> f64 {
-                lookup.get(&(a.0, b.0)).copied().unwrap_or(0.5)
-            };
+            let score =
+                |a: NodeId, b: NodeId| -> f64 { lookup.get(&(a.0, b.0)).copied().unwrap_or(0.5) };
             let (sp, dr) = node_propensities(g, score);
             let mut max_delta = 0.0f64;
             for &(u, v) in &free {
@@ -284,20 +282,23 @@ mod tests {
     }
 
     fn accuracy(scorer: &dyn TieScorer, truth: &[(NodeId, NodeId)]) -> f64 {
-        let ok = truth
-            .iter()
-            .filter(|&&(u, v)| scorer.score(u, v) >= scorer.score(v, u))
-            .count();
+        let ok = truth.iter().filter(|&&(u, v)| scorer.score(u, v) >= scorer.score(v, u)).count();
         ok as f64 / truth.len() as f64
     }
 
     #[test]
     fn redirect_n_beats_chance() {
-        let (g, truth) = hidden(1);
-        let cfg = RedirectNConfig { dim: 16, epochs: 30, ..Default::default() };
-        let scorer = RedirectNLearner::new(cfg).fit(&g);
-        let acc = accuracy(scorer.as_ref(), &truth);
-        assert!(acc > 0.6, "ReDirect-N/sm accuracy {acc}");
+        // Average over a few generated networks: a single seed makes the
+        // assertion hostage to the RNG stream backing the generator.
+        let mut acc = 0.0;
+        for seed in 1..=3 {
+            let (g, truth) = hidden(seed);
+            let cfg = RedirectNConfig { dim: 16, epochs: 30, ..Default::default() };
+            let scorer = RedirectNLearner::new(cfg).fit(&g);
+            acc += accuracy(scorer.as_ref(), &truth);
+        }
+        acc /= 3.0;
+        assert!(acc > 0.6, "ReDirect-N/sm mean accuracy {acc}");
     }
 
     #[test]

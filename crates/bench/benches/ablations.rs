@@ -18,8 +18,8 @@ fn line_graph_blowup(c: &mut Criterion) {
     let mut group = c.benchmark_group("line_graph_build");
     for n in [500usize, 1000, 2000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let g = social_network(&SocialNetConfig { n_nodes: n, ..Default::default() }, &mut rng)
-            .network;
+        let g =
+            social_network(&SocialNetConfig { n_nodes: n, ..Default::default() }, &mut rng).network;
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| LineGraph::new(g, false))
         });
@@ -35,8 +35,8 @@ fn line_graph_blowup(c: &mut Criterion) {
 
 fn hogwild_speedup(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
-    let g = social_network(&SocialNetConfig { n_nodes: 600, ..Default::default() }, &mut rng)
-        .network;
+    let g =
+        social_network(&SocialNetConfig { n_nodes: 600, ..Default::default() }, &mut rng).network;
     let hidden = hide_directions(&g, 0.5, &mut rng).network;
     let mut prng = Pcg32::seed_from_u64(9);
     let universe = TieUniverse::build(&hidden, 10, &mut prng);

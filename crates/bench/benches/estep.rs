@@ -11,8 +11,8 @@ use rand::SeedableRng;
 
 fn bench_universe() -> TieUniverse {
     let mut rng = StdRng::seed_from_u64(1);
-    let g = social_network(&SocialNetConfig { n_nodes: 500, ..Default::default() }, &mut rng)
-        .network;
+    let g =
+        social_network(&SocialNetConfig { n_nodes: 500, ..Default::default() }, &mut rng).network;
     let hidden = hide_directions(&g, 0.5, &mut rng).network;
     let mut prng = Pcg32::seed_from_u64(1);
     TieUniverse::build(&hidden, 10, &mut prng)
@@ -54,8 +54,8 @@ fn estep_iterations(c: &mut Criterion) {
 
 fn universe_build(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let g = social_network(&SocialNetConfig { n_nodes: 1000, ..Default::default() }, &mut rng)
-        .network;
+    let g =
+        social_network(&SocialNetConfig { n_nodes: 1000, ..Default::default() }, &mut rng).network;
     let hidden = hide_directions(&g, 0.5, &mut rng).network;
     c.bench_function("universe_build_1k_nodes", |b| {
         b.iter(|| {

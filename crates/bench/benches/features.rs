@@ -10,13 +10,11 @@ use rand::SeedableRng;
 
 fn feature_benches(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let g = social_network(&SocialNetConfig { n_nodes: 800, ..Default::default() }, &mut rng)
-        .network;
+    let g =
+        social_network(&SocialNetConfig { n_nodes: 800, ..Default::default() }, &mut rng).network;
     let cfg = HfConfig::default();
 
-    c.bench_function("node_stats_800_nodes_sampled64", |b| {
-        b.iter(|| NodeStats::compute(&g, &cfg))
-    });
+    c.bench_function("node_stats_800_nodes_sampled64", |b| b.iter(|| NodeStats::compute(&g, &cfg)));
 
     let stats = NodeStats::compute(&g, &cfg);
     let ties: Vec<_> = g.iter_ties().map(|(_, t)| (t.src, t.dst)).collect();

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dd_graph::generators::{social_network, SocialNetConfig};
-use dd_graph::traversal::bfs_distances;
 use dd_graph::ties::all_tie_degrees;
+use dd_graph::traversal::bfs_distances;
 use dd_graph::NodeId;
 use dd_linalg::alias::AliasTable;
 use dd_linalg::rng::Pcg32;

@@ -34,10 +34,7 @@ fn main() {
                 ("mlp_head", DeepDirectConfig { head: DStepHead::Mlp, ..base.clone() }),
                 ("beta_off", DeepDirectConfig { beta: 0.0, ..base.clone() }),
                 ("alpha_off", DeepDirectConfig { alpha: 0.0, ..base.clone() }),
-                (
-                    "uniform_negatives",
-                    DeepDirectConfig { noise_exponent: 0.0, ..base.clone() },
-                ),
+                ("uniform_negatives", DeepDirectConfig { noise_exponent: 0.0, ..base.clone() }),
                 (
                     "uniform_context",
                     DeepDirectConfig { uniform_context_sampling: true, ..base.clone() },

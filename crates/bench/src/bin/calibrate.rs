@@ -7,16 +7,14 @@
 //! ```
 
 use dd_bench::bench_suite;
+use dd_eval::runner::direction_discovery_accuracy;
 use dd_graph::generators::{social_network, SocialNetConfig};
 use dd_graph::sampling::hide_directions;
-use dd_eval::runner::direction_discovery_accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let arg = |i: usize, d: f64| {
-        std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(d)
-    };
+    let arg = |i: usize, d: f64| std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(d);
     let w_degree = arg(1, 0.3);
     let w_community = arg(2, 2.0);
     let status_noise = arg(3, 0.35);
@@ -26,18 +24,14 @@ fn main() {
     let mut sums: Vec<(String, f64)> = Vec::new();
     for seed in [7u64, 8, 9] {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = SocialNetConfig {
-            n_nodes,
-            w_degree,
-            w_community,
-            status_noise,
-            ..Default::default()
-        };
+        let cfg =
+            SocialNetConfig { n_nodes, w_degree, w_community, status_noise, ..Default::default() };
         let g = social_network(&cfg, &mut rng).network;
         let hidden = hide_directions(&g, keep, &mut rng);
         let mut suite = bench_suite(seed);
         if let dd_eval::runner::Method::DeepDirect(ref mut c) = suite[0] {
-            let getf = |k: &str, d: f32| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
+            let getf =
+                |k: &str, d: f32| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
             c.dim = getf("DD_DIM", 64.0) as usize;
             c.lr = getf("DD_LR", c.lr);
             c.tau = getf("DD_TAU", c.tau as f32) as f64;

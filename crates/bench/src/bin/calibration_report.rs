@@ -17,16 +17,9 @@ use dd_graph::hash::FxHashSet;
 fn main() {
     let env = BenchEnv::from_env();
     let hidden = env.hidden_split(&tencent(), 0.2, env.seed);
-    let truth: FxHashSet<(u32, u32)> =
-        hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
-    println!(
-        "Tencent analog, 20% directed, {} hidden ties\n",
-        hidden.truth.len()
-    );
-    println!(
-        "{:<16} {:>9} {:>9} {:>22}",
-        "method", "accuracy", "ECE", "95% bootstrap CI"
-    );
+    let truth: FxHashSet<(u32, u32)> = hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+    println!("Tencent analog, 20% directed, {} hidden ties\n", hidden.truth.len());
+    println!("{:<16} {:>9} {:>9} {:>22}", "method", "accuracy", "ECE", "95% bootstrap CI");
     for method in bench_suite(env.seed) {
         let scorer = method.fit(&hidden.network);
         let mut preds = Vec::new();

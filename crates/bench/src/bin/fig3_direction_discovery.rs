@@ -11,19 +11,20 @@
 
 use dd_bench::{bench_suite, BenchEnv};
 use dd_datasets::all_datasets;
-use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, ResultSink};
+use dd_eval::runner::{direction_discovery_accuracy_observed, ExperimentRow, ResultSink};
 
 fn main() {
     let env = BenchEnv::from_env();
+    let obs = env.observer();
     let percents = [0.05, 0.1, 0.2, 0.5, 0.8];
     let mut sink = ResultSink::new();
     for spec in all_datasets() {
         for &pct in &percents {
             for s in 0..env.n_seeds {
                 let seed = env.seed + s;
-                let hidden = env.hidden_split(&spec, pct, seed);
+                let hidden = env.hidden_split_observed(&spec, pct, seed, &obs);
                 for method in bench_suite(seed) {
-                    let acc = direction_discovery_accuracy(&method, &hidden);
+                    let acc = direction_discovery_accuracy_observed(&method, &hidden, &obs);
                     sink.push(ExperimentRow {
                         experiment: "fig3".into(),
                         dataset: spec.name.into(),
@@ -42,4 +43,5 @@ fn main() {
     }
     sink.write_jsonl(&env.out_path("fig3.jsonl")).expect("write fig3.jsonl");
     println!("wrote {}", env.out_path("fig3.jsonl"));
+    obs.flush();
 }

@@ -10,8 +10,8 @@
 //! best.
 
 use dd_bench::{bench_deepdirect_config, BenchEnv};
-use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
 use dd_datasets::all_datasets;
+use dd_eval::runner::{direction_discovery_accuracy, ExperimentRow, Method, ResultSink};
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -27,8 +27,7 @@ fn main() {
                     let mut cfg = bench_deepdirect_config(64, seed);
                     cfg.alpha = alpha;
                     cfg.beta = 0.0;
-                    let acc =
-                        direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                    let acc = direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
                     sink.push(ExperimentRow {
                         experiment: "fig4".into(),
                         dataset: spec.name.into(),

@@ -27,8 +27,7 @@ fn main() {
                     let mut cfg = bench_deepdirect_config(64, seed);
                     cfg.alpha = alpha;
                     cfg.beta = beta;
-                    let acc =
-                        direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
+                    let acc = direction_discovery_accuracy(&Method::DeepDirect(cfg), &hidden);
                     sink.push(ExperimentRow {
                         experiment: "fig5".into(),
                         dataset: spec.name.into(),

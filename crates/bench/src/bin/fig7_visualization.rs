@@ -32,17 +32,12 @@ fn main() {
     by_degree.sort_by_key(|&u| std::cmp::Reverse(g.social_degree(u)));
     let keep = (g.n_nodes() / 100).max(120).min(g.n_nodes());
     let (sub, _) = induced_subnetwork(&g, &by_degree[..keep]);
-    println!(
-        "top-degree sub-network: {} nodes, {} ties",
-        sub.n_nodes(),
-        sub.counts().total()
-    );
+    println!("top-degree sub-network: {} nodes, {} ties", sub.n_nodes(), sub.counts().total());
 
     // Hide 90% of the directed ties.
     let mut rng = StdRng::seed_from_u64(env.seed ^ 0xf16);
     let hidden = hide_directions(&sub, 0.1, &mut rng);
-    let truth: FxHashSet<(u32, u32)> =
-        hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+    let truth: FxHashSet<(u32, u32)> = hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
 
     // The visualized points are the hidden ties (canonical order instance);
     // label = "canonical source is the true source".
@@ -52,10 +47,8 @@ fn main() {
 
     // --- DeepDirect tie embeddings ---
     let model = DeepDirect::new(bench_deepdirect_config(64, env.seed)).fit(&hidden.network);
-    let dd_vecs: Vec<Vec<f32>> = pairs
-        .iter()
-        .map(|&(u, v)| model.embedding(u, v).expect("embedded").to_vec())
-        .collect();
+    let dd_vecs: Vec<Vec<f32>> =
+        pairs.iter().map(|&(u, v)| model.embedding(u, v).expect("embedded").to_vec()).collect();
 
     // --- LINE tie features (endpoint concatenation) ---
     let line = LineLearner::new(LineConfig {

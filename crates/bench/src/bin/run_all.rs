@@ -8,9 +8,13 @@
 //!
 //! Expect roughly an hour at the default scale on a 2-core machine;
 //! increase `DD_SCALE` to shrink the datasets further.
+//!
+//! Per-target wall-clock goes through `run_all.<target>` spans into the
+//! unified `<out_dir>/telemetry.jsonl`, alongside whatever events the
+//! figure binaries themselves append there.
 
+use dd_bench::BenchEnv;
 use std::process::Command;
-use std::time::Instant;
 
 const TARGETS: &[&str] = &[
     "table2_datasets",
@@ -30,9 +34,11 @@ fn main() {
     // Each figure binary lives next to this one in the target directory;
     // invoke the sibling executables so each runs with its own stdout
     // header and the shared DD_* environment.
+    let env = BenchEnv::from_env();
+    let obs = env.observer();
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("target dir").to_path_buf();
-    let started = Instant::now();
+    let suite_span = obs.span("run_all");
     let mut failures = Vec::new();
     for target in TARGETS {
         let exe = dir.join(target);
@@ -45,19 +51,21 @@ fn main() {
             continue;
         }
         println!("\n================ {target} ================");
-        let t = Instant::now();
-        let status = Command::new(&exe).status().expect("spawn figure binary");
-        println!("[{target}: {:.1}s, {status}]", t.elapsed().as_secs_f64());
+        let (status, secs) = obs.time(&format!("run_all.{target}"), || {
+            Command::new(&exe).status().expect("spawn figure binary")
+        });
+        println!("[{target}: {secs:.1}s, {status}]");
         if !status.success() {
             failures.push(*target);
         }
     }
+    let total = suite_span.finish();
     println!(
-        "\ncompleted {}/{} targets in {:.1}s",
+        "\ncompleted {}/{} targets in {total:.1}s",
         TARGETS.len() - failures.len(),
         TARGETS.len(),
-        started.elapsed().as_secs_f64()
     );
+    obs.flush();
     if !failures.is_empty() {
         eprintln!("failed: {failures:?}");
         std::process::exit(1);

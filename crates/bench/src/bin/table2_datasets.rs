@@ -13,7 +13,10 @@ use dd_datasets::{all_datasets, DatasetStats};
 fn main() {
     let env = BenchEnv::from_env();
     println!("Table 2: data sets (scale divisor {})", env.scale);
-    println!("{:<12} {:>8} {:>10}   {:>7} {:>7} {:>11}", "Data sets", "Nodes", "Ties", "dir", "bidir", "reciprocity");
+    println!(
+        "{:<12} {:>8} {:>10}   {:>7} {:>7} {:>11}",
+        "Data sets", "Nodes", "Ties", "dir", "bidir", "reciprocity"
+    );
     let mut rows = Vec::new();
     for spec in all_datasets() {
         let g = spec.generate(env.scale, env.seed);

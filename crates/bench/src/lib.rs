@@ -30,9 +30,11 @@
 use dd_datasets::DatasetSpec;
 use dd_eval::runner::Method;
 use dd_graph::sampling::{hide_directions, HiddenDirections};
+use dd_telemetry::{JsonlSink, ObserverHandle};
 use deepdirect::DeepDirectConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Shared experiment environment read from `DD_*` variables.
 #[derive(Debug, Clone)]
@@ -64,6 +66,21 @@ impl BenchEnv {
         format!("{}/{}", self.out_dir, file)
     }
 
+    /// Telemetry handle shared by the figure binaries: appends
+    /// schema-versioned events to `<out_dir>/telemetry.jsonl`, so every
+    /// binary (and `run_all` driving them as subprocesses) contributes to
+    /// one unified event log. Returns a disabled handle if the sink cannot
+    /// be opened (e.g. a read-only results directory).
+    pub fn observer(&self) -> ObserverHandle {
+        match JsonlSink::append(self.out_path("telemetry.jsonl")) {
+            Ok(sink) => ObserverHandle::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("telemetry disabled: {e}");
+                ObserverHandle::none()
+            }
+        }
+    }
+
     /// Hidden-direction split of a dataset at this environment's scale.
     pub fn hidden_split(
         &self,
@@ -71,7 +88,21 @@ impl BenchEnv {
         keep_directed: f64,
         seed: u64,
     ) -> HiddenDirections {
-        let g = spec.generate(self.scale, seed).network;
+        self.hidden_split_observed(spec, keep_directed, seed, &ObserverHandle::none())
+    }
+
+    /// [`BenchEnv::hidden_split`] with the dataset generation timed under a
+    /// `dataset.generate.<name>` span.
+    pub fn hidden_split_observed(
+        &self,
+        spec: &DatasetSpec,
+        keep_directed: f64,
+        seed: u64,
+        obs: &ObserverHandle,
+    ) -> HiddenDirections {
+        let (g, _) = obs.time(&format!("dataset.generate.{}", spec.name), || {
+            spec.generate(self.scale, seed).network
+        });
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5011d);
         hide_directions(&g, keep_directed, &mut rng)
     }
@@ -150,6 +181,34 @@ mod tests {
         let u = h.network.counts().undirected as f64;
         let frac = d / (d + u);
         assert!((frac - 0.3).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn observer_appends_to_unified_log() {
+        let dir = std::env::temp_dir().join("dd_bench_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_dir = dir.to_string_lossy().to_string();
+        let path = format!("{out_dir}/telemetry.jsonl");
+        std::fs::remove_file(&path).ok();
+        let env = BenchEnv { scale: 400, seed: 1, n_seeds: 1, out_dir };
+        {
+            let obs = env.observer();
+            assert!(obs.is_enabled());
+            let h = env.hidden_split_observed(&twitter(), 0.5, 1, &obs);
+            assert!(h.network.n_nodes() > 0);
+            obs.flush();
+        }
+        {
+            // A second handle (another figure binary) appends to the same log.
+            let obs = env.observer();
+            obs.on_span("phase.two", None, 0.1);
+            obs.flush();
+        }
+        let events = dd_telemetry::read_jsonl(&path).unwrap();
+        let names: Vec<_> = events.iter().filter_map(|e| e.name.as_deref()).collect();
+        assert!(names.contains(&"dataset.generate.Twitter"), "names: {names:?}");
+        assert!(names.contains(&"phase.two"), "append must unify streams");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Minimal argument parsing for the `deepdirect` CLI (no external parser
-//! dependency; flags are `--key value` pairs after a subcommand).
+//! dependency; flags are `--key value` pairs after a subcommand, plus
+//! single-dash boolean short flags such as `-v`).
 
 use std::collections::BTreeMap;
 
@@ -11,7 +12,8 @@ pub struct Args {
     /// Positional arguments after the subcommand.
     pub positional: Vec<String>,
     /// `--key value` flags (key stored without the dashes). Bare `--key`
-    /// flags get the value `"true"`.
+    /// flags get the value `"true"`, as do short `-x` flags (stored under
+    /// their single letter; `-vq` sets both `v` and `q`).
     pub flags: BTreeMap<String, String>,
 }
 
@@ -30,6 +32,16 @@ impl Args {
                     _ => "true".to_string(),
                 };
                 out.flags.insert(key.to_string(), value);
+            } else if tok.len() >= 2
+                && tok.starts_with('-')
+                && tok[1..].chars().all(|c| c.is_ascii_alphabetic())
+            {
+                // Short boolean flags; never consume a value, so negative
+                // numbers (`--alpha -1`) stay flag values above and bare
+                // `-1` stays positional below.
+                for c in tok[1..].chars() {
+                    out.flags.insert(c.to_string(), "true".to_string());
+                }
             } else if out.command.is_empty() {
                 out.command = tok;
             } else {
@@ -89,6 +101,20 @@ mod tests {
         assert!(a.get_bool("parallel"));
         assert!(!a.get_bool("absent"));
         assert_eq!(a.get_num::<usize>("dim", 0).unwrap(), 32);
+    }
+
+    #[test]
+    fn short_flags_are_boolean_and_bundle() {
+        let a = parse(&["train", "net.edges", "-v", "--dim", "16"]);
+        assert!(a.get_bool("v"));
+        assert_eq!(a.positional(0, "input").unwrap(), "net.edges");
+        assert_eq!(a.get_num::<usize>("dim", 0).unwrap(), 16);
+        let a = parse(&["train", "-vq"]);
+        assert!(a.get_bool("v") && a.get_bool("q"));
+        // Negative numbers are not short flags.
+        let a = parse(&["train", "--alpha", "-1", "-2"]);
+        assert_eq!(a.get("alpha", ""), "-1");
+        assert_eq!(a.positional(0, "x").unwrap(), "-2");
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //!
 //! Edge-list format: `d|b|u <src> <dst>` per line (see `dd-graph::io`).
 
+use std::sync::Arc;
+
 use dd_datasets::all_datasets;
 use dd_datasets::DatasetStats;
 use dd_graph::io::{load_edge_list, save_edge_list};
 use dd_graph::{MixedSocialNetwork, NodeId};
 use deepdirect::apps::discovery::discover_directions;
+use deepdirect::telemetry::{Fanout, JsonlSink, ObserverHandle, ProgressSink};
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
 
 use crate::args::Args;
@@ -46,9 +49,36 @@ USAGE:
   dd quantify <edges>         [--model <model.json>] [--top N]
   dd generate <dataset>       --out <edges> [--scale K] [--seed S]
                                       (datasets: twitter livejournal epinions slashdot tencent)
-  dd stats   <edges>
+  dd stats   <edges>          [--json]
+
+TELEMETRY (train / discover / quantify):
+  --telemetry <file.jsonl>    write structured training events (spans,
+                              estep.progress samples, dstep epochs)
+  -v, --verbose               rate-limited human-readable progress on stderr
 "
     .to_string()
+}
+
+/// Builds the observer from `--telemetry <path>` (JSONL sink) and
+/// `-v`/`--verbose` (stderr progress sink). Disabled when neither is given.
+fn telemetry_observer(args: &Args) -> Result<ObserverHandle, String> {
+    let mut fan = Fanout::new();
+    let path = args.get("telemetry", "");
+    if !path.is_empty() {
+        // A bare `--telemetry` parses as the boolean value "true", and
+        // `--telemetry -v` would swallow the next flag — both are a missing
+        // path, not a file to create.
+        if path == "true" || path.starts_with('-') {
+            return Err("flag --telemetry requires a file path (e.g. --telemetry out.jsonl)".into());
+        }
+        let sink = JsonlSink::create(&path)
+            .map_err(|e| format!("opening telemetry file '{path}': {e}"))?;
+        fan.push(Arc::new(sink));
+    }
+    if args.get_bool("verbose") || args.get_bool("v") {
+        fan.push(Arc::new(ProgressSink::stderr()));
+    }
+    Ok(fan.into_handle())
 }
 
 fn model_config(args: &Args) -> Result<DeepDirectConfig, String> {
@@ -58,6 +88,7 @@ fn model_config(args: &Args) -> Result<DeepDirectConfig, String> {
         beta: args.get_num("beta", 0.1f32)?,
         threads: args.get_num("threads", 1usize)?,
         seed: args.get_num("seed", 0xdeedu64)?,
+        observer: telemetry_observer(args)?,
         ..Default::default()
     };
     let iterations: u64 = args.get_num("iterations", 0u64)?;
@@ -66,6 +97,10 @@ fn model_config(args: &Args) -> Result<DeepDirectConfig, String> {
     }
     if args.get_bool("context-features") {
         cfg.context_features = true;
+    }
+    if let Some(v) = args.flags.get("progress-interval") {
+        cfg.progress_interval =
+            Some(v.parse().map_err(|_| format!("flag --progress-interval: cannot parse '{v}'"))?);
     }
     cfg.validate()?;
     Ok(cfg)
@@ -92,10 +127,11 @@ fn train(args: &Args) -> Result<String, String> {
     let model = DeepDirect::new(cfg).fit(&g);
     model.save_to_path(out)?;
     Ok(format!(
-        "trained on {} nodes / {} ties ({} E-Step iterations); model written to {out}",
+        "trained on {} nodes / {} ties ({} E-Step iterations); model written to {out}\n{}",
         g.n_nodes(),
         g.counts().total(),
         model.estep_iterations(),
+        model.fit_summary(),
     ))
 }
 
@@ -109,7 +145,9 @@ fn predict(args: &Args) -> Result<String, String> {
     match (fwd, rev) {
         (Some(f), Some(r)) => {
             let dir = if f >= r { format!("{src} -> {dst}") } else { format!("{dst} -> {src}") };
-            Ok(format!("d({src},{dst}) = {f:.4}\nd({dst},{src}) = {r:.4}\npredicted direction: {dir}"))
+            Ok(format!(
+                "d({src},{dst}) = {f:.4}\nd({dst},{src}) = {r:.4}\npredicted direction: {dir}"
+            ))
         }
         _ => Err(format!("tie between {src} and {dst} was not in the training network")),
     }
@@ -147,7 +185,10 @@ fn quantify(args: &Args) -> Result<String, String> {
         .map(|(_, u, v)| {
             let duv = model.score(u, v).unwrap_or(0.5);
             let dvu = model.score(v, u).unwrap_or(0.5);
-            ((duv - dvu).abs(), format!("A[{}][{}] = {duv:.4}   A[{}][{}] = {dvu:.4}", u.0, v.0, v.0, u.0))
+            (
+                (duv - dvu).abs(),
+                format!("A[{}][{}] = {duv:.4}   A[{}][{}] = {dvu:.4}", u.0, v.0, v.0, u.0),
+            )
         })
         .collect();
     rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
@@ -168,10 +209,10 @@ fn generate(args: &Args) -> Result<String, String> {
     let out = args.flags.get("out").ok_or("generate requires --out <edges>")?;
     let scale: usize = args.get_num("scale", 150usize)?;
     let seed: u64 = args.get_num("seed", 7u64)?;
-    let spec = all_datasets()
-        .into_iter()
-        .find(|s| s.name.to_lowercase() == name)
-        .ok_or_else(|| format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)"))?;
+    let spec =
+        all_datasets().into_iter().find(|s| s.name.to_lowercase() == name).ok_or_else(|| {
+            format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)")
+        })?;
     let g = spec.generate(scale, seed);
     save_edge_list(&g.network, out).map_err(|e| e.to_string())?;
     Ok(format!(
@@ -186,6 +227,10 @@ fn stats(args: &Args) -> Result<String, String> {
     let input = args.positional(0, "edges")?;
     let g = load_net(input)?;
     let s = DatasetStats::compute(input, &g);
+    if args.get_bool("json") {
+        // Machine-readable variant: one telemetry `network.stats` event.
+        return serde_json::to_string(&s.to_event()).map_err(|e| e.to_string());
+    }
     Ok(format!(
         "nodes: {}\nties: {} (directed {}, bidirectional {}, undirected {})\nreciprocity: {:.1}%\nties/node: {:.2}\nmax degree: {}",
         s.nodes, s.ties, s.directed, s.bidirectional, s.undirected,
@@ -239,13 +284,81 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_emits_network_stats_event() {
+        let path = demo_network_file();
+        let out = run_words(&["stats", &path, "--json"]).unwrap();
+        let event: deepdirect::telemetry::Event = serde_json::from_str(&out).unwrap();
+        assert_eq!(event.kind, deepdirect::telemetry::kind::NETWORK_STATS);
+        assert_eq!(event.schema, deepdirect::telemetry::SCHEMA_VERSION);
+        let fields = event.fields.unwrap();
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|&(_, v)| v).unwrap();
+        assert_eq!(get("nodes"), 6.0);
+        assert_eq!(get("directed"), 4.0);
+        assert_eq!(get("bidirectional"), 1.0);
+        assert_eq!(get("undirected"), 1.0);
+    }
+
+    #[test]
+    fn train_with_telemetry_writes_spans_and_progress() {
+        let edges = demo_network_file();
+        let model = tmp("telemetry_model.json");
+        let jsonl = tmp("telemetry.jsonl");
+        run_words(&[
+            "train",
+            &edges,
+            "--out",
+            &model,
+            "--dim",
+            "8",
+            "--iterations",
+            "3000",
+            "--telemetry",
+            &jsonl,
+            "-v",
+        ])
+        .unwrap();
+        let events = deepdirect::telemetry::read_jsonl(&jsonl).unwrap();
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == deepdirect::telemetry::kind::SPAN)
+            .filter_map(|e| e.name.as_deref())
+            .collect();
+        for expected in ["universe.build", "estep.train", "dstep.train"] {
+            assert!(span_names.contains(&expected), "missing span {expected}: {span_names:?}");
+        }
+        let progress: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == deepdirect::telemetry::kind::ESTEP_PROGRESS)
+            .collect();
+        assert!(!progress.is_empty(), "at least one estep.progress event");
+        let mut prev = 0u64;
+        for p in &progress {
+            let it = p.iteration.unwrap();
+            assert!(it > prev, "iteration must increase: {prev} then {it}");
+            prev = it;
+            assert!(p.sampled_loss.unwrap().is_finite());
+        }
+        assert!(events.iter().any(|e| e.kind == deepdirect::telemetry::kind::DSTEP_EPOCH));
+    }
+
+    #[test]
+    fn bare_telemetry_flag_is_a_clean_error() {
+        let edges = demo_network_file();
+        // `--telemetry` parses as the boolean "true"; it must not create a
+        // JSONL file literally named `true`.
+        let model = tmp("bare_flag_model.json");
+        let err = run_words(&["train", &edges, "--out", &model, "--telemetry"]).unwrap_err();
+        assert!(err.contains("requires a file path"), "{err}");
+        assert!(!std::path::Path::new("true").exists());
+    }
+
+    #[test]
     fn train_predict_roundtrip() {
         let edges = demo_network_file();
         let model = tmp("model.json");
-        let out = run_words(&[
-            "train", &edges, "--out", &model, "--dim", "8", "--iterations", "3000",
-        ])
-        .unwrap();
+        let out =
+            run_words(&["train", &edges, "--out", &model, "--dim", "8", "--iterations", "3000"])
+                .unwrap();
         assert!(out.contains("trained"));
         let pred = run_words(&["predict", &model, "0", "1"]).unwrap();
         assert!(pred.contains("predicted direction"));

@@ -5,6 +5,7 @@
 mod args;
 mod commands;
 
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -17,7 +18,10 @@ fn main() -> ExitCode {
     };
     match commands::run(&parsed) {
         Ok(out) => {
-            println!("{out}");
+            // `println!` panics on EPIPE; a closed pipe (`dd ... | head`)
+            // is a normal way to consume this output.
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{out}");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -50,19 +50,13 @@ where
 /// (the accuracy metric of Sec. 6.2).
 ///
 /// `truth` holds the true orientations of the hidden ties, in any order.
-pub fn discovery_accuracy(
-    predictions: &[DiscoveredDirection],
-    truth: &[(NodeId, NodeId)],
-) -> f64 {
+pub fn discovery_accuracy(predictions: &[DiscoveredDirection], truth: &[(NodeId, NodeId)]) -> f64 {
     use dd_graph::hash::FxHashSet;
     if predictions.is_empty() {
         return 0.0;
     }
     let truth_set: FxHashSet<(u32, u32)> = truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
-    let correct = predictions
-        .iter()
-        .filter(|p| truth_set.contains(&(p.src.0, p.dst.0)))
-        .count();
+    let correct = predictions.iter().filter(|p| truth_set.contains(&(p.src.0, p.dst.0))).count();
     correct as f64 / predictions.len() as f64
 }
 

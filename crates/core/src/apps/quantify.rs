@@ -156,16 +156,14 @@ impl DirectionalityAdjacency {
         let cv = self.col_offsets[v.index() + 1] - self.col_offsets[v.index()];
         let mut num = 0.0;
         if ru <= cv {
-            let lookup: FxHashMap<u32, f64> =
-                self.row(u).map(|(c, w)| (c.0, w)).collect();
+            let lookup: FxHashMap<u32, f64> = self.row(u).map(|(c, w)| (c.0, w)).collect();
             for (r, w) in self.col(v) {
                 if let Some(&wu) = lookup.get(&r.0) {
                     num += wu * w;
                 }
             }
         } else {
-            let lookup: FxHashMap<u32, f64> =
-                self.col(v).map(|(r, w)| (r.0, w)).collect();
+            let lookup: FxHashMap<u32, f64> = self.col(v).map(|(r, w)| (r.0, w)).collect();
             for (c, w) in self.row(u) {
                 if let Some(&wv) = lookup.get(&c.0) {
                     num += w * wv;
@@ -205,13 +203,7 @@ mod tests {
     #[test]
     fn quantified_replaces_only_bidirectional_cells() {
         let g = mixed_net();
-        let a = DirectionalityAdjacency::quantified(&g, |u, v| {
-            if u < v {
-                0.8
-            } else {
-                0.2
-            }
-        });
+        let a = DirectionalityAdjacency::quantified(&g, |u, v| if u < v { 0.8 } else { 0.2 });
         // Directed and undirected cells keep weight 1.
         assert_eq!(a.get(NodeId(0), NodeId(1)), 1.0);
         assert_eq!(a.get(NodeId(2), NodeId(3)), 1.0);

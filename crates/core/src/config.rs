@@ -1,5 +1,6 @@
 //! Hyper-parameters of the DeepDirect model (Table 1 / Sec. 6.1).
 
+use dd_telemetry::ObserverHandle;
 use serde::{Deserialize, Serialize};
 
 /// Which classifier the D-Step trains on top of the tie embeddings.
@@ -69,6 +70,18 @@ pub struct DeepDirectConfig {
     /// ties *entering the tail* `u` and restores the tail side. See
     /// DESIGN.md §6.
     pub context_features: bool,
+    /// E-Step iterations between progress reports when an observer is
+    /// attached. `None` picks ~20 evenly spaced reports per run.
+    pub progress_interval: Option<u64>,
+    /// Monte-Carlo sample count per progress-loss estimate. Progress
+    /// sampling reads the live parameters through the same estimator as
+    /// [`estep::estimate_loss`](crate::estep::estimate_loss) and never
+    /// perturbs the Hogwild updates.
+    pub progress_samples: usize,
+    /// Telemetry sink for training progress, spans, and epoch losses.
+    /// Disabled (free) by default; not serialized with the config.
+    #[serde(skip)]
+    pub observer: ObserverHandle,
 }
 
 impl Default for DeepDirectConfig {
@@ -92,6 +105,9 @@ impl Default for DeepDirectConfig {
             noise_exponent: 0.75,
             uniform_context_sampling: false,
             context_features: false,
+            progress_interval: None,
+            progress_samples: 512,
+            observer: ObserverHandle::none(),
         }
     }
 }
@@ -100,12 +116,7 @@ impl DeepDirectConfig {
     /// A small, fast configuration for unit tests and examples: low
     /// dimension and a capped iteration count.
     pub fn fast() -> Self {
-        DeepDirectConfig {
-            dim: 32,
-            tau: 5.0,
-            max_iterations: Some(400_000),
-            ..Default::default()
-        }
+        DeepDirectConfig { dim: 32, tau: 5.0, max_iterations: Some(400_000), ..Default::default() }
     }
 
     /// Validates internal consistency; called by the trainer.
@@ -136,6 +147,12 @@ impl DeepDirectConfig {
         }
         if !self.noise_exponent.is_finite() || self.noise_exponent < 0.0 {
             return Err("noise exponent must be non-negative".into());
+        }
+        if self.progress_interval == Some(0) {
+            return Err("progress interval must be positive".into());
+        }
+        if self.progress_samples == 0 {
+            return Err("progress sampling needs at least one sample".into());
         }
         Ok(())
     }
@@ -172,6 +189,8 @@ mod tests {
             |c: &mut DeepDirectConfig| c.degree_threshold = 1.5,
             |c: &mut DeepDirectConfig| c.threads = 0,
             |c: &mut DeepDirectConfig| c.noise_exponent = -1.0,
+            |c: &mut DeepDirectConfig| c.progress_interval = Some(0),
+            |c: &mut DeepDirectConfig| c.progress_samples = 0,
         ] {
             let mut c = DeepDirectConfig::default();
             f(&mut c);

@@ -10,6 +10,7 @@
 use dd_linalg::logreg::{LogRegConfig, LogisticRegression};
 use dd_linalg::mlp::{Mlp, MlpConfig};
 use dd_linalg::rng::Pcg32;
+use dd_telemetry::EpochProgress;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{DStepHead, DeepDirectConfig};
@@ -59,7 +60,11 @@ pub fn feature_dim(cfg: &DeepDirectConfig) -> usize {
 }
 
 /// Trains the D-Step head on the labeled ties of the universe.
-pub fn train(universe: &TieUniverse, estep: &EStepParams, cfg: &DeepDirectConfig) -> DirectionalityHead {
+pub fn train(
+    universe: &TieUniverse,
+    estep: &EStepParams,
+    cfg: &DeepDirectConfig,
+) -> DirectionalityHead {
     let mut xs: Vec<Vec<f32>> = Vec::new();
     let mut ys: Vec<f32> = Vec::new();
     for (i, tie) in universe.labeled_ties() {
@@ -74,17 +79,25 @@ pub fn train(universe: &TieUniverse, estep: &EStepParams, cfg: &DeepDirectConfig
             let mut w0 = estep.w.clone();
             w0.resize(feature_dim(cfg), 0.0);
             let mut lr = LogisticRegression::from_params(w0, estep.b);
-            lr.fit(
-                &xs,
-                &ys,
-                None,
-                &LogRegConfig {
-                    epochs: cfg.dstep_epochs,
-                    lr: 0.05,
-                    l2: cfg.dstep_l2,
-                    seed: cfg.seed ^ 0xd5,
-                },
-            );
+            let logreg_cfg = LogRegConfig {
+                epochs: cfg.dstep_epochs,
+                lr: 0.05,
+                l2: cfg.dstep_l2,
+                seed: cfg.seed ^ 0xd5,
+            };
+            if cfg.observer.is_enabled() {
+                let total_epochs = cfg.dstep_epochs as u64;
+                lr.fit_with_progress(&xs, &ys, None, &logreg_cfg, &mut |epoch, loss| {
+                    cfg.observer.on_epoch(&EpochProgress {
+                        stage: "dstep".to_string(),
+                        epoch: epoch as u64,
+                        total_epochs,
+                        loss,
+                    });
+                });
+            } else {
+                lr.fit(&xs, &ys, None, &logreg_cfg);
+            }
             DirectionalityHead::Logistic(lr)
         }
         DStepHead::Mlp => {

@@ -20,15 +20,32 @@
 //! are rare and SGD tolerates the noise (Niu et al., 2011). All shared
 //! access goes through raw-pointer reads/writes so no aliased `&mut`
 //! references are ever formed.
+//!
+//! ## Progress telemetry
+//!
+//! When [`DeepDirectConfig::observer`] is attached, the loop periodically
+//! reports [`EStepProgress`] samples: the sampled objective (via the same
+//! Monte-Carlo estimator as [`estimate_loss`]), its α/β components,
+//! throughput, and per-worker iteration counts. Estimation is strictly
+//! read-only and uses its own RNG stream, so it never perturbs the SGD
+//! trajectory; in Hogwild mode the monitor thread's reads race with worker
+//! writes — the same accepted approximation as the updates themselves.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
 use dd_linalg::activations::sigmoid;
 use dd_linalg::alias::AliasTable;
 use dd_linalg::matrix::DenseMatrix;
 use dd_linalg::rng::Pcg32;
+use dd_telemetry::EStepProgress;
 
 use crate::config::DeepDirectConfig;
 use crate::universe::{TieUniverse, UniverseKind};
+
+/// Salt for the progress-loss RNG stream, kept away from `cfg.seed` itself
+/// so loss sampling never replays the training stream.
+const PROGRESS_RNG_SALT: u64 = 0x7e1e_3e7a_11ce_0001;
 
 /// Learned E-Step parameters.
 #[derive(Debug, Clone)]
@@ -193,6 +210,66 @@ pub struct EStep {
     pub pc: AliasTable,
     /// `P_n ∝ deg_tie^{3/4}` over universe ties.
     pub pn: AliasTable,
+    /// Wall-clock seconds the SGD loop ran.
+    pub elapsed_seconds: f64,
+    /// Effective throughput: iterations executed (across all workers) per
+    /// wall-clock second.
+    pub iters_per_sec: f64,
+    /// Iterations executed by each worker (one entry in sequential mode;
+    /// empty for a degenerate zero-iteration run).
+    pub per_worker_iterations: Vec<u64>,
+}
+
+/// Increments a shared counter when dropped — marks a Hogwild worker as done
+/// even on unwind, so the progress monitor can never wait forever.
+struct FinishGuard<'a>(&'a AtomicUsize);
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Samples the current loss and reports one progress (or summary) event
+/// through `cfg.observer`.
+///
+/// # Safety
+/// Reads the parameter buffers behind `raw` without synchronization and
+/// never writes. Callers must either hold exclusive access (sequential path,
+/// between iterations) or accept the Hogwild-class benign race (monitor
+/// thread); see module docs.
+#[allow(clippy::too_many_arguments)]
+unsafe fn report_progress(
+    universe: &TieUniverse,
+    raw: &RawParams,
+    pc: &AliasTable,
+    pn: &AliasTable,
+    cfg: &DeepDirectConfig,
+    total: u64,
+    start: Instant,
+    iteration: u64,
+    per_worker: Vec<u64>,
+    summary: bool,
+    rng: &mut Pcg32,
+) {
+    let comp = estimate_components_raw(universe, raw, pc, pn, cfg, cfg.progress_samples, rng);
+    let elapsed = start.elapsed().as_secs_f64();
+    let p = EStepProgress {
+        iteration,
+        total_iterations: total,
+        sampled_loss: comp.total,
+        loss_topology: comp.topology,
+        loss_label: comp.label,
+        loss_pattern: comp.pattern,
+        iters_per_sec: if elapsed > 0.0 { iteration as f64 / elapsed } else { 0.0 },
+        per_worker_iterations: per_worker,
+        elapsed_seconds: elapsed,
+    };
+    if summary {
+        cfg.observer.on_estep_summary(&p);
+    } else {
+        cfg.observer.on_estep_progress(&p);
+    }
 }
 
 /// Runs the E-Step on a prepared tie universe.
@@ -230,6 +307,9 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
             params: EStepParams { m, n, w, b, iterations: 0 },
             pc,
             pn,
+            elapsed_seconds: 0.0,
+            iters_per_sec: 0.0,
+            per_worker_iterations: Vec::new(),
         };
     }
 
@@ -241,8 +321,19 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
         dim,
     };
 
+    let observing = cfg.observer.is_enabled();
+    // Iterations between progress reports. `u64::MAX` disables reporting at
+    // the cost of one decrement-and-branch per iteration.
+    let interval =
+        if observing { cfg.progress_interval.unwrap_or((total / 20).max(1)) } else { u64::MAX };
+    let start = Instant::now();
+    let mut last_reported = 0u64;
+    let per_worker_counts: Vec<u64>;
+
     if cfg.threads <= 1 {
         let mut grad = vec![0.0f32; dim];
+        let mut loss_rng = Pcg32::seed_from_u64(cfg.seed ^ PROGRESS_RNG_SALT);
+        let mut until_report = interval;
         for it in 0..total {
             let lr = cfg.lr * (1.0 - it as f32 / total as f32).max(1e-4);
             // SAFETY: exclusive access — `m`, `n`, `w`, `b` outlive the loop
@@ -250,15 +341,44 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
             unsafe {
                 sgd_iteration(&raw, universe, &pc, &pn, cfg, lr, &mut rng, &mut grad);
             }
+            until_report -= 1;
+            if until_report == 0 {
+                until_report = interval;
+                last_reported = it + 1;
+                // SAFETY: single-threaded — estimation reads the buffers the
+                // loop writes, between iterations.
+                unsafe {
+                    report_progress(
+                        universe,
+                        &raw,
+                        &pc,
+                        &pn,
+                        cfg,
+                        total,
+                        start,
+                        it + 1,
+                        vec![it + 1],
+                        false,
+                        &mut loss_rng,
+                    );
+                }
+            }
         }
+        per_worker_counts = vec![total];
     } else {
         let per_worker = total / cfg.threads as u64 + 1;
         let mut seeds: Vec<Pcg32> = (0..cfg.threads).map(|i| rng.split(i as u64)).collect();
-        thread::scope(|s| {
-            for mut wrng in seeds.drain(..) {
+        let counters: Vec<AtomicU64> = (0..cfg.threads).map(|_| AtomicU64::new(0)).collect();
+        let finished = AtomicUsize::new(0);
+        let reported = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for (widx, mut wrng) in seeds.drain(..).enumerate() {
                 let pc = &pc;
                 let pn = &pn;
-                s.spawn(move |_| {
+                let counter = &counters[widx];
+                let finished = &finished;
+                s.spawn(move || {
+                    let _guard = FinishGuard(finished);
                     let mut grad = vec![0.0f32; dim];
                     for it in 0..per_worker {
                         let lr = cfg.lr * (1.0 - it as f32 / per_worker as f32).max(1e-4);
@@ -266,18 +386,217 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
                         unsafe {
                             sgd_iteration(&raw, universe, pc, pn, cfg, lr, &mut wrng, &mut grad);
                         }
+                        // Publish progress sparsely; one store per 4096
+                        // iterations is invisible next to the SGD work.
+                        if (it + 1) & 0xFFF == 0 {
+                            counter.store(it + 1, Ordering::Relaxed);
+                        }
+                    }
+                    counter.store(per_worker, Ordering::Relaxed);
+                });
+            }
+            if observing {
+                let pc = &pc;
+                let pn = &pn;
+                let counters = &counters;
+                let finished = &finished;
+                let reported = &reported;
+                let n_workers = cfg.threads;
+                let mut loss_rng = Pcg32::seed_from_u64(cfg.seed ^ PROGRESS_RNG_SALT);
+                s.spawn(move || {
+                    let mut next = interval;
+                    loop {
+                        let done = finished.load(Ordering::Acquire);
+                        let snapshot: Vec<u64> =
+                            counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                        let iters: u64 = snapshot.iter().sum();
+                        if done >= n_workers {
+                            break; // the final sample is reported post-join
+                        }
+                        if iters >= next {
+                            reported.store(iters, Ordering::Relaxed);
+                            // SAFETY: racy reads of live parameters — the
+                            // Hogwild-class approximation; see module docs.
+                            unsafe {
+                                report_progress(
+                                    universe,
+                                    &raw,
+                                    pc,
+                                    pn,
+                                    cfg,
+                                    total,
+                                    start,
+                                    iters,
+                                    snapshot,
+                                    false,
+                                    &mut loss_rng,
+                                );
+                            }
+                            while next <= iters {
+                                next += interval;
+                            }
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(5));
                     }
                 });
             }
-        })
-        .expect("E-Step worker panicked");
+        });
+        last_reported = reported.load(Ordering::Relaxed);
+        per_worker_counts = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let executed: u64 = per_worker_counts.iter().sum();
+    let iters_per_sec = if elapsed > 0.0 { executed as f64 / elapsed } else { 0.0 };
+    if observing {
+        let mut loss_rng = Pcg32::seed_from_u64((cfg.seed ^ PROGRESS_RNG_SALT).wrapping_add(1));
+        // SAFETY: workers have been joined; exclusive read-only access.
+        unsafe {
+            // Short runs may never hit the interval — guarantee at least one
+            // progress sample before the end-of-E-Step summary.
+            if last_reported < executed {
+                report_progress(
+                    universe,
+                    &raw,
+                    &pc,
+                    &pn,
+                    cfg,
+                    total,
+                    start,
+                    executed,
+                    per_worker_counts.clone(),
+                    false,
+                    &mut loss_rng,
+                );
+            }
+            report_progress(
+                universe,
+                &raw,
+                &pc,
+                &pn,
+                cfg,
+                total,
+                start,
+                executed,
+                per_worker_counts.clone(),
+                true,
+                &mut loss_rng,
+            );
+        }
     }
 
     EStep {
         params: EStepParams { m, n, w, b, iterations: total },
         pc,
         pn,
+        elapsed_seconds: elapsed,
+        iters_per_sec,
+        per_worker_iterations: per_worker_counts,
     }
+}
+
+/// Component breakdown of the Monte-Carlo objective estimate (Eq. 20):
+/// `total = topology + label + pattern`, each averaged per sampled pair and
+/// already carrying its α/β weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossComponents {
+    /// Combined per-pair objective `L'`.
+    pub total: f64,
+    /// Skip-gram topology term.
+    pub topology: f64,
+    /// α-weighted labeled-tie cross-entropy.
+    pub label: f64,
+    /// β-weighted pseudo-label cross-entropy.
+    pub pattern: f64,
+}
+
+/// Core Monte-Carlo estimator over a raw parameter view.
+///
+/// # Safety
+/// `raw` must point to live buffers of `universe.len() × dim` (matrices) and
+/// `dim` (weights) floats. The function only reads; in Hogwild mode those
+/// reads race benignly with worker writes (see module docs).
+unsafe fn estimate_components_raw(
+    universe: &TieUniverse,
+    raw: &RawParams,
+    pc: &AliasTable,
+    pn: &AliasTable,
+    cfg: &DeepDirectConfig,
+    samples: usize,
+    rng: &mut Pcg32,
+) -> LossComponents {
+    use dd_linalg::activations::{cross_entropy, log_sigmoid};
+    let dim = raw.dim;
+    let mut topology = 0.0f64;
+    let mut label = 0.0f64;
+    let mut pattern = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..samples {
+        let e = pc.sample(rng);
+        let Some(ep) = universe.sample_connected(e, rng) else { continue };
+        let me = raw.m_row(e) as *const f32;
+        topology -= log_sigmoid(dot_raw(me, raw.n_row(ep), dim)) as f64;
+        for _ in 0..cfg.negatives {
+            let ei = pn.sample(rng);
+            if ei == ep {
+                continue;
+            }
+            topology -= log_sigmoid(-dot_raw(me, raw.n_row(ei), dim)) as f64;
+        }
+        let p = raw.predict(e) as f64;
+        let tie = universe.tie(e);
+        if let Some(y) = tie.label {
+            label += cfg.alpha as f64 * cross_entropy(y as f64, p);
+        } else if tie.kind == UniverseKind::Undirected {
+            let samples_t = universe.triad_samples(e);
+            if !samples_t.is_empty() {
+                let mut yt = 0.0f64;
+                for &(uw, vw) in samples_t {
+                    let puw = raw.predict(uw as usize) as f64;
+                    let pvw = raw.predict(vw as usize) as f64;
+                    yt += puw / (puw + pvw).max(1e-12);
+                }
+                yt /= samples_t.len() as f64;
+                pattern += cfg.beta as f64 * cross_entropy(yt, p);
+            }
+            if let Some(yd) = tie.pseudo_degree {
+                if yd as f64 > cfg.degree_threshold {
+                    pattern += cfg.beta as f64 * cross_entropy(yd as f64, p);
+                }
+            }
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return LossComponents { total: 0.0, topology: 0.0, label: 0.0, pattern: 0.0 };
+    }
+    let n = count as f64;
+    let (topology, label, pattern) = (topology / n, label / n, pattern / n);
+    LossComponents { total: topology + label + pattern, topology, label, pattern }
+}
+
+/// Monte-Carlo estimate of the per-pair loss `L'` (Eq. 20) under frozen
+/// parameters, broken into its topology / label / pattern components.
+pub fn estimate_loss_components(
+    universe: &TieUniverse,
+    params: &EStepParams,
+    pc: &AliasTable,
+    pn: &AliasTable,
+    cfg: &DeepDirectConfig,
+    samples: usize,
+    rng: &mut Pcg32,
+) -> LossComponents {
+    let raw = RawParams {
+        // Estimation is strictly read-only; the `*mut` casts exist only to
+        // reuse the RawParams accessors and are never written through.
+        m: params.m.as_slice().as_ptr() as *mut f32,
+        n: params.n.as_slice().as_ptr() as *mut f32,
+        w: params.w.as_ptr() as *mut f32,
+        b: &params.b as *const f32 as *mut f32,
+        dim: params.m.cols(),
+    };
+    // SAFETY: buffers live for the call; access is read-only.
+    unsafe { estimate_components_raw(universe, &raw, pc, pn, cfg, samples, rng) }
 }
 
 /// Monte-Carlo estimate of the per-pair loss `L'` (Eq. 20) under the current
@@ -291,54 +610,7 @@ pub fn estimate_loss(
     samples: usize,
     rng: &mut Pcg32,
 ) -> f64 {
-    use dd_linalg::activations::{cross_entropy, log_sigmoid};
-    use dd_linalg::vecops::dot;
-    let mut total = 0.0f64;
-    let mut count = 0usize;
-    for _ in 0..samples {
-        let e = pc.sample(rng);
-        let Some(ep) = universe.sample_connected(e, rng) else { continue };
-        let me = params.m.row(e);
-        let mut l = -(log_sigmoid(dot(me, params.n.row(ep))) as f64);
-        for _ in 0..cfg.negatives {
-            let ei = pn.sample(rng);
-            if ei == ep {
-                continue;
-            }
-            l -= log_sigmoid(-dot(me, params.n.row(ei))) as f64;
-        }
-        let p = sigmoid(dot(me, &params.w) + params.b) as f64;
-        let tie = universe.tie(e);
-        if let Some(y) = tie.label {
-            l += cfg.alpha as f64 * cross_entropy(y as f64, p);
-        } else if tie.kind == UniverseKind::Undirected {
-            let samples_t = universe.triad_samples(e);
-            if !samples_t.is_empty() {
-                let mut yt = 0.0f64;
-                for &(uw, vw) in samples_t {
-                    let puw =
-                        sigmoid(dot(params.m.row(uw as usize), &params.w) + params.b) as f64;
-                    let pvw =
-                        sigmoid(dot(params.m.row(vw as usize), &params.w) + params.b) as f64;
-                    yt += puw / (puw + pvw).max(1e-12);
-                }
-                yt /= samples_t.len() as f64;
-                l += cfg.beta as f64 * cross_entropy(yt, p);
-            }
-            if let Some(yd) = tie.pseudo_degree {
-                if yd as f64 > cfg.degree_threshold {
-                    l += cfg.beta as f64 * cross_entropy(yd as f64, p);
-                }
-            }
-        }
-        total += l;
-        count += 1;
-    }
-    if count == 0 {
-        0.0
-    } else {
-        total / count as f64
-    }
+    estimate_loss_components(universe, params, pc, pn, cfg, samples, rng).total
 }
 
 #[cfg(test)]
@@ -359,11 +631,7 @@ mod tests {
     }
 
     fn small_cfg() -> DeepDirectConfig {
-        DeepDirectConfig {
-            dim: 16,
-            max_iterations: Some(60_000),
-            ..DeepDirectConfig::default()
-        }
+        DeepDirectConfig { dim: 16, max_iterations: Some(60_000), ..DeepDirectConfig::default() }
     }
 
     #[test]
@@ -375,15 +643,11 @@ mod tests {
         let cfg0 = DeepDirectConfig { max_iterations: Some(0), ..cfg.clone() };
         let init = train(&u, &cfg0);
         let mut rng = Pcg32::seed_from_u64(99);
-        let l_init =
-            estimate_loss(&u, &init.params, &init.pc, &init.pn, &cfg, 3000, &mut rng);
+        let l_init = estimate_loss(&u, &init.params, &init.pc, &init.pn, &cfg, 3000, &mut rng);
         let mut rng = Pcg32::seed_from_u64(99);
         let l_trained =
             estimate_loss(&u, &trained.params, &trained.pc, &trained.pn, &cfg, 3000, &mut rng);
-        assert!(
-            l_trained < l_init * 0.9,
-            "loss should drop: init {l_init} → trained {l_trained}"
-        );
+        assert!(l_trained < l_init * 0.9, "loss should drop: init {l_init} → trained {l_trained}");
     }
 
     #[test]
@@ -395,10 +659,10 @@ mod tests {
         let mut correct = 0usize;
         let mut total = 0usize;
         for (i, tie) in u.labeled_ties() {
-            let p = sigmoid(dd_linalg::vecops::dot(
-                trained.params.m.row(i),
-                &trained.params.w,
-            ) + trained.params.b);
+            let p = sigmoid(
+                dd_linalg::vecops::dot(trained.params.m.row(i), &trained.params.w)
+                    + trained.params.b,
+            );
             if (p >= 0.5) == (tie.label.unwrap() >= 0.5) {
                 correct += 1;
             }
@@ -441,10 +705,103 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(42);
         let l_trained =
             estimate_loss(&u, &trained.params, &trained.pc, &trained.pn, &cfg, 2000, &mut rng);
-        assert!(
-            l_trained < l_init * 0.9,
-            "parallel loss should drop: {l_init} → {l_trained}"
+        assert!(l_trained < l_init * 0.9, "parallel loss should drop: {l_init} → {l_trained}");
+    }
+
+    #[derive(Default)]
+    struct Capture(std::sync::Mutex<Vec<dd_telemetry::Event>>);
+
+    impl dd_telemetry::TrainObserver for Capture {
+        fn on_event(&self, e: &dd_telemetry::Event) {
+            self.0.lock().unwrap().push(e.clone());
+        }
+    }
+
+    fn observed_cfg(cap: &std::sync::Arc<Capture>, base: DeepDirectConfig) -> DeepDirectConfig {
+        DeepDirectConfig { observer: dd_telemetry::ObserverHandle::new(cap.clone()), ..base }
+    }
+
+    #[test]
+    fn progress_events_are_monotonic_and_finite() {
+        let u = test_universe(7);
+        let cap = std::sync::Arc::new(Capture::default());
+        let cfg = observed_cfg(
+            &cap,
+            DeepDirectConfig {
+                max_iterations: Some(10_000),
+                progress_interval: Some(2_000),
+                progress_samples: 200,
+                ..small_cfg()
+            },
         );
+        train(&u, &cfg);
+        let events = cap.0.lock().unwrap();
+        let progress: Vec<_> =
+            events.iter().filter(|e| e.kind == dd_telemetry::kind::ESTEP_PROGRESS).collect();
+        assert!(progress.len() >= 3, "expected several progress samples, got {}", progress.len());
+        let mut prev = 0u64;
+        for p in &progress {
+            let it = p.iteration.unwrap();
+            assert!(it > prev, "iterations must strictly increase: {prev} then {it}");
+            prev = it;
+            let loss = p.sampled_loss.unwrap();
+            assert!(loss.is_finite() && loss > 0.0, "sampled loss {loss}");
+            // Components sum to the total.
+            let sum = p.loss_topology.unwrap() + p.loss_label.unwrap() + p.loss_pattern.unwrap();
+            assert!((sum - loss).abs() < 1e-9, "components {sum} vs total {loss}");
+        }
+        let summaries: Vec<_> =
+            events.iter().filter(|e| e.kind == dd_telemetry::kind::ESTEP_SUMMARY).collect();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].iteration, Some(10_000));
+    }
+
+    #[test]
+    fn observer_does_not_perturb_training() {
+        let u = test_universe(8);
+        let cfg = DeepDirectConfig { max_iterations: Some(5_000), ..small_cfg() };
+        let plain = train(&u, &cfg);
+        let cap = std::sync::Arc::new(Capture::default());
+        let observed =
+            observed_cfg(&cap, DeepDirectConfig { progress_interval: Some(500), ..cfg.clone() });
+        let watched = train(&u, &observed);
+        // Loss sampling is read-only on a separate RNG stream, so the
+        // learned parameters must be bit-identical.
+        assert_eq!(plain.params.m.as_slice(), watched.params.m.as_slice());
+        assert_eq!(plain.params.w, watched.params.w);
+        assert_eq!(plain.params.b, watched.params.b);
+        assert!(!cap.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_training_reports_progress_and_throughput() {
+        let u = test_universe(9);
+        let cap = std::sync::Arc::new(Capture::default());
+        let cfg = observed_cfg(
+            &cap,
+            DeepDirectConfig {
+                threads: 3,
+                max_iterations: Some(30_000),
+                progress_samples: 100,
+                ..small_cfg()
+            },
+        );
+        let out = train(&u, &cfg);
+        assert!(out.elapsed_seconds > 0.0);
+        assert!(out.iters_per_sec > 0.0);
+        assert_eq!(out.per_worker_iterations.len(), 3);
+        let executed: u64 = out.per_worker_iterations.iter().sum();
+        assert!(executed >= 30_000, "all workers must finish: {executed}");
+        let events = cap.0.lock().unwrap();
+        assert!(
+            events.iter().any(|e| e.kind == dd_telemetry::kind::ESTEP_PROGRESS),
+            "at least one progress event is guaranteed"
+        );
+        assert!(events.iter().any(|e| e.kind == dd_telemetry::kind::ESTEP_SUMMARY));
+        // Every progress event names one count per worker.
+        for e in events.iter().filter(|e| e.kind == dd_telemetry::kind::ESTEP_PROGRESS) {
+            assert_eq!(e.per_worker_iterations.as_ref().unwrap().len(), 3);
+        }
     }
 
     #[test]

@@ -29,19 +29,19 @@ pub struct FoldInScorer<'m> {
 }
 
 impl<'m> FoldInScorer<'m> {
-    /// Builds the fold-in index (`O(|ties|)`).
+    /// Builds the fold-in index (`O(|ties|)`), under a `foldin.build`
+    /// telemetry span when the model's config carries an observer.
     pub fn new(model: &'m DirectionalityModel) -> Self {
-        let max_node = model
-            .ties()
-            .iter()
-            .map(|&(u, v)| u.max(v))
-            .max()
-            .map_or(0, |m| m as usize + 1);
-        let mut in_rows: Vec<Vec<u32>> = vec![Vec::new(); max_node];
-        for (row, &(_, dst)) in model.ties().iter().enumerate() {
-            in_rows[dst as usize].push(row as u32);
-        }
-        FoldInScorer { model, in_rows }
+        let (scorer, _) = model.config().observer.time("foldin.build", || {
+            let max_node =
+                model.ties().iter().map(|&(u, v)| u.max(v)).max().map_or(0, |m| m as usize + 1);
+            let mut in_rows: Vec<Vec<u32>> = vec![Vec::new(); max_node];
+            for (row, &(_, dst)) in model.ties().iter().enumerate() {
+                in_rows[dst as usize].push(row as u32);
+            }
+            FoldInScorer { model, in_rows }
+        });
+        scorer
     }
 
     /// The fold-in embedding for an *unseen* pair `(u, v)`: the mean
@@ -169,18 +169,14 @@ mod tests {
         let scorer = FoldInScorer::new(&model);
         // Rank nodes by status; compare fold-in scores into top vs bottom.
         let mut by_status: Vec<NodeId> = g.nodes().collect();
-        by_status.sort_by(|a, b| {
-            gen.status[a.index()].partial_cmp(&gen.status[b.index()]).unwrap()
-        });
+        by_status
+            .sort_by(|a, b| gen.status[a.index()].partial_cmp(&gen.status[b.index()]).unwrap());
         let low = by_status[5];
         let high = by_status[by_status.len() - 6];
         let probe = by_status[by_status.len() / 2];
         let d_high = scorer.score(probe, high);
         let d_low = scorer.score(probe, low);
-        assert!(
-            d_high > d_low,
-            "fold-in should prefer high-status heads: {d_high} vs {d_low}"
-        );
+        assert!(d_high > d_low, "fold-in should prefer high-status heads: {d_high} vs {d_low}");
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub mod model;
 pub mod universe;
 
 pub use config::{DStepHead, DeepDirectConfig};
+/// Re-export of the telemetry crate, so downstream users can build sinks
+/// ([`telemetry::JsonlSink`], [`telemetry::ProgressSink`]) without a direct
+/// dependency.
+pub use dd_telemetry as telemetry;
 pub use dstep::DirectionalityHead;
 pub use foldin::FoldInScorer;
 pub use model::{DeepDirect, DirectionalityModel};

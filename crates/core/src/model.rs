@@ -59,11 +59,19 @@ impl DeepDirect {
     }
 
     /// Runs preprocessing, the E-Step, and the D-Step (Algorithm 1).
+    ///
+    /// Each phase runs under a telemetry span (`universe.build`,
+    /// `estep.train`, `dstep.train`) reported through
+    /// [`DeepDirectConfig::observer`]; the E-Step additionally reports
+    /// periodic progress samples and the D-Step its epoch losses.
     pub fn fit(&self, g: &MixedSocialNetwork) -> DirectionalityModel {
+        let obs = &self.cfg.observer;
         let mut rng = Pcg32::seed_from_u64(self.cfg.seed ^ 0x9e37);
-        let universe = TieUniverse::build(g, self.cfg.gamma, &mut rng);
-        let estep_out = estep::train(&universe, &self.cfg);
-        let head = dstep::train(&universe, &estep_out.params, &self.cfg);
+        let (universe, _) =
+            obs.time("universe.build", || TieUniverse::build(g, self.cfg.gamma, &mut rng));
+        let (estep_out, _) = obs.time("estep.train", || estep::train(&universe, &self.cfg));
+        let (head, _) =
+            obs.time("dstep.train", || dstep::train(&universe, &estep_out.params, &self.cfg));
         let contexts =
             if self.cfg.context_features { Some(estep_out.params.n.clone()) } else { None };
         let mut pair_index = FxHashMap::default();
@@ -72,6 +80,7 @@ impl DeepDirect {
             pair_index.insert((t.src.0, t.dst.0), i as u32);
             ties.push((t.src.0, t.dst.0));
         }
+        obs.flush();
         DirectionalityModel {
             cfg: self.cfg.clone(),
             ties,
@@ -80,6 +89,8 @@ impl DeepDirect {
             contexts,
             head,
             estep_iterations: estep_out.params.iterations,
+            estep_seconds: estep_out.elapsed_seconds,
+            estep_iters_per_sec: estep_out.iters_per_sec,
         }
     }
 }
@@ -98,6 +109,8 @@ pub struct DirectionalityModel {
     contexts: Option<DenseMatrix>,
     head: DirectionalityHead,
     estep_iterations: u64,
+    estep_seconds: f64,
+    estep_iters_per_sec: f64,
 }
 
 /// Serializable snapshot of a [`DirectionalityModel`].
@@ -109,6 +122,10 @@ struct ModelSnapshot {
     contexts: Option<DenseMatrix>,
     head: DirectionalityHead,
     estep_iterations: u64,
+    #[serde(skip)]
+    estep_seconds: f64,
+    #[serde(skip)]
+    estep_iters_per_sec: f64,
 }
 
 impl DirectionalityModel {
@@ -125,6 +142,37 @@ impl DirectionalityModel {
     /// E-Step iterations that were run.
     pub fn estep_iterations(&self) -> u64 {
         self.estep_iterations
+    }
+
+    /// Wall-clock seconds the E-Step ran. Training-run diagnostics only:
+    /// reported as `0.0` on a model loaded from disk.
+    pub fn estep_seconds(&self) -> f64 {
+        self.estep_seconds
+    }
+
+    /// Effective E-Step throughput (iterations per wall-clock second across
+    /// all workers). `0.0` on a model loaded from disk.
+    pub fn estep_iters_per_sec(&self) -> f64 {
+        self.estep_iters_per_sec
+    }
+
+    /// One-line human-readable training summary, available even when no
+    /// observer was attached.
+    pub fn fit_summary(&self) -> String {
+        format!(
+            "fit: {} ties, dim {} | estep {} iters in {:.2}s ({:.0} it/s, {} thread{}) | head: {}",
+            self.n_ties(),
+            self.cfg.dim,
+            self.estep_iterations,
+            self.estep_seconds,
+            self.estep_iters_per_sec,
+            self.cfg.threads,
+            if self.cfg.threads == 1 { "" } else { "s" },
+            match &self.head {
+                DirectionalityHead::Logistic(_) => "logistic",
+                DirectionalityHead::Mlp(_) => "mlp",
+            },
+        )
     }
 
     /// Row index for the ordered tie `(u, v)`, if embedded.
@@ -179,6 +227,8 @@ impl DirectionalityModel {
             contexts: self.contexts.clone(),
             head: self.head.clone(),
             estep_iterations: self.estep_iterations,
+            estep_seconds: 0.0,
+            estep_iters_per_sec: 0.0,
         };
         serde_json::to_writer(w, &snap).map_err(|e| e.to_string())
     }
@@ -205,6 +255,8 @@ impl DirectionalityModel {
             contexts: snap.contexts,
             head: snap.head,
             estep_iterations: snap.estep_iterations,
+            estep_seconds: snap.estep_seconds,
+            estep_iters_per_sec: snap.estep_iters_per_sec,
         })
     }
 
@@ -273,6 +325,43 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         assert_eq!(loaded.config().dim, model.config().dim);
+    }
+
+    #[test]
+    fn fit_emits_phase_spans_and_summary() {
+        #[derive(Default)]
+        struct Capture(std::sync::Mutex<Vec<dd_telemetry::Event>>);
+        impl dd_telemetry::TrainObserver for Capture {
+            fn on_event(&self, e: &dd_telemetry::Event) {
+                self.0.lock().unwrap().push(e.clone());
+            }
+        }
+        let gen_cfg = SocialNetConfig { n_nodes: 80, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(11);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        let cap = std::sync::Arc::new(Capture::default());
+        let cfg = DeepDirectConfig {
+            dim: 8,
+            max_iterations: Some(5_000),
+            observer: dd_telemetry::ObserverHandle::new(cap.clone()),
+            ..DeepDirectConfig::default()
+        };
+        let model = DeepDirect::new(cfg).fit(&net);
+        let events = cap.0.lock().unwrap();
+        let spans: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == dd_telemetry::kind::SPAN)
+            .filter_map(|e| e.name.as_deref())
+            .collect();
+        for expected in ["universe.build", "estep.train", "dstep.train"] {
+            assert!(spans.contains(&expected), "missing span {expected}: {spans:?}");
+        }
+        assert!(events.iter().any(|e| e.kind == dd_telemetry::kind::ESTEP_PROGRESS));
+        assert!(events.iter().any(|e| e.kind == dd_telemetry::kind::DSTEP_EPOCH));
+        let summary = model.fit_summary();
+        assert!(summary.contains("estep 5000 iters"), "{summary}");
+        assert!(model.estep_seconds() > 0.0);
+        assert!(model.estep_iters_per_sec() > 0.0);
     }
 
     #[test]

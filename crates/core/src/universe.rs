@@ -15,10 +15,10 @@
 //! pseudo-label `y^d` (Eq. 14) and the sampled common-neighbor tie pairs
 //! `t(u, v)` feeding the Triad Status pseudo-label `y^t` (Eq. 15).
 
+use dd_graph::hash::FxHashMap;
 use dd_graph::triads::common_neighbors;
 use dd_graph::{MixedSocialNetwork, NodeId, TieKind};
 use dd_linalg::rng::Pcg32;
-use dd_graph::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// Classification of a universe tie.

@@ -11,8 +11,8 @@ use rand::SeedableRng;
 
 fn universe(seed: u64, nodes: usize) -> TieUniverse {
     let mut rng = StdRng::seed_from_u64(seed);
-    let g = social_network(&SocialNetConfig { n_nodes: nodes, ..Default::default() }, &mut rng)
-        .network;
+    let g =
+        social_network(&SocialNetConfig { n_nodes: nodes, ..Default::default() }, &mut rng).network;
     let hidden = hide_directions(&g, 0.5, &mut rng).network;
     let mut prng = Pcg32::seed_from_u64(seed);
     TieUniverse::build(&hidden, 10, &mut prng)
@@ -56,10 +56,7 @@ fn parallel_quality_matches_sequential_within_tolerance() {
     let mut rng = Pcg32::seed_from_u64(5);
     let l_par = estep::estimate_loss(&u, &par.params, &par.pc, &par.pn, &cfg, 3000, &mut rng);
     // Hogwild noise should cost little objective quality.
-    assert!(
-        l_par < l_seq * 1.25,
-        "parallel loss {l_par} should be close to sequential {l_seq}"
-    );
+    assert!(l_par < l_seq * 1.25, "parallel loss {l_par} should be close to sequential {l_seq}");
 }
 
 #[test]

@@ -22,7 +22,7 @@ pub mod spec;
 pub mod stats;
 
 pub use spec::{
-    all_datasets, bidirectional_heavy_datasets, epinions, livejournal, slashdot, tencent,
-    twitter, DatasetSpec,
+    all_datasets, bidirectional_heavy_datasets, epinions, livejournal, slashdot, tencent, twitter,
+    DatasetSpec,
 };
 pub use stats::DatasetStats;

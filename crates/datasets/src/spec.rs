@@ -217,8 +217,7 @@ mod tests {
 
     #[test]
     fn bidirectional_heavy_selection_matches_sec63() {
-        let names: Vec<&str> =
-            bidirectional_heavy_datasets().iter().map(|d| d.name).collect();
+        let names: Vec<&str> = bidirectional_heavy_datasets().iter().map(|d| d.name).collect();
         assert_eq!(names, vec!["LiveJournal", "Epinions", "Slashdot"]);
         for spec in bidirectional_heavy_datasets() {
             assert!(spec.reciprocity > 0.5);

@@ -57,6 +57,24 @@ impl DatasetStats {
     pub fn table2_row(&self) -> String {
         format!("{:<12} {:>8} {:>10}", self.name, self.nodes, self.ties)
     }
+
+    /// The statistics as a `network.stats` telemetry event — the payload of
+    /// `dd stats --json` and of the bench harness exports.
+    pub fn to_event(&self) -> dd_telemetry::Event {
+        let mut e = dd_telemetry::Event::new(dd_telemetry::kind::NETWORK_STATS);
+        e.name = Some(self.name.clone());
+        e.fields = Some(vec![
+            ("nodes".to_string(), self.nodes as f64),
+            ("ties".to_string(), self.ties as f64),
+            ("directed".to_string(), self.directed as f64),
+            ("bidirectional".to_string(), self.bidirectional as f64),
+            ("undirected".to_string(), self.undirected as f64),
+            ("reciprocity".to_string(), self.reciprocity),
+            ("ties_per_node".to_string(), self.ties_per_node),
+            ("max_degree".to_string(), self.max_degree as f64),
+        ]);
+        e
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +91,18 @@ mod tests {
         assert!(s.reciprocity > 0.0 && s.reciprocity < 1.0);
         assert!(s.max_degree > 0);
         assert!((s.ties_per_node - s.ties as f64 / s.nodes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_convert_to_telemetry_event() {
+        let g = twitter().generate(300, 3).network;
+        let s = DatasetStats::compute("Twitter", &g);
+        let e = s.to_event();
+        assert_eq!(e.kind, dd_telemetry::kind::NETWORK_STATS);
+        assert_eq!(e.name.as_deref(), Some("Twitter"));
+        let fields = e.fields.as_ref().unwrap();
+        assert!(fields.iter().any(|(k, v)| k == "nodes" && *v == s.nodes as f64));
+        assert!(fields.iter().any(|(k, v)| k == "reciprocity" && *v == s.reciprocity));
     }
 
     #[test]

@@ -47,8 +47,7 @@ pub fn grid_search_alpha_beta<R: Rng>(
             let cfg = DeepDirectConfig { alpha, beta, ..base.clone() };
             let mut acc_sum = 0.0;
             for split in &splits {
-                acc_sum +=
-                    direction_discovery_accuracy(&Method::DeepDirect(cfg.clone()), split);
+                acc_sum += direction_discovery_accuracy(&Method::DeepDirect(cfg.clone()), split);
             }
             let accuracy = acc_sum / folds as f64;
             table.push(GridPoint { alpha, beta, accuracy });
@@ -72,11 +71,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = social_network(&SocialNetConfig { n_nodes: 80, ..Default::default() }, &mut rng)
             .network;
-        let base = DeepDirectConfig {
-            dim: 8,
-            max_iterations: Some(5_000),
-            ..DeepDirectConfig::default()
-        };
+        let base =
+            DeepDirectConfig { dim: 8, max_iterations: Some(5_000), ..DeepDirectConfig::default() };
         let (a, b, table) =
             grid_search_alpha_beta(&g, &[0.0, 1.0], &[0.0, 0.5], &base, 0.3, 1, &mut rng);
         assert_eq!(table.len(), 4);

@@ -192,12 +192,7 @@ mod tests {
     fn net(seed: u64, reciprocity: f64) -> MixedSocialNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
         social_network(
-            &SocialNetConfig {
-                n_nodes: 300,
-                reciprocity,
-                closure_prob: 0.5,
-                ..Default::default()
-            },
+            &SocialNetConfig { n_nodes: 300, reciprocity, closure_prob: 0.5, ..Default::default() },
             &mut rng,
         )
         .network

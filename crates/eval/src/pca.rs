@@ -63,12 +63,7 @@ pub fn pca_project(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f64>> {
 
     centered
         .iter()
-        .map(|row| {
-            components
-                .iter()
-                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum())
-                .collect()
-        })
+        .map(|row| components.iter().map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum()).collect())
         .collect()
 }
 

@@ -2,10 +2,13 @@
 //! registry, the direction-discovery protocol, and JSON result rows.
 
 use dd_baselines::traits::{DirectionalityLearner, TieScorer};
-use dd_baselines::{HfConfig, HfLearner, LineConfig, LineLearner, RedirectNConfig,
-    RedirectNLearner, RedirectTConfig, RedirectTLearner};
+use dd_baselines::{
+    HfConfig, HfLearner, LineConfig, LineLearner, RedirectNConfig, RedirectNLearner,
+    RedirectTConfig, RedirectTLearner,
+};
 use dd_graph::sampling::HiddenDirections;
 use dd_graph::{MixedSocialNetwork, NodeId};
+use dd_telemetry::ObserverHandle;
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
 use serde::{Deserialize, Serialize};
 
@@ -47,16 +50,29 @@ impl Method {
 
     /// Fits the method on `g` and returns a directionality scorer.
     pub fn fit(&self, g: &MixedSocialNetwork) -> Box<dyn TieScorer> {
-        match self {
+        self.fit_observed(g, &ObserverHandle::none())
+    }
+
+    /// [`Method::fit`] with telemetry: the whole fit runs under a
+    /// `fit.<method>` span, and DeepDirect additionally gets `obs` injected
+    /// into its config so E-Step progress and D-Step epochs land in the same
+    /// sink as the harness spans.
+    pub fn fit_observed(&self, g: &MixedSocialNetwork, obs: &ObserverHandle) -> Box<dyn TieScorer> {
+        let span = obs.span(&format!("fit.{}", self.name()));
+        let scorer: Box<dyn TieScorer> = match self {
             Method::DeepDirect(cfg) => {
-                let model = DeepDirect::new(cfg.clone()).fit(g);
+                let mut cfg = cfg.clone();
+                cfg.observer = obs.clone();
+                let model = DeepDirect::new(cfg).fit(g);
                 Box::new(DeepDirectScorer(model))
             }
             Method::Hf(cfg) => HfLearner::new(cfg.clone()).fit(g),
             Method::Line(cfg) => LineLearner::new(cfg.clone()).fit(g),
             Method::RedirectN(cfg) => RedirectNLearner::new(cfg.clone()).fit(g),
             Method::RedirectT(cfg) => RedirectTLearner::new(cfg.clone()).fit(g),
-        }
+        };
+        span.finish();
+        scorer
     }
 
     /// The full five-method suite of the paper's comparison at
@@ -78,8 +94,19 @@ impl Method {
 /// Runs the direction-discovery protocol (Sec. 6.2): fit on the hidden
 /// network, predict every undirected tie per Eq. 28, return accuracy.
 pub fn direction_discovery_accuracy(method: &Method, hidden: &HiddenDirections) -> f64 {
-    let scorer = method.fit(&hidden.network);
-    scorer_accuracy(scorer.as_ref(), hidden)
+    direction_discovery_accuracy_observed(method, hidden, &ObserverHandle::none())
+}
+
+/// [`direction_discovery_accuracy`] with fit and prediction phases timed
+/// through `obs` (spans `fit.<method>` and `eval.discovery`).
+pub fn direction_discovery_accuracy_observed(
+    method: &Method,
+    hidden: &HiddenDirections,
+    obs: &ObserverHandle,
+) -> f64 {
+    let scorer = method.fit_observed(&hidden.network, obs);
+    let (acc, _) = obs.time("eval.discovery", || scorer_accuracy(scorer.as_ref(), hidden));
+    acc
 }
 
 /// Accuracy of an already-fitted scorer under the protocol of Sec. 6.2.
@@ -217,6 +244,47 @@ mod tests {
         let acc = direction_discovery_accuracy(&m, &hidden);
         assert!((0.0..=1.0).contains(&acc));
         assert!(acc > 0.5, "HF beats chance: {acc}");
+    }
+
+    #[test]
+    fn observed_fit_emits_method_span_and_forwards_observer() {
+        use dd_telemetry::{Event, TrainObserver};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<Event>>);
+        impl TrainObserver for Capture {
+            fn on_event(&self, e: &Event) {
+                self.0.lock().unwrap().push(e.clone());
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = social_network(&SocialNetConfig { n_nodes: 80, ..Default::default() }, &mut rng)
+            .network;
+        let hidden = hide_directions(&g, 0.5, &mut rng);
+        let cap = Arc::new(Capture::default());
+        let obs = ObserverHandle::new(cap.clone());
+
+        let mut cfg = DeepDirectConfig::fast();
+        cfg.dim = 8;
+        cfg.max_iterations = Some(3_000);
+        let acc = direction_discovery_accuracy_observed(&Method::DeepDirect(cfg), &hidden, &obs);
+        assert!((0.0..=1.0).contains(&acc));
+
+        let events = cap.0.lock().unwrap();
+        let spans: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == dd_telemetry::kind::SPAN)
+            .filter_map(|e| e.name.as_deref())
+            .collect();
+        assert!(spans.contains(&"fit.DeepDirect"), "method span missing: {spans:?}");
+        assert!(spans.contains(&"estep.train"), "observer not forwarded into config");
+        assert!(spans.contains(&"eval.discovery"), "eval span missing: {spans:?}");
+        assert!(
+            events.iter().any(|e| e.kind == dd_telemetry::kind::ESTEP_SUMMARY),
+            "E-Step summary should flow to the harness sink"
+        );
     }
 
     #[test]

@@ -228,7 +228,8 @@ mod tests {
     fn handles_tiny_inputs() {
         assert!(tsne_2d(&[], &TsneConfig::default()).is_empty());
         assert_eq!(tsne_2d(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![(0.0, 0.0)]);
-        let two = tsne_2d(&[vec![0.0], vec![1.0]], &TsneConfig { iterations: 50, ..Default::default() });
+        let two =
+            tsne_2d(&[vec![0.0], vec![1.0]], &TsneConfig { iterations: 50, ..Default::default() });
         assert_eq!(two.len(), 2);
         assert!(two.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
     }

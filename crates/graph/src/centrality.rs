@@ -191,8 +191,8 @@ mod tests {
         let bc = betweenness_all(&g);
         // Center lies on all C(4,2) = 6 leaf pairs.
         assert!((bc[0] - 6.0).abs() < 1e-9);
-        for leaf in 1..5 {
-            assert!(bc[leaf].abs() < 1e-9);
+        for &leaf_bc in &bc[1..5] {
+            assert!(leaf_bc.abs() < 1e-9);
         }
     }
 

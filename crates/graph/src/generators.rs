@@ -116,11 +116,11 @@ pub fn social_network<R: Rng>(cfg: &SocialNetConfig, rng: &mut R) -> GeneratedNe
     edge_set.reserve(n * cfg.m_per_node);
 
     let add_edge = |a: u32,
-                        b: u32,
-                        adj: &mut Vec<Vec<u32>>,
-                        edges: &mut Vec<(u32, u32)>,
-                        pool: &mut Vec<u32>,
-                        set: &mut FxHashSet<(u32, u32)>|
+                    b: u32,
+                    adj: &mut Vec<Vec<u32>>,
+                    edges: &mut Vec<(u32, u32)>,
+                    pool: &mut Vec<u32>,
+                    set: &mut FxHashSet<(u32, u32)>|
      -> bool {
         if a == b {
             return false;
@@ -198,8 +198,12 @@ pub fn social_network<R: Rng>(cfg: &SocialNetConfig, rng: &mut R) -> GeneratedNe
         .collect();
 
     // --- Orientation ---
-    let mut builder =
-        NetworkBuilder::with_capacity(n, edges.len(), (edges.len() as f64 * cfg.reciprocity) as usize, 0);
+    let mut builder = NetworkBuilder::with_capacity(
+        n,
+        edges.len(),
+        (edges.len() as f64 * cfg.reciprocity) as usize,
+        0,
+    );
     for &(a, b) in &edges {
         if rng.gen::<f64>() < cfg.reciprocity {
             builder.add_bidirectional(NodeId(a), NodeId(b)).expect("skeleton edges are unique");
@@ -209,13 +213,19 @@ pub fn social_network<R: Rng>(cfg: &SocialNetConfig, rng: &mut R) -> GeneratedNe
             builder.add_directed(NodeId(src), NodeId(dst)).expect("skeleton edges are unique");
         }
     }
-    let network = builder.build().expect("generator always emits directed ties for reciprocity < 1");
+    let network =
+        builder.build().expect("generator always emits directed ties for reciprocity < 1");
     GeneratedNetwork { network, status, community }
 }
 
 /// Directed Erdős–Rényi-style generator: `m` distinct directed ties sampled
 /// uniformly, with `reciprocity` fraction converted to bidirectional ties.
-pub fn erdos_renyi<R: Rng>(n: usize, m: usize, reciprocity: f64, rng: &mut R) -> MixedSocialNetwork {
+pub fn erdos_renyi<R: Rng>(
+    n: usize,
+    m: usize,
+    reciprocity: f64,
+    rng: &mut R,
+) -> MixedSocialNetwork {
     assert!(n >= 2);
     let mut builder = NetworkBuilder::with_capacity(n, m, 0, 0);
     let mut placed = 0usize;
@@ -333,7 +343,8 @@ mod tests {
 
     #[test]
     fn social_network_respects_config() {
-        let cfg = SocialNetConfig { n_nodes: 300, m_per_node: 4, reciprocity: 0.4, ..Default::default() };
+        let cfg =
+            SocialNetConfig { n_nodes: 300, m_per_node: 4, reciprocity: 0.4, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(1);
         let g = social_network(&cfg, &mut rng);
         assert_eq!(g.network.n_nodes(), 300);

@@ -42,7 +42,8 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<MixedSocialNetwork, GraphError> {
         }
         let mut parts = line.split_ascii_whitespace();
         let head = parts.next().unwrap_or("");
-        let parse_err = |msg: &str| GraphError::Parse { line: lineno + 1, message: msg.to_string() };
+        let parse_err =
+            |msg: &str| GraphError::Parse { line: lineno + 1, message: msg.to_string() };
         if head == "n" {
             let count: usize = parts
                 .next()

@@ -60,7 +60,12 @@ impl NetworkBuilder {
     }
 
     /// Creates a builder with capacity hints for the three tie sets.
-    pub fn with_capacity(n_nodes: usize, directed: usize, bidirectional: usize, undirected: usize) -> Self {
+    pub fn with_capacity(
+        n_nodes: usize,
+        directed: usize,
+        bidirectional: usize,
+        undirected: usize,
+    ) -> Self {
         let mut b = Self::new(n_nodes);
         b.directed.reserve(directed);
         b.bidirectional.reserve(bidirectional);

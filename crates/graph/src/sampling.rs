@@ -175,10 +175,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let h = hide_directions(&g, 0.5, &mut rng);
         for &(u, v) in &h.truth {
-            let t = h
-                .network
-                .find_tie(u, v)
-                .expect("hidden tie must exist as undirected instance");
+            let t = h.network.find_tie(u, v).expect("hidden tie must exist as undirected instance");
             assert_eq!(h.network.tie(t).kind, TieKind::Undirected);
         }
     }

@@ -82,12 +82,8 @@ mod tests {
 
     #[test]
     fn ordered_tie_accessors() {
-        let t = OrderedTie {
-            src: NodeId(1),
-            dst: NodeId(2),
-            kind: TieKind::Directed,
-            reverse: None,
-        };
+        let t =
+            OrderedTie { src: NodeId(1), dst: NodeId(2), kind: TieKind::Directed, reverse: None };
         assert_eq!(t.endpoints(), (NodeId(1), NodeId(2)));
         assert!(t.is_directed());
         let b = OrderedTie {

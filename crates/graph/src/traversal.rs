@@ -95,17 +95,9 @@ pub fn largest_component(g: &MixedSocialNetwork) -> Vec<NodeId> {
     for &c in &comp {
         sizes[c as usize] += 1;
     }
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(i, _)| i as u32)
-        .unwrap_or(0);
-    comp.iter()
-        .enumerate()
-        .filter(|&(_, &c)| c == best)
-        .map(|(i, _)| NodeId(i as u32))
-        .collect()
+    let best =
+        sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32).unwrap_or(0);
+    comp.iter().enumerate().filter(|&(_, &c)| c == best).map(|(i, _)| NodeId(i as u32)).collect()
 }
 
 #[cfg(test)]

@@ -98,6 +98,31 @@ impl LogisticRegression {
         sample_weights: Option<&[f32]>,
         cfg: &LogRegConfig,
     ) {
+        self.fit_inner(xs, ys, sample_weights, cfg, None);
+    }
+
+    /// Like [`fit`](Self::fit), but invokes `progress(epoch, log_loss)` after
+    /// every epoch (1-based). The loss is only computed when a callback is
+    /// attached, so `fit` pays nothing for this hook.
+    pub fn fit_with_progress(
+        &mut self,
+        xs: &[Vec<f32>],
+        ys: &[f32],
+        sample_weights: Option<&[f32]>,
+        cfg: &LogRegConfig,
+        progress: &mut dyn FnMut(usize, f64),
+    ) {
+        self.fit_inner(xs, ys, sample_weights, cfg, Some(progress));
+    }
+
+    fn fit_inner(
+        &mut self,
+        xs: &[Vec<f32>],
+        ys: &[f32],
+        sample_weights: Option<&[f32]>,
+        cfg: &LogRegConfig,
+        mut progress: Option<&mut dyn FnMut(usize, f64)>,
+    ) {
         assert_eq!(xs.len(), ys.len(), "xs and ys must align");
         assert!(!xs.is_empty(), "empty training set");
         if let Some(sw) = sample_weights {
@@ -107,7 +132,7 @@ impl LogisticRegression {
         let mut order: Vec<usize> = (0..xs.len()).collect();
         let total_steps = (cfg.epochs * xs.len()).max(1) as f32;
         let mut step = 0f32;
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             // Fisher–Yates shuffle.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(i + 1);
@@ -118,6 +143,9 @@ impl LogisticRegression {
                 let sw = sample_weights.map_or(1.0, |s| s[i]);
                 self.sgd_step(&xs[i], ys[i], sw, lr, cfg.l2);
                 step += 1.0;
+            }
+            if let Some(cb) = progress.as_deref_mut() {
+                cb(epoch + 1, self.log_loss(xs, ys));
             }
         }
     }
@@ -142,11 +170,7 @@ impl LogisticRegression {
         if xs.is_empty() {
             return 0.0;
         }
-        let correct = xs
-            .iter()
-            .zip(ys)
-            .filter(|(x, &y)| self.predict(x) == (y >= 0.5))
-            .count();
+        let correct = xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == (y >= 0.5)).count();
         correct as f64 / xs.len() as f64
     }
 }
@@ -187,6 +211,25 @@ mod tests {
         // decision = 1*1 + (-2)*1 + 0.5 = -0.5 → class 0.
         assert!(!lr.predict(&[1.0, 1.0]));
         assert!(lr.predict_proba(&[1.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn progress_reports_decreasing_loss_without_changing_fit() {
+        let (xs, ys) = blobs(100, 3);
+        let cfg = LogRegConfig::default();
+        let mut plain = LogisticRegression::new(2);
+        plain.fit(&xs, &ys, None, &cfg);
+        let mut observed = LogisticRegression::new(2);
+        let mut epochs = Vec::new();
+        observed.fit_with_progress(&xs, &ys, None, &cfg, &mut |epoch, loss| {
+            epochs.push((epoch, loss));
+        });
+        assert_eq!(observed.w, plain.w, "progress hook must not change training");
+        assert_eq!(observed.b, plain.b);
+        assert_eq!(epochs.len(), cfg.epochs);
+        assert_eq!(epochs[0].0, 1);
+        assert!(epochs.iter().all(|&(_, l)| l.is_finite()));
+        assert!(epochs.last().unwrap().1 < epochs[0].1, "loss should decrease across epochs");
     }
 
     #[test]

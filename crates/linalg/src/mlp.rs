@@ -79,7 +79,7 @@ impl Mlp {
         let z = crate::vecops::dot(&self.w2, &h) + self.b2;
         let p = sigmoid(z);
         let gz = p - y; // dL/dz
-        // Output layer.
+                        // Output layer.
         let mut gh = vec![0.0f32; hidden]; // dL/dh
         for j in 0..hidden {
             gh[j] = gz * self.w2[j];

@@ -1,0 +1,202 @@
+//! The structured event schema shared by every sink.
+//!
+//! One flat, schema-versioned [`Event`] type covers all event kinds; fields
+//! that do not apply to a kind are `None` and are omitted from the JSONL
+//! encoding. A flat record was chosen over an enum so downstream consumers
+//! (jq, pandas, spreadsheets) can load the stream as a single table.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every event; bump on breaking schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Event kinds emitted by the pipeline. Kept as `&str` constants rather than
+/// an enum so downstream crates can add kinds without touching this crate.
+pub mod kind {
+    /// A finished timed scope. Fields: `name`, `parent`, `seconds`.
+    pub const SPAN: &str = "span";
+    /// E-Step progress sample. Fields: `iteration`, `total_iterations`,
+    /// `sampled_loss`, `loss_*`, `iters_per_sec`, `per_worker_iterations`.
+    pub const ESTEP_PROGRESS: &str = "estep.progress";
+    /// End-of-E-Step summary. Same fields as progress.
+    pub const ESTEP_SUMMARY: &str = "estep.summary";
+    /// D-Step / fold-in logistic-regression epoch. Fields: `name` (stage),
+    /// `epoch`, `total_epochs`, `sampled_loss`.
+    pub const DSTEP_EPOCH: &str = "dstep.epoch";
+    /// A point metric reading. Fields: `name`, `value`, `unit`.
+    pub const METRIC: &str = "metric";
+    /// Network statistics (also the payload of `dd stats --json`).
+    /// Fields: `name` (dataset), `fields` (stat name → value).
+    pub const NETWORK_STATS: &str = "network.stats";
+}
+
+/// One telemetry event. Produced by instrumentation, consumed by
+/// [`TrainObserver`](crate::TrainObserver) sinks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Event kind; see [`kind`].
+    pub kind: String,
+    /// Span name, metric name, stage, or dataset name.
+    pub name: Option<String>,
+    /// Enclosing span name, for nested spans.
+    pub parent: Option<String>,
+    /// Wall-clock duration of a span, or elapsed time at a progress sample.
+    pub seconds: Option<f64>,
+    /// Global SGD iteration the sample was taken at.
+    pub iteration: Option<u64>,
+    /// Total SGD iterations planned for the run.
+    pub total_iterations: Option<u64>,
+    /// Monte-Carlo estimate of the training objective at this point.
+    pub sampled_loss: Option<f64>,
+    /// Topology (skip-gram) component of `sampled_loss`.
+    pub loss_topology: Option<f64>,
+    /// α-weighted label component of `sampled_loss`.
+    pub loss_label: Option<f64>,
+    /// β-weighted pattern component of `sampled_loss`.
+    pub loss_pattern: Option<f64>,
+    /// Training throughput at the sample point.
+    pub iters_per_sec: Option<f64>,
+    /// Iterations completed by each Hogwild worker at the sample point.
+    pub per_worker_iterations: Option<Vec<u64>>,
+    /// Epoch number (D-Step).
+    pub epoch: Option<u64>,
+    /// Total epochs planned (D-Step).
+    pub total_epochs: Option<u64>,
+    /// Value of a point metric.
+    pub value: Option<f64>,
+    /// Unit of a point metric.
+    pub unit: Option<String>,
+    /// Free-form named numeric payload (e.g. network stats).
+    pub fields: Option<Vec<(String, f64)>>,
+}
+
+impl Event {
+    /// A blank event of the given kind.
+    pub fn new(kind: &str) -> Self {
+        Event {
+            schema: SCHEMA_VERSION,
+            kind: kind.to_string(),
+            name: None,
+            parent: None,
+            seconds: None,
+            iteration: None,
+            total_iterations: None,
+            sampled_loss: None,
+            loss_topology: None,
+            loss_label: None,
+            loss_pattern: None,
+            iters_per_sec: None,
+            per_worker_iterations: None,
+            epoch: None,
+            total_epochs: None,
+            value: None,
+            unit: None,
+            fields: None,
+        }
+    }
+
+    /// A finished-span event.
+    pub fn span(name: &str, parent: Option<&str>, seconds: f64) -> Self {
+        let mut e = Event::new(kind::SPAN);
+        e.name = Some(name.to_string());
+        e.parent = parent.map(str::to_string);
+        e.seconds = Some(seconds);
+        e
+    }
+
+    /// A point-metric event.
+    pub fn metric(name: &str, value: f64, unit: Option<&str>) -> Self {
+        let mut e = Event::new(kind::METRIC);
+        e.name = Some(name.to_string());
+        e.value = Some(value);
+        e.unit = unit.map(str::to_string);
+        e
+    }
+
+    /// Compact single-line human rendering (used by the progress sink).
+    pub fn render(&self) -> String {
+        let mut s = format!("[{}]", self.kind);
+        if let Some(name) = &self.name {
+            s.push_str(&format!(" {name}"));
+        }
+        if let (Some(it), Some(total)) = (self.iteration, self.total_iterations) {
+            s.push_str(&format!(" iter {it}/{total}"));
+        }
+        if let (Some(ep), Some(total)) = (self.epoch, self.total_epochs) {
+            s.push_str(&format!(" epoch {ep}/{total}"));
+        }
+        if let Some(loss) = self.sampled_loss {
+            s.push_str(&format!(" loss {loss:.4}"));
+        }
+        if let (Some(t), Some(l), Some(p)) =
+            (self.loss_topology, self.loss_label, self.loss_pattern)
+        {
+            s.push_str(&format!(" (topo {t:.4} | label {l:.4} | pattern {p:.4})"));
+        }
+        if let Some(ips) = self.iters_per_sec {
+            s.push_str(&format!(" {:.0} it/s", ips));
+        }
+        if let Some(v) = self.value {
+            match &self.unit {
+                Some(u) => s.push_str(&format!(" = {v} {u}")),
+                None => s.push_str(&format!(" = {v}")),
+            }
+        }
+        if let Some(secs) = self.seconds {
+            s.push_str(&format!(" [{secs:.3}s]"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_preserves_schema_and_fields() {
+        let mut e = Event::new(kind::ESTEP_PROGRESS);
+        e.iteration = Some(1_000);
+        e.total_iterations = Some(10_000);
+        e.sampled_loss = Some(2.5);
+        e.loss_topology = Some(2.0);
+        e.loss_label = Some(0.4);
+        e.loss_pattern = Some(0.1);
+        e.iters_per_sec = Some(123456.0);
+        e.per_worker_iterations = Some(vec![500, 500]);
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(!line.contains('\n'), "events must be single-line");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.schema, SCHEMA_VERSION);
+        assert_eq!(back.kind, kind::ESTEP_PROGRESS);
+        assert_eq!(back.iteration, Some(1_000));
+        assert_eq!(back.sampled_loss, Some(2.5));
+        assert_eq!(back.per_worker_iterations, Some(vec![500, 500]));
+        // Unset optional fields must be omitted, not serialized as null.
+        assert!(!line.contains("epoch"));
+        assert!(!line.contains("null"));
+    }
+
+    #[test]
+    fn span_event_round_trip() {
+        let e = Event::span("estep.train", Some("fit"), 1.25);
+        let line = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.name.as_deref(), Some("estep.train"));
+        assert_eq!(back.parent.as_deref(), Some("fit"));
+        assert_eq!(back.seconds, Some(1.25));
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let mut e = Event::new(kind::ESTEP_PROGRESS);
+        e.iteration = Some(10);
+        e.total_iterations = Some(100);
+        e.sampled_loss = Some(1.5);
+        let r = e.render();
+        assert!(r.contains("iter 10/100"), "{r}");
+        assert!(r.contains("loss 1.5"), "{r}");
+    }
+}

@@ -1,0 +1,34 @@
+//! `dd-telemetry` — structured training/eval instrumentation for the
+//! DeepDirect pipeline.
+//!
+//! Three layers, all optional and all cheap when unused:
+//!
+//! 1. **Spans** ([`Span`]): named wall-clock scopes with nesting, replacing
+//!    ad-hoc `Instant` bookkeeping in the eval/bench harnesses.
+//! 2. **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!    thread-safe, lock-free-on-update instruments suitable for the Hogwild
+//!    E-Step loop where a mutex would serialize workers.
+//! 3. **Observers** ([`TrainObserver`], [`ObserverHandle`]): the callback
+//!    hook plumbed through `DeepDirectConfig`, reporting E-Step progress
+//!    (sampled loss and its α/β components, throughput, per-worker
+//!    iteration counts), D-Step epoch losses, and spans.
+//!
+//! Two built-in sinks: [`ProgressSink`] (human-readable, stderr,
+//! rate-limited) and [`JsonlSink`] (schema-versioned [`Event`] per line).
+//! [`Fanout`] combines them; [`NullObserver`] / a disabled
+//! [`ObserverHandle`] is the default no-cost path.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod observer;
+pub mod span;
+
+pub use events::{kind, Event, SCHEMA_VERSION};
+pub use metrics::{Counter, Gauge, Histogram, Metric, MetricReading, Registry};
+pub use observer::{
+    read_jsonl, EStepProgress, EpochProgress, Fanout, JsonlSink, NullObserver, ObserverHandle,
+    ProgressSink, TrainObserver,
+};
+pub use span::Span;

@@ -1,0 +1,353 @@
+//! Thread-safe metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Designed for the Hogwild hot path: registration takes a lock once, but
+//! every update on a registered handle is a single atomic op — a mutex here
+//! would serialize the E-Step workers. Histograms use fixed exponential
+//! buckets so recording is lock-free and snapshotting needs no coordination.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-writer-wins floating-point gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free fixed-bucket histogram with exponentially growing buckets.
+///
+/// Bucket `i` counts samples in `(bound[i-1], bound[i]]`; an implicit
+/// overflow bucket catches everything above the last bound. Percentiles are
+/// estimated as the upper bound of the bucket containing the requested rank
+/// (resolution is the bucket width — adequate for latency/loss telemetry).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // len = bounds.len() + 1 (overflow)
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 total, CAS-updated
+}
+
+impl Histogram {
+    /// Histogram with buckets `start, start·factor, start·factor², …`
+    /// (`n_buckets` bounds, plus an overflow bucket).
+    ///
+    /// # Panics
+    /// Panics when `start <= 0`, `factor <= 1`, or `n_buckets == 0`.
+    pub fn exponential(start: f64, factor: f64, n_buckets: usize) -> Self {
+        assert!(start > 0.0, "histogram start must be positive");
+        assert!(factor > 1.0, "histogram factor must exceed 1");
+        assert!(n_buckets > 0, "histogram needs at least one bucket");
+        let mut bounds = Vec::with_capacity(n_buckets);
+        let mut b = start;
+        for _ in 0..n_buckets {
+            bounds.push(b);
+            b *= factor;
+        }
+        let counts = (0..=n_buckets).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, counts, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
+    }
+
+    /// Records one sample. Lock-free.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: contention on telemetry sums is negligible next to the
+        // work being measured.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket holding the sample at that rank. Returns `0.0` when empty;
+    /// samples in the overflow bucket report the last bound.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-quantile sample, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the overflow bucket reports
+    /// `f64::INFINITY` as its bound.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, c.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+/// A handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Counter handle.
+    Counter(Arc<Counter>),
+    /// Gauge handle.
+    Gauge(Arc<Gauge>),
+    /// Histogram handle.
+    Histogram(Arc<Histogram>),
+}
+
+/// Point-in-time reading of one metric, for export.
+#[derive(Debug, Clone)]
+pub struct MetricReading {
+    /// Metric name.
+    pub name: String,
+    /// Scalar value: counter value, gauge value, or histogram mean.
+    pub value: f64,
+}
+
+/// Named metric registry. The map is behind a mutex, but handles returned
+/// by `counter`/`gauge`/`histogram` update lock-free; register once outside
+/// the hot loop, update inside it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<HashMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it on first use with
+    /// the given exponential bucket layout.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric type.
+    pub fn histogram(
+        &self,
+        name: &str,
+        start: f64,
+        factor: f64,
+        n_buckets: usize,
+    ) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Arc::new(Histogram::exponential(start, factor, n_buckets)))
+        }) {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Point-in-time readings of every registered metric, sorted by name.
+    pub fn readings(&self) -> Vec<MetricReading> {
+        let m = self.metrics.lock().unwrap();
+        let mut out: Vec<MetricReading> = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => c.get() as f64,
+                    Metric::Gauge(g) => g.get(),
+                    Metric::Histogram(h) => h.mean(),
+                };
+                MetricReading { name: name.clone(), value }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("iters");
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("loss");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        // Re-registration returns the same underlying metric.
+        assert_eq!(r.counter("iters").get(), 6);
+        let names: Vec<String> = r.readings().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["iters".to_string(), "loss".to_string()]);
+    }
+
+    #[test]
+    fn histogram_buckets_samples_correctly() {
+        // Bounds: 1, 2, 4, 8.
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        for v in [0.5, 1.0, 1.5, 3.0, 7.9, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 113.9).abs() < 1e-9);
+        let buckets = h.buckets();
+        // (≤1): 0.5, 1.0 | (1,2]: 1.5 | (2,4]: 3.0 | (4,8]: 7.9 | overflow: 100.
+        let counts: Vec<u64> = buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1, 1]);
+        assert_eq!(buckets[4].0, f64::INFINITY);
+        // Non-finite samples are dropped, not misfiled.
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_bounds() {
+        let h = Histogram::exponential(1.0, 2.0, 10);
+        for _ in 0..90 {
+            h.record(0.5); // bucket ≤1
+        }
+        for _ in 0..10 {
+            h.record(100.0); // bucket (64,128]
+        }
+        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.9), 1.0);
+        assert_eq!(h.percentile(0.99), 128.0);
+        assert_eq!(h.percentile(1.0), 128.0);
+        // Empty histogram reports 0.
+        let empty = Histogram::exponential(1.0, 2.0, 4);
+        assert_eq!(empty.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let h = std::sync::Arc::new(Histogram::exponential(0.001, 2.0, 20));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record((t * 10_000 + i) as f64 * 1e-3);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        let expected: f64 = (0..40_000u64).map(|i| i as f64 * 1e-3).sum();
+        assert!((h.sum() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+}

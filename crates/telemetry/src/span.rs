@@ -1,0 +1,127 @@
+//! Wall-clock spans: named timed scopes with optional nesting.
+//!
+//! A [`Span`] measures from construction to [`Span::finish`] (or drop) and
+//! reports the duration through the attached [`ObserverHandle`]. Spans on a
+//! disabled handle still measure (callers may use the returned seconds) but
+//! emit nothing.
+
+use std::time::Instant;
+
+use crate::observer::ObserverHandle;
+
+/// A named timed scope. Emits a `span` event when finished or dropped.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    parent: Option<String>,
+    start: Instant,
+    obs: ObserverHandle,
+    finished: bool,
+}
+
+impl Span {
+    /// Starts a top-level span.
+    pub fn root(name: &str, obs: ObserverHandle) -> Self {
+        Span { name: name.to_string(), parent: None, start: Instant::now(), obs, finished: false }
+    }
+
+    /// Starts a nested span; the emitted event carries this span's name as
+    /// `parent`, and the child's name is `parent.child`.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            name: format!("{}.{name}", self.name),
+            parent: Some(self.name.clone()),
+            start: Instant::now(),
+            obs: self.obs.clone(),
+            finished: false,
+        }
+    }
+
+    /// The span's full name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Seconds elapsed so far, without finishing the span.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Finishes the span, emits its event, and returns the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.emit()
+    }
+
+    fn emit(&mut self) -> f64 {
+        let secs = self.elapsed();
+        if !self.finished {
+            self.finished = true;
+            self.obs.on_span(&self.name, self.parent.as_deref(), secs);
+        }
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+    use crate::observer::TrainObserver;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<Event>>);
+
+    impl TrainObserver for Capture {
+        fn on_event(&self, e: &Event) {
+            self.0.lock().unwrap().push(e.clone());
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_report_once() {
+        let cap = Arc::new(Capture::default());
+        let obs = ObserverHandle::new(cap.clone());
+        let root = obs.span("fit");
+        {
+            let child = root.child("estep");
+            assert_eq!(child.name(), "fit.estep");
+            let secs = child.finish();
+            assert!(secs >= 0.0);
+        }
+        let secs = root.finish();
+        assert!(secs >= 0.0);
+        let events = cap.0.lock().unwrap();
+        assert_eq!(events.len(), 2, "finish + drop must not double-report");
+        assert_eq!(events[0].name.as_deref(), Some("fit.estep"));
+        assert_eq!(events[0].parent.as_deref(), Some("fit"));
+        assert_eq!(events[1].name.as_deref(), Some("fit"));
+        assert_eq!(events[1].parent, None);
+    }
+
+    #[test]
+    fn disabled_handle_still_times() {
+        let obs = ObserverHandle::none();
+        let (value, secs) = obs.time("noop", || 7);
+        assert_eq!(value, 7);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn drop_emits_unfinished_span() {
+        let cap = Arc::new(Capture::default());
+        let obs = ObserverHandle::new(cap.clone());
+        {
+            let _span = obs.span("dropped");
+        }
+        let events = cap.0.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name.as_deref(), Some("dropped"));
+    }
+}

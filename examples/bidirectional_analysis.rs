@@ -41,7 +41,10 @@ fn main() {
     scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
     println!("\nundirected ties most likely to be bidirectional:");
     for s in scores.iter().take(5) {
-        println!("  {} -- {}   d(u,v)={:.3} d(v,u)={:.3} score={:.3}", s.u, s.v, s.d_uv, s.d_vu, s.score);
+        println!(
+            "  {} -- {}   d(u,v)={:.3} d(v,u)={:.3} score={:.3}",
+            s.u, s.v, s.d_uv, s.d_vu, s.score
+        );
     }
     println!("undirected ties most likely to be one-way:");
     for s in scores.iter().rev().take(5) {

@@ -41,8 +41,7 @@ fn main() {
             ..Default::default()
         };
         let model = DeepDirect::new(cfg).fit(&hidden.network);
-        let preds =
-            discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
+        let preds = discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
         dd_row.push(discovery_accuracy(&preds, &hidden.truth));
     }
     table.push(("DeepDirect".into(), dd_row));
@@ -70,5 +69,7 @@ fn main() {
         println!();
     }
     println!("\n(The paper's Fig. 3 sweeps five datasets and five methods; run");
-    println!(" `cargo run --release -p dd-bench --bin fig3_direction_discovery` for the full grid.)");
+    println!(
+        " `cargo run --release -p dd-bench --bin fig3_direction_discovery` for the full grid.)"
+    );
 }

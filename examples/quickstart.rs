@@ -46,12 +46,15 @@ fn main() {
         ..Default::default()
     };
     let model = DeepDirect::new(cfg).fit(&hidden.network);
-    println!("trained: {} tie embeddings, {} E-Step iterations", model.n_ties(), model.estep_iterations());
+    println!(
+        "trained: {} tie embeddings, {} E-Step iterations",
+        model.n_ties(),
+        model.estep_iterations()
+    );
 
     // 4. Discover directions of the undirected ties (Eq. 28) and score
     //    against the ground truth.
-    let predictions =
-        discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
+    let predictions = discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
     let accuracy = discovery_accuracy(&predictions, &hidden.truth);
     println!("direction discovery accuracy: {accuracy:.3}");
 
@@ -66,8 +69,7 @@ fn main() {
     // 6. Persist the model; reload and verify scores survive.
     let path = std::env::temp_dir().join("deepdirect_quickstart.json");
     model.save_to_path(&path).expect("save model");
-    let loaded =
-        deepdirect::DirectionalityModel::load_from_path(&path).expect("load model");
+    let loaded = deepdirect::DirectionalityModel::load_from_path(&path).expect("load model");
     let p = sorted[0];
     assert_eq!(model.score(p.src, p.dst), loaded.score(p.src, p.dst));
     println!("\nmodel round-tripped through {}", path.display());

@@ -24,8 +24,7 @@ fn main() {
 
     // Hide 90% of directions, as in Fig. 7.
     let hidden = hide_directions(&network, 0.1, &mut rng);
-    let truth: FxHashSet<(u32, u32)> =
-        hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
+    let truth: FxHashSet<(u32, u32)> = hidden.truth.iter().map(|&(u, v)| (u.0, v.0)).collect();
 
     let cfg = DeepDirectConfig {
         dim: 64,

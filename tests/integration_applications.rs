@@ -56,7 +56,8 @@ fn one_model_serves_all_applications() {
     assert_eq!(scores.len(), g.counts().undirected);
     for s in &scores {
         assert!((0.0..=1.0).contains(&s.score));
-        let hm = if s.d_uv + s.d_vu > 0.0 { 2.0 * s.d_uv * s.d_vu / (s.d_uv + s.d_vu) } else { 0.0 };
+        let hm =
+            if s.d_uv + s.d_vu > 0.0 { 2.0 * s.d_uv * s.d_vu / (s.d_uv + s.d_vu) } else { 0.0 };
         assert!((s.score - hm).abs() < 1e-12);
     }
 }

@@ -97,8 +97,5 @@ fn deepdirect_leads_or_ties_the_suite_on_average() {
     }
     let dd = totals.iter().find(|(n, _)| n == "DeepDirect").unwrap().1;
     let best = totals.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
-    assert!(
-        dd + 0.06 * 3.0 >= best,
-        "DeepDirect mean accuracy should be competitive: {totals:?}"
-    );
+    assert!(dd + 0.06 * 3.0 >= best, "DeepDirect mean accuracy should be competitive: {totals:?}");
 }

@@ -32,8 +32,7 @@ fn model_scores_agree_with_discovery_protocol() {
     let env = BenchEnv { scale: 300, seed: 8, n_seeds: 1, out_dir: "/tmp".into() };
     let hidden = env.hidden_split(&tencent(), 0.5, 8);
     let model = DeepDirect::new(fast_cfg(8)).fit(&hidden.network);
-    let preds =
-        discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
+    let preds = discover_directions(&hidden.network, |u, v| model.score(u, v).unwrap_or(0.5));
     assert_eq!(preds.len(), hidden.network.counts().undirected);
     let acc = discovery_accuracy(&preds, &hidden.truth);
     // Every prediction respects Eq. 28: the reported orientation is the

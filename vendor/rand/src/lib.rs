@@ -1,0 +1,286 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slice of the rand 0.8 API this workspace uses — `RngCore`,
+//! `Rng::{gen, gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `seq::SliceRandom::{shuffle, choose}` — on top of a
+//! xoshiro256++ generator seeded through SplitMix64. Stream quality is more
+//! than adequate for the synthetic-network generation and SGD sampling done
+//! here; no cryptographic claims are made (none were made by callers).
+//!
+//! The generated sequences differ from real rand's StdRng (ChaCha12), so
+//! seeded runs are deterministic per-binary but not bit-identical to runs
+//! against crates.io rand. Nothing in the workspace depends on the latter.
+
+/// Core generator interface: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (the subset of rand's `Standard`
+/// distribution used in this workspace).
+pub trait Standard: Sized {
+    /// Samples one value from the standard distribution for `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Uniform sampling from a range; implemented for the numeric ranges used
+/// by callers of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_u128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = uniform_u128(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform value in `[0, span)` by 64-bit widening multiply (Lemire-style,
+/// without the rejection step — bias is < 2^-64 · span, irrelevant here).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let x = rng.next_u64() as u128;
+    (x * span) >> 64
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let f = <$t as Standard>::sample_standard(rng);
+                self.start + f * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let f = <$t as Standard>::sample_standard(rng);
+                start + f * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// High-level convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution for `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded via
+    /// SplitMix64 (not ChaCha12 as in real rand — see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain reference).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related random operations.
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x));
+            let n = a.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let m = a.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&m));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should permute");
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no access to crates.io, so this
+//! crate (plus the sibling `serde_derive` and `serde_json` stubs under
+//! `vendor/`) provides the small serde surface the workspace actually uses.
+//! The data model is deliberately simple: `Serialize` lowers a type to a
+//! [`value::Value`] tree and `Deserialize` rebuilds it from one. `serde_json`
+//! renders/parses that tree as JSON.
+//!
+//! Semantics mirrored from real serde where this workspace depends on them:
+//! `Option::None` struct fields are omitted from objects, `#[serde(skip)]`
+//! fields are omitted and rebuilt via `Default`, unit enum variants become
+//! strings, and newtype variants become single-key objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The serialization data model: a JSON-shaped value tree.
+
+    /// A dynamically typed serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Absent / null.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        Int(i64),
+        /// Unsigned integer too large for `i64` (or any non-negative integer).
+        UInt(u64),
+        /// Floating point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Homogeneous-ish sequence.
+        Array(Vec<Value>),
+        /// Key/value map preserving insertion order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up `key` in an object; `None` for missing keys or non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// Numeric view of the value, if it is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Int(i) => Some(i as f64),
+                Value::UInt(u) => Some(u as f64),
+                Value::Float(f) => Some(f),
+                _ => None,
+            }
+        }
+
+        /// Signed-integer view of the value, if it is an integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::Int(i) => Some(i),
+                Value::UInt(u) => i64::try_from(u).ok(),
+                _ => None,
+            }
+        }
+
+        /// Unsigned-integer view of the value, if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::Int(i) => u64::try_from(i).ok(),
+                Value::UInt(u) => Some(u),
+                _ => None,
+            }
+        }
+
+        /// Short tag describing the value's type, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, found {}", got.kind())))
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_i64() {
+                    Some(i) => <$t>::try_from(i)
+                        .map_err(|_| Error(format!("integer {i} out of range for {}", stringify!($t)))),
+                    None => type_err("integer", v),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_u64() {
+                    Some(u) => <$t>::try_from(u)
+                        .map_err(|_| Error(format!("integer {u} out of range for {}", stringify!($t)))),
+                    None => type_err("unsigned integer", v),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map_or_else(|| type_err("number", v), Ok)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 → f64 widening is exact, so shortest-form printing round-trips.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map_or_else(|| type_err("number", v), |f| Ok(f as f32))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Only `&'static str` fields exist in this workspace (dataset names);
+        // leaking the handful of short strings involved is acceptable.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $n => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => type_err(concat!("array of length ", $n), other),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers used by the code generated in `serde_derive`.
+
+    use super::{Deserialize, Error, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Deserializes struct field `name`; missing keys deserialize from
+    /// `Null` so `Option` fields default to `None`.
+    pub fn field<T: Deserialize>(v: &Value, name: &str, ty: &str) -> Result<T, Error> {
+        let fv = match v {
+            Value::Object(_) => v.get(name).unwrap_or(&NULL),
+            other => return Err(Error::custom(format!("expected {ty} object, found {}", other.kind()))),
+        };
+        T::from_value(fv).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+    }
+
+    /// Deserializes element `idx` of a tuple struct serialized as an array.
+    pub fn tuple_elem<T: Deserialize>(v: &Value, idx: usize, len: usize, ty: &str) -> Result<T, Error> {
+        match v {
+            Value::Array(items) if items.len() == len => {
+                T::from_value(&items[idx]).map_err(|e| Error::custom(format!("{ty}.{idx}: {e}")))
+            }
+            other => Err(Error::custom(format!(
+                "expected {ty} as array of length {len}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

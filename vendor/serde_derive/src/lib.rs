@@ -1,0 +1,347 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the workspace's simplified `serde::Serialize` / `serde::Deserialize`
+//! traits (a `Value`-tree model rather than the visitor model of real serde)
+//! for the shapes this codebase actually uses:
+//!
+//! - named-field structs (with `#[serde(skip)]` support: skipped on
+//!   serialize, filled from `Default` on deserialize),
+//! - tuple structs (newtypes serialize transparently, wider tuples as arrays),
+//! - enums with unit variants (serialized as the variant-name string) and
+//!   newtype variants (serialized as a single-key object).
+//!
+//! Generics, lifetimes other than those inside field types, struct variants,
+//! and serde attributes beyond `skip` are intentionally unsupported and fail
+//! loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+/// Returns true when the attribute token pair (`#`, `[...]`) at `i` is a
+/// `#[serde(...)]` attribute whose argument list contains the word `skip`.
+fn attr_is_serde_skip(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else { return false };
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Skips attributes starting at `i`, returning the next index and whether a
+/// `#[serde(skip)]` was among them.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                skip |= attr_is_serde_skip(&toks[i + 1]);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Skips `pub` / `pub(crate)` style visibility.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+    }
+    let data = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    Item { name, data }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, skip) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, next);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = idx + 1 == toks.len();
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, _) = skip_attrs(&toks, i);
+        i = next;
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                if count_tuple_fields(g.stream()) != 1 {
+                    panic!("serde_derive: variant `{name}`: only newtype variants are supported");
+                }
+                newtype = true;
+                i += 1;
+            } else {
+                panic!("serde_derive: variant `{name}`: struct variants are not supported");
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "match ::serde::Serialize::to_value(&self.{f}) {{\n\
+                       ::serde::value::Value::Null => {{}}\n\
+                       __v => __fields.push((::std::string::String::from(\"{f}\"), __v)),\n\
+                     }}\n",
+                    f = f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(__fields)");
+            s
+        }
+        Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Data::Unit => {
+            "::serde::value::Value::Str(::std::string::String::from(\"null\"))".to_string()
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                if v.newtype {
+                    s.push_str(&format!(
+                        "{name}::{v}(__x) => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__x))]),\n",
+                        v = v.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let mut s = format!("::std::result::Result::Ok({name} {{\n");
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{f}: ::serde::__private::field(__v, \"{f}\", \"{name}\")?,\n",
+                        f = f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Data::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::tuple_elem(__v, {i}, {n}, \"{name}\")?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        Data::Unit => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut s = String::from("match __v {\n");
+            for v in variants {
+                if v.newtype {
+                    s.push_str(&format!(
+                        "::serde::value::Value::Object(__o) if __o.len() == 1 && __o[0].0 == \"{v}\" => \
+                         ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(&__o[0].1)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "::serde::value::Value::Str(__s) if __s == \"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(format!(\"invalid {name} variant: {{:?}}\", __v))),\n}}\n"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
