@@ -8,10 +8,14 @@
 //! | `quantify <edges> [--model m]` | print the directionality adjacency entries for bidirectional ties |
 //! | `generate <dataset> --out f` | write a synthetic dataset analog |
 //! | `stats <edges>` | dataset statistics (Table 2 columns) |
+//! | `score <model> <src> <dst>` | print one raw score (machine-readable) |
+//! | `serve <model> --port P` | HTTP query server (see `dd-serve`) |
 //!
 //! Edge-list format: `d|b|u <src> <dst>` per line (see `dd-graph::io`).
 
+use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 use dd_datasets::all_datasets;
 use dd_datasets::DatasetStats;
@@ -32,6 +36,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "quantify" => quantify(args),
         "generate" => generate(args),
         "stats" => stats(args),
+        "score" => score(args),
+        "serve" => serve(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -50,8 +56,13 @@ USAGE:
   dd generate <dataset>       --out <edges> [--scale K] [--seed S]
                                       (datasets: twitter livejournal epinions slashdot tencent)
   dd stats   <edges>          [--json]
+  dd score   <model.json> <src> <dst>
+                                      (machine-readable: prints the raw d(src,dst) value)
+  dd serve   <model.json>     [--host H] [--port P] [--workers N] [--cache-size N]
+                                      [--request-timeout-ms MS] [--queue-depth N]
+                                      (HTTP endpoints: /healthz /score /batch /metrics)
 
-TELEMETRY (train / discover / quantify):
+TELEMETRY (train / discover / quantify / serve):
   --telemetry <file.jsonl>    write structured training events (spans,
                               estep.progress samples, dstep epochs)
   -v, --verbose               rate-limited human-readable progress on stderr
@@ -115,7 +126,9 @@ fn fit_or_load(args: &Args, g: &MixedSocialNetwork) -> Result<DirectionalityMode
     if model_path.is_empty() {
         Ok(DeepDirect::new(model_config(args)?).fit(g))
     } else {
-        DirectionalityModel::load_from_path(model_path)
+        // `load_from_path` names the offending path in schema/corruption
+        // errors; tag the flag so the user knows where the path came from.
+        DirectionalityModel::load_from_path(model_path).map_err(|e| format!("flag --model: {e}"))
     }
 }
 
@@ -236,6 +249,68 @@ fn stats(args: &Args) -> Result<String, String> {
         s.nodes, s.ties, s.directed, s.bidirectional, s.undirected,
         100.0 * s.reciprocity, s.ties_per_node, s.max_degree,
     ))
+}
+
+/// `dd score <model> <src> <dst>`: prints the raw `d(src, dst)` value with
+/// Rust's shortest-round-trip `{}` formatting — textually identical to the
+/// `score` field `dd serve` emits, so scripts (and CI) can diff the two.
+fn score(args: &Args) -> Result<String, String> {
+    let model_path = args.positional(0, "model")?;
+    let src: u32 = args.positional(1, "src")?.parse().map_err(|_| "src must be a node id")?;
+    let dst: u32 = args.positional(2, "dst")?.parse().map_err(|_| "dst must be a node id")?;
+    let model = DirectionalityModel::load_from_path(model_path)?;
+    match model.score(NodeId(src), NodeId(dst)) {
+        Some(v) => Ok(format!("{v}")),
+        None => Err(format!("tie ({src},{dst}) was not in the training network")),
+    }
+}
+
+/// `dd serve <model>`: blocks until SIGINT/SIGTERM, then drains gracefully.
+fn serve(args: &Args) -> Result<String, String> {
+    let model_path = args.positional(0, "model")?;
+    let model = Arc::new(DirectionalityModel::load_from_path(model_path)?);
+
+    let host = args.get("host", "127.0.0.1");
+    let port: u16 = args.get_num("port", 8080u16)?;
+    let cfg = dd_serve::ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers: args.get_num("workers", 4usize)?,
+        cache_size: args.get_num("cache-size", 4096usize)?,
+        request_timeout: Duration::from_millis(args.get_num("request-timeout-ms", 5000u64)?),
+        queue_depth: args.get_num("queue-depth", 64usize)?,
+        observer: serve_observer(args)?,
+    };
+
+    dd_serve::signal::install_handlers();
+    let handle = dd_serve::Server::start(model, cfg)?;
+    // The parseable contract line: tooling (and the e2e test) reads the
+    // resolved address from here, which is how `--port 0` is usable.
+    println!("dd-serve listening on http://{}", handle.addr());
+    println!("endpoints: /healthz  /score?src=A&dst=B  /batch  /metrics   (ctrl-c stops)");
+    let _ = std::io::stdout().flush();
+
+    while !dd_serve::signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let served = handle.shutdown();
+    Ok(format!("dd-serve: drained and stopped after {served} requests"))
+}
+
+/// Request-log observer for `serve`: appends to `--telemetry <file.jsonl>`
+/// (append, not truncate — so one file can hold the `train` run followed by
+/// the serving session's `serve.request` events).
+fn serve_observer(args: &Args) -> Result<ObserverHandle, String> {
+    let mut fan = Fanout::new();
+    let path = args.get("telemetry", "");
+    if !path.is_empty() {
+        if path == "true" || path.starts_with('-') {
+            return Err("flag --telemetry requires a file path (e.g. --telemetry out.jsonl)".into());
+        }
+        let sink = JsonlSink::append(&path)
+            .map_err(|e| format!("opening telemetry file '{path}': {e}"))?;
+        fan.push(Arc::new(sink));
+    }
+    Ok(fan.into_handle())
 }
 
 #[cfg(test)]
@@ -364,6 +439,23 @@ mod tests {
         assert!(pred.contains("predicted direction"));
         // Unknown pair errors cleanly.
         assert!(run_words(&["predict", &model, "0", "3"]).is_err());
+    }
+
+    #[test]
+    fn score_prints_raw_machine_readable_value() {
+        let edges = demo_network_file();
+        let model = tmp("score_model.json");
+        run_words(&["train", &edges, "--out", &model, "--dim", "8", "--iterations", "3000"])
+            .unwrap();
+        let out = run_words(&["score", &model, "0", "1"]).unwrap();
+        // Bare float, shortest-round-trip formatting: parses back bit-exactly
+        // to the in-process score.
+        let printed: f64 = out.trim().parse().expect("bare parseable float");
+        let loaded = DirectionalityModel::load_from_path(&model).unwrap();
+        let direct = loaded.score(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(printed.to_bits(), direct.to_bits());
+        // Unknown ties error instead of printing a default.
+        assert!(run_words(&["score", &model, "0", "3"]).is_err());
     }
 
     #[test]

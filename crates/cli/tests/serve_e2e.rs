@@ -1,0 +1,189 @@
+//! End-to-end serving test against the real `dd` binary: generate a graph,
+//! train a model, start `dd serve` on an ephemeral port as a child process,
+//! hammer it from many client threads, check every served score bit-for-bit
+//! against the model loaded offline, then verify graceful SIGINT shutdown.
+//!
+//! Unix-only: the graceful-shutdown half of the contract is SIGINT-driven.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use dd_graph::NodeId;
+use dd_serve::client;
+use dd_serve::ScoreResponse;
+use deepdirect::DirectionalityModel;
+
+fn dd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dd"))
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("dd_serve_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().to_string()
+}
+
+/// Kills the server child on drop so a failing assertion can't leak a
+/// process that outlives the test run.
+struct ChildGuard(Option<Child>);
+
+impl ChildGuard {
+    fn pid(&self) -> u32 {
+        self.0.as_ref().unwrap().id()
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn serve_e2e_train_query_shutdown() {
+    let edges = tmp("graph.edges");
+    let model_path = tmp("model.json");
+    let telemetry = tmp("serve_telemetry.jsonl");
+    let _ = std::fs::remove_file(&telemetry);
+
+    // 1. Generate a synthetic graph and train a small model with the binary
+    //    itself (the binary is a dev-profile build, so keep training cheap).
+    let out = dd()
+        .args(["generate", "twitter", "--scale", "300", "--out", &edges])
+        .output()
+        .expect("dd generate runs");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dd()
+        .args([
+            "train",
+            &edges,
+            "--out",
+            &model_path,
+            "--dim",
+            "8",
+            "--iterations",
+            "8000",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("dd train runs");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // 2. Start the server on an ephemeral port and parse the resolved
+    //    address from its contract line.
+    let mut child = dd()
+        .args([
+            "serve",
+            &model_path,
+            "--port",
+            "0",
+            "--workers",
+            "4",
+            "--cache-size",
+            "64",
+            "--telemetry",
+            &telemetry,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dd serve spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut guard = ChildGuard(Some(child));
+    let mut reader = BufReader::new(stdout);
+
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "dd serve exited before printing its listening line");
+        if let Some(rest) = line.trim().strip_prefix("dd-serve listening on http://") {
+            break rest.to_string();
+        }
+    };
+
+    // 3. Offline reference: the same model file the server loaded.
+    let model = Arc::new(DirectionalityModel::load_from_path(&model_path).unwrap());
+    let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(16).collect();
+    assert!(ties.len() >= 8, "trained model too small: {} ties", ties.len());
+
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+
+    // 4. 64 concurrent requests from 8 client threads; every response must
+    //    be bit-identical to scoring offline.
+    const N_THREADS: usize = 8;
+    const PER_THREAD: usize = 8;
+    std::thread::scope(|s| {
+        for t in 0..N_THREADS {
+            let addr = &addr;
+            let ties = &ties;
+            let model = Arc::clone(&model);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let (src, dst) = ties[(i + t * 5) % ties.len()];
+                    let resp = client::get(addr, &format!("/score?src={src}&dst={dst}"))
+                        .expect("score request");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                    let parsed: ScoreResponse = serde_json::from_str(&resp.body).unwrap();
+                    let expected = model.score(NodeId(src), NodeId(dst)).unwrap();
+                    assert_eq!(
+                        parsed.score.unwrap().to_bits(),
+                        expected.to_bits(),
+                        "served score for ({src},{dst}) differs from offline"
+                    );
+                }
+            });
+        }
+    });
+
+    // 5. /metrics accounts for exactly those requests, with latency samples.
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let total = (N_THREADS * PER_THREAD) as u64;
+    assert!(
+        metrics.body.contains(&format!("serve.requests.score {total}")),
+        "metrics missing 'serve.requests.score {total}':\n{}",
+        metrics.body
+    );
+    let latency_count = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("serve.latency.score.count "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("latency histogram in metrics");
+    assert_eq!(latency_count, total, "latency histogram must hold one sample per request");
+
+    // 6. Graceful shutdown: SIGINT, clean exit, drain summary on stdout.
+    let status =
+        Command::new("kill").args(["-INT", &guard.pid().to_string()]).status().expect("kill runs");
+    assert!(status.success());
+    let exit = guard.0.as_mut().unwrap().wait().expect("server exits");
+    assert!(exit.success(), "dd serve should exit cleanly on SIGINT, got {exit:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("drained and stopped"),
+        "missing drain summary in remaining stdout: {rest:?}"
+    );
+    guard.0.take();
+
+    // 7. The request log captured serve.request events for the session.
+    let events = deepdirect::telemetry::read_jsonl(&telemetry).unwrap();
+    let served: Vec<_> = events.iter().filter(|e| e.kind == "serve.request").collect();
+    assert!(
+        served.len() as u64 >= total,
+        "expected >= {total} serve.request events, found {}",
+        served.len()
+    );
+    assert!(
+        served.iter().any(|e| e.name.as_deref() == Some("score")),
+        "request log should label score requests"
+    );
+}

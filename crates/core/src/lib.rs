@@ -78,5 +78,5 @@ pub use config::{DStepHead, DeepDirectConfig};
 pub use dd_telemetry as telemetry;
 pub use dstep::DirectionalityHead;
 pub use foldin::FoldInScorer;
-pub use model::{DeepDirect, DirectionalityModel};
+pub use model::{DeepDirect, DirectionalityModel, MODEL_SCHEMA_VERSION};
 pub use universe::{TieUniverse, UniverseKind, UniverseTie};

@@ -95,8 +95,20 @@ impl DeepDirect {
     }
 }
 
+/// Version stamped into every saved model file; bump on breaking changes to
+/// the on-disk snapshot layout. [`DirectionalityModel::load`] refuses files
+/// with a different version instead of failing with a field-level serde
+/// error deep inside the payload.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
+
 /// A learned directionality function `d : E → [0, 1]` with the tie
 /// embeddings that produced it.
+///
+/// The model is frozen after `fit`/`load`: every accessor, including
+/// [`Self::score`], takes `&self` and touches no interior mutability, so an
+/// `Arc<DirectionalityModel>` can be shared across any number of threads
+/// (e.g. the `dd-serve` worker pool) and concurrent scores are bit-identical
+/// to single-threaded ones.
 #[derive(Debug, Clone)]
 pub struct DirectionalityModel {
     cfg: DeepDirectConfig,
@@ -116,6 +128,7 @@ pub struct DirectionalityModel {
 /// Serializable snapshot of a [`DirectionalityModel`].
 #[derive(Serialize, Deserialize)]
 struct ModelSnapshot {
+    schema: u32,
     cfg: DeepDirectConfig,
     ties: Vec<(u32, u32)>,
     embeddings: DenseMatrix,
@@ -221,6 +234,7 @@ impl DirectionalityModel {
     /// Serializes the model as JSON.
     pub fn save<W: Write>(&self, w: W) -> Result<(), String> {
         let snap = ModelSnapshot {
+            schema: MODEL_SCHEMA_VERSION,
             cfg: self.cfg.clone(),
             ties: self.ties.clone(),
             embeddings: self.embeddings.clone(),
@@ -240,8 +254,40 @@ impl DirectionalityModel {
     }
 
     /// Deserializes a model saved with [`Self::save`].
-    pub fn load<R: Read>(r: R) -> Result<Self, String> {
-        let snap: ModelSnapshot = serde_json::from_reader(r).map_err(|e| e.to_string())?;
+    ///
+    /// Fails with a schema-version message (rather than a field-level serde
+    /// error) when the file is not a model file at all, predates schema
+    /// versioning, or was written by a newer build.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, String> {
+        let mut text = String::new();
+        r.read_to_string(&mut text).map_err(|e| format!("reading model: {e}"))?;
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("not a DeepDirect model file (invalid JSON: {e})"))?;
+        let schema = match value.get("schema") {
+            None => {
+                return Err(format!(
+                    "not a DeepDirect model file: missing `schema` version field \
+                     (expected schema {MODEL_SCHEMA_VERSION}; files saved by pre-release \
+                     builds must be re-trained)"
+                ))
+            }
+            Some(v) => v.as_u64().ok_or_else(|| {
+                format!("model `schema` field must be an integer, found {}", v.kind())
+            })?,
+        };
+        if schema != u64::from(MODEL_SCHEMA_VERSION) {
+            let hint = if schema > u64::from(MODEL_SCHEMA_VERSION) {
+                "the file was saved by a newer build — upgrade dd"
+            } else {
+                "re-train to produce a current model file"
+            };
+            return Err(format!(
+                "unsupported model schema version {schema} (this build reads schema \
+                 {MODEL_SCHEMA_VERSION}; {hint})"
+            ));
+        }
+        let snap: ModelSnapshot = serde_json::from_value(&value)
+            .map_err(|e| format!("corrupt model file (schema {schema}): {e}"))?;
         let mut pair_index = FxHashMap::default();
         pair_index.reserve(snap.ties.len());
         for (i, &(u, v)) in snap.ties.iter().enumerate() {
@@ -260,10 +306,13 @@ impl DirectionalityModel {
         })
     }
 
-    /// Loads a model from a file.
+    /// Loads a model from a file. Errors name the offending path.
     pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, String> {
-        let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        let path = path.as_ref();
+        let f = std::fs::File::open(path)
+            .map_err(|e| format!("opening model '{}': {e}", path.display()))?;
         Self::load(std::io::BufReader::new(f))
+            .map_err(|e| format!("loading model '{}': {e}", path.display()))
     }
 }
 
@@ -325,6 +374,53 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         assert_eq!(loaded.config().dim, model.config().dim);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_and_mismatched_schema_files() {
+        // Invalid JSON.
+        let err = DirectionalityModel::load("{not json".as_bytes()).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+        // Valid JSON, but no schema field (pre-release or foreign file).
+        let err = DirectionalityModel::load(r#"{"cfg":{}}"#.as_bytes()).unwrap_err();
+        assert!(err.contains("missing `schema`"), "{err}");
+        // Non-integer schema.
+        let err = DirectionalityModel::load(r#"{"schema":"v1"}"#.as_bytes()).unwrap_err();
+        assert!(err.contains("must be an integer"), "{err}");
+        // Future-versioned file.
+        let err = DirectionalityModel::load(r#"{"schema":99}"#.as_bytes()).unwrap_err();
+        assert!(err.contains("unsupported model schema version 99"), "{err}");
+        assert!(err.contains("upgrade"), "{err}");
+        // Right schema, corrupt payload: the error names the schema, not a
+        // bare serde message.
+        let err = DirectionalityModel::load(r#"{"schema":1,"ties":42}"#.as_bytes()).unwrap_err();
+        assert!(err.contains("corrupt model file (schema 1)"), "{err}");
+    }
+
+    #[test]
+    fn load_from_path_errors_name_the_path() {
+        let err = DirectionalityModel::load_from_path("/nonexistent/model.json").unwrap_err();
+        assert!(err.contains("/nonexistent/model.json"), "{err}");
+        let dir = std::env::temp_dir().join("dd_model_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.json");
+        std::fs::write(&path, "{\"schema\":99}").unwrap();
+        let err = DirectionalityModel::load_from_path(&path).unwrap_err();
+        assert!(err.contains("junk.json"), "{err}");
+        assert!(err.contains("unsupported model schema version"), "{err}");
+    }
+
+    #[test]
+    fn saved_models_carry_the_current_schema_version() {
+        let (_, model) = fit_small(5);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let value: serde_json::Value = serde_json::from_str(std::str::from_utf8(&buf).unwrap())
+            .expect("saved model is valid JSON");
+        assert_eq!(
+            value.get("schema").and_then(|v| v.as_u64()),
+            Some(u64::from(MODEL_SCHEMA_VERSION))
+        );
     }
 
     #[test]

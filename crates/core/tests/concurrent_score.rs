@@ -1,0 +1,85 @@
+//! Thread-safety audit for the frozen [`DirectionalityModel`]: scoring
+//! through an `Arc` from many threads must be bit-identical to scoring
+//! single-threaded. This is the contract `dd-serve`'s worker pool relies on.
+
+use std::sync::Arc;
+
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::sampling::hide_directions;
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Compile-time audit: the model (and everything it contains) is shareable
+/// across threads without synchronization.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DirectionalityModel>();
+    assert_send_sync::<Arc<DirectionalityModel>>();
+};
+
+fn fit_model() -> (Vec<(u32, u32)>, DirectionalityModel) {
+    let gen_cfg = SocialNetConfig { n_nodes: 120, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = social_network(&gen_cfg, &mut rng).network;
+    let hidden = hide_directions(&net, 0.5, &mut rng).network;
+    let cfg =
+        DeepDirectConfig { dim: 16, max_iterations: Some(20_000), ..DeepDirectConfig::default() };
+    let model = DeepDirect::new(cfg).fit(&hidden);
+    let ties = model.ties().to_vec();
+    (ties, model)
+}
+
+#[test]
+fn concurrent_scores_match_single_threaded_bit_for_bit() {
+    let (ties, model) = fit_model();
+    assert!(ties.len() >= 64, "need a non-trivial universe, got {}", ties.len());
+
+    // Reference pass: single-threaded scores for every embedded tie.
+    let expected: Vec<f64> = ties
+        .iter()
+        .map(|&(u, v)| model.score(dd_graph::NodeId(u), dd_graph::NodeId(v)).unwrap())
+        .collect();
+
+    let model = Arc::new(model);
+    const N_THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N_THREADS)
+            .map(|t| {
+                let model = Arc::clone(&model);
+                let ties = &ties;
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(ties.len());
+                    for _ in 0..ROUNDS {
+                        out.clear();
+                        // Stagger the iteration order per thread so threads
+                        // hit different rows at the same instant.
+                        for i in 0..ties.len() {
+                            let (u, v) = ties[(i + t * 17) % ties.len()];
+                            out.push(
+                                model.score(dd_graph::NodeId(u), dd_graph::NodeId(v)).unwrap(),
+                            );
+                        }
+                    }
+                    // Un-stagger back to universe order for comparison.
+                    let mut ordered = vec![0.0f64; ties.len()];
+                    for i in 0..ties.len() {
+                        ordered[(i + t * 17) % ties.len()] = out[i];
+                    }
+                    ordered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, got) in results.iter().enumerate() {
+        for (i, (&g, &e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert!(
+                g.to_bits() == e.to_bits(),
+                "thread {t}, tie {i}: concurrent score {g} != single-threaded {e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! `dd-smoke` — end-to-end smoke client for a running `dd serve` instance.
+//!
+//! ```text
+//! dd-smoke <host:port> <model.json>      # full endpoint + score check
+//! dd-smoke --print-pair <model.json>     # print "src dst" of one known tie
+//! ```
+//!
+//! The full check loads the same model file the server loaded, then verifies:
+//! `/healthz` answers 200 and reports the model's tie count; `/score` returns
+//! bit-for-bit the same value as calling the model offline, for a sample of
+//! ties; `/batch` scores the same sample in one request; unknown ties get
+//! `404`; and `/metrics` reports at least as many score requests as we just
+//! made. Exits non-zero with a message on the first violation — CI uses this
+//! as its serving gate.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dd_graph::NodeId;
+use dd_serve::client;
+use dd_serve::ScoreResponse;
+use deepdirect::DirectionalityModel;
+
+/// Number of ties sampled for the score comparison.
+const SAMPLE: usize = 8;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, model] if flag == "--print-pair" => print_pair(model),
+        [addr, model] => smoke(addr, model),
+        _ => Err("usage: dd-smoke <host:port> <model.json> | dd-smoke --print-pair <model.json>"
+            .to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dd-smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints `src dst` for one tie the model knows, so shell scripts can build
+/// a `/score` URL and a matching `dd score` invocation.
+fn print_pair(model_path: &str) -> Result<(), String> {
+    let model = DirectionalityModel::load_from_path(model_path)?;
+    let &(src, dst) = model.ties().first().ok_or("model has no ties")?;
+    println!("{src} {dst}");
+    Ok(())
+}
+
+fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
+    let model = Arc::new(DirectionalityModel::load_from_path(model_path)?);
+    let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(SAMPLE).collect();
+    if ties.is_empty() {
+        return Err("model has no ties to smoke-test with".to_string());
+    }
+
+    // 1. Liveness.
+    let health = client::get(addr, "/healthz")?;
+    if health.status != 200 {
+        return Err(format!("/healthz returned {} (body: {})", health.status, health.body));
+    }
+    if !health.body.contains(&format!("\"ties\":{}", model.n_ties())) {
+        return Err(format!(
+            "/healthz reports a different model: expected {} ties in {}",
+            model.n_ties(),
+            health.body
+        ));
+    }
+    println!("healthz ok: {}", health.body.trim());
+
+    // 2. Single scores must match the offline model bit-for-bit.
+    for &(src, dst) in &ties {
+        let expected = model
+            .score(NodeId(src), NodeId(dst))
+            .ok_or_else(|| format!("model lost tie ({src},{dst})"))?;
+        let resp = client::get(addr, &format!("/score?src={src}&dst={dst}"))?;
+        if resp.status != 200 {
+            return Err(format!("/score?src={src}&dst={dst} returned {}", resp.status));
+        }
+        let parsed: ScoreResponse = serde_json::from_str(&resp.body)
+            .map_err(|e| format!("/score body not parseable ({e}): {}", resp.body))?;
+        check_bits(src, dst, parsed.score, expected, "/score")?;
+    }
+    println!("score ok: {} ties bit-exact", ties.len());
+
+    // 3. The same sample through /batch.
+    let body: String = ties.iter().map(|(s, d)| format!("{{\"src\":{s},\"dst\":{d}}}\n")).collect();
+    let resp = client::post(addr, "/batch", &body)?;
+    if resp.status != 200 {
+        return Err(format!("/batch returned {} (body: {})", resp.status, resp.body));
+    }
+    let lines: Vec<&str> = resp.body.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() != ties.len() {
+        return Err(format!("/batch returned {} lines for {} pairs", lines.len(), ties.len()));
+    }
+    for (line, &(src, dst)) in lines.iter().zip(&ties) {
+        let parsed: ScoreResponse = serde_json::from_str(line)
+            .map_err(|e| format!("/batch line not parseable ({e}): {line}"))?;
+        let expected = model.score(NodeId(src), NodeId(dst)).expect("checked above");
+        check_bits(src, dst, parsed.score, expected, "/batch")?;
+    }
+    println!("batch ok: {} lines bit-exact", lines.len());
+
+    // 4. Unknown ties are 404, malformed queries are 400.
+    let resp = client::get(addr, "/score?src=4294967295&dst=4294967294")?;
+    if resp.status != 404 {
+        return Err(format!("unknown tie should be 404, got {}", resp.status));
+    }
+    let resp = client::get(addr, "/score?src=notanode&dst=0")?;
+    if resp.status != 400 {
+        return Err(format!("malformed query should be 400, got {}", resp.status));
+    }
+    println!("error paths ok: unknown tie 404, malformed 400");
+
+    // 5. /metrics must account for the score requests we just made.
+    let resp = client::get(addr, "/metrics")?;
+    if resp.status != 200 {
+        return Err(format!("/metrics returned {}", resp.status));
+    }
+    let score_requests = metric_value(&resp.body, "serve.requests.score")?;
+    // At least the sample + the two error-path requests.
+    let expected_min = (ties.len() + 2) as f64;
+    if score_requests < expected_min {
+        return Err(format!(
+            "/metrics reports {score_requests} score requests, expected >= {expected_min}"
+        ));
+    }
+    let latency_count = metric_value(&resp.body, "serve.latency.score.count")?;
+    if latency_count < expected_min {
+        return Err(format!(
+            "/metrics latency histogram has {latency_count} samples, expected >= {expected_min}"
+        ));
+    }
+    println!("metrics ok: {score_requests} score requests, {latency_count} latency samples");
+    println!("smoke passed against {addr}");
+    Ok(())
+}
+
+fn check_bits(
+    src: u32,
+    dst: u32,
+    got: Option<f64>,
+    expected: f64,
+    endpoint: &str,
+) -> Result<(), String> {
+    let got = got.ok_or_else(|| format!("{endpoint} omitted score for known tie ({src},{dst})"))?;
+    if got.to_bits() != expected.to_bits() {
+        return Err(format!(
+            "{endpoint} score mismatch for ({src},{dst}): served {got:?} vs offline {expected:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Finds `name value` in the /metrics plain-text dump.
+fn metric_value(metrics: &str, name: &str) -> Result<f64, String> {
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                return value
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("unparseable value for {name}: '{value}'"));
+            }
+        }
+    }
+    Err(format!("/metrics has no line for {name}"))
+}

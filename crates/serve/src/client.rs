@@ -1,0 +1,77 @@
+//! Minimal blocking HTTP/1.1 client over `TcpStream`, shared by the smoke
+//! binary, the example client, and the integration tests. One request per
+//! connection, matching the server's `Connection: close` contract.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status code and body text.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body decoded as UTF-8.
+    pub body: String,
+}
+
+/// Issues `GET path` against `addr` (`host:port`, no scheme).
+pub fn get(addr: &str, path: &str) -> Result<ClientResponse, String> {
+    request(addr, "GET", path, None)
+}
+
+/// Issues `POST path` with `body` against `addr` (`host:port`, no scheme).
+pub fn post(addr: &str, path: &str, body: &str) -> Result<ClientResponse, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<ClientResponse, String> {
+    let addr = addr.strip_prefix("http://").unwrap_or(addr).trim_end_matches('/');
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let timeout = Some(Duration::from_secs(30));
+    stream.set_read_timeout(timeout).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(timeout).map_err(|e| e.to_string())?;
+
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send {method} {path}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read {method} {path}: {e}"))?;
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    parse_response(&text)
+}
+
+fn parse_response(text: &str) -> Result<ClientResponse, String> {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("response without header terminator: {text:.80}"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    Ok(ClientResponse { status, body: body.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_text() {
+        let r = parse_response("HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno").unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, "no");
+        assert!(parse_response("garbage").is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal HTTP/1.1 request parsing and response writing over raw streams.
+//!
+//! Deliberately std-only (the build is offline/vendored): enough of RFC 9112
+//! for the query server — request line, headers, `Content-Length` bodies,
+//! query-string decoding — with hard limits on every dimension so a slow or
+//! hostile client cannot pin a worker or balloon memory.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum accepted header count.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum accepted single header line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum accepted request body size in bytes.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/score`.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// A read timed out (the stream's read timeout expired mid-request).
+    Timeout,
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The request exceeded one of the `MAX_*` limits.
+    TooLarge(String),
+    /// Transport error other than a timeout.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => f.write_str("connection closed before request"),
+            ParseError::Timeout => f.write_str("timed out reading request"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::TooLarge(m) => write!(f, "request too large: {m}"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+fn classify_io(e: std::io::Error) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::Timeout,
+        _ => ParseError::Io(e),
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing `limit` bytes.
+fn read_line<R: BufRead>(r: &mut R, limit: usize, what: &str) -> Result<String, ParseError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(ParseError::ConnectionClosed);
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > limit {
+                    return Err(ParseError::TooLarge(format!("{what} exceeds {limit} bytes")));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify_io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::Malformed(format!("{what} is not UTF-8")))
+}
+
+/// Parses one request from `r` (headers + body; the connection is treated as
+/// one-request-per-connection, so no keep-alive bookkeeping).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
+    let line = read_line(r, MAX_REQUEST_LINE, "request line")?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::Malformed(format!("bad request line '{line}'"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("unsupported protocol '{version}'")));
+    }
+
+    let mut content_length = 0usize;
+    let mut n_headers = 0usize;
+    loop {
+        let header = read_line(r, MAX_HEADER_LINE, "header line")?;
+        if header.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(ParseError::TooLarge(format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!("header without colon: '{header}'")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad Content-Length '{value}'")))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are out of scope for the query protocol.
+            return Err(ParseError::Malformed("Transfer-Encoding is not supported".into()));
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge(format!(
+            "body of {content_length} bytes (max {MAX_BODY})"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(classify_io)?;
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path).ok_or_else(|| {
+        ParseError::Malformed(format!("bad percent-encoding in path '{raw_path}'"))
+    })?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k)
+            .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in '{pair}'")))?;
+        let v = percent_decode(v)
+            .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in '{pair}'")))?;
+        query.push((k, v));
+    }
+
+    Ok(Request { method: method.to_string(), path, query, body })
+}
+
+/// Decodes `%XX` escapes and `+` (as space). `None` on truncated or
+/// non-UTF-8 escapes.
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') && !s.contains('+') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (*hex.first()? as char).to_digit(16)?;
+                let lo = (*hex.get(1)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Connection: close` and flushes.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /score?src=3&dst=17 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.query_param("src"), Some("3"));
+        assert_eq!(req.query_param("dst"), Some("17"));
+        assert_eq!(req.query_param("absent"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /batch HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding_applies() {
+        let req = parse("GET /a%20b?k=v%2Bw&x=1+2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a b");
+        assert_eq!(req.query_param("k"), Some("v+w"));
+        assert_eq!(req.query_param("x"), Some("1 2"));
+        assert!(parse("GET /bad%zz HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET /x SPDY/3\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(parse(&long_line), Err(ParseError::TooLarge(_))));
+        let huge_body = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(&huge_body), Err(ParseError::TooLarge(_))));
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+        );
+        assert!(matches!(parse(&many_headers), Err(ParseError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

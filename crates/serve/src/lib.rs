@@ -1,0 +1,43 @@
+//! `dd-serve` — a concurrent directionality query server.
+//!
+//! Serves tie-direction scores from a frozen, trained
+//! [`DirectionalityModel`](deepdirect::DirectionalityModel) over HTTP/1.1,
+//! built entirely on `std` networking (the build is offline/vendored — no
+//! tokio, no hyper). The design is deliberately production-shaped:
+//!
+//! - **Worker pool + bounded accept queue** ([`server`]): a fixed number of
+//!   threads drain a `sync_channel` of accepted connections; overflow is
+//!   answered with `503` instead of queueing without bound.
+//! - **Per-request timeouts** ([`http`]): slow or hostile clients hit
+//!   read/write deadlines and size limits, never pinning a worker.
+//! - **Sharded LRU score cache** ([`lru`]): scores are pure functions of
+//!   the frozen model, so cache entries cannot go stale; eviction only
+//!   bounds memory.
+//! - **Observability**: per-endpoint request counters and latency
+//!   histograms in a [`Registry`](dd_telemetry::Registry) exported at
+//!   `GET /metrics`, plus structured JSONL request logs through the
+//!   dd-telemetry event sink.
+//! - **Graceful shutdown** ([`signal`]): SIGINT/SIGTERM set a flag; the
+//!   server stops accepting, drains in-flight requests, and flushes logs.
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + model summary |
+//! | `GET /score?src=A&dst=B` | one directionality score (404 on unknown tie) |
+//! | `POST /batch` | JSONL of `{"src":A,"dst":B}` → JSONL of scores |
+//! | `GET /metrics` | plain-text registry dump |
+//!
+//! See README.md "Serving" for the full wire contract and examples.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod lru;
+pub mod server;
+pub mod signal;
+
+pub use lru::ScoreCache;
+pub use server::{ScoreResponse, ServeConfig, Server, ServerHandle, TiePair};

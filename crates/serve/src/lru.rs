@@ -1,0 +1,224 @@
+//! Sharded LRU cache for directionality scores.
+//!
+//! Scores are pure functions of the frozen model, so cached entries can
+//! never go stale (see DESIGN.md §7.7) — eviction exists only to bound
+//! memory. Sharding by key hash keeps lock contention off the worker pool:
+//! each shard is an independent mutex around an intrusive-list LRU, so two
+//! workers scoring different ties almost never touch the same lock.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cache key: an ordered tie as raw node ids.
+pub type TieKey = (u32, u32);
+
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    key: TieKey,
+    val: f64,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard: a classic HashMap + intrusive doubly-linked recency list.
+struct Shard {
+    map: HashMap<TieKey, u32>,
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    cap: usize,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(cap.min(1024)),
+            nodes: Vec::with_capacity(cap.min(1024)),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    fn detach(&mut self, i: u32) {
+        let (prev, next) = (self.nodes[i as usize].prev, self.nodes[i as usize].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        self.nodes[i as usize].prev = NIL;
+        self.nodes[i as usize].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.nodes[h as usize].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: TieKey) -> Option<f64> {
+        let i = *self.map.get(&key)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(self.nodes[i as usize].val)
+    }
+
+    /// Inserts (or refreshes) `key`; returns `true` when another entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: TieKey, val: f64) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i as usize].val = val;
+            self.detach(i);
+            self.push_front(i);
+            return false;
+        }
+        if self.map.len() >= self.cap {
+            // Evict the least-recently-used entry and reuse its slot.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "cap >= 1, so a full shard has a tail");
+            self.detach(victim);
+            let old_key = self.nodes[victim as usize].key;
+            self.map.remove(&old_key);
+            self.nodes[victim as usize].key = key;
+            self.nodes[victim as usize].val = val;
+            self.push_front(victim);
+            self.map.insert(key, victim);
+            return true;
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(Node { key, val, prev: NIL, next: NIL });
+        self.push_front(i);
+        self.map.insert(key, i);
+        false
+    }
+}
+
+/// Thread-safe sharded LRU mapping ordered ties to scores.
+pub struct ScoreCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ScoreCache {
+    /// Cache holding about `capacity` entries total, sharded across up to 8
+    /// locks. Returns `None` when `capacity` is 0 (caching disabled).
+    pub fn new(capacity: usize) -> Option<Self> {
+        if capacity == 0 {
+            return None;
+        }
+        Some(Self::with_shards(capacity, capacity.min(8)))
+    }
+
+    /// Cache with an explicit shard count (tests use 1 shard so eviction
+    /// order is fully deterministic).
+    ///
+    /// # Panics
+    /// Panics when `capacity` or `n_shards` is 0.
+    pub fn with_shards(capacity: usize, n_shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(n_shards > 0, "need at least one shard");
+        let per_shard = capacity.div_ceil(n_shards);
+        let shards = (0..n_shards).map(|_| Mutex::new(Shard::new(per_shard))).collect();
+        ScoreCache { shards }
+    }
+
+    fn shard(&self, key: TieKey) -> &Mutex<Shard> {
+        // Fibonacci hashing over the packed pair; the high bits decide the
+        // shard so adjacent ids spread out.
+        let packed = (u64::from(key.0) << 32) | u64::from(key.1);
+        let h = packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Cached score for `key`, refreshing its recency.
+    pub fn get(&self, key: TieKey) -> Option<f64> {
+        self.shard(key).lock().unwrap().get(key)
+    }
+
+    /// Caches `val` under `key`; returns `true` when an older entry was
+    /// evicted to make room.
+    pub fn insert(&self, key: TieKey, val: f64) -> bool {
+        self.shard(key).lock().unwrap().insert(key, val)
+    }
+
+    /// Entries currently cached (sums the shards; used for the occupancy
+    /// gauge, not on the per-request hot path).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let c = ScoreCache::new(16).unwrap();
+        assert_eq!(c.get((1, 2)), None);
+        assert!(!c.insert((1, 2), 0.75));
+        assert_eq!(c.get((1, 2)), Some(0.75));
+        // Refresh with a new value, no eviction.
+        assert!(!c.insert((1, 2), 0.5));
+        assert_eq!(c.get((1, 2)), Some(0.5));
+        assert_eq!(c.len(), 1);
+        assert!(ScoreCache::new(0).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let c = ScoreCache::with_shards(2, 1);
+        c.insert((1, 0), 0.1);
+        c.insert((2, 0), 0.2);
+        // Touch (1,0) so (2,0) is now the LRU entry.
+        assert_eq!(c.get((1, 0)), Some(0.1));
+        assert!(c.insert((3, 0), 0.3), "full shard must evict");
+        assert_eq!(c.get((2, 0)), None, "LRU entry evicted");
+        assert_eq!(c.get((1, 0)), Some(0.1), "recently used entry kept");
+        assert_eq!(c.get((3, 0)), Some(0.3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_capacity_bounded() {
+        let c = ScoreCache::with_shards(8, 2);
+        for i in 0..1000u32 {
+            c.insert((i, i + 1), f64::from(i));
+        }
+        assert!(c.len() <= 8, "len {} exceeds capacity", c.len());
+        // The most recent keys of each shard survive.
+        let survivors = (0..1000u32).filter(|&i| c.get((i, i + 1)).is_some()).count();
+        assert_eq!(survivors, c.len());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_correct() {
+        let c = std::sync::Arc::new(ScoreCache::new(256).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..2000u32 {
+                        let key = (i % 64, t);
+                        c.insert(key, f64::from(i % 64) + f64::from(t) * 100.0);
+                        if let Some(v) = c.get(key) {
+                            assert_eq!(v, f64::from(i % 64) + f64::from(t) * 100.0);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 256, "len {} exceeds capacity", c.len());
+    }
+}

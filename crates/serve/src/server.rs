@@ -1,0 +1,521 @@
+//! The query server: a fixed worker pool behind a bounded accept queue,
+//! serving scores out of a frozen [`DirectionalityModel`].
+//!
+//! Production shape, not framework shape: the acceptor thread pushes
+//! connections into a bounded `sync_channel` (overflow → immediate `503`
+//! instead of unbounded memory), each worker parses one request per
+//! connection under per-request read/write timeouts, scores through the
+//! sharded LRU cache, and records per-endpoint counters + latency
+//! histograms into a [`Registry`] that `/metrics` exports. Shutdown is
+//! graceful: stop accepting, drain every queued connection, join the pool.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dd_graph::NodeId;
+use dd_telemetry::{Counter, Event, Gauge, Histogram, MetricSnapshot, ObserverHandle, Registry};
+use deepdirect::{DirectionalityModel, MODEL_SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+
+use crate::http;
+use crate::lru::ScoreCache;
+
+const JSON: &str = "application/json";
+const NDJSON: &str = "application/x-ndjson";
+const TEXT: &str = "text/plain; charset=utf-8";
+
+/// Server configuration. `Default` is suitable for local use.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Total LRU score-cache capacity; `0` disables caching.
+    pub cache_size: usize,
+    /// Per-request read/write timeout.
+    pub request_timeout: Duration,
+    /// Accepted connections that may wait for a free worker before new
+    /// arrivals are rejected with `503`.
+    pub queue_depth: usize,
+    /// Structured request-log sink (JSONL events of kind `serve.request`).
+    pub observer: ObserverHandle,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            cache_size: 4096,
+            request_timeout: Duration::from_secs(5),
+            queue_depth: 64,
+            observer: ObserverHandle::none(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("serve: need at least one worker".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("serve: queue depth must be positive".into());
+        }
+        if self.request_timeout.is_zero() {
+            return Err("serve: request timeout must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-endpoint instruments, registered once at startup so the request path
+/// never takes the registry lock.
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// Everything a worker needs to answer requests.
+struct AppState {
+    model: Arc<DirectionalityModel>,
+    cache: Option<ScoreCache>,
+    registry: Arc<Registry>,
+    observer: ObserverHandle,
+    request_timeout: Duration,
+    endpoints: Vec<(&'static str, EndpointMetrics)>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_occupancy: Arc<Gauge>,
+    queue_rejections: Arc<Counter>,
+}
+
+/// Endpoint labels used in metric names and request-log events.
+const ENDPOINTS: [&str; 7] =
+    ["healthz", "score", "batch", "metrics", "other", "timeout", "malformed"];
+
+impl AppState {
+    fn new(model: Arc<DirectionalityModel>, cfg: &ServeConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|&name| {
+                let m = EndpointMetrics {
+                    requests: registry.counter(&format!("serve.requests.{name}")),
+                    // 10 µs … ~84 s exponential latency buckets.
+                    latency: registry.histogram(&format!("serve.latency.{name}"), 1e-5, 2.0, 23),
+                };
+                (name, m)
+            })
+            .collect();
+        AppState {
+            model,
+            cache: ScoreCache::new(cfg.cache_size),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            cache_evictions: registry.counter("serve.cache.evictions"),
+            cache_occupancy: registry.gauge("serve.cache.occupancy"),
+            queue_rejections: registry.counter("serve.rejected.queue_full"),
+            observer: cfg.observer.clone(),
+            request_timeout: cfg.request_timeout,
+            endpoints,
+            registry,
+        }
+    }
+
+    fn endpoint(&self, name: &str) -> &EndpointMetrics {
+        // ENDPOINTS is tiny and `name` always comes from routing constants.
+        &self.endpoints.iter().find(|(n, _)| *n == name).expect("known endpoint").1
+    }
+
+    /// Scores `(src, dst)` through the LRU cache. `None` when the ordered
+    /// tie is not in the trained universe (never cached).
+    fn score_cached(&self, src: u32, dst: u32) -> Option<f64> {
+        let Some(cache) = &self.cache else {
+            return self.model.score(NodeId(src), NodeId(dst));
+        };
+        if let Some(v) = cache.get((src, dst)) {
+            self.cache_hits.incr();
+            return Some(v);
+        }
+        let v = self.model.score(NodeId(src), NodeId(dst))?;
+        self.cache_misses.incr();
+        if cache.insert((src, dst), v) {
+            self.cache_evictions.incr();
+        }
+        self.cache_occupancy.set(cache.len() as f64);
+        Some(v)
+    }
+}
+
+/// `GET /healthz` payload.
+#[derive(Serialize, Deserialize)]
+struct HealthResponse {
+    status: String,
+    ties: usize,
+    model_schema: u32,
+}
+
+/// A tie pair, as accepted by `/score` query params and `/batch` JSONL lines.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TiePair {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+}
+
+/// One score result line, as returned by `/score` and `/batch`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Directionality value `d(src, dst)`; absent when the tie is unknown.
+    pub score: Option<f64>,
+    /// Error description; absent on success.
+    pub error: Option<String>,
+}
+
+fn error_body(msg: &str) -> Vec<u8> {
+    format!("{{\"error\":{}}}", serde_json::to_string(&msg.to_string()).unwrap_or_default())
+        .into_bytes()
+}
+
+type Routed = (&'static str, u16, &'static str, Vec<u8>);
+
+fn route(state: &AppState, req: &http::Request) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = HealthResponse {
+                status: "ok".to_string(),
+                ties: state.model.n_ties(),
+                model_schema: MODEL_SCHEMA_VERSION,
+            };
+            ("healthz", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
+        }
+        ("GET", "/score") => score_endpoint(state, req),
+        ("POST", "/batch") => batch_endpoint(state, req),
+        ("GET", "/metrics") => {
+            if let Some(cache) = &state.cache {
+                state.cache_occupancy.set(cache.len() as f64);
+            }
+            ("metrics", 200, TEXT, render_metrics(&state.registry))
+        }
+        (_, "/healthz" | "/score" | "/batch" | "/metrics") => {
+            ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
+        }
+        (_, path) => ("other", 404, JSON, error_body(&format!("no such endpoint '{path}'"))),
+    }
+}
+
+fn parse_id(req: &http::Request, key: &str) -> Result<u32, String> {
+    match req.query_param(key) {
+        None => Err(format!("missing query parameter '{key}' (expected /score?src=A&dst=B)")),
+        Some(raw) => raw
+            .parse::<u32>()
+            .map_err(|_| format!("query parameter '{key}' must be a node id, got '{raw}'")),
+    }
+}
+
+fn score_endpoint(state: &AppState, req: &http::Request) -> Routed {
+    let (src, dst) = match (parse_id(req, "src"), parse_id(req, "dst")) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(e), _) | (_, Err(e)) => return ("score", 400, JSON, error_body(&e)),
+    };
+    match state.score_cached(src, dst) {
+        Some(score) => {
+            let body = ScoreResponse { src, dst, score: Some(score), error: None };
+            ("score", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
+        }
+        None => {
+            let body = ScoreResponse {
+                src,
+                dst,
+                score: None,
+                error: Some("unknown tie: pair was not in the training universe".to_string()),
+            };
+            ("score", 404, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
+        }
+    }
+}
+
+fn batch_endpoint(state: &AppState, req: &http::Request) -> Routed {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return ("batch", 400, JSON, error_body("body must be UTF-8 JSONL"));
+    };
+    let mut out = String::new();
+    let mut n_pairs = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pair: TiePair = match serde_json::from_str(line) {
+            Ok(p) => p,
+            Err(e) => {
+                return (
+                    "batch",
+                    400,
+                    JSON,
+                    error_body(&format!("line {}: expected {{\"src\":A,\"dst\":B}}: {e}", i + 1)),
+                )
+            }
+        };
+        n_pairs += 1;
+        let resp = match state.score_cached(pair.src, pair.dst) {
+            Some(score) => {
+                ScoreResponse { src: pair.src, dst: pair.dst, score: Some(score), error: None }
+            }
+            None => ScoreResponse {
+                src: pair.src,
+                dst: pair.dst,
+                score: None,
+                error: Some("unknown tie".to_string()),
+            },
+        };
+        out.push_str(&serde_json::to_string(&resp).unwrap_or_default());
+        out.push('\n');
+    }
+    if n_pairs == 0 {
+        return ("batch", 400, JSON, error_body("empty batch: send one JSON pair per line"));
+    }
+    ("batch", 200, NDJSON, out.into_bytes())
+}
+
+/// Renders the registry as plain `name value` lines; histograms expand to
+/// `.count`/`.sum`/`.p50`/`.p90`/`.p99` plus cumulative `.bucket;le=` lines.
+fn render_metrics(registry: &Registry) -> Vec<u8> {
+    let mut out = String::from("# dd-serve metrics: one `name value` pair per line\n");
+    for (name, snap) in registry.snapshot() {
+        match snap {
+            MetricSnapshot::Counter(c) => {
+                out.push_str(&format!("{name} {c}\n"));
+            }
+            MetricSnapshot::Gauge(g) => {
+                out.push_str(&format!("{name} {g}\n"));
+            }
+            MetricSnapshot::Histogram(h) => {
+                out.push_str(&format!("{name}.count {}\n", h.count));
+                out.push_str(&format!("{name}.sum {}\n", h.sum));
+                out.push_str(&format!("{name}.p50 {}\n", h.p50));
+                out.push_str(&format!("{name}.p90 {}\n", h.p90));
+                out.push_str(&format!("{name}.p99 {}\n", h.p99));
+                let mut cumulative = 0u64;
+                for (bound, count) in h.buckets {
+                    cumulative += count;
+                    out.push_str(&format!("{name}.bucket;le={bound} {cumulative}\n"));
+                }
+            }
+        }
+    }
+    out.into_bytes()
+}
+
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    let start = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.request_timeout));
+    let _ = stream.set_write_timeout(Some(state.request_timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let (endpoint, status, content_type, body) = match http::read_request(&mut reader) {
+        Ok(req) => route(state, &req),
+        // Port probes (and the shutdown wakeup) connect and say nothing;
+        // not a request, nothing to log.
+        Err(http::ParseError::ConnectionClosed) => return,
+        Err(http::ParseError::Timeout) => {
+            ("timeout", 408, JSON, error_body("timed out reading request"))
+        }
+        Err(e @ http::ParseError::TooLarge(_)) => {
+            ("malformed", 413, JSON, error_body(&e.to_string()))
+        }
+        Err(e @ http::ParseError::Malformed(_)) => {
+            ("malformed", 400, JSON, error_body(&e.to_string()))
+        }
+        Err(http::ParseError::Io(_)) => return,
+    };
+    let mut write_half = stream;
+    let _ = http::write_response(&mut write_half, status, content_type, &body);
+    let seconds = start.elapsed().as_secs_f64();
+    let m = state.endpoint(endpoint);
+    m.requests.incr();
+    m.latency.record(seconds);
+    state.observer.on_event(&Event::serve_request(endpoint, status, seconds));
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<AppState>,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    state.queue_rejections.incr();
+                    state.observer.on_event(&Event::serve_request("rejected", 503, 0.0));
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        JSON,
+                        &error_body("accept queue full, retry later"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(_) if shutdown.load(Ordering::SeqCst) => break,
+            // Transient accept errors (EMFILE, aborted handshakes) must not
+            // kill the server.
+            Err(_) => {}
+        }
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, state: Arc<AppState>) {
+    loop {
+        // Holding the lock while blocked in `recv` is the shared-receiver
+        // pattern: exactly one worker waits in recv, the rest wait on the
+        // mutex, and handling happens outside the lock — so the pool still
+        // processes in parallel.
+        let next = { rx.lock().unwrap().recv() };
+        match next {
+            Ok(stream) => handle_connection(&state, stream),
+            // Sender dropped and queue drained: graceful exit.
+            Err(_) => break,
+        }
+    }
+}
+
+/// The server factory. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the acceptor and worker pool, and returns a
+    /// handle. The model is shared read-only across workers; scores are
+    /// bit-identical to calling [`DirectionalityModel::score`] directly.
+    pub fn start(
+        model: Arc<DirectionalityModel>,
+        cfg: ServeConfig,
+    ) -> Result<ServerHandle, String> {
+        cfg.validate()?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let state = Arc::new(AppState::new(model, &cfg));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("dd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, state))
+                    .map_err(|e| format!("spawning worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("dd-serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, tx, shutdown, state))
+                .map_err(|e| format!("spawning acceptor: {e}"))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            registry: Arc::clone(&state.registry),
+            observer: cfg.observer,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down gracefully;
+/// call [`ServerHandle::shutdown`] to do it explicitly and get the request
+/// count back.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    observer: ObserverHandle,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric registry (same data `/metrics` renders).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Total requests handled so far, across all endpoints.
+    pub fn requests_total(&self) -> u64 {
+        self.registry
+            .snapshot()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("serve.requests."))
+            .map(|(_, snap)| match snap {
+                MetricSnapshot::Counter(c) => c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued and in-flight
+    /// request, join the pool, flush the request log. Returns the total
+    /// number of requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.shutdown_impl();
+        self.requests_total()
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a wakeup connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor dropped the sender; workers drain the queue and exit.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.observer.flush();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}

@@ -1,0 +1,55 @@
+//! Process-level shutdown flag wired to SIGINT/SIGTERM without external
+//! crates: std links libc on unix, so `signal(2)` is already in the binary.
+//! The handler only stores an `AtomicBool` (async-signal-safe); the serve
+//! loop polls the flag and runs the actual graceful drain outside signal
+//! context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has been received (or requested in-process).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically, as if SIGINT had arrived. Used by
+/// tests and available to embedders.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT and SIGTERM handlers that set the shutdown flag.
+/// Idempotent. A no-op on non-unix targets (ctrl-c then terminates the
+/// process the default way).
+#[cfg(unix)]
+pub fn install_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        let _ = signal(SIGINT, on_signal);
+        let _ = signal(SIGTERM, on_signal);
+    }
+}
+
+/// Installs SIGINT and SIGTERM handlers that set the shutdown flag.
+#[cfg(not(unix))]
+pub fn install_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_request_sets_flag() {
+        install_handlers();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,275 @@
+//! In-process integration tests for the query server: a real `TcpListener`
+//! on an ephemeral port, real sockets, and the bit-exactness contract —
+//! every served score must equal the offline [`DirectionalityModel::score`]
+//! exactly, no matter how many clients hammer the pool at once.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::sampling::hide_directions;
+use dd_graph::NodeId;
+use dd_serve::client;
+use dd_serve::{ScoreResponse, ServeConfig, Server, ServerHandle};
+use dd_telemetry::MetricSnapshot;
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fit_model() -> DirectionalityModel {
+    let gen_cfg = SocialNetConfig { n_nodes: 80, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = social_network(&gen_cfg, &mut rng).network;
+    let hidden = hide_directions(&net, 0.5, &mut rng).network;
+    let cfg =
+        DeepDirectConfig { dim: 8, max_iterations: Some(8_000), ..DeepDirectConfig::default() };
+    DeepDirect::new(cfg).fit(&hidden)
+}
+
+fn start(cfg_mutator: impl FnOnce(&mut ServeConfig)) -> (Arc<DirectionalityModel>, ServerHandle) {
+    let model = Arc::new(fit_model());
+    let mut cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    cfg_mutator(&mut cfg);
+    let handle = Server::start(Arc::clone(&model), cfg).expect("server starts");
+    (model, handle)
+}
+
+fn counter(handle: &ServerHandle, name: &str) -> u64 {
+    handle
+        .registry()
+        .snapshot()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, s)| match s {
+            MetricSnapshot::Counter(c) => Some(c),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no counter named {name}"))
+}
+
+/// The acceptance-criteria test: >= 64 concurrent requests from >= 8 client
+/// threads, every response bit-identical to the offline score, and /metrics
+/// accounting for every request with a non-empty latency histogram.
+#[test]
+fn concurrent_requests_match_offline_scores_bit_for_bit() {
+    let (model, handle) = start(|_| {});
+    let addr = handle.addr().to_string();
+
+    let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(16).collect();
+    assert!(ties.len() >= 8, "model too small: {} ties", ties.len());
+    let expected: Vec<f64> =
+        ties.iter().map(|&(u, v)| model.score(NodeId(u), NodeId(v)).unwrap()).collect();
+
+    const N_THREADS: usize = 8;
+    const PER_THREAD: usize = 8; // 64 requests total
+    std::thread::scope(|s| {
+        for t in 0..N_THREADS {
+            let addr = &addr;
+            let ties = &ties;
+            let expected = &expected;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let idx = (i + t * 3) % ties.len();
+                    let (src, dst) = ties[idx];
+                    let resp = client::get(addr, &format!("/score?src={src}&dst={dst}"))
+                        .expect("request succeeds");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                    let parsed: ScoreResponse =
+                        serde_json::from_str(&resp.body).expect("valid score JSON");
+                    let got = parsed.score.expect("known tie has a score");
+                    assert_eq!(
+                        got.to_bits(),
+                        expected[idx].to_bits(),
+                        "thread {t} req {i}: served {got} != offline {}",
+                        expected[idx]
+                    );
+                }
+            });
+        }
+    });
+
+    let total = (N_THREADS * PER_THREAD) as u64;
+    assert_eq!(counter(&handle, "serve.requests.score"), total);
+    assert_eq!(handle.requests_total(), total);
+
+    // The latency histogram must have recorded every request.
+    let snapshot = handle.registry().snapshot();
+    let (_, latency) = snapshot
+        .iter()
+        .find(|(n, _)| n == "serve.latency.score")
+        .expect("latency histogram registered");
+    let MetricSnapshot::Histogram(h) = latency else { panic!("latency is a histogram") };
+    assert_eq!(h.count, total);
+    assert!(h.sum > 0.0, "latency sum should be positive");
+    assert!(h.buckets.iter().any(|&(_, c)| c > 0), "some bucket must be non-empty");
+
+    // /metrics (the wire view) agrees with the registry (the in-process view).
+    let resp = client::get(&addr, "/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains(&format!("serve.requests.score {total}")),
+        "metrics dump missing request count: {}",
+        resp.body
+    );
+    assert!(resp.body.contains("serve.latency.score.count"), "{}", resp.body);
+
+    assert!(handle.shutdown() >= total);
+}
+
+#[test]
+fn batch_endpoint_scores_many_pairs_per_request() {
+    let (model, handle) = start(|_| {});
+    let addr = handle.addr().to_string();
+    let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(5).collect();
+
+    let body: String = ties
+        .iter()
+        .map(|(s, d)| format!("{{\"src\":{s},\"dst\":{d}}}\n"))
+        .chain(std::iter::once("{\"src\":4294967295,\"dst\":4294967295}\n".to_string()))
+        .collect();
+    let resp = client::post(&addr, "/batch", &body).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    let lines: Vec<ScoreResponse> = resp
+        .body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("valid line"))
+        .collect();
+    assert_eq!(lines.len(), ties.len() + 1);
+    for (parsed, &(src, dst)) in lines.iter().zip(&ties) {
+        assert_eq!((parsed.src, parsed.dst), (src, dst));
+        let expected = model.score(NodeId(src), NodeId(dst)).unwrap();
+        assert_eq!(parsed.score.unwrap().to_bits(), expected.to_bits());
+        assert!(parsed.error.is_none());
+    }
+    let unknown = lines.last().unwrap();
+    assert!(unknown.score.is_none(), "unknown tie must not get a score");
+    assert!(unknown.error.is_some());
+
+    // Malformed and empty batches are client errors.
+    assert_eq!(client::post(&addr, "/batch", "not json\n").unwrap().status, 400);
+    assert_eq!(client::post(&addr, "/batch", "\n\n").unwrap().status, 400);
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_hangs() {
+    let (_model, handle) = start(|_| {});
+    let addr = handle.addr().to_string();
+
+    // Missing and unparseable query parameters.
+    assert_eq!(client::get(&addr, "/score").unwrap().status, 400);
+    assert_eq!(client::get(&addr, "/score?src=1").unwrap().status, 400);
+    assert_eq!(client::get(&addr, "/score?src=x&dst=2").unwrap().status, 400);
+    // Unknown route and bad method.
+    assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::post(&addr, "/score?src=1&dst=2", "").unwrap().status, 405);
+    assert_eq!(client::get(&addr, "/batch").unwrap().status, 405);
+
+    // Raw garbage on the socket gets a 400, not a dropped worker.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+
+    // The server is still healthy afterwards.
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    assert!(counter(&handle, "serve.requests.malformed") >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_clients_hit_the_request_timeout() {
+    let (_model, handle) = start(|cfg| cfg.request_timeout = Duration::from_millis(200));
+    let addr = handle.addr().to_string();
+
+    // Open a connection, send half a request line, then stall.
+    let mut stalled = TcpStream::connect(&addr).unwrap();
+    stalled.write_all(b"GET /score?src=").unwrap();
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = String::new();
+    stalled.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 408"), "stalled client should get 408, got: {buf}");
+
+    assert!(counter(&handle, "serve.requests.timeout") >= 1);
+    // Healthy clients are unaffected.
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_eviction_is_counted_and_bounded() {
+    let (model, handle) = start(|cfg| cfg.cache_size = 4);
+    let addr = handle.addr().to_string();
+    let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(12).collect();
+    assert!(ties.len() > 4, "need more ties than cache slots");
+
+    // Two passes over 12 ties through a 4-entry cache: evictions guaranteed,
+    // and every response still bit-exact (the cache can never go stale).
+    for _ in 0..2 {
+        for &(src, dst) in &ties {
+            let resp = client::get(&addr, &format!("/score?src={src}&dst={dst}")).unwrap();
+            assert_eq!(resp.status, 200);
+            let parsed: ScoreResponse = serde_json::from_str(&resp.body).unwrap();
+            let expected = model.score(NodeId(src), NodeId(dst)).unwrap();
+            assert_eq!(parsed.score.unwrap().to_bits(), expected.to_bits());
+        }
+    }
+
+    let hits = counter(&handle, "serve.cache.hits");
+    let misses = counter(&handle, "serve.cache.misses");
+    let evictions = counter(&handle, "serve.cache.evictions");
+    assert_eq!(hits + misses, 2 * ties.len() as u64, "every lookup is a hit or a miss");
+    assert!(misses >= ties.len() as u64, "first pass must miss");
+    assert!(evictions > 0, "12 ties through 4 slots must evict");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_ties_are_never_cached() {
+    let (_model, handle) = start(|_| {});
+    let addr = handle.addr().to_string();
+    for _ in 0..3 {
+        let resp = client::get(&addr, "/score?src=4294967295&dst=4294967294").unwrap();
+        assert_eq!(resp.status, 404);
+    }
+    assert_eq!(counter(&handle, "serve.cache.hits"), 0);
+    assert_eq!(counter(&handle, "serve.cache.misses"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_further_connections_fail() {
+    let (_model, handle) = start(|_| {});
+    let addr = handle.addr().to_string();
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+
+    let served = handle.shutdown();
+    assert!(served >= 1);
+
+    // After shutdown the port no longer accepts (or resets immediately).
+    let still_up = client::get(&addr, "/healthz").is_ok();
+    assert!(!still_up, "server should be down after shutdown");
+}
+
+#[test]
+fn dropping_the_handle_shuts_down_cleanly() {
+    let addr;
+    {
+        let (_model, handle) = start(|_| {});
+        addr = handle.addr().to_string();
+        assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+        // Handle dropped here without an explicit shutdown() call.
+    }
+    assert!(client::get(&addr, "/healthz").is_err(), "drop must stop the server");
+}
+
+#[test]
+fn rejects_zero_worker_config() {
+    let model = Arc::new(fit_model());
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 0, ..ServeConfig::default() };
+    assert!(Server::start(model, cfg).is_err());
+}

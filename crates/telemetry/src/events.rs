@@ -28,6 +28,9 @@ pub mod kind {
     /// Network statistics (also the payload of `dd stats --json`).
     /// Fields: `name` (dataset), `fields` (stat name → value).
     pub const NETWORK_STATS: &str = "network.stats";
+    /// One handled `dd serve` request. Fields: `name` (endpoint), `value`
+    /// (HTTP status code), `seconds` (handler latency).
+    pub const SERVE_REQUEST: &str = "serve.request";
 }
 
 /// One telemetry event. Produced by instrumentation, consumed by
@@ -102,6 +105,15 @@ impl Event {
         let mut e = Event::new(kind::SPAN);
         e.name = Some(name.to_string());
         e.parent = parent.map(str::to_string);
+        e.seconds = Some(seconds);
+        e
+    }
+
+    /// A handled-request event (`dd serve` structured access log).
+    pub fn serve_request(endpoint: &str, status: u16, seconds: f64) -> Self {
+        let mut e = Event::new(kind::SERVE_REQUEST);
+        e.name = Some(endpoint.to_string());
+        e.value = Some(f64::from(status));
         e.seconds = Some(seconds);
         e
     }

@@ -26,7 +26,9 @@ pub mod observer;
 pub mod span;
 
 pub use events::{kind, Event, SCHEMA_VERSION};
-pub use metrics::{Counter, Gauge, Histogram, Metric, MetricReading, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricReading, MetricSnapshot, Registry,
+};
 pub use observer::{
     read_jsonl, EStepProgress, EpochProgress, Fanout, JsonlSink, NullObserver, ObserverHandle,
     ProgressSink, TrainObserver,

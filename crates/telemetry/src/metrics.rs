@@ -171,6 +171,50 @@ impl Histogram {
     }
 }
 
+/// Full point-in-time state of one histogram, for exporters that need more
+/// than the scalar mean (e.g. the `dd serve` `/metrics` endpoint).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: f64,
+    /// Per-bucket `(upper_bound, count)`; the overflow bucket reports
+    /// `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl Histogram {
+    /// Captures the histogram's full current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self.buckets(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Full point-in-time state of one registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
 /// A handle to one registered metric.
 #[derive(Debug, Clone)]
 pub enum Metric {
@@ -257,6 +301,27 @@ impl Registry {
         }
     }
 
+    /// Full point-in-time snapshots of every registered metric, sorted by
+    /// name. Unlike [`Registry::readings`] this preserves histogram bucket
+    /// counts and percentiles, which exporters (the `dd serve` `/metrics`
+    /// endpoint) need.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let m = self.metrics.lock().unwrap();
+        let mut out: Vec<(String, MetricSnapshot)> = m
+            .iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Point-in-time readings of every registered metric, sorted by name.
     pub fn readings(&self) -> Vec<MetricReading> {
         let m = self.metrics.lock().unwrap();
@@ -331,6 +396,36 @@ mod tests {
         // Empty histogram reports 0.
         let empty = Histogram::exponential(1.0, 2.0, 4);
         assert_eq!(empty.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_preserves_histogram_state() {
+        let r = Registry::new();
+        r.counter("req").add(3);
+        r.gauge("occupancy").set(7.0);
+        let h = r.histogram("latency", 0.001, 2.0, 8);
+        h.record(0.0005);
+        h.record(0.1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["latency", "occupancy", "req"]);
+        match &snap[2].1 {
+            MetricSnapshot::Counter(c) => assert_eq!(*c, 3),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &snap[1].1 {
+            MetricSnapshot::Gauge(g) => assert_eq!(*g, 7.0),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        match &snap[0].1 {
+            MetricSnapshot::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert!((h.sum - 0.1005).abs() < 1e-12);
+                assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 2);
+                assert!(h.p50 > 0.0 && h.p99 >= h.p50);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

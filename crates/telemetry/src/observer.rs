@@ -81,8 +81,8 @@ impl EpochProgress {
 
 /// Callback hook for training/eval instrumentation.
 ///
-/// All methods default to forwarding a structured [`Event`] to [`on_event`]
-/// (`TrainObserver::on_event`), so sinks usually implement only that one
+/// All methods default to forwarding a structured [`Event`] to
+/// [`TrainObserver::on_event`], so sinks usually implement only that one
 /// method. Implementations must be `Send + Sync`: the E-Step monitor thread
 /// and Hogwild workers may report concurrently.
 pub trait TrainObserver: Send + Sync {

@@ -42,9 +42,7 @@ pub mod value {
         /// Looks up `key` in an object; `None` for missing keys or non-objects.
         pub fn get(&self, key: &str) -> Option<&Value> {
             match self {
-                Value::Object(fields) => {
-                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
@@ -324,6 +322,21 @@ impl_tuple!(2 => A.0, B.1);
 impl_tuple!(3 => A.0, B.1, C.2);
 impl_tuple!(4 => A.0, B.1, C.2, D.3);
 
+// `Value` round-trips through itself, so callers can parse untyped JSON
+// (e.g. to inspect a schema-version field before committing to a typed
+// decode) with the same `from_str`/`to_string` entry points.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 #[doc(hidden)]
 pub mod __private {
     //! Helpers used by the code generated in `serde_derive`.
@@ -337,13 +350,20 @@ pub mod __private {
     pub fn field<T: Deserialize>(v: &Value, name: &str, ty: &str) -> Result<T, Error> {
         let fv = match v {
             Value::Object(_) => v.get(name).unwrap_or(&NULL),
-            other => return Err(Error::custom(format!("expected {ty} object, found {}", other.kind()))),
+            other => {
+                return Err(Error::custom(format!("expected {ty} object, found {}", other.kind())))
+            }
         };
         T::from_value(fv).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
     }
 
     /// Deserializes element `idx` of a tuple struct serialized as an array.
-    pub fn tuple_elem<T: Deserialize>(v: &Value, idx: usize, len: usize, ty: &str) -> Result<T, Error> {
+    pub fn tuple_elem<T: Deserialize>(
+        v: &Value,
+        idx: usize,
+        len: usize,
+        ty: &str,
+    ) -> Result<T, Error> {
         match v {
             Value::Array(items) if items.len() == len => {
                 T::from_value(&items[idx]).map_err(|e| Error::custom(format!("{ty}.{idx}: {e}")))

@@ -292,10 +292,7 @@ fn gen_deserialize(item: &Item) -> String {
             let mut s = format!("::std::result::Result::Ok({name} {{\n");
             for f in fields {
                 if f.skip {
-                    s.push_str(&format!(
-                        "{}: ::std::default::Default::default(),\n",
-                        f.name
-                    ));
+                    s.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
                 } else {
                     s.push_str(&format!(
                         "{f}: ::serde::__private::field(__v, \"{f}\", \"{name}\")?,\n",

@@ -358,9 +358,7 @@ impl<'a> Parser<'a> {
                 return Ok(Value::UInt(u));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+        text.parse::<f64>().map(Value::Float).map_err(|_| Error(format!("invalid number `{text}`")))
     }
 }
 
