@@ -15,13 +15,15 @@
 use std::sync::Arc;
 
 use dd_graph::centrality::{
-    betweenness_all, betweenness_sampled, closeness_all, closeness_sampled,
+    betweenness_all_threads, betweenness_sampled_threads, closeness_all_threads,
+    closeness_sampled_threads,
 };
 use dd_graph::degrees::all_mixed_degrees;
 use dd_graph::triads::{triad_counts, N_TRIAD_TYPES};
 use dd_graph::{MixedSocialNetwork, NodeId};
 use dd_linalg::logreg::{LogRegConfig, LogisticRegression};
 use dd_linalg::scaler::StandardScaler;
+use dd_runtime::{chunk_size, Pool, Threads};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,11 +42,32 @@ pub struct HfConfig {
     pub logreg: LogRegConfig,
     /// Seed for centrality pivot sampling.
     pub seed: u64,
+    /// Worker threads for centrality and feature extraction. Must be at
+    /// least 1 (see [`HfConfig::validate`]); results are bit-identical at
+    /// any thread count (DESIGN.md §7.9).
+    pub threads: usize,
 }
 
 impl Default for HfConfig {
     fn default() -> Self {
-        HfConfig { centrality_samples: Some(64), logreg: LogRegConfig::default(), seed: 0x4f5 }
+        HfConfig {
+            centrality_samples: Some(64),
+            logreg: LogRegConfig::default(),
+            seed: 0x4f5,
+            threads: 1,
+        }
+    }
+}
+
+impl HfConfig {
+    /// Validates the configuration, rejecting `threads == 0`.
+    pub fn validate(&self) -> Result<(), String> {
+        Threads::new(self.threads).map_err(|e| format!("HfConfig.threads: {e}"))?;
+        Ok(())
+    }
+
+    fn threads(&self) -> Threads {
+        Threads::new(self.threads).expect("HfConfig.threads is zero; call validate() first")
     }
 }
 
@@ -62,14 +85,21 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
-    /// Computes all per-node statistics for `g`.
+    /// Computes all per-node statistics for `g`, running the centrality
+    /// BFS passes on `cfg.threads` workers.
     pub fn compute(g: &MixedSocialNetwork, cfg: &HfConfig) -> Self {
+        let threads = cfg.threads();
         let (deg_out, deg_in) = all_mixed_degrees(g);
         let (closeness, betweenness) = match cfg.centrality_samples {
-            None => (closeness_all(g), betweenness_all(g)),
+            None => (closeness_all_threads(g, threads), betweenness_all_threads(g, threads)),
             Some(k) => {
+                // Pivot draws happen serially before the parallel BFS
+                // passes, so estimates depend only on the seed.
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
-                (closeness_sampled(g, k, &mut rng), betweenness_sampled(g, k, &mut rng))
+                (
+                    closeness_sampled_threads(g, k, &mut rng, threads),
+                    betweenness_sampled_threads(g, k, &mut rng, threads),
+                )
             }
         };
         NodeStats { deg_out, deg_in, closeness, betweenness }
@@ -92,6 +122,31 @@ pub fn tie_features(g: &MixedSocialNetwork, stats: &NodeStats, u: NodeId, v: Nod
         x.push(c as f32);
     }
     x
+}
+
+/// Builds the HF training matrix on a caller-owned pool: two instances per
+/// directed tie — `(u, v)` labelled 1 and `(v, u)` labelled 0 (Sec. 3.2) —
+/// in the deterministic order fwd/rev per tie, ties in graph order.
+///
+/// Feature rows are pure functions of the (read-only) graph and stats, so
+/// the matrix is bit-identical at any thread count.
+pub fn training_matrix(
+    g: &MixedSocialNetwork,
+    stats: &NodeStats,
+    pool: &Pool,
+) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let ordered: Vec<(NodeId, NodeId)> = g.directed_ties().map(|(_, u, v)| (u, v)).collect();
+    let n_rows = 2 * ordered.len();
+    let xs = pool.par_map(n_rows, |i| {
+        let (u, v) = ordered[i / 2];
+        if i % 2 == 0 {
+            tie_features(g, stats, u, v)
+        } else {
+            tie_features(g, stats, v, u)
+        }
+    });
+    let ys = (0..n_rows).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+    (xs, ys)
 }
 
 /// The HF learner.
@@ -136,20 +191,18 @@ impl TieScorer for HfScorer {
 
 impl DirectionalityLearner for HfLearner {
     fn fit(&self, g: &MixedSocialNetwork) -> Box<dyn TieScorer> {
+        self.config.validate().expect("invalid HfConfig");
         let stats = NodeStats::compute(g, &self.config);
-        // Two training instances per directed tie (Sec. 3.2).
-        let mut xs: Vec<Vec<f32>> = Vec::with_capacity(2 * g.counts().directed);
-        let mut ys: Vec<f32> = Vec::with_capacity(2 * g.counts().directed);
-        for (_, u, v) in g.directed_ties() {
-            xs.push(tie_features(g, &stats, u, v));
-            ys.push(1.0);
-            xs.push(tie_features(g, &stats, v, u));
-            ys.push(0.0);
-        }
+        let pool = Pool::new("hf.features", self.config.threads());
+        let (xs, ys) = training_matrix(g, &stats, &pool);
         assert!(!xs.is_empty(), "HF requires directed ties for training");
         let scaler = StandardScaler::fit(&xs);
         let mut scaled = xs;
-        scaler.transform(&mut scaled);
+        pool.par_chunks_mut(&mut scaled, chunk_size(ys.len()), |_, rows| {
+            for row in rows {
+                scaler.transform_row(row);
+            }
+        });
         let mut model = LogisticRegression::new(N_FEATURES);
         model.fit(&scaled, &ys, None, &self.config.logreg);
         Box::new(HfScorer { graph: Arc::new(g.clone()), stats, scaler, model })
@@ -214,6 +267,34 @@ mod tests {
         }
         // Out-of-range nodes are neutral, not a panic.
         assert_eq!(scorer.score(NodeId(10_000), NodeId(0)), 0.5);
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        let cfg = HfConfig { threads: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        assert!(HfConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn training_matrix_is_bit_identical_across_thread_counts() {
+        let (g, _) = hidden_net(6);
+        let base = HfConfig::default();
+        let stats1 = NodeStats::compute(&g, &base);
+        let (xs1, ys1) = training_matrix(&g, &stats1, &Pool::new("t", Threads::serial()));
+        for threads in [2, 8] {
+            let cfg = HfConfig { threads, ..Default::default() };
+            let stats = NodeStats::compute(&g, &cfg);
+            assert!(stats
+                .betweenness
+                .iter()
+                .zip(&stats1.betweenness)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            let pool = Pool::new("t", Threads::new(threads).unwrap());
+            let (xs, ys) = training_matrix(&g, &stats, &pool);
+            assert_eq!(ys, ys1);
+            assert_eq!(xs, xs1, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,11 +11,15 @@
 use dd_bench::{bench_deepdirect_config, BenchEnv};
 use dd_datasets::all_datasets;
 use dd_eval::grid::grid_search_alpha_beta;
+use dd_runtime::Threads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let env = BenchEnv::from_env();
+    // Grid cells fan out over DD_THREADS workers (serial by default); each
+    // cell's fit stays single-threaded so the table is reproducible.
+    let threads = Threads::resolve(None).expect("DD_THREADS must be a positive integer");
     let filter = std::env::args().nth(1).map(|s| s.to_lowercase());
     let alphas = [0.0f32, 0.1, 1.0, 5.0];
     let betas = [0.0f32, 0.1, 1.0];
@@ -29,7 +33,7 @@ fn main() {
         let base = bench_deepdirect_config(64, env.seed);
         let mut rng = StdRng::seed_from_u64(env.seed ^ 0x9d1d);
         let (alpha, beta, table) =
-            grid_search_alpha_beta(&g, &alphas, &betas, &base, 0.5, 2, &mut rng);
+            grid_search_alpha_beta(&g, &alphas, &betas, &base, 0.5, 2, threads, &mut rng);
         println!("\n{} — validation accuracy (2 folds, 50% hidden):", spec.name);
         print!("{:>8}", "α \\ β");
         for b in &betas {

@@ -10,20 +10,32 @@
 //! | `stats <edges>` | dataset statistics (Table 2 columns) |
 //! | `score <model> <src> <dst>` | print one raw score (machine-readable) |
 //! | `serve <model> --port P` | HTTP query server (see `dd-serve`) |
+//! | `eval <edges>` | direction-discovery accuracy per method (Sec. 6.2) |
+//! | `bench` | serial vs parallel wall time for the hot stages |
 //!
 //! Edge-list format: `d|b|u <src> <dst>` per line (see `dd-graph::io`).
+//!
+//! Worker threads for every parallel stage resolve as `--threads` flag,
+//! then the `DD_THREADS` environment variable, then serial (DESIGN.md §7.9).
 
 use std::io::Write;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dd_baselines::hf::{training_matrix, HfConfig, NodeStats};
 use dd_datasets::all_datasets;
 use dd_datasets::DatasetStats;
+use dd_eval::runner::{evaluate_methods, Method};
+use dd_graph::centrality::{betweenness_all_pool, closeness_all_pool};
 use dd_graph::io::{load_edge_list, save_edge_list};
+use dd_graph::sampling::hide_directions;
 use dd_graph::{MixedSocialNetwork, NodeId};
+use dd_runtime::{Pool, Threads};
 use deepdirect::apps::discovery::discover_directions;
-use deepdirect::telemetry::{Fanout, JsonlSink, ObserverHandle, ProgressSink};
+use deepdirect::telemetry::{Fanout, JsonlSink, ObserverHandle, ProgressSink, Registry};
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::args::Args;
 
@@ -38,6 +50,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "stats" => stats(args),
         "score" => score(args),
         "serve" => serve(args),
+        "eval" => eval(args),
+        "bench" => bench(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -61,6 +75,17 @@ USAGE:
   dd serve   <model.json>     [--host H] [--port P] [--workers N] [--cache-size N]
                                       [--request-timeout-ms MS] [--queue-depth N]
                                       (HTTP endpoints: /healthz /score /batch /metrics)
+  dd eval    <edges>          [--hide F] [--dim N] [--iterations N] [--methods a,b]
+                                      [--threads T] [--seed S]
+                                      (direction-discovery accuracy per method, Sec. 6.2)
+  dd bench   [--dataset D] [--scale K] [--threads T] [--seed S] [--out BENCH_runtime.json]
+                                      (serial vs parallel wall time; verifies bit-identity)
+
+THREADS:
+  --threads T                 worker threads for parallel stages; falls back to
+                              the DD_THREADS environment variable, then 1.
+                              Results are bit-identical at any thread count
+                              except Hogwild E-Step training (DESIGN.md §7.9).
 
 TELEMETRY (train / discover / quantify / serve):
   --telemetry <file.jsonl>    write structured training events (spans,
@@ -92,12 +117,24 @@ fn telemetry_observer(args: &Args) -> Result<ObserverHandle, String> {
     Ok(fan.into_handle())
 }
 
+/// Resolves worker threads from `--threads`, falling back to the
+/// `DD_THREADS` environment variable, then serial (DESIGN.md §7.9).
+fn resolve_threads(args: &Args) -> Result<Threads, String> {
+    let flag = match args.flags.get("threads") {
+        None => None,
+        Some(v) => {
+            Some(v.parse::<usize>().map_err(|_| format!("flag --threads: cannot parse '{v}'"))?)
+        }
+    };
+    Threads::resolve(flag)
+}
+
 fn model_config(args: &Args) -> Result<DeepDirectConfig, String> {
     let mut cfg = DeepDirectConfig {
         dim: args.get_num("dim", 64usize)?,
         alpha: args.get_num("alpha", 5.0f32)?,
         beta: args.get_num("beta", 0.1f32)?,
-        threads: args.get_num("threads", 1usize)?,
+        threads: resolve_threads(args)?.get(),
         seed: args.get_num("seed", 0xdeedu64)?,
         observer: telemetry_observer(args)?,
         ..Default::default()
@@ -313,6 +350,181 @@ fn serve_observer(args: &Args) -> Result<ObserverHandle, String> {
     Ok(fan.into_handle())
 }
 
+/// `dd eval <edges>`: hides the direction of `--hide` of the directed ties,
+/// fits each method on the degraded network, and prints direction-discovery
+/// accuracy (the protocol of Sec. 6.2). Methods run concurrently on
+/// `--threads` workers; each individual fit stays serial so the accuracies
+/// are identical at any thread count (DESIGN.md §7.9).
+fn eval(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let g = load_net(input)?;
+    let hide: f64 = args.get_num("hide", 0.5f64)?;
+    if !(0.0..1.0).contains(&hide) {
+        return Err(format!("flag --hide must be in [0, 1), got {hide}"));
+    }
+    let seed: u64 = args.get_num("seed", 0xdeedu64)?;
+    let threads = resolve_threads(args)?;
+
+    let mut methods = Method::suite(args.get_num("dim", 32usize)?, seed);
+    let iterations: u64 = args.get_num("iterations", 0u64)?;
+    if iterations > 0 {
+        for m in &mut methods {
+            if let Method::DeepDirect(cfg) = m {
+                cfg.max_iterations = Some(iterations);
+            }
+        }
+    }
+    let only = args.get("methods", "");
+    if !only.is_empty() {
+        let wanted: Vec<String> = only.split(',').map(|w| w.trim().to_lowercase()).collect();
+        methods.retain(|m| wanted.iter().any(|w| m.name().to_lowercase().starts_with(w.as_str())));
+        if methods.is_empty() {
+            return Err(format!("flag --methods matched no method in '{only}'"));
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hidden = hide_directions(&g, 1.0 - hide, &mut rng);
+    let obs = telemetry_observer(args)?;
+    let results = evaluate_methods(&methods, &hidden, threads, &obs);
+
+    let mut out = format!(
+        "direction discovery on {input} ({} nodes, {} hidden ties, {} worker threads):\n",
+        g.n_nodes(),
+        hidden.truth.len(),
+        threads.get(),
+    );
+    for (name, acc) in &results {
+        out.push_str(&format!("  {name:<16} accuracy {acc:.4}\n"));
+    }
+    Ok(out)
+}
+
+/// One `dd bench` stage: the same computation timed serially and on the
+/// requested pool, with the outputs compared bit-for-bit.
+#[derive(serde::Serialize)]
+struct BenchStage {
+    stage: &'static str,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// The `BENCH_runtime.json` document `dd bench` writes.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: u32,
+    dataset: String,
+    scale: usize,
+    nodes: usize,
+    ties: usize,
+    threads: usize,
+    available_parallelism: usize,
+    stages: Vec<BenchStage>,
+    pool_calls: u64,
+    pool_chunks: u64,
+    pool_utilization: f64,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// `dd bench`: generates a synthetic analog, times the hot parallel stages
+/// (betweenness, closeness, HF feature extraction) serially and on
+/// `--threads` workers, verifies the outputs are bit-identical, and writes
+/// the stage table plus pool utilization to `--out` (BENCH_runtime.json).
+fn bench(args: &Args) -> Result<String, String> {
+    let threads = resolve_threads(args)?;
+    // `scale` is the dataset divisor (crawl size / scale): the default 60
+    // yields a ~1100-node Twitter analog, big enough that the timed stages
+    // dominate thread spawn cost.
+    let scale: usize = args.get_num("scale", 60usize)?;
+    let seed: u64 = args.get_num("seed", 7u64)?;
+    let out_path = args.get("out", "BENCH_runtime.json");
+    let name = args.get("dataset", "twitter").to_lowercase();
+    let spec =
+        all_datasets().into_iter().find(|s| s.name.to_lowercase() == name).ok_or_else(|| {
+            format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)")
+        })?;
+    let g = spec.generate(scale, seed).network;
+
+    let serial_pool = Pool::new("bench.serial", Threads::serial());
+    let par_pool = Pool::new("bench.parallel", threads);
+    let mut stages = Vec::new();
+    let mut push = |stage: &'static str, ts: f64, tp: f64, identical: bool| {
+        stages.push(BenchStage {
+            stage,
+            serial_seconds: ts,
+            parallel_seconds: tp,
+            speedup: ts / tp.max(1e-12),
+            bit_identical: identical,
+        });
+    };
+
+    let (b1, ts) = timed(|| betweenness_all_pool(&g, &serial_pool));
+    let (b2, tp) = timed(|| betweenness_all_pool(&g, &par_pool));
+    push("betweenness", ts, tp, b1.iter().zip(&b2).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+    let (c1, ts) = timed(|| closeness_all_pool(&g, &serial_pool));
+    let (c2, tp) = timed(|| closeness_all_pool(&g, &par_pool));
+    push("closeness", ts, tp, c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+    // HF feature extraction reuses one stats pass; only the matrix build is
+    // timed, since the centrality passes are covered above.
+    let stats = NodeStats::compute(&g, &HfConfig::default());
+    let ((x1, y1), ts) = timed(|| training_matrix(&g, &stats, &serial_pool));
+    let ((x2, y2), tp) = timed(|| training_matrix(&g, &stats, &par_pool));
+    let identical = x1 == x2 && y1 == y2;
+    push("hf_features", ts, tp, identical);
+
+    // Per-pool utilization lands in the global registry (the same gauges a
+    // long-lived process would export on /metrics) and in the JSON report.
+    let pstats = par_pool.stats();
+    let reg = Registry::global();
+    reg.gauge("runtime.pool.bench.parallel.threads").set(threads.get() as f64);
+    reg.gauge("runtime.pool.bench.parallel.utilization").set(pstats.utilization());
+
+    let report = BenchReport {
+        schema: 1,
+        dataset: spec.name.to_string(),
+        scale,
+        nodes: g.n_nodes(),
+        ties: g.counts().total(),
+        threads: threads.get(),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        stages,
+        pool_calls: pstats.calls,
+        pool_chunks: pstats.chunks,
+        pool_utilization: pstats.utilization(),
+    };
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating '{out_path}': {e}"))?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing '{out_path}': {e}"))?;
+
+    let mut out = format!(
+        "runtime bench on {} analog ({} nodes, {} ties), {} worker threads:\n",
+        report.dataset, report.nodes, report.ties, report.threads,
+    );
+    for s in &report.stages {
+        out.push_str(&format!(
+            "  {:<12} serial {:>8.4}s   {}-thread {:>8.4}s   speedup {:>5.2}x   bit-identical: {}\n",
+            s.stage, s.serial_seconds, report.threads, s.parallel_seconds, s.speedup,
+            s.bit_identical,
+        ));
+    }
+    out.push_str(&format!(
+        "  pool utilization {:.3} over {} calls / {} chunks\nreport written to {out_path}\n",
+        report.pool_utilization, report.pool_calls, report.pool_chunks,
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +690,83 @@ mod tests {
         assert!(g.n_nodes() >= 50);
         // Unknown dataset errors.
         assert!(run_words(&["generate", "myspace", "--out", &out_path]).is_err());
+    }
+
+    #[test]
+    fn eval_reports_per_method_accuracy() {
+        let path = tmp("eval_net.edges");
+        // A network big enough that HF and the ReDirect baselines have
+        // signal to work with; fast methods only to keep the test quick.
+        let out = run_words(&["generate", "twitter", "--out", &path, "--scale", "400"]).unwrap();
+        assert!(out.contains("wrote"));
+        let out = run_words(&[
+            "eval",
+            &path,
+            "--hide",
+            "0.5",
+            "--methods",
+            "hf,redirect",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("2 worker threads"), "{out}");
+        for name in ["HF", "ReDirect-N/sm", "ReDirect-T/sm"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+        assert!(!out.contains("DeepDirect"), "--methods must filter: {out}");
+        // Degenerate flag values error cleanly.
+        assert!(run_words(&["eval", &path, "--hide", "1.5"]).is_err());
+        assert!(run_words(&["eval", &path, "--methods", "nosuch"]).is_err());
+        assert!(run_words(&["eval", &path, "--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn bench_writes_runtime_report_with_bit_identical_stages() {
+        let edges_scale = "200"; // small graph: the bench must stay fast
+        let out_json = tmp("BENCH_runtime.json");
+        let out =
+            run_words(&["bench", "--scale", edges_scale, "--threads", "2", "--out", &out_json])
+                .unwrap();
+        assert!(out.contains("report written"), "{out}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_json).unwrap()).unwrap();
+        assert_eq!(doc.get("threads").and_then(|v| v.as_u64()), Some(2));
+        let serde_json::Value::Array(stages) = doc.get("stages").unwrap() else {
+            panic!("stages must be an array")
+        };
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| match s.get("stage").unwrap() {
+                serde_json::Value::Str(name) => name.as_str(),
+                other => panic!("stage name must be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["betweenness", "closeness", "hf_features"]);
+        for s in stages {
+            assert_eq!(s.get("bit_identical"), Some(&serde_json::Value::Bool(true)), "{s:?}");
+            assert!(s.get("serial_seconds").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            assert!(s.get("parallel_seconds").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+        assert!(doc.get("pool_utilization").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn threads_flag_falls_back_to_dd_threads_env() {
+        // Only the flag path is exercised here — mutating DD_THREADS would
+        // race other tests in this binary; the env fallback itself is
+        // covered by dd-runtime's Threads tests and the CI matrix.
+        let words = vec!["train".to_string(), "x".to_string(), "--threads".to_string()];
+        let args = Args::parse(words).unwrap();
+        // A bare `--threads` parses as the boolean "true" and must not
+        // silently become a thread count.
+        assert!(resolve_threads(&args).is_err());
+        let args =
+            Args::parse(["train", "x", "--threads", "3"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(resolve_threads(&args).unwrap().get(), 3);
+        let args = Args::parse(["train", "x"].iter().map(|s| s.to_string())).unwrap();
+        // No flag: env or serial — either way it resolves to something valid.
+        assert!(resolve_threads(&args).unwrap().get() >= 1);
     }
 
     #[test]

@@ -120,7 +120,7 @@ fn serve_e2e_train_query_shutdown() {
     //    be bit-identical to scoring offline.
     const N_THREADS: usize = 8;
     const PER_THREAD: usize = 8;
-    std::thread::scope(|s| {
+    dd_runtime::scope(|s| {
         for t in 0..N_THREADS {
             let addr = &addr;
             let ties = &ties;

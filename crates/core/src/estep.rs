@@ -31,13 +31,14 @@
 //! trajectory; in Hogwild mode the monitor thread's reads race with worker
 //! writes — the same accepted approximation as the updates themselves.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dd_linalg::activations::sigmoid;
 use dd_linalg::alias::AliasTable;
 use dd_linalg::matrix::DenseMatrix;
 use dd_linalg::rng::Pcg32;
+use dd_runtime::{split_streams, Latch};
 use dd_telemetry::EStepProgress;
 
 use crate::config::DeepDirectConfig;
@@ -220,16 +221,6 @@ pub struct EStep {
     pub per_worker_iterations: Vec<u64>,
 }
 
-/// Increments a shared counter when dropped — marks a Hogwild worker as done
-/// even on unwind, so the progress monitor can never wait forever.
-struct FinishGuard<'a>(&'a AtomicUsize);
-
-impl Drop for FinishGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_add(1, Ordering::Release);
-    }
-}
-
 /// Samples the current loss and reports one progress (or summary) event
 /// through `cfg.observer`.
 ///
@@ -367,18 +358,21 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
         per_worker_counts = vec![total];
     } else {
         let per_worker = total / cfg.threads as u64 + 1;
-        let mut seeds: Vec<Pcg32> = (0..cfg.threads).map(|i| rng.split(i as u64)).collect();
+        let mut seeds = split_streams(&mut rng, cfg.threads);
         let counters: Vec<AtomicU64> = (0..cfg.threads).map(|_| AtomicU64::new(0)).collect();
-        let finished = AtomicUsize::new(0);
+        // Workers arrive on the latch as they finish (via a drop guard, so
+        // even a panicking worker arrives); the monitor parks on it instead
+        // of sleep-polling a counter.
+        let done = Latch::new(cfg.threads);
         let reported = AtomicU64::new(0);
-        std::thread::scope(|s| {
+        dd_runtime::scope(|s| {
             for (widx, mut wrng) in seeds.drain(..).enumerate() {
                 let pc = &pc;
                 let pn = &pn;
                 let counter = &counters[widx];
-                let finished = &finished;
+                let done = &done;
                 s.spawn(move || {
-                    let _guard = FinishGuard(finished);
+                    let _arrival = done.guard();
                     let mut grad = vec![0.0f32; dim];
                     for it in 0..per_worker {
                         let lr = cfg.lr * (1.0 - it as f32 / per_worker as f32).max(1e-4);
@@ -399,18 +393,20 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
                 let pc = &pc;
                 let pn = &pn;
                 let counters = &counters;
-                let finished = &finished;
+                let done = &done;
                 let reported = &reported;
-                let n_workers = cfg.threads;
                 let mut loss_rng = Pcg32::seed_from_u64(cfg.seed ^ PROGRESS_RNG_SALT);
                 s.spawn(move || {
                     let mut next = interval;
                     loop {
-                        let done = finished.load(Ordering::Acquire);
+                        // Parks until either all workers arrived (wakes
+                        // immediately, no poll latency) or the sampling
+                        // interval elapsed and progress may be due.
+                        let finished = done.wait_timeout(std::time::Duration::from_millis(20));
                         let snapshot: Vec<u64> =
                             counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
                         let iters: u64 = snapshot.iter().sum();
-                        if done >= n_workers {
+                        if finished {
                             break; // the final sample is reported post-join
                         }
                         if iters >= next {
@@ -436,7 +432,6 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
                                 next += interval;
                             }
                         }
-                        std::thread::sleep(std::time::Duration::from_millis(5));
                     }
                 });
             }

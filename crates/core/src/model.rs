@@ -67,8 +67,11 @@ impl DeepDirect {
     pub fn fit(&self, g: &MixedSocialNetwork) -> DirectionalityModel {
         let obs = &self.cfg.observer;
         let mut rng = Pcg32::seed_from_u64(self.cfg.seed ^ 0x9e37);
-        let (universe, _) =
-            obs.time("universe.build", || TieUniverse::build(g, self.cfg.gamma, &mut rng));
+        let threads = dd_runtime::Threads::new(self.cfg.threads)
+            .expect("DeepDirectConfig.threads is zero; call validate() first");
+        let (universe, _) = obs.time("universe.build", || {
+            TieUniverse::build_with_threads(g, self.cfg.gamma, &mut rng, threads)
+        });
         let (estep_out, _) = obs.time("estep.train", || estep::train(&universe, &self.cfg));
         let (head, _) =
             obs.time("dstep.train", || dstep::train(&universe, &estep_out.params, &self.cfg));

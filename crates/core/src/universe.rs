@@ -19,6 +19,7 @@ use dd_graph::hash::FxHashMap;
 use dd_graph::triads::common_neighbors;
 use dd_graph::{MixedSocialNetwork, NodeId, TieKind};
 use dd_linalg::rng::Pcg32;
+use dd_runtime::{chunk_size, split_streams, Pool, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Classification of a universe tie.
@@ -70,8 +71,26 @@ impl TieUniverse {
     /// Builds the universe from a mixed social network.
     ///
     /// `gamma` caps the number of common neighbors sampled into `t(u, v)`
-    /// per undirected tie.
+    /// per undirected tie. Equivalent to [`TieUniverse::build_with_threads`]
+    /// at one thread; the chunked structure is identical, so the serial and
+    /// parallel builds agree bit-for-bit.
     pub fn build(g: &MixedSocialNetwork, gamma: usize, rng: &mut Pcg32) -> Self {
+        Self::build_with_threads(g, gamma, rng, Threads::serial())
+    }
+
+    /// Builds the universe on `threads` workers.
+    ///
+    /// The connected-tie-pair enumeration (tie degrees) and the
+    /// common-neighbor triad sampling are parallelized over fixed chunks of
+    /// ties, each chunk drawing from its own [`Pcg32`] stream split off
+    /// `rng` (stream `i` belongs to chunk `i`, not to a thread), so the
+    /// universe is bit-identical at any thread count.
+    pub fn build_with_threads(
+        g: &MixedSocialNetwork,
+        gamma: usize,
+        rng: &mut Pcg32,
+        threads: Threads,
+    ) -> Self {
         let counts = g.counts();
         let n_universe = g.n_ordered_ties() + counts.directed;
         let mut ties: Vec<UniverseTie> = Vec::with_capacity(n_universe);
@@ -131,40 +150,50 @@ impl TieUniverse {
             pair_index.insert((t.src.0, t.dst.0), i as u32);
         }
 
+        let pool = Pool::new("universe.build", threads);
+
         // Every universe tie has its reverse present, so deg_tie = outdeg−1.
-        let mut tie_degrees = Vec::with_capacity(ties.len());
-        let mut n_connected_pairs = 0u64;
-        for t in &ties {
+        // This is the connected-tie-pair enumeration: Σ deg_tie = |C(G)|.
+        let tie_degrees: Vec<u32> = pool.par_map(ties.len(), |i| {
+            let t = &ties[i];
             let od = out_offsets[t.dst.index() + 1] - out_offsets[t.dst.index()];
             debug_assert!(od >= 1, "reverse tie must exist");
-            let d = od - 1;
-            n_connected_pairs += d as u64;
-            tie_degrees.push(d);
-        }
+            od - 1
+        });
+        let n_connected_pairs: u64 = tie_degrees.iter().map(|&d| d as u64).sum();
 
-        // Sampled common-neighbor tie pairs for undirected ties.
+        // Sampled common-neighbor tie pairs for undirected ties, chunked
+        // with one split RNG stream per chunk. Streams are derived from
+        // `rng` serially up front, so the samples depend only on the root
+        // RNG state and the tie count — never on the thread count.
+        let csize = chunk_size(ties.len());
+        let streams = split_streams(rng, ties.len().div_ceil(csize));
         let mut triad_samples: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ties.len()];
-        for (i, t) in ties.iter().enumerate() {
-            if t.kind != UniverseKind::Undirected {
-                continue;
-            }
-            let mut cn = common_neighbors(g, t.src, t.dst);
-            // Partial Fisher–Yates to sample up to γ without bias.
-            let take = gamma.min(cn.len());
-            for k in 0..take {
-                let j = k + rng.gen_range(cn.len() - k);
-                cn.swap(k, j);
-            }
-            let mut pairs = Vec::with_capacity(take);
-            for &w in &cn[..take] {
-                let uw = pair_index.get(&(t.src.0, w.0));
-                let vw = pair_index.get(&(t.dst.0, w.0));
-                if let (Some(&uw), Some(&vw)) = (uw, vw) {
-                    pairs.push((uw, vw));
+        pool.par_chunks_mut(&mut triad_samples, csize, |offset, slots| {
+            let mut chunk_rng = streams[offset / csize].clone();
+            for (j, slot) in slots.iter_mut().enumerate() {
+                let t = &ties[offset + j];
+                if t.kind != UniverseKind::Undirected {
+                    continue;
                 }
+                let mut cn = common_neighbors(g, t.src, t.dst);
+                // Partial Fisher–Yates to sample up to γ without bias.
+                let take = gamma.min(cn.len());
+                for k in 0..take {
+                    let j = k + chunk_rng.gen_range(cn.len() - k);
+                    cn.swap(k, j);
+                }
+                let mut pairs = Vec::with_capacity(take);
+                for &w in &cn[..take] {
+                    let uw = pair_index.get(&(t.src.0, w.0));
+                    let vw = pair_index.get(&(t.dst.0, w.0));
+                    if let (Some(&uw), Some(&vw)) = (uw, vw) {
+                        pairs.push((uw, vw));
+                    }
+                }
+                *slot = pairs;
             }
-            triad_samples[i] = pairs;
-        }
+        });
 
         TieUniverse {
             n_nodes,
@@ -386,6 +415,26 @@ mod tests {
         // Non-undirected ties carry no samples.
         let d = u.find(NodeId(2), NodeId(0)).unwrap();
         assert!(u.triad_samples(d).is_empty());
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let g = small_mixed();
+        let build = |threads: usize| {
+            let mut rng = Pcg32::seed_from_u64(99);
+            TieUniverse::build_with_threads(&g, 5, &mut rng, Threads::new(threads).unwrap())
+        };
+        let serial = build(1);
+        for threads in [2, 8] {
+            let par = build(threads);
+            assert_eq!(serial.tie_degrees, par.tie_degrees);
+            assert_eq!(serial.triad_samples, par.triad_samples, "threads={threads}");
+            assert_eq!(serial.n_connected_pairs, par.n_connected_pairs);
+        }
+        // The default entry point is the same chunked computation.
+        let mut rng = Pcg32::seed_from_u64(99);
+        let default_build = TieUniverse::build(&g, 5, &mut rng);
+        assert_eq!(serial.triad_samples, default_build.triad_samples);
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn concurrent_scores_match_single_threaded_bit_for_bit() {
     let model = Arc::new(model);
     const N_THREADS: usize = 8;
     const ROUNDS: usize = 4;
-    let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+    let results: Vec<Vec<f64>> = dd_runtime::scope(|s| {
         let handles: Vec<_> = (0..N_THREADS)
             .map(|t| {
                 let model = Arc::clone(&model);

@@ -4,6 +4,7 @@
 
 use dd_graph::sampling::{hide_directions, HiddenDirections};
 use dd_graph::MixedSocialNetwork;
+use dd_runtime::{Pool, Threads};
 use deepdirect::DeepDirectConfig;
 use rand::Rng;
 
@@ -26,6 +27,14 @@ pub struct GridPoint {
 /// `val_hide_frac` of the directed ties are hidden per fold; the
 /// configuration with the best mean validation direction-discovery accuracy
 /// wins. Returns the winning `(α, β)` and the full table.
+///
+/// Every `(α, β, fold)` cell is an independent model fit, so cells run in
+/// parallel on `threads` workers. Splits are drawn from `rng` serially up
+/// front, cell results land in fixed slots, and fold means plus the argmax
+/// are computed in grid order — the search is deterministic at any thread
+/// count provided each fit is (i.e. `base.threads == 1`; the Hogwild E-step
+/// is the documented exemption, DESIGN.md §7.9).
+#[allow(clippy::too_many_arguments)] // mirrors the experiment's knobs 1:1
 pub fn grid_search_alpha_beta<R: Rng>(
     g: &MixedSocialNetwork,
     alphas: &[f32],
@@ -33,6 +42,7 @@ pub fn grid_search_alpha_beta<R: Rng>(
     base: &DeepDirectConfig,
     val_hide_frac: f64,
     folds: usize,
+    threads: Threads,
     rng: &mut R,
 ) -> (f32, f32, Vec<GridPoint>) {
     assert!(!alphas.is_empty() && !betas.is_empty(), "empty grid");
@@ -40,16 +50,19 @@ pub fn grid_search_alpha_beta<R: Rng>(
     // Pre-generate the folds so every configuration sees the same splits.
     let splits: Vec<HiddenDirections> =
         (0..folds).map(|_| hide_directions(g, 1.0 - val_hide_frac, rng)).collect();
+    let pool = Pool::new("eval.grid", threads);
+    let cell_accs = pool.par_map(alphas.len() * betas.len() * folds, |i| {
+        let (ai, rem) = (i / (betas.len() * folds), i % (betas.len() * folds));
+        let (bi, fi) = (rem / folds, rem % folds);
+        let cfg = DeepDirectConfig { alpha: alphas[ai], beta: betas[bi], ..base.clone() };
+        direction_discovery_accuracy(&Method::DeepDirect(cfg), &splits[fi])
+    });
     let mut table = Vec::with_capacity(alphas.len() * betas.len());
     let mut best = (alphas[0], betas[0], f64::NEG_INFINITY);
-    for &alpha in alphas {
-        for &beta in betas {
-            let cfg = DeepDirectConfig { alpha, beta, ..base.clone() };
-            let mut acc_sum = 0.0;
-            for split in &splits {
-                acc_sum += direction_discovery_accuracy(&Method::DeepDirect(cfg.clone()), split);
-            }
-            let accuracy = acc_sum / folds as f64;
+    for (ai, &alpha) in alphas.iter().enumerate() {
+        for (bi, &beta) in betas.iter().enumerate() {
+            let cell0 = (ai * betas.len() + bi) * folds;
+            let accuracy = cell_accs[cell0..cell0 + folds].iter().sum::<f64>() / folds as f64;
             table.push(GridPoint { alpha, beta, accuracy });
             if accuracy > best.2 {
                 best = (alpha, beta, accuracy);
@@ -73,8 +86,16 @@ mod tests {
             .network;
         let base =
             DeepDirectConfig { dim: 8, max_iterations: Some(5_000), ..DeepDirectConfig::default() };
-        let (a, b, table) =
-            grid_search_alpha_beta(&g, &[0.0, 1.0], &[0.0, 0.5], &base, 0.3, 1, &mut rng);
+        let (a, b, table) = grid_search_alpha_beta(
+            &g,
+            &[0.0, 1.0],
+            &[0.0, 0.5],
+            &base,
+            0.3,
+            1,
+            Threads::serial(),
+            &mut rng,
+        );
         assert_eq!(table.len(), 4);
         assert!(table.iter().any(|p| p.alpha == a && p.beta == b));
         let best = table.iter().map(|p| p.accuracy).fold(f64::MIN, f64::max);
@@ -90,6 +111,34 @@ mod tests {
         let g = social_network(&SocialNetConfig { n_nodes: 50, ..Default::default() }, &mut rng)
             .network;
         let base = DeepDirectConfig::fast();
-        let _ = grid_search_alpha_beta(&g, &[], &[0.0], &base, 0.3, 1, &mut rng);
+        let _ = grid_search_alpha_beta(&g, &[], &[0.0], &base, 0.3, 1, Threads::serial(), &mut rng);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = social_network(&SocialNetConfig { n_nodes: 60, ..Default::default() }, &mut rng)
+            .network;
+        let base =
+            DeepDirectConfig { dim: 8, max_iterations: Some(2_000), ..DeepDirectConfig::fast() };
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(77);
+            grid_search_alpha_beta(
+                &g,
+                &[0.0, 1.0],
+                &[0.0],
+                &base,
+                0.3,
+                2,
+                Threads::new(threads).unwrap(),
+                &mut rng,
+            )
+        };
+        let (a1, b1, t1) = run(1);
+        let (a4, b4, t4) = run(4);
+        assert_eq!((a1, b1), (a4, b4));
+        for (p, q) in t1.iter().zip(&t4) {
+            assert_eq!(p.accuracy.to_bits(), q.accuracy.to_bits());
+        }
     }
 }

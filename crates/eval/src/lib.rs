@@ -30,8 +30,8 @@ pub use linkpred::{build_instance, build_instance_sampled, LinkPredInstance};
 pub use metrics::{bootstrap_mean_ci, calibration, CalibrationBin, ConfidenceInterval};
 pub use pca::pca_project;
 pub use runner::{
-    direction_discovery_accuracy, scorer_accuracy, DeepDirectScorer, ExperimentRow, Method,
-    ResultSink,
+    direction_discovery_accuracy, evaluate_methods, scorer_accuracy, DeepDirectScorer,
+    ExperimentRow, Method, ResultSink,
 };
 pub use silhouette::silhouette_2d;
 pub use tsne::{tsne_2d, TsneConfig};

@@ -8,6 +8,7 @@ use dd_baselines::{
 };
 use dd_graph::sampling::HiddenDirections;
 use dd_graph::{MixedSocialNetwork, NodeId};
+use dd_runtime::{Pool, Threads};
 use dd_telemetry::ObserverHandle;
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
 use serde::{Deserialize, Serialize};
@@ -107,6 +108,25 @@ pub fn direction_discovery_accuracy_observed(
     let scorer = method.fit_observed(&hidden.network, obs);
     let (acc, _) = obs.time("eval.discovery", || scorer_accuracy(scorer.as_ref(), hidden));
     acc
+}
+
+/// Runs the direction-discovery protocol for several methods concurrently
+/// on `threads` workers, returning `(name, accuracy)` in input order.
+///
+/// Each method's fit is independent (fits share only the read-only hidden
+/// network), so the result is identical at any thread count as long as each
+/// individual fit is deterministic (keep per-method `threads == 1` configs
+/// when comparing runs; see DESIGN.md §7.9 for the Hogwild exemption).
+pub fn evaluate_methods(
+    methods: &[Method],
+    hidden: &HiddenDirections,
+    threads: Threads,
+    obs: &ObserverHandle,
+) -> Vec<(&'static str, f64)> {
+    let pool = Pool::new("eval.methods", threads);
+    pool.par_map(methods.len(), |i| {
+        (methods[i].name(), direction_discovery_accuracy_observed(&methods[i], hidden, obs))
+    })
 }
 
 /// Accuracy of an already-fitted scorer under the protocol of Sec. 6.2.
@@ -244,6 +264,27 @@ mod tests {
         let acc = direction_discovery_accuracy(&m, &hidden);
         assert!((0.0..=1.0).contains(&acc));
         assert!(acc > 0.5, "HF beats chance: {acc}");
+    }
+
+    #[test]
+    fn evaluate_methods_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = social_network(&SocialNetConfig { n_nodes: 100, ..Default::default() }, &mut rng)
+            .network;
+        let hidden = hide_directions(&g, 0.5, &mut rng);
+        let methods = vec![
+            Method::Hf(HfConfig::default()),
+            Method::RedirectN(RedirectNConfig::default()),
+            Method::RedirectT(RedirectTConfig::default()),
+        ];
+        let obs = ObserverHandle::none();
+        let serial = evaluate_methods(&methods, &hidden, Threads::serial(), &obs);
+        let parallel = evaluate_methods(&methods, &hidden, Threads::new(4).unwrap(), &obs);
+        assert_eq!(serial.len(), 3);
+        for ((n1, a1), (n2, a2)) in serial.iter().zip(&parallel) {
+            assert_eq!(n1, n2);
+            assert_eq!(a1.to_bits(), a2.to_bits(), "{n1}");
+        }
     }
 
     #[test]

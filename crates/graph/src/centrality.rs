@@ -6,9 +6,20 @@
 //! is fine for the sampled sub-networks of the evaluation but expensive for
 //! full-scale graphs; the `*_sampled` variants estimate both measures from
 //! `k` pivot sources with the standard unbiased scaling.
+//!
+//! Per-source BFS/Brandes passes are embarrassingly parallel, so every
+//! measure comes in three flavours: the classic serial entry point
+//! (`closeness_all`), a `_threads` variant that runs on a private
+//! [`dd_runtime::Pool`], and a `_pool` variant for callers that own a pool
+//! and want its utilization stats afterwards. Sources are chunked with a
+//! structure that depends only on the source count and per-chunk partial
+//! sums are reduced in chunk order, so results are **bit-identical at any
+//! thread count** (see DESIGN.md §7.9).
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+use dd_runtime::{chunk_size, Pool, Threads};
 
 use crate::ids::NodeId;
 use crate::network::MixedSocialNetwork;
@@ -17,8 +28,18 @@ use crate::traversal::{bfs_distances, UNREACHABLE};
 /// Exact closeness centrality for every node: `cc(u) = 1 / Σ_{v≠u} dis(u,v)`,
 /// summing over nodes reachable from `u`. Isolated nodes get `0`.
 pub fn closeness_all(g: &MixedSocialNetwork) -> Vec<f64> {
+    closeness_all_threads(g, Threads::serial())
+}
+
+/// [`closeness_all`] on `threads` worker threads.
+pub fn closeness_all_threads(g: &MixedSocialNetwork, threads: Threads) -> Vec<f64> {
+    closeness_all_pool(g, &Pool::new("centrality.closeness", threads))
+}
+
+/// [`closeness_all`] on a caller-owned pool.
+pub fn closeness_all_pool(g: &MixedSocialNetwork, pool: &Pool) -> Vec<f64> {
     let sources: Vec<NodeId> = g.nodes().collect();
-    closeness_from_sources(g, &sources, g.n_nodes())
+    closeness_from_sources(g, &sources, g.n_nodes(), pool)
 }
 
 /// Approximate closeness from `k` random pivot sources.
@@ -26,25 +47,57 @@ pub fn closeness_all(g: &MixedSocialNetwork) -> Vec<f64> {
 /// Distance sums are scaled by `n/k` so the estimate is comparable with the
 /// exact value. With `k ≥ n` this equals [`closeness_all`].
 pub fn closeness_sampled<R: Rng>(g: &MixedSocialNetwork, k: usize, rng: &mut R) -> Vec<f64> {
-    let mut sources: Vec<NodeId> = g.nodes().collect();
-    sources.shuffle(rng);
-    let k = k.min(sources.len());
-    sources.truncate(k);
-    closeness_from_sources(g, &sources, g.n_nodes())
+    closeness_sampled_threads(g, k, rng, Threads::serial())
 }
 
-fn closeness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize) -> Vec<f64> {
+/// [`closeness_sampled`] on `threads` worker threads. Pivot selection draws
+/// from `rng` before any parallel work, so the estimate depends only on the
+/// RNG state, not the thread count.
+pub fn closeness_sampled_threads<R: Rng>(
+    g: &MixedSocialNetwork,
+    k: usize,
+    rng: &mut R,
+    threads: Threads,
+) -> Vec<f64> {
+    let sources = sample_pivots(g, k, rng);
+    closeness_from_sources(g, &sources, g.n_nodes(), &Pool::new("centrality.closeness", threads))
+}
+
+fn sample_pivots<R: Rng>(g: &MixedSocialNetwork, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut sources: Vec<NodeId> = g.nodes().collect();
+    sources.shuffle(rng);
+    sources.truncate(k.min(sources.len()));
+    sources
+}
+
+fn closeness_from_sources(
+    g: &MixedSocialNetwork,
+    sources: &[NodeId],
+    n: usize,
+    pool: &Pool,
+) -> Vec<f64> {
     // BFS from each source accumulates dis(source, v) onto v; by symmetry of
     // the undirected view this also accumulates Σ_s dis(v, s) for each v.
-    let mut sums = vec![0.0f64; g.n_nodes()];
-    for &s in sources {
-        let dist = bfs_distances(g, s);
-        for (v, &d) in dist.iter().enumerate() {
-            if d != UNREACHABLE && d > 0 {
-                sums[v] += d as f64;
-            }
-        }
-    }
+    let nn = g.n_nodes();
+    let sums = pool
+        .par_map_reduce(
+            sources.len(),
+            chunk_size(sources.len()),
+            |range| {
+                let mut sums = vec![0.0f64; nn];
+                for &s in &sources[range] {
+                    let dist = bfs_distances(g, s);
+                    for (v, &d) in dist.iter().enumerate() {
+                        if d != UNREACHABLE && d > 0 {
+                            sums[v] += d as f64;
+                        }
+                    }
+                }
+                sums
+            },
+            add_elementwise,
+        )
+        .unwrap_or_else(|| vec![0.0f64; nn]);
     let scale = if sources.is_empty() { 0.0 } else { n as f64 / sources.len() as f64 };
     sums.iter()
         .map(|&s| {
@@ -61,23 +114,72 @@ fn closeness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize) 
 /// Exact betweenness centrality for every node via Brandes' algorithm on the
 /// undirected view: `bc(u) = Σ_{i≠u≠j} σ_ij(u) / σ_ij`.
 pub fn betweenness_all(g: &MixedSocialNetwork) -> Vec<f64> {
+    betweenness_all_threads(g, Threads::serial())
+}
+
+/// [`betweenness_all`] on `threads` worker threads.
+pub fn betweenness_all_threads(g: &MixedSocialNetwork, threads: Threads) -> Vec<f64> {
+    betweenness_all_pool(g, &Pool::new("centrality.betweenness", threads))
+}
+
+/// [`betweenness_all`] on a caller-owned pool.
+pub fn betweenness_all_pool(g: &MixedSocialNetwork, pool: &Pool) -> Vec<f64> {
     let sources: Vec<NodeId> = g.nodes().collect();
-    betweenness_from_sources(g, &sources, g.n_nodes())
+    betweenness_from_sources(g, &sources, g.n_nodes(), pool)
 }
 
 /// Approximate betweenness from `k` random pivot sources, scaled by `n/k`.
 pub fn betweenness_sampled<R: Rng>(g: &MixedSocialNetwork, k: usize, rng: &mut R) -> Vec<f64> {
-    let mut sources: Vec<NodeId> = g.nodes().collect();
-    sources.shuffle(rng);
-    let k = k.min(sources.len());
-    sources.truncate(k);
-    betweenness_from_sources(g, &sources, g.n_nodes())
+    betweenness_sampled_threads(g, k, rng, Threads::serial())
 }
 
-fn betweenness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize) -> Vec<f64> {
+/// [`betweenness_sampled`] on `threads` worker threads. Pivot selection
+/// draws from `rng` before any parallel work, so the estimate depends only
+/// on the RNG state, not the thread count.
+pub fn betweenness_sampled_threads<R: Rng>(
+    g: &MixedSocialNetwork,
+    k: usize,
+    rng: &mut R,
+    threads: Threads,
+) -> Vec<f64> {
+    let sources = sample_pivots(g, k, rng);
+    betweenness_from_sources(
+        g,
+        &sources,
+        g.n_nodes(),
+        &Pool::new("centrality.betweenness", threads),
+    )
+}
+
+fn betweenness_from_sources(
+    g: &MixedSocialNetwork,
+    sources: &[NodeId],
+    n: usize,
+    pool: &Pool,
+) -> Vec<f64> {
+    let nn = g.n_nodes();
+    let mut bc = pool
+        .par_map_reduce(
+            sources.len(),
+            chunk_size(sources.len()),
+            |range| brandes_chunk(g, &sources[range]),
+            add_elementwise,
+        )
+        .unwrap_or_else(|| vec![0.0f64; nn]);
+    // Undirected: each pair (i, j) is visited from both ends when all sources
+    // are used, so halve; sampled runs additionally scale by n/k.
+    let scale = if sources.is_empty() { 0.0 } else { n as f64 / sources.len() as f64 / 2.0 };
+    for b in &mut bc {
+        *b *= scale;
+    }
+    bc
+}
+
+/// One Brandes accumulation pass over a chunk of sources, with working
+/// arrays reused across the chunk's sources.
+fn brandes_chunk(g: &MixedSocialNetwork, sources: &[NodeId]) -> Vec<f64> {
     let nn = g.n_nodes();
     let mut bc = vec![0.0f64; nn];
-    // Brandes working arrays, reused across sources.
     let mut sigma = vec![0.0f64; nn];
     let mut dist = vec![-1i32; nn];
     let mut delta = vec![0.0f64; nn];
@@ -123,13 +225,15 @@ fn betweenness_from_sources(g: &MixedSocialNetwork, sources: &[NodeId], n: usize
             }
         }
     }
-    // Undirected: each pair (i, j) is visited from both ends when all sources
-    // are used, so halve; sampled runs additionally scale by n/k.
-    let scale = if sources.is_empty() { 0.0 } else { n as f64 / sources.len() as f64 / 2.0 };
-    for b in &mut bc {
-        *b *= scale;
-    }
     bc
+}
+
+fn add_elementwise(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
+    debug_assert_eq!(acc.len(), part.len());
+    for (a, p) in acc.iter_mut().zip(&part) {
+        *a += p;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -209,6 +313,26 @@ mod tests {
         let bc_e = betweenness_all(&g);
         for (a, b) in bc_s.iter().zip(&bc_e) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn threads_variants_are_bit_identical() {
+        let g = path5();
+        for threads in [2, 8] {
+            let t = Threads::new(threads).unwrap();
+            let cc1 = closeness_all(&g);
+            let cct = closeness_all_threads(&g, t);
+            assert!(cc1.iter().zip(&cct).all(|(a, b)| a.to_bits() == b.to_bits()));
+            let bc1 = betweenness_all(&g);
+            let bct = betweenness_all_threads(&g, t);
+            assert!(bc1.iter().zip(&bct).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut rt = StdRng::seed_from_u64(5);
+            let s1 = betweenness_sampled(&g, 3, &mut r1);
+            let st = betweenness_sampled_threads(&g, 3, &mut rt, t);
+            assert!(s1.iter().zip(&st).all(|(a, b)| a.to_bits() == b.to_bits()));
         }
     }
 

@@ -1,0 +1,128 @@
+//! A condvar-backed counting latch for completion signalling.
+//!
+//! Replaces the sleep-poll loops that previously watched an `AtomicUsize`
+//! "finished workers" counter: waiters park on a condition variable and are
+//! woken the moment the last worker arrives, instead of rediscovering
+//! completion up to one poll interval late.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot countdown latch.
+///
+/// Created with a count of expected arrivals; [`Latch::arrive`] decrements
+/// it, and waiters block until the count reaches zero. Workers should hold a
+/// [`LatchGuard`] (from [`Latch::guard`]) so the arrival is signalled even
+/// if the worker body panics — otherwise a waiter would park forever.
+pub struct Latch {
+    remaining: Mutex<usize>,
+    released: Condvar,
+}
+
+impl Latch {
+    /// Creates a latch expecting `count` arrivals. A zero count is already
+    /// released.
+    pub fn new(count: usize) -> Self {
+        Latch { remaining: Mutex::new(count), released: Condvar::new() }
+    }
+
+    /// Records one arrival, waking all waiters if it was the last.
+    pub fn arrive(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.released.notify_all();
+        }
+    }
+
+    /// Returns a guard that arrives when dropped (including on panic).
+    pub fn guard(&self) -> LatchGuard<'_> {
+        LatchGuard { latch: self }
+    }
+
+    /// True once every expected arrival has happened.
+    pub fn is_released(&self) -> bool {
+        *self.remaining.lock().expect("latch poisoned") == 0
+    }
+
+    /// Parks until the latch is released.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.released.wait(remaining).expect("latch poisoned");
+        }
+    }
+
+    /// Parks for at most `timeout`; returns true if the latch is released.
+    ///
+    /// Unlike a sleep-poll this wakes immediately on the final arrival, so
+    /// a generous timeout costs nothing in completion latency — it only
+    /// bounds how often a monitor loop gets a chance to do periodic work.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        if *remaining == 0 {
+            return true;
+        }
+        let (guard, _result) =
+            self.released.wait_timeout(remaining, timeout).expect("latch poisoned");
+        remaining = guard;
+        *remaining == 0
+    }
+}
+
+/// Arrival guard returned by [`Latch::guard`].
+pub struct LatchGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.arrive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_is_released() {
+        let latch = Latch::new(0);
+        assert!(latch.is_released());
+        latch.wait();
+        assert!(latch.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn releases_after_all_arrivals() {
+        let latch = Latch::new(2);
+        latch.arrive();
+        assert!(!latch.is_released());
+        assert!(!latch.wait_timeout(Duration::from_millis(1)));
+        latch.arrive();
+        assert!(latch.is_released());
+        latch.wait();
+    }
+
+    #[test]
+    fn guard_arrives_on_drop() {
+        let latch = Latch::new(1);
+        {
+            let _guard = latch.guard();
+            assert!(!latch.is_released());
+        }
+        assert!(latch.is_released());
+    }
+
+    #[test]
+    fn wakes_waiter_across_threads() {
+        let latch = Latch::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                latch.arrive();
+            });
+            latch.wait();
+        });
+        assert!(latch.is_released());
+    }
+}

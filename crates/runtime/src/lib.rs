@@ -1,0 +1,48 @@
+//! dd-runtime: the workspace's shared parallel execution layer.
+//!
+//! Before this crate, parallelism in DeepDirect-rs was three incompatible
+//! ad-hoc islands (a hand-rolled Hogwild `thread::scope` in the E-step, a
+//! bespoke worker pool in `dd-serve`, and nothing anywhere else). This
+//! crate is the single substrate they all share:
+//!
+//! - [`Threads`] — a validated thread-count config resolved from
+//!   `--threads` / the `DD_THREADS` environment variable.
+//! - [`Pool`] — scoped data-parallel execution ([`Pool::par_chunks_mut`],
+//!   [`Pool::par_map`], [`Pool::par_map_reduce`]) with a **determinism
+//!   contract**: chunk structure depends only on the input size and
+//!   reductions combine per-chunk results sequentially in chunk order, so
+//!   floating-point outputs are bit-identical at any thread count.
+//! - [`split_streams`] — per-chunk [`dd_linalg::Pcg32`] RNG streams derived
+//!   deterministically from one root generator, so randomized stages keep
+//!   the same contract.
+//! - [`Latch`] — a condvar-based completion signal (parking, not
+//!   sleep-polling) for monitor threads.
+//! - [`WorkerPool`] / [`spawn_named`] — long-lived named service threads.
+//! - [`scope`] — re-export of [`std::thread::scope`] for the one consumer
+//!   (the Hogwild E-step) that needs raw scoped threads with shared mutable
+//!   parameter access; routing it through this crate keeps every thread
+//!   entry point in the workspace under one roof.
+//!
+//! See `examples/runtime_demo.rs` (run with
+//! `cargo run --example runtime_demo -p dd-runtime`) for a worked example
+//! of [`Pool::par_map_reduce`] with split RNG streams, and DESIGN.md §7.9
+//! for the full determinism contract and which pipeline stages opt out
+//! (Hogwild SGD, intentionally).
+//!
+//! The crate is std-only, like the rest of the workspace.
+
+mod latch;
+mod pool;
+mod threads;
+mod worker;
+
+pub use latch::{Latch, LatchGuard};
+pub use pool::{chunk_size, split_streams, Pool, PoolStats};
+pub use threads::Threads;
+pub use worker::{spawn_named, WorkerPool};
+
+/// Scoped-thread escape hatch; see the crate docs for when this is
+/// appropriate (almost never — prefer [`Pool`]).
+pub use std::thread::scope;
+/// The scope handle type passed to [`scope`] closures.
+pub use std::thread::Scope;

@@ -1,0 +1,316 @@
+//! Deterministic data-parallel execution over fixed chunk structures.
+//!
+//! The determinism contract: every parallel operation partitions its input
+//! into chunks whose boundaries depend only on the input size — never on the
+//! thread count — and combines per-chunk results *sequentially in chunk
+//! order*. Floating-point reductions therefore associate identically whether
+//! the pool runs 1 thread or 8, and outputs are bit-identical at any thread
+//! count. (They may differ from a pre-chunking serial implementation, which
+//! associated element-by-element; that is a one-time change, not a source of
+//! run-to-run variance.)
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dd_linalg::Pcg32;
+
+use crate::Threads;
+
+/// Default chunk size for `n` work items: at most 64 chunks, at least one
+/// item per chunk. Depends only on `n`, which is what makes results
+/// independent of the thread count.
+pub fn chunk_size(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// Derives `n` independent [`Pcg32`] streams from a root generator.
+///
+/// The streams are drawn from `root` sequentially (stream `i` is
+/// `root.split(i)`), so the resulting vector depends only on the root state
+/// and `n` — hand stream `i` to chunk `i` and randomized parallel stages
+/// stay deterministic at any thread count.
+pub fn split_streams(root: &mut Pcg32, n: usize) -> Vec<Pcg32> {
+    (0..n).map(|i| root.split(i as u64)).collect()
+}
+
+/// Counters accumulated by a [`Pool`] across its parallel calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolStats {
+    /// Configured worker count.
+    pub threads: usize,
+    /// Number of parallel operations executed.
+    pub calls: u64,
+    /// Number of work chunks processed.
+    pub chunks: u64,
+    /// Total time workers spent inside chunk bodies, summed over workers.
+    pub busy_seconds: f64,
+    /// Total wall-clock time spent inside parallel operations.
+    pub wall_seconds: f64,
+}
+
+impl PoolStats {
+    /// Fraction of available worker time spent busy: `busy / (wall *
+    /// threads)`. Zero before any work has run; near 1.0 means the
+    /// configured threads were saturated.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_seconds * self.threads as f64;
+        if capacity > 0.0 {
+            self.busy_seconds / capacity
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A scoped worker pool with a fixed thread budget and usage counters.
+///
+/// `Pool` spawns scoped threads per call rather than keeping workers parked:
+/// every parallel region in this workspace is coarse enough (BFS per source,
+/// thousands of SGD steps, a model fit per grid cell) that spawn cost is
+/// noise, and scoped threads keep the API free of `'static` bounds. For
+/// long-lived detached workers (the serve request pool) see
+/// [`crate::WorkerPool`].
+pub struct Pool {
+    label: String,
+    threads: Threads,
+    calls: AtomicU64,
+    chunks: AtomicU64,
+    busy_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl Pool {
+    /// Creates a pool labelled `label` (used in telemetry) running at most
+    /// `threads` workers per call.
+    pub fn new(label: &str, threads: Threads) -> Self {
+        Pool {
+            label: label.to_string(),
+            threads,
+            calls: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The telemetry label given at construction.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> Threads {
+        self.threads
+    }
+
+    /// A snapshot of the pool's usage counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads.get(),
+            calls: self.calls.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            busy_seconds: self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Runs `f(offset, chunk)` over `data` split into chunks of `chunk`
+    /// elements (the last may be shorter). `offset` is the index of the
+    /// chunk's first element in `data`.
+    ///
+    /// Chunk boundaries depend only on `data.len()` and `chunk`; workers
+    /// pull chunks from a shared queue, so any thread may run any chunk,
+    /// but each chunk sees exactly the same slice regardless of thread
+    /// count.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let wall_start = Instant::now();
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let n = data.len();
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.threads.get().min(n_chunks);
+        if workers <= 1 {
+            let busy_start = Instant::now();
+            for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+                f(ci * chunk, slice);
+            }
+            self.record_busy(busy_start);
+        } else {
+            // A LIFO queue of (offset, slice) tasks. Completion order is
+            // irrelevant: results land in the caller's slices, whose
+            // positions are fixed by the chunk structure.
+            let mut tasks: Vec<(usize, &mut [T])> =
+                data.chunks_mut(chunk).enumerate().map(|(ci, slice)| (ci * chunk, slice)).collect();
+            tasks.reverse();
+            let queue = Mutex::new(tasks);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let busy_start = Instant::now();
+                        while let Some((offset, slice)) =
+                            queue.lock().expect("pool queue poisoned").pop()
+                        {
+                            f(offset, slice);
+                        }
+                        self.record_busy(busy_start);
+                    });
+                }
+            });
+        }
+        self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        self.wall_nanos.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Computes `f(i)` for every `i in 0..n`, returning results in index
+    /// order. Uses the default [`chunk_size`] partition.
+    pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        self.par_chunks_mut(&mut slots, chunk_size(n), |offset, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(f(offset + j));
+            }
+        });
+        slots.into_iter().map(|slot| slot.expect("par_map chunk left a slot unfilled")).collect()
+    }
+
+    /// Maps each chunk range of `0..n` through `map` and folds the per-chunk
+    /// results with `reduce` **sequentially in chunk order**, which is what
+    /// keeps floating-point reductions bit-identical at any thread count.
+    /// Returns `None` when `n == 0`.
+    pub fn par_map_reduce<A, M, R>(&self, n: usize, chunk: usize, map: M, reduce: R) -> Option<A>
+    where
+        A: Send,
+        M: Fn(Range<usize>) -> A + Sync,
+        R: FnMut(A, A) -> A,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if n == 0 {
+            return None;
+        }
+        let n_chunks = n.div_ceil(chunk);
+        let mut parts: Vec<Option<A>> = Vec::with_capacity(n_chunks);
+        parts.resize_with(n_chunks, || None);
+        // One task per chunk of the *input*; each slot receives the mapped
+        // value for its fixed range.
+        self.par_chunks_mut(&mut parts, 1, |ci, slot| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            slot[0] = Some(map(start..end));
+        });
+        let mut parts =
+            parts.into_iter().map(|p| p.expect("par_map_reduce chunk left a slot unfilled"));
+        let first = parts.next()?;
+        Some(parts.fold(first, reduce))
+    }
+
+    fn record_busy(&self, since: Instant) {
+        self.busy_nanos.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(threads: usize) -> Pool {
+        Pool::new("test", Threads::new(threads).unwrap())
+    }
+
+    #[test]
+    fn chunk_size_depends_only_on_n() {
+        assert_eq!(chunk_size(0), 1);
+        assert_eq!(chunk_size(1), 1);
+        assert_eq!(chunk_size(64), 1);
+        assert_eq!(chunk_size(65), 2);
+        assert_eq!(chunk_size(6_400), 100);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_element_once() {
+        for threads in [1, 2, 8] {
+            let mut data = vec![0u32; 1000];
+            pool(threads).par_chunks_mut(&mut data, 7, |offset, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x += (offset + j) as u32;
+                }
+            });
+            let expect: Vec<u32> = (0..1000).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 3, 8] {
+            let out = pool(threads).par_map(257, |i| i * i);
+            let expect: Vec<usize> = (0..257).map(|i| i * i).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_bit_identical_across_thread_counts() {
+        // A sum whose value depends on association order: only a fixed
+        // chunk structure plus in-order reduction makes this bit-stable.
+        let reference: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) * 0.73).sin() * 1e-3 + 1.0 / (i as f64 + 1.0))
+            .collect();
+        let run = |threads: usize| -> f64 {
+            pool(threads)
+                .par_map_reduce(
+                    reference.len(),
+                    chunk_size(reference.len()),
+                    |range| range.map(|i| reference[i]).sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 5, 8] {
+            assert_eq!(serial.to_bits(), run(threads).to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_empty_is_none() {
+        assert_eq!(pool(4).par_map_reduce(0, 8, |_| 1u64, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_and_distinct() {
+        let mut a = Pcg32::seed_from_u64(11);
+        let mut b = Pcg32::seed_from_u64(11);
+        let mut sa = split_streams(&mut a, 4);
+        let mut sb = split_streams(&mut b, 4);
+        for (x, y) in sa.iter_mut().zip(sb.iter_mut()) {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+        assert_ne!(sa[0].next_u64(), sa[1].next_u64());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let p = pool(2);
+        let _ = p.par_map(100, |i| i);
+        let _ = p.par_map_reduce(100, 10, |r| r.len(), |a, b| a + b);
+        let s = p.stats();
+        assert_eq!(s.threads, 2);
+        assert!(s.calls >= 2, "calls {}", s.calls);
+        assert!(s.chunks >= 12, "chunks {}", s.chunks);
+        assert!(s.wall_seconds >= 0.0);
+        assert!(s.utilization() >= 0.0);
+        assert_eq!(p.label(), "test");
+        assert_eq!(p.threads().get(), 2);
+    }
+}

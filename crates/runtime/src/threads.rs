@@ -1,0 +1,121 @@
+//! Thread-count configuration resolved from CLI flags and the environment.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// A validated worker-thread count.
+///
+/// The inner value is [`NonZeroUsize`], so a `Threads` in hand is proof that
+/// the zero-thread configuration error has already been rejected. Construct
+/// one with [`Threads::new`] (explicit count) or [`Threads::resolve`] (CLI
+/// flag falling back to the `DD_THREADS` environment variable, then serial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(NonZeroUsize);
+
+impl Threads {
+    /// Environment variable consulted by [`Threads::resolve`] when no
+    /// explicit flag is given.
+    pub const ENV: &'static str = "DD_THREADS";
+
+    /// The single-threaded configuration.
+    pub const fn serial() -> Self {
+        // SAFETY-free const construction: 1 is trivially non-zero.
+        Threads(NonZeroUsize::MIN)
+    }
+
+    /// Validates an explicit thread count. Zero is a configuration error.
+    pub fn new(n: usize) -> Result<Self, String> {
+        NonZeroUsize::new(n)
+            .map(Threads)
+            .ok_or_else(|| "thread count must be at least 1".to_string())
+    }
+
+    /// Resolves a thread count with the precedence: explicit flag value,
+    /// then the `DD_THREADS` environment variable, then serial.
+    ///
+    /// Both sources reject zero and (for the variable) anything that is not
+    /// a positive integer, so a typo fails loudly instead of silently
+    /// running serial.
+    pub fn resolve(flag: Option<usize>) -> Result<Self, String> {
+        if let Some(n) = flag {
+            return Self::new(n).map_err(|e| format!("--threads: {e}"));
+        }
+        match std::env::var(Self::ENV) {
+            Ok(raw) => raw
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .and_then(NonZeroUsize::new)
+                .map(Threads)
+                .ok_or_else(|| format!("{}: expected a positive integer, got {raw:?}", Self::ENV)),
+            Err(_) => Ok(Self::serial()),
+        }
+    }
+
+    /// The thread count as a plain integer (always >= 1).
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// True when this configuration runs on the calling thread only.
+    pub fn is_serial(self) -> bool {
+        self.0.get() == 1
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::serial()
+    }
+}
+
+impl fmt::Display for Threads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<usize> for Threads {
+    type Error = String;
+
+    fn try_from(n: usize) -> Result<Self, Self::Error> {
+        Threads::new(n)
+    }
+}
+
+impl From<Threads> for usize {
+    fn from(t: Threads) -> usize {
+        t.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero() {
+        assert!(Threads::new(0).is_err());
+        assert!(Threads::resolve(Some(0)).is_err());
+    }
+
+    #[test]
+    fn explicit_flag_wins() {
+        let t = Threads::resolve(Some(6)).unwrap();
+        assert_eq!(t.get(), 6);
+        assert!(!t.is_serial());
+    }
+
+    #[test]
+    fn serial_default() {
+        assert!(Threads::serial().is_serial());
+        assert_eq!(Threads::default().get(), 1);
+        assert_eq!(Threads::serial().to_string(), "1");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Threads::try_from(3).unwrap();
+        assert_eq!(usize::from(t), 3);
+    }
+}

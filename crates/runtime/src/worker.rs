@@ -1,0 +1,135 @@
+//! Long-lived named worker threads for services.
+//!
+//! [`Pool`](crate::Pool) covers compute kernels with scoped, per-call
+//! workers; this module covers the other shape — detached threads that live
+//! for the duration of a service (the `dd serve` request pool, its
+//! acceptor). Keeping both here lets the rest of the workspace avoid raw
+//! `std::thread` spawning entirely (CI greps for strays).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::Threads;
+
+/// Spawns a single named thread. The name shows up in panics, debuggers and
+/// `/proc`, which is worth insisting on for anything long-lived.
+pub fn spawn_named<T, F>(name: &str, f: F) -> Result<JoinHandle<T>, String>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .map_err(|e| format!("spawning thread {name:?}: {e}"))
+}
+
+/// A fixed-size pool of named, long-lived worker threads.
+///
+/// Each worker runs `body(worker_index)` once; workers typically loop on a
+/// shared channel until it disconnects. Dropping the pool joins all
+/// workers, so shutdown ordering is: make the workers' loop terminate
+/// (close the channel), then drop or [`join`](WorkerPool::join) the pool.
+pub struct WorkerPool {
+    label: String,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts `threads` workers named `{label}-{index}` all running `body`.
+    pub fn start<F>(label: &str, threads: Threads, body: F) -> Result<WorkerPool, String>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let mut handles = Vec::with_capacity(threads.get());
+        for i in 0..threads.get() {
+            let body = Arc::clone(&body);
+            handles.push(spawn_named(&format!("{label}-{i}"), move || body(i))?);
+        }
+        Ok(WorkerPool { label: label.to_string(), handles })
+    }
+
+    /// The label workers were named after.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of workers not yet joined.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True once every worker has been joined (or none were started).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Joins every worker. Worker panics are swallowed: by the time a
+    /// service joins its pool it is shutting down, and one poisoned worker
+    /// should not abort the drain of the rest.
+    pub fn join(&mut self) {
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn spawn_named_returns_value() {
+        let handle = spawn_named("dd-test-thread", || 41 + 1).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn worker_pool_runs_each_index_once() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let mut pool = WorkerPool::start("dd-test-pool", Threads::new(4).unwrap(), move |i| {
+            hits2.fetch_add(i + 1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(pool.label(), "dd-test-pool");
+        assert_eq!(pool.len(), 4);
+        pool.join();
+        assert!(pool.is_empty());
+        // 1 + 2 + 3 + 4
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn drop_joins_channel_workers() {
+        let (tx, rx) = mpsc::channel::<usize>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let pool = WorkerPool::start("dd-test-drain", Threads::new(2).unwrap(), move |_| loop {
+            let item = rx.lock().expect("rx poisoned").recv();
+            match item {
+                Ok(x) => {
+                    seen2.fetch_add(x, Ordering::SeqCst);
+                }
+                Err(_) => break,
+            }
+        })
+        .unwrap();
+        for x in 1..=10 {
+            tx.send(x).unwrap();
+        }
+        drop(tx); // disconnect => workers exit their loops
+        drop(pool); // joins
+        assert_eq!(seen.load(Ordering::SeqCst), 55);
+    }
+}

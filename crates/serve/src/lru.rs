@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn concurrent_use_is_safe_and_correct() {
         let c = std::sync::Arc::new(ScoreCache::new(256).unwrap());
-        std::thread::scope(|s| {
+        dd_runtime::scope(|s| {
             for t in 0..8u32 {
                 let c = std::sync::Arc::clone(&c);
                 s.spawn(move || {

@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dd_graph::NodeId;
+use dd_runtime::{spawn_named, Threads, WorkerPool};
 use dd_telemetry::{Counter, Event, Gauge, Histogram, MetricSnapshot, ObserverHandle, Registry};
 use deepdirect::{DirectionalityModel, MODEL_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
@@ -95,6 +96,9 @@ struct AppState {
     cache_evictions: Arc<Counter>,
     cache_occupancy: Arc<Gauge>,
     queue_rejections: Arc<Counter>,
+    pool_utilization: Arc<Gauge>,
+    started: Instant,
+    n_workers: usize,
 }
 
 /// Endpoint labels used in metric names and request-log events.
@@ -115,6 +119,7 @@ impl AppState {
                 (name, m)
             })
             .collect();
+        registry.gauge("serve.pool.workers").set(cfg.workers as f64);
         AppState {
             model,
             cache: ScoreCache::new(cfg.cache_size),
@@ -126,7 +131,21 @@ impl AppState {
             observer: cfg.observer.clone(),
             request_timeout: cfg.request_timeout,
             endpoints,
+            pool_utilization: registry.gauge("serve.pool.utilization"),
+            started: Instant::now(),
+            n_workers: cfg.workers,
             registry,
+        }
+    }
+
+    /// Refreshes `serve.pool.utilization`: the fraction of the worker
+    /// pool's wall-clock capacity spent inside request handlers (sum of
+    /// per-endpoint latency over `uptime × workers`).
+    fn update_pool_utilization(&self) {
+        let busy: f64 = self.endpoints.iter().map(|(_, m)| m.latency.sum()).sum();
+        let capacity = self.started.elapsed().as_secs_f64() * self.n_workers as f64;
+        if capacity > 0.0 {
+            self.pool_utilization.set(busy / capacity);
         }
     }
 
@@ -208,6 +227,7 @@ fn route(state: &AppState, req: &http::Request) -> Routed {
             if let Some(cache) = &state.cache {
                 state.cache_occupancy.set(cache.len() as f64);
             }
+            state.update_pool_utilization();
             ("metrics", 200, TEXT, render_metrics(&state.registry))
         }
         (_, "/healthz" | "/score" | "/batch" | "/metrics") => {
@@ -421,24 +441,19 @@ impl Server {
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("dd-serve-worker-{i}"))
-                    .spawn(move || worker_loop(rx, state))
-                    .map_err(|e| format!("spawning worker: {e}"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let workers = {
+            let state = Arc::clone(&state);
+            WorkerPool::start(
+                "dd-serve-worker",
+                Threads::new(cfg.workers).map_err(|e| format!("serve workers: {e}"))?,
+                move |_| worker_loop(Arc::clone(&rx), Arc::clone(&state)),
+            )?
+        };
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name("dd-serve-acceptor".to_string())
-                .spawn(move || accept_loop(listener, tx, shutdown, state))
-                .map_err(|e| format!("spawning acceptor: {e}"))?
+            spawn_named("dd-serve-acceptor", move || accept_loop(listener, tx, shutdown, state))?
         };
 
         Ok(ServerHandle {
@@ -461,7 +476,7 @@ pub struct ServerHandle {
     observer: ObserverHandle,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: WorkerPool,
 }
 
 impl ServerHandle {
@@ -507,9 +522,7 @@ impl ServerHandle {
             let _ = a.join();
         }
         // The acceptor dropped the sender; workers drain the queue and exit.
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.workers.join();
         self.observer.flush();
     }
 }

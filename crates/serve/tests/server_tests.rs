@@ -64,7 +64,7 @@ fn concurrent_requests_match_offline_scores_bit_for_bit() {
 
     const N_THREADS: usize = 8;
     const PER_THREAD: usize = 8; // 64 requests total
-    std::thread::scope(|s| {
+    dd_runtime::scope(|s| {
         for t in 0..N_THREADS {
             let addr = &addr;
             let ties = &ties;

@@ -431,7 +431,7 @@ mod tests {
     #[test]
     fn histogram_is_safe_under_concurrent_recording() {
         let h = std::sync::Arc::new(Histogram::exponential(0.001, 2.0, 20));
-        std::thread::scope(|s| {
+        dd_runtime::scope(|s| {
             for t in 0..4 {
                 let h = std::sync::Arc::clone(&h);
                 s.spawn(move || {

@@ -1,0 +1,160 @@
+//! Cross-crate determinism contract test (DESIGN.md §7.9): every parallel
+//! stage built on `dd-runtime` must produce bit-identical results at any
+//! thread count, because chunk structure and reduction order depend only on
+//! the input size — never on how many workers happen to run the chunks.
+//!
+//! Covered stages: exact and sampled centrality (dd-graph), the HF feature
+//! matrix (dd-baselines), tie-universe construction (deepdirect), and the
+//! α/β validation grid (dd-eval). The one *documented* exemption is the
+//! Hogwild E-Step itself (racy by design, Sec. 5.2): every grid cell below
+//! therefore runs its fit with `threads == 1` while the cells themselves
+//! fan out across workers.
+
+use dd_baselines::hf::{training_matrix, HfConfig, NodeStats};
+use dd_datasets::all_datasets;
+use dd_eval::grid::grid_search_alpha_beta;
+use dd_graph::centrality::{
+    betweenness_all_threads, betweenness_sampled_threads, closeness_all_threads,
+    closeness_sampled_threads,
+};
+use dd_graph::MixedSocialNetwork;
+use dd_linalg::rng::Pcg32;
+use dd_runtime::{Pool, Threads};
+use deepdirect::{DeepDirectConfig, TieUniverse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts the contract is exercised at (serial, small, oversubscribed).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn fixture() -> MixedSocialNetwork {
+    let spec = all_datasets().into_iter().find(|s| s.name.to_lowercase() == "twitter").unwrap();
+    spec.generate(300, 0x9a11).network
+}
+
+fn assert_bits_eq(name: &str, threads: usize, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{name}: length mismatch at {threads} threads");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}[{i}] differs at {threads} threads: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn centrality_is_bit_identical_across_thread_counts() {
+    let g = fixture();
+    let bet1 = betweenness_all_threads(&g, Threads::serial());
+    let clo1 = closeness_all_threads(&g, Threads::serial());
+    let mut rng = StdRng::seed_from_u64(3);
+    let bets1 = betweenness_sampled_threads(&g, 32, &mut rng, Threads::serial());
+    let clos1 = closeness_sampled_threads(&g, 32, &mut rng, Threads::serial());
+    for n in THREAD_COUNTS {
+        let t = Threads::new(n).unwrap();
+        assert_bits_eq("betweenness", n, &bet1, &betweenness_all_threads(&g, t));
+        assert_bits_eq("closeness", n, &clo1, &closeness_all_threads(&g, t));
+        // Pivot draws are serial and happen before the parallel BFS passes,
+        // so replaying the same RNG sequence must reproduce the estimates.
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_bits_eq(
+            "betweenness_sampled",
+            n,
+            &bets1,
+            &betweenness_sampled_threads(&g, 32, &mut rng, t),
+        );
+        assert_bits_eq(
+            "closeness_sampled",
+            n,
+            &clos1,
+            &closeness_sampled_threads(&g, 32, &mut rng, t),
+        );
+    }
+}
+
+#[test]
+fn hf_feature_matrix_is_bit_identical_across_thread_counts() {
+    let g = fixture();
+    let stats = NodeStats::compute(&g, &HfConfig::default());
+    let (x1, y1) = training_matrix(&g, &stats, &Pool::new("test.hf", Threads::serial()));
+    for n in THREAD_COUNTS {
+        let pool = Pool::new("test.hf", Threads::new(n).unwrap());
+        let (xn, yn) = training_matrix(&g, &stats, &pool);
+        assert_eq!(x1, xn, "feature rows differ at {n} threads");
+        assert_eq!(y1, yn, "labels differ at {n} threads");
+    }
+}
+
+#[test]
+fn tie_universe_build_is_bit_identical_across_thread_counts() {
+    let g = fixture();
+    let build = |n: usize| {
+        let mut rng = Pcg32::seed_from_u64(0xdeed);
+        TieUniverse::build_with_threads(&g, 6, &mut rng, Threads::new(n).unwrap())
+    };
+    let u1 = build(1);
+    for n in THREAD_COUNTS {
+        let un = build(n);
+        assert_eq!(u1.len(), un.len(), "universe size differs at {n} threads");
+        assert_eq!(
+            u1.n_connected_pairs(),
+            un.n_connected_pairs(),
+            "connected-pair count differs at {n} threads"
+        );
+        assert_bits_eq("tie_degree_weights", n, &u1.tie_degree_weights(), &un.tie_degree_weights());
+        for idx in 0..u1.len() {
+            assert_eq!(
+                u1.triad_samples(idx),
+                un.triad_samples(idx),
+                "triad samples for tie {idx} differ at {n} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn eval_grid_is_bit_identical_across_thread_counts() {
+    let g = fixture();
+    let alphas = [0.0f32, 5.0];
+    let betas = [0.0f32, 0.1];
+    // threads == 1 inside each fit: the Hogwild E-Step is the documented
+    // exemption from the determinism contract, so grid determinism is only
+    // promised for serial per-cell fits.
+    let base = DeepDirectConfig {
+        dim: 8,
+        max_iterations: Some(20_000),
+        threads: 1,
+        seed: 5,
+        ..Default::default()
+    };
+    let run = |n: usize| {
+        let mut rng = StdRng::seed_from_u64(17);
+        grid_search_alpha_beta(
+            &g,
+            &alphas,
+            &betas,
+            &base,
+            0.5,
+            2,
+            Threads::new(n).unwrap(),
+            &mut rng,
+        )
+    };
+    let (a1, b1, table1) = run(1);
+    for n in THREAD_COUNTS {
+        let (an, bn, tablen) = run(n);
+        assert_eq!((a1, b1), (an, bn), "grid winner differs at {n} threads");
+        assert_eq!(table1.len(), tablen.len());
+        for (p1, pn) in table1.iter().zip(&tablen) {
+            assert_eq!((p1.alpha, p1.beta), (pn.alpha, pn.beta));
+            assert_eq!(
+                p1.accuracy.to_bits(),
+                pn.accuracy.to_bits(),
+                "cell (α={}, β={}) differs at {n} threads",
+                p1.alpha,
+                p1.beta
+            );
+        }
+    }
+}
