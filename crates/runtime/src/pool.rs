@@ -136,11 +136,11 @@ impl Pool {
         let n_chunks = n.div_ceil(chunk);
         let workers = self.threads.get().min(n_chunks);
         if workers <= 1 {
-            let busy_start = Instant::now();
             for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+                let busy_start = Instant::now();
                 f(ci * chunk, slice);
+                self.record_busy(busy_start);
             }
-            self.record_busy(busy_start);
         } else {
             // A LIFO queue of (offset, slice) tasks. Completion order is
             // irrelevant: results land in the caller's slices, whose
@@ -152,13 +152,19 @@ impl Pool {
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| {
-                        let busy_start = Instant::now();
-                        while let Some((offset, slice)) =
-                            queue.lock().expect("pool queue poisoned").pop()
-                        {
+                        loop {
+                            // Bind the popped task through a `let` so the
+                            // MutexGuard (a temporary of this statement) is
+                            // dropped *before* f runs; matching on the lock
+                            // expression directly in a `while let` would
+                            // keep the guard alive across the body and
+                            // serialize the whole pool.
+                            let task = queue.lock().expect("pool queue poisoned").pop();
+                            let Some((offset, slice)) = task else { break };
+                            let busy_start = Instant::now();
                             f(offset, slice);
+                            self.record_busy(busy_start);
                         }
-                        self.record_busy(busy_start);
                     });
                 }
             });
@@ -248,6 +254,28 @@ mod tests {
             let expect: Vec<u32> = (0..1000).collect();
             assert_eq!(data, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn workers_run_chunks_concurrently() {
+        // Regression test: popping the task queue must not hold the mutex
+        // guard across the chunk body, or every worker serializes. Four
+        // workers each sleep inside a chunk; if chunks ever overlap, the
+        // high-water mark of concurrently-active bodies exceeds 1. Sleeping
+        // threads need no core, so this holds even on a 1-CPU runner.
+        use std::sync::atomic::AtomicUsize;
+        use std::time::Duration;
+        let active = AtomicUsize::new(0);
+        let high_water = AtomicUsize::new(0);
+        let mut data = vec![0u8; 4];
+        pool(4).par_chunks_mut(&mut data, 1, |_, _| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            high_water.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(50));
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+        let peak = high_water.load(Ordering::SeqCst);
+        assert!(peak > 1, "chunk bodies never overlapped (peak concurrency {peak})");
     }
 
     #[test]
