@@ -316,6 +316,8 @@ fn serve(args: &Args) -> Result<String, String> {
         request_timeout: Duration::from_millis(args.get_num("request-timeout-ms", 5000u64)?),
         queue_depth: args.get_num("queue-depth", 64usize)?,
         observer: serve_observer(args)?,
+        // Fault injection stays off in production; only tests flip it.
+        panic_route: false,
     };
 
     dd_serve::signal::install_handlers();

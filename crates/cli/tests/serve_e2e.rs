@@ -114,7 +114,10 @@ fn serve_e2e_train_query_shutdown() {
     let ties: Vec<(u32, u32)> = model.ties().iter().copied().take(16).collect();
     assert!(ties.len() >= 8, "trained model too small: {} ties", ties.len());
 
-    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    // Retry the first contact: the child printed its listening line, but the
+    // accept loop may be a scheduling quantum behind it.
+    let retry = client::RetryPolicy::default();
+    assert_eq!(client::get_with_retry(&addr, "/healthz", &retry).unwrap().status, 200);
 
     // 4. 64 concurrent requests from 8 client threads; every response must
     //    be bit-identical to scoring offline.
@@ -144,7 +147,10 @@ fn serve_e2e_train_query_shutdown() {
     });
 
     // 5. /metrics accounts for exactly those requests, with latency samples.
-    let metrics = client::get(&addr, "/metrics").unwrap();
+    // (The score loop above deliberately used plain `get`: a retried GET
+    // could double-count a request the server already served, breaking the
+    // exact totals asserted here.)
+    let metrics = client::get_with_retry(&addr, "/metrics", &retry).unwrap();
     assert_eq!(metrics.status, 200);
     let total = (N_THREADS * PER_THREAD) as u64;
     assert!(

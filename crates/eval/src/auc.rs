@@ -4,6 +4,13 @@
 /// Computes ROC-AUC from scores and binary labels via the rank-sum
 /// (Mann–Whitney) formulation, with midrank handling for tied scores.
 ///
+/// NaN scores are legal and rank below everything: a model that emits NaN
+/// for an edge is treated as giving it the worst possible score, so a
+/// degenerate model degrades the metric instead of crashing the
+/// evaluation. The ordering is deterministic ([`f64::total_cmp`] between
+/// real scores; NaNs keep their input order below all of them) — two runs
+/// over the same inputs always agree.
+///
 /// Returns `0.5` when either class is absent.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores and labels must align");
@@ -13,7 +20,12 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         return 0.5;
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    idx.sort_by(|&a, &b| match (scores[a].is_nan(), scores[b].is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal, // stable sort keeps input order
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => scores[a].total_cmp(&scores[b]),
+    });
     // Assign midranks to ties.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
@@ -75,6 +87,38 @@ mod tests {
         assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
         assert_eq!(roc_auc(&[0.3, 0.7], &[false, false]), 0.5);
         assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn nan_scores_rank_below_everything_without_panicking() {
+        // Regression: partial_cmp(..).expect(..) used to panic here, so one
+        // degenerate model crashed the whole evaluation.
+        //
+        // A NaN on a positive is the worst possible score: it loses to both
+        // negatives. The other positive beats both. AUC = 2/4.
+        let scores = [f64::NAN, 0.2, 0.4, 0.9];
+        let labels = [true, false, false, true];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+
+        // A NaN on a *negative* is a gift: every positive beats it. One
+        // positive (0.3) beats NaN, loses to 0.8 → 1/2; the 0.9 positive
+        // beats both → 2/2. AUC = 3/4.
+        let scores = [f64::NAN, 0.8, 0.3, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+
+        // Deterministic: repeated evaluation is bit-identical, and NaN
+        // payload/sign does not matter for placement among real scores.
+        let scores = [0.1, -f64::NAN, 0.5, f64::NAN, 0.9];
+        let labels = [false, true, false, true, true];
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&scores, &labels);
+        assert_eq!(a.to_bits(), b.to_bits());
+
+        // All-NaN scores: degenerate but defined, never a panic.
+        let all_nan = [f64::NAN; 4];
+        let auc = roc_auc(&all_nan, &[true, false, true, false]);
+        assert!(auc.is_finite());
     }
 
     #[test]

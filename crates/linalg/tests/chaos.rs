@@ -1,0 +1,87 @@
+//! Degenerate-input property tests for the sampling and preprocessing
+//! primitives, driven by the seeded generators in `dd-testkit`. Every
+//! failure names its seed and replays exactly.
+
+use dd_linalg::{AliasTable, Pcg32, StandardScaler};
+use dd_testkit::gen::{degenerate_rows, degenerate_weights};
+
+/// Alias tables built from extreme-dynamic-range weights (zeros, 1e-300,
+/// 1e300 side by side) stay within the sampler contract: every draw is in
+/// range, and outcomes with exactly zero weight are never drawn.
+#[test]
+fn alias_table_handles_extreme_weight_ranges() {
+    for seed in 0..300u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let n = 1 + rng.gen_range(24);
+        let weights = degenerate_weights(&mut rng, n);
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), n, "seed {seed}");
+
+        let mut draw_rng = rng.split(1);
+        for _ in 0..2000 {
+            let i = table.sample(&mut draw_rng);
+            assert!(i < n, "seed {seed}: sample {i} out of range");
+            assert!(weights[i] > 0.0, "seed {seed}: drew outcome {i} whose weight is exactly zero");
+        }
+    }
+}
+
+/// The word2vec noise-distribution constructor shares the contract, and
+/// additionally survives the all-zero fallback path.
+#[test]
+fn unigram_pow_handles_degenerate_weights() {
+    for seed in 0..100u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let n = 1 + rng.gen_range(16);
+        let weights = degenerate_weights(&mut rng, n);
+        let table = AliasTable::unigram_pow(&weights, 0.75);
+        let mut draw_rng = rng.split(2);
+        for _ in 0..500 {
+            assert!(table.sample(&mut draw_rng) < n, "seed {seed}");
+        }
+    }
+    // All-zero weights fall back to uniform rather than panicking.
+    let uniform = AliasTable::unigram_pow(&[0.0, 0.0, 0.0], 0.75);
+    let mut rng = Pcg32::seed_from_u64(9);
+    let mut seen = [false; 3];
+    for _ in 0..200 {
+        seen[uniform.sample(&mut rng)] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "uniform fallback must reach every outcome");
+}
+
+/// Fitting and transforming on degenerate feature matrices — constant
+/// columns, near-f32-max magnitudes, denormal scales, single-row fits —
+/// never produces a non-finite output.
+#[test]
+fn standard_scaler_stays_finite_on_degenerate_rows() {
+    for seed in 0..300u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let dim = 1 + rng.gen_range(8);
+        let n_rows = 1 + rng.gen_range(20);
+        let mut rows = degenerate_rows(&mut rng, n_rows, dim);
+
+        let scaler = StandardScaler::fit(&rows);
+        assert_eq!(scaler.dim(), dim, "seed {seed}");
+        scaler.transform(&mut rows);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &x) in r.iter().enumerate() {
+                assert!(x.is_finite(), "seed {seed}: row {i} col {j} became {x}");
+            }
+        }
+    }
+}
+
+/// A single-row fit centers that row to exactly zero (variance is zero in
+/// every column, so the scale guard must kick in everywhere).
+#[test]
+fn single_row_fit_centers_to_zero() {
+    for seed in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let dim = 1 + rng.gen_range(6);
+        let mut rows = degenerate_rows(&mut rng, 1, dim);
+        let scaler = StandardScaler::fit(&rows);
+        scaler.transform(&mut rows);
+        assert!(rows[0].iter().all(|&x| x == 0.0), "seed {seed}: {:?}", rows[0]);
+    }
+}

@@ -10,7 +10,8 @@
 //! run-to-run variance.)
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -124,6 +125,13 @@ impl Pool {
     /// pull chunks from a shared queue, so any thread may run any chunk,
     /// but each chunk sees exactly the same slice regardless of thread
     /// count.
+    ///
+    /// # Panics
+    /// If a chunk body panics, the panic is re-thrown on the calling
+    /// thread (first panic wins; remaining chunks are abandoned). The pool
+    /// itself stays usable: the queue is never deadlocked, sibling workers
+    /// finish their current chunk, and the stats counters are not
+    /// poisoned.
     pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk: usize, f: F)
     where
         T: Send,
@@ -135,11 +143,30 @@ impl Pool {
         let n = data.len();
         let n_chunks = n.div_ceil(chunk);
         let workers = self.threads.get().min(n_chunks);
+        // A chunk-body panic must reach the caller (a silently dropped
+        // chunk would be data corruption), but it must not deadlock the
+        // queue, kill sibling workers mid-chunk, or poison the stats
+        // counters. Each chunk body runs under `catch_unwind`; the first
+        // payload is stashed here and re-thrown from the *calling* thread
+        // after the scope joins and the counters are settled.
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let panicked = AtomicBool::new(false);
+        let run_chunk = |offset: usize, slice: &mut [T]| {
+            let busy_start = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| f(offset, slice)));
+            self.record_busy(busy_start);
+            if let Err(payload) = result {
+                panicked.store(true, Ordering::SeqCst);
+                let mut slot = first_panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+        };
         if workers <= 1 {
             for (ci, slice) in data.chunks_mut(chunk).enumerate() {
-                let busy_start = Instant::now();
-                f(ci * chunk, slice);
-                self.record_busy(busy_start);
+                if panicked.load(Ordering::SeqCst) {
+                    break;
+                }
+                run_chunk(ci * chunk, slice);
             }
         } else {
             // A LIFO queue of (offset, slice) tasks. Completion order is
@@ -153,6 +180,12 @@ impl Pool {
                 for _ in 0..workers {
                     s.spawn(|| {
                         loop {
+                            // Once a chunk has panicked the operation's
+                            // result is void; stop draining the queue so
+                            // the caller sees the panic promptly.
+                            if panicked.load(Ordering::SeqCst) {
+                                break;
+                            }
                             // Bind the popped task through a `let` so the
                             // MutexGuard (a temporary of this statement) is
                             // dropped *before* f runs; matching on the lock
@@ -161,9 +194,7 @@ impl Pool {
                             // serialize the whole pool.
                             let task = queue.lock().expect("pool queue poisoned").pop();
                             let Some((offset, slice)) = task else { break };
-                            let busy_start = Instant::now();
-                            f(offset, slice);
-                            self.record_busy(busy_start);
+                            run_chunk(offset, slice);
                         }
                     });
                 }
@@ -171,6 +202,10 @@ impl Pool {
         }
         self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
         self.wall_nanos.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let payload = first_panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 
     /// Computes `f(i)` for every `i in 0..n`, returning results in index
@@ -276,6 +311,53 @@ mod tests {
         });
         let peak = high_water.load(Ordering::SeqCst);
         assert!(peak > 1, "chunk bodies never overlapped (peak concurrency {peak})");
+    }
+
+    #[test]
+    fn chunk_panic_propagates_without_poisoning_the_pool() {
+        for threads in [1, 4] {
+            let p = pool(threads);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut data = vec![0u32; 100];
+                p.par_chunks_mut(&mut data, 5, |offset, _| {
+                    if offset == 50 {
+                        panic!("injected chunk panic");
+                    }
+                });
+            }));
+            let payload = caught.expect_err("panic must reach the caller");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "injected chunk panic", "threads={threads}");
+
+            // The pool is still fully usable afterwards: no deadlocked
+            // queue, no poisoned counters, correct results.
+            let out = p.par_map(100, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            let s = p.stats();
+            assert!(s.calls >= 2, "stats survive a panic, calls {}", s.calls);
+            assert!(s.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn first_chunk_panic_wins_and_later_chunks_are_abandoned() {
+        use std::sync::atomic::AtomicUsize;
+        let ran = AtomicUsize::new(0);
+        let p = pool(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut data = vec![0u8; 64];
+            p.par_chunks_mut(&mut data, 1, |offset, _| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if offset == 0 {
+                    panic!("first chunk dies");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The panic flag short-circuits the queue: with a LIFO queue the
+        // panicking chunk (offset 0) runs late, but at least one chunk must
+        // have run and the call must have returned (no deadlock).
+        assert!(ran.load(Ordering::SeqCst) >= 1);
     }
 
     #[test]

@@ -57,8 +57,13 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
         return Err("model has no ties to smoke-test with".to_string());
     }
 
+    // Idempotent GETs go through the retry wrapper: a just-started server
+    // may briefly refuse connects or shed load with 503s, and the smoke
+    // gate should measure correctness, not startup timing.
+    let retry = client::RetryPolicy::default();
+
     // 1. Liveness.
-    let health = client::get(addr, "/healthz")?;
+    let health = client::get_with_retry(addr, "/healthz", &retry)?;
     if health.status != 200 {
         return Err(format!("/healthz returned {} (body: {})", health.status, health.body));
     }
@@ -76,7 +81,7 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
         let expected = model
             .score(NodeId(src), NodeId(dst))
             .ok_or_else(|| format!("model lost tie ({src},{dst})"))?;
-        let resp = client::get(addr, &format!("/score?src={src}&dst={dst}"))?;
+        let resp = client::get_with_retry(addr, &format!("/score?src={src}&dst={dst}"), &retry)?;
         if resp.status != 200 {
             return Err(format!("/score?src={src}&dst={dst} returned {}", resp.status));
         }
@@ -105,18 +110,18 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
     println!("batch ok: {} lines bit-exact", lines.len());
 
     // 4. Unknown ties are 404, malformed queries are 400.
-    let resp = client::get(addr, "/score?src=4294967295&dst=4294967294")?;
+    let resp = client::get_with_retry(addr, "/score?src=4294967295&dst=4294967294", &retry)?;
     if resp.status != 404 {
         return Err(format!("unknown tie should be 404, got {}", resp.status));
     }
-    let resp = client::get(addr, "/score?src=notanode&dst=0")?;
+    let resp = client::get_with_retry(addr, "/score?src=notanode&dst=0", &retry)?;
     if resp.status != 400 {
         return Err(format!("malformed query should be 400, got {}", resp.status));
     }
     println!("error paths ok: unknown tie 404, malformed 400");
 
     // 5. /metrics must account for the score requests we just made.
-    let resp = client::get(addr, "/metrics")?;
+    let resp = client::get_with_retry(addr, "/metrics", &retry)?;
     if resp.status != 200 {
         return Err(format!("/metrics returned {}", resp.status));
     }

@@ -1,10 +1,18 @@
 //! Minimal blocking HTTP/1.1 client over `TcpStream`, shared by the smoke
 //! binary, the example client, and the integration tests. One request per
 //! connection, matching the server's `Connection: close` contract.
+//!
+//! [`get_with_retry`] layers capped exponential backoff with jitter on top
+//! of [`get`] for transient failures (refused connects during startup,
+//! `503` queue overflow, torn responses). Retries are restricted to GETs —
+//! they are idempotent here — a `POST /batch` that dies mid-flight may
+//! already have been scored, so replaying it is the caller's decision.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use dd_linalg::Pcg32;
 
 /// A parsed response: status code and body text.
 #[derive(Debug)]
@@ -18,6 +26,94 @@ pub struct ClientResponse {
 /// Issues `GET path` against `addr` (`host:port`, no scheme).
 pub fn get(addr: &str, path: &str) -> Result<ClientResponse, String> {
     request(addr, "GET", path, None)
+}
+
+/// Retry policy for [`get_with_retry`]: capped exponential backoff with
+/// equal jitter from a seeded [`Pcg32`], bounded by both an attempt count
+/// and a wall-clock budget.
+///
+/// Attempt `n` (0-based) sleeps `d/2 + U(0,1)·d/2` where
+/// `d = min(base_delay · 2ⁿ, max_delay)` — the deterministic half keeps a
+/// real backoff floor, the jittered half de-synchronises clients hammering
+/// a recovering server. The same seed always yields the same sleep
+/// schedule, so a failing run is replayable.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget across all attempts and sleeps: no retry starts
+    /// after this much time has elapsed.
+    pub budget: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+            budget: Duration::from_secs(10),
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The capped, jittered sleep before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
+        let doubling = 1u64 << attempt.min(20);
+        let capped = self
+            .base_delay
+            .saturating_mul(doubling.min(u64::from(u32::MAX)) as u32)
+            .min(self.max_delay);
+        capped.div_f64(2.0) + capped.mul_f64(rng.next_f64() / 2.0)
+    }
+}
+
+/// Whether a request outcome is worth retrying: transport errors (refused
+/// connect, reset, torn response) and `503` (bounded accept queue full —
+/// transient by design). Anything the server answered deliberately
+/// (2xx/4xx/500) is final.
+fn retryable(outcome: &Result<ClientResponse, String>) -> bool {
+    match outcome {
+        Ok(resp) => resp.status == 503,
+        Err(_) => true,
+    }
+}
+
+/// Issues `GET path`, retrying transient failures per `policy`.
+///
+/// Only GETs get a retry wrapper: every GET endpoint the server exposes is
+/// idempotent, so replaying one is always safe. On exhaustion the last
+/// outcome is returned as-is (a `503` response stays an `Ok` so callers
+/// can still read the status).
+pub fn get_with_retry(
+    addr: &str,
+    path: &str,
+    policy: &RetryPolicy,
+) -> Result<ClientResponse, String> {
+    let mut rng = Pcg32::seed_from_u64(policy.seed);
+    let start = Instant::now();
+    let attempts = policy.attempts.max(1);
+    let mut outcome = get(addr, path);
+    for attempt in 0..attempts - 1 {
+        if !retryable(&outcome) {
+            return outcome;
+        }
+        let sleep = policy.backoff(attempt, &mut rng);
+        if start.elapsed() + sleep > policy.budget {
+            break;
+        }
+        std::thread::sleep(sleep);
+        outcome = get(addr, path);
+    }
+    outcome
 }
 
 /// Issues `POST path` with `body` against `addr` (`host:port`, no scheme).
@@ -73,5 +169,59 @@ mod tests {
         assert_eq!(r.status, 404);
         assert_eq!(r.body, "no");
         assert!(parse_response("garbage").is_err());
+    }
+
+    #[test]
+    fn backoff_is_capped_jittered_and_replayable() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+            ..RetryPolicy::default()
+        };
+        let mut a = Pcg32::seed_from_u64(7);
+        let mut b = Pcg32::seed_from_u64(7);
+        for attempt in 0..8 {
+            let d = policy.backoff(attempt, &mut a);
+            // Equal jitter: between half the capped delay and the full one.
+            let cap = Duration::from_millis(50)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(300));
+            assert!(d >= cap.div_f64(2.0), "attempt {attempt}: {d:?} under floor");
+            assert!(d <= cap, "attempt {attempt}: {d:?} over cap {cap:?}");
+            // Same seed, same schedule.
+            assert_eq!(d, policy.backoff(attempt, &mut b));
+        }
+        // Huge attempt numbers must not overflow the doubling.
+        let _ = policy.backoff(u32::MAX, &mut a);
+    }
+
+    #[test]
+    fn transport_errors_and_503_retry_but_real_answers_do_not() {
+        assert!(retryable(&Err("connect: refused".to_string())));
+        assert!(retryable(&Ok(ClientResponse { status: 503, body: String::new() })));
+        for status in [200, 400, 404, 408, 500] {
+            assert!(!retryable(&Ok(ClientResponse { status, body: String::new() })));
+        }
+    }
+
+    #[test]
+    fn retry_against_a_dead_port_exhausts_quickly_and_reports_the_error() {
+        // Bind-then-drop guarantees a port nothing is listening on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            budget: Duration::from_secs(5),
+            seed: 1,
+        };
+        let start = Instant::now();
+        let out = get_with_retry(&format!("127.0.0.1:{port}"), "/healthz", &policy);
+        assert!(out.is_err(), "nothing listens there");
+        assert!(out.unwrap_err().contains("connect"), "error names the failing stage");
+        assert!(start.elapsed() < Duration::from_secs(4), "three tiny backoffs, not hangs");
     }
 }

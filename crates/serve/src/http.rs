@@ -115,6 +115,11 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
     }
 
     let mut content_length = 0usize;
+    // Raw (trimmed) Content-Length value already seen, for duplicate
+    // detection: repeating the identical value is tolerated, but two
+    // *conflicting* values are the classic request-smuggling ambiguity and
+    // must be rejected, never resolved last-wins.
+    let mut seen_content_length: Option<String> = None;
     let mut n_headers = 0usize;
     loop {
         let header = read_line(r, MAX_HEADER_LINE, "header line")?;
@@ -129,10 +134,21 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
             return Err(ParseError::Malformed(format!("header without colon: '{header}'")));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| ParseError::Malformed(format!("bad Content-Length '{value}'")))?;
+            let raw = value.trim();
+            match &seen_content_length {
+                Some(prev) if prev != raw => {
+                    return Err(ParseError::Malformed(format!(
+                        "conflicting Content-Length headers: '{prev}' then '{raw}'"
+                    )));
+                }
+                Some(_) => {} // byte-identical duplicate: accept
+                None => {
+                    content_length = raw.parse().map_err(|_| {
+                        ParseError::Malformed(format!("bad Content-Length '{value}'"))
+                    })?;
+                    seen_content_length = Some(raw.to_string());
+                }
+            }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // Chunked bodies are out of scope for the query protocol.
             return Err(ParseError::Malformed("Transfer-Encoding is not supported".into()));
@@ -153,15 +169,15 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let path = percent_decode(raw_path).ok_or_else(|| {
+    let path = percent_decode_path(raw_path).ok_or_else(|| {
         ParseError::Malformed(format!("bad percent-encoding in path '{raw_path}'"))
     })?;
     let mut query = Vec::new();
     for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        let k = percent_decode(k)
+        let k = percent_decode_query(k)
             .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in '{pair}'")))?;
-        let v = percent_decode(v)
+        let v = percent_decode_query(v)
             .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in '{pair}'")))?;
         query.push((k, v));
     }
@@ -169,10 +185,22 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
     Ok(Request { method: method.to_string(), path, query, body })
 }
 
-/// Decodes `%XX` escapes and `+` (as space). `None` on truncated or
-/// non-UTF-8 escapes.
-fn percent_decode(s: &str) -> Option<String> {
-    if !s.contains('%') && !s.contains('+') {
+/// Decodes `%XX` escapes in a path segment. `+` is form-encoding and only
+/// means space in query strings (RFC 3986 vs the
+/// `application/x-www-form-urlencoded` rules), so `/a+b` keeps its literal
+/// `+`. `None` on truncated or non-UTF-8 escapes.
+fn percent_decode_path(s: &str) -> Option<String> {
+    percent_decode(s, false)
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a query component. `None`
+/// on truncated or non-UTF-8 escapes.
+fn percent_decode_query(s: &str) -> Option<String> {
+    percent_decode(s, true)
+}
+
+fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
+    if !(s.contains('%') || plus_is_space && s.contains('+')) {
         return Some(s.to_string());
     }
     let bytes = s.as_bytes();
@@ -187,7 +215,7 @@ fn percent_decode(s: &str) -> Option<String> {
                 out.push((hi * 16 + lo) as u8);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -265,6 +293,35 @@ mod tests {
         assert_eq!(req.query_param("k"), Some("v+w"));
         assert_eq!(req.query_param("x"), Some("1 2"));
         assert!(parse("GET /bad%zz HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn plus_in_path_stays_literal() {
+        // `+`-as-space is a form-encoding (query-only) rule; in the path it
+        // is an ordinary character and must survive decoding.
+        let req = parse("GET /a+b?x=1+2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a+b");
+        assert_eq!(req.query_param("x"), Some("1 2"));
+        // Percent-escapes still decode in both components.
+        let req = parse("GET /c%2Bd%20e?k=%2B HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/c+d e");
+        assert_eq!(req.query_param("k"), Some("+"));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Last-wins on conflicting Content-Length is request-smuggling
+        // adjacent; the parser must refuse to pick one.
+        let conflicting = "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 4\r\n\r\nhello";
+        assert!(matches!(parse(conflicting), Err(ParseError::Malformed(_))));
+        // Byte-identical duplicates are tolerated (some proxies repeat the
+        // header verbatim).
+        let duplicate = "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(duplicate).unwrap();
+        assert_eq!(req.body, b"hello");
+        // A conflict is a conflict even when the later value is garbage.
+        let junk = "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: nope\r\n\r\nhello";
+        assert!(matches!(parse(junk), Err(ParseError::Malformed(_))));
     }
 
     #[test]

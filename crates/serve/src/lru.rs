@@ -118,14 +118,30 @@ impl ScoreCache {
     /// Cache with an explicit shard count (tests use 1 shard so eviction
     /// order is fully deterministic).
     ///
+    /// Shard capacities always sum to exactly `capacity`: the remainder of
+    /// `capacity / n_shards` is spread one slot at a time over the leading
+    /// shards (rounding every shard up would over-allocate by up to
+    /// `n_shards - 1` entries — a capacity-9/8-shard cache used to hold
+    /// 16). When `capacity < n_shards` the extra shards would get zero
+    /// slots, so the shard count is clamped to `capacity` instead.
+    ///
     /// # Panics
     /// Panics when `capacity` or `n_shards` is 0.
     pub fn with_shards(capacity: usize, n_shards: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         assert!(n_shards > 0, "need at least one shard");
-        let per_shard = capacity.div_ceil(n_shards);
-        let shards = (0..n_shards).map(|_| Mutex::new(Shard::new(per_shard))).collect();
+        let n_shards = n_shards.min(capacity);
+        let base = capacity / n_shards;
+        let extra = capacity % n_shards;
+        let shards =
+            (0..n_shards).map(|i| Mutex::new(Shard::new(base + usize::from(i < extra)))).collect();
         ScoreCache { shards }
+    }
+
+    /// Total entry budget across all shards (the `capacity` the cache was
+    /// built with).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().cap).sum()
     }
 
     fn shard(&self, key: TieKey) -> &Mutex<Shard> {
@@ -193,13 +209,38 @@ mod tests {
     #[test]
     fn eviction_churn_keeps_capacity_bounded() {
         let c = ScoreCache::with_shards(8, 2);
+        assert_eq!(c.capacity(), 8);
         for i in 0..1000u32 {
             c.insert((i, i + 1), f64::from(i));
         }
-        assert!(c.len() <= 8, "len {} exceeds capacity", c.len());
+        // Exact bound: 1000 hashed keys fill both shards, and churn can
+        // never push occupancy past the requested capacity.
+        assert_eq!(c.len(), 8, "churned cache must sit exactly at capacity");
         // The most recent keys of each shard survive.
         let survivors = (0..1000u32).filter(|&i| c.get((i, i + 1)).is_some()).count();
         assert_eq!(survivors, c.len());
+    }
+
+    #[test]
+    fn shard_capacities_sum_exactly_to_the_request() {
+        // Regression: div_ceil sizing gave a capacity-9/8-shard cache
+        // 8 × 2 = 16 slots, ~78% over budget.
+        for (capacity, n_shards) in [(9usize, 8usize), (8, 8), (7, 3), (1, 8), (3, 8), (100, 7)] {
+            let c = ScoreCache::with_shards(capacity, n_shards);
+            assert_eq!(
+                c.capacity(),
+                capacity,
+                "with_shards({capacity}, {n_shards}) must not over-allocate"
+            );
+            for i in 0..1000u32 {
+                c.insert((i, i.wrapping_mul(2654435761)), f64::from(i));
+            }
+            assert!(
+                c.len() <= capacity,
+                "with_shards({capacity}, {n_shards}): len {} exceeds budget",
+                c.len()
+            );
+        }
     }
 
     #[test]

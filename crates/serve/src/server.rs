@@ -11,6 +11,7 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -46,6 +47,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Structured request-log sink (JSONL events of kind `serve.request`).
     pub observer: ObserverHandle,
+    /// Test-only fault injection: when `true`, `GET /__panic` panics inside
+    /// the request handler. The chaos suite uses it to prove panic
+    /// isolation (500 to the client, `serve.panics` incremented, worker
+    /// survives). Leave `false` in production.
+    pub panic_route: bool,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +63,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(5),
             queue_depth: 64,
             observer: ObserverHandle::none(),
+            panic_route: false,
         }
     }
 }
@@ -96,14 +103,16 @@ struct AppState {
     cache_evictions: Arc<Counter>,
     cache_occupancy: Arc<Gauge>,
     queue_rejections: Arc<Counter>,
+    panics: Arc<Counter>,
     pool_utilization: Arc<Gauge>,
     started: Instant,
     n_workers: usize,
+    panic_route: bool,
 }
 
 /// Endpoint labels used in metric names and request-log events.
-const ENDPOINTS: [&str; 7] =
-    ["healthz", "score", "batch", "metrics", "other", "timeout", "malformed"];
+const ENDPOINTS: [&str; 8] =
+    ["healthz", "score", "batch", "metrics", "other", "timeout", "malformed", "panic"];
 
 impl AppState {
     fn new(model: Arc<DirectionalityModel>, cfg: &ServeConfig) -> Self {
@@ -128,12 +137,14 @@ impl AppState {
             cache_evictions: registry.counter("serve.cache.evictions"),
             cache_occupancy: registry.gauge("serve.cache.occupancy"),
             queue_rejections: registry.counter("serve.rejected.queue_full"),
+            panics: registry.counter("serve.panics"),
             observer: cfg.observer.clone(),
             request_timeout: cfg.request_timeout,
             endpoints,
             pool_utilization: registry.gauge("serve.pool.utilization"),
             started: Instant::now(),
             n_workers: cfg.workers,
+            panic_route: cfg.panic_route,
             registry,
         }
     }
@@ -223,6 +234,11 @@ fn route(state: &AppState, req: &http::Request) -> Routed {
         }
         ("GET", "/score") => score_endpoint(state, req),
         ("POST", "/batch") => batch_endpoint(state, req),
+        // Fault injection for the chaos suite (ServeConfig::panic_route);
+        // with the flag off this falls through to the 404 arm.
+        ("GET", "/__panic") if state.panic_route => {
+            panic!("injected handler panic via /__panic")
+        }
         ("GET", "/metrics") => {
             if let Some(cache) = &state.cache {
                 state.cache_occupancy.set(cache.len() as f64);
@@ -347,7 +363,19 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let (endpoint, status, content_type, body) = match http::read_request(&mut reader) {
-        Ok(req) => route(state, &req),
+        // Panic isolation: a handler panic becomes a `500` to this client
+        // and a `serve.panics` tick; the worker thread survives and keeps
+        // serving. The state captured here is only read behind its own
+        // locks/atomics, so `AssertUnwindSafe` cannot observe broken
+        // invariants.
+        Ok(req) => match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+            Ok(routed) => routed,
+            Err(_) => {
+                state.panics.incr();
+                state.observer.on_event(&Event::serve_panic(&req.path));
+                ("panic", 500, JSON, error_body("internal error: request handler panicked"))
+            }
+        },
         // Port probes (and the shutdown wakeup) connect and say nothing;
         // not a request, nothing to log.
         Err(http::ParseError::ConnectionClosed) => return,
@@ -414,7 +442,15 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, state: Arc<AppState>) {
         // processes in parallel.
         let next = { rx.lock().unwrap().recv() };
         match next {
-            Ok(stream) => handle_connection(&state, stream),
+            Ok(stream) => {
+                // Backstop: `handle_connection` already isolates handler
+                // panics, but a panic anywhere else on the connection path
+                // (response write, metrics) must not kill the worker either
+                // — a dead worker would silently shrink the pool.
+                if catch_unwind(AssertUnwindSafe(|| handle_connection(&state, stream))).is_err() {
+                    state.panics.incr();
+                }
+            }
             // Sender dropped and queue drained: graceful exit.
             Err(_) => break,
         }

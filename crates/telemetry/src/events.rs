@@ -31,6 +31,9 @@ pub mod kind {
     /// One handled `dd serve` request. Fields: `name` (endpoint), `value`
     /// (HTTP status code), `seconds` (handler latency).
     pub const SERVE_REQUEST: &str = "serve.request";
+    /// A request handler panicked and was isolated (the request got a 500,
+    /// the worker survived). Fields: `name` (request path).
+    pub const SERVE_PANIC: &str = "serve.panic";
 }
 
 /// One telemetry event. Produced by instrumentation, consumed by
@@ -115,6 +118,13 @@ impl Event {
         e.name = Some(endpoint.to_string());
         e.value = Some(f64::from(status));
         e.seconds = Some(seconds);
+        e
+    }
+
+    /// An isolated-handler-panic event (`dd serve` fault log).
+    pub fn serve_panic(path: &str) -> Self {
+        let mut e = Event::new(kind::SERVE_PANIC);
+        e.name = Some(path.to_string());
         e
     }
 

@@ -1,0 +1,294 @@
+//! Deterministic I/O fault injection: [`ChaosStream`] and [`FaultPlan`].
+//!
+//! A [`ChaosStream`] sits between a caller and any inner `Read + Write`
+//! stream and injects faults drawn from a seeded schedule: short reads,
+//! torn writes, `WouldBlock`/`TimedOut`, `Interrupted`, and mid-message
+//! disconnects. The schedule is a pure function of the seed, so a failing
+//! test names one integer and the exact fault sequence replays.
+
+use std::io::{Error, ErrorKind, Read, Result, Write};
+
+use dd_linalg::Pcg32;
+
+/// One injected fault, decided per I/O call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass the call through untouched.
+    None,
+    /// Transfer at most this many bytes this call (short read / torn
+    /// write). Always at least 1, so a partial transfer is never mistaken
+    /// for EOF.
+    Partial(usize),
+    /// Fail the call with [`ErrorKind::WouldBlock`] (no bytes transferred).
+    WouldBlock,
+    /// Fail the call with [`ErrorKind::TimedOut`] (no bytes transferred).
+    TimedOut,
+    /// Fail the call with [`ErrorKind::Interrupted`]; well-behaved callers
+    /// retry these.
+    Interrupted,
+    /// Disconnect mid-message: every later read reports EOF and every
+    /// later write fails with [`ErrorKind::BrokenPipe`].
+    Disconnect,
+}
+
+/// A seeded, replayable schedule of [`Fault`]s.
+///
+/// Faults are drawn independently per I/O call: with probability
+/// `1 - fault_rate` the call passes through; otherwise one of the fault
+/// kinds is picked (disconnects deliberately rarer than the transient
+/// kinds, so schedules exercise long fault runs before the line drops).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: Pcg32,
+    fault_rate: f64,
+    disconnect_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the default mix: 30% of calls fault, 5% of faults are
+    /// disconnects.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { rng: Pcg32::seed_from_u64(seed), fault_rate: 0.3, disconnect_rate: 0.05 }
+    }
+
+    /// A plan that never faults (pass-through control).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan { rng: Pcg32::seed_from_u64(seed), fault_rate: 0.0, disconnect_rate: 0.0 }
+    }
+
+    /// Overrides the per-call fault probability (clamped to `[0, 1]`).
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the share of faults that are disconnects (clamped to
+    /// `[0, 1]`).
+    pub fn with_disconnect_rate(mut self, rate: f64) -> Self {
+        self.disconnect_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Draws the fault for the next I/O call.
+    pub fn next_fault(&mut self) -> Fault {
+        if !self.rng.gen_bool(self.fault_rate) {
+            return Fault::None;
+        }
+        if self.rng.gen_bool(self.disconnect_rate) {
+            return Fault::Disconnect;
+        }
+        match self.rng.gen_range(4) {
+            0 => Fault::Partial(1 + self.rng.gen_range(4)),
+            1 => Fault::WouldBlock,
+            2 => Fault::TimedOut,
+            _ => Fault::Interrupted,
+        }
+    }
+}
+
+/// A `Read + Write` wrapper that injects faults from a [`FaultPlan`].
+///
+/// Semantics mirror a real misbehaving socket: transient errors transfer
+/// no bytes, partial transfers move at least one byte, and a disconnect is
+/// sticky — reads hit EOF, writes hit `BrokenPipe`, forever after.
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    disconnected: bool,
+    faults: u64,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wraps `inner` with the fault schedule `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        ChaosStream { inner, plan, disconnected: false, faults: 0 }
+    }
+
+    /// Number of faults injected so far (excluding pass-through calls).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
+    }
+
+    /// Whether a sticky disconnect has been injected.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn fault(&mut self) -> Fault {
+        let f = self.plan.next_fault();
+        if f != Fault::None {
+            self.faults += 1;
+        }
+        if f == Fault::Disconnect {
+            self.disconnected = true;
+        }
+        f
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.disconnected {
+            return Ok(0);
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        match self.fault() {
+            Fault::None => self.inner.read(buf),
+            Fault::Partial(n) => {
+                let n = n.clamp(1, buf.len());
+                self.inner.read(&mut buf[..n])
+            }
+            Fault::WouldBlock => Err(Error::new(ErrorKind::WouldBlock, "injected WouldBlock")),
+            Fault::TimedOut => Err(Error::new(ErrorKind::TimedOut, "injected timeout")),
+            Fault::Interrupted => Err(Error::new(ErrorKind::Interrupted, "injected EINTR")),
+            Fault::Disconnect => Ok(0),
+        }
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.disconnected {
+            return Err(Error::new(ErrorKind::BrokenPipe, "injected disconnect"));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        match self.fault() {
+            Fault::None => self.inner.write(buf),
+            Fault::Partial(n) => {
+                let n = n.clamp(1, buf.len());
+                self.inner.write(&buf[..n])
+            }
+            Fault::WouldBlock => Err(Error::new(ErrorKind::WouldBlock, "injected WouldBlock")),
+            Fault::TimedOut => Err(Error::new(ErrorKind::TimedOut, "injected timeout")),
+            Fault::Interrupted => Err(Error::new(ErrorKind::Interrupted, "injected EINTR")),
+            Fault::Disconnect => Err(Error::new(ErrorKind::BrokenPipe, "injected disconnect")),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.disconnected {
+            return Err(Error::new(ErrorKind::BrokenPipe, "injected disconnect"));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// Reads to EOF through a chaos stream, retrying transient faults the
+    /// way a robust caller would.
+    fn patient_read_all<R: Read>(r: &mut R) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => panic!("unexpected error kind {e}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = FaultPlan::new(42);
+        let mut b = FaultPlan::new(42);
+        let faults_a: Vec<Fault> = (0..200).map(|_| a.next_fault()).collect();
+        let faults_b: Vec<Fault> = (0..200).map(|_| b.next_fault()).collect();
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a.iter().any(|f| *f != Fault::None), "default mix must fault");
+    }
+
+    #[test]
+    fn quiet_plan_passes_bytes_through() {
+        let data = b"hello, quiet world".to_vec();
+        let mut s = ChaosStream::new(Cursor::new(data.clone()), FaultPlan::quiet(1));
+        assert_eq!(patient_read_all(&mut s), data);
+        assert_eq!(s.faults_injected(), 0);
+    }
+
+    #[test]
+    fn patient_reader_recovers_everything_before_disconnect() {
+        // With disconnects disabled, every byte eventually arrives no
+        // matter how many transient faults the schedule injects.
+        for seed in 0..50u64 {
+            let data: Vec<u8> = (0..257u32).map(|i| (i % 251) as u8).collect();
+            let plan = FaultPlan::new(seed).with_fault_rate(0.8).with_disconnect_rate(0.0);
+            let mut s = ChaosStream::new(Cursor::new(data.clone()), plan);
+            assert_eq!(patient_read_all(&mut s), data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnect_is_sticky_for_reads_and_writes() {
+        let plan = FaultPlan::new(7).with_fault_rate(1.0).with_disconnect_rate(1.0);
+        let mut s = ChaosStream::new(Cursor::new(vec![1u8; 64]), plan);
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "disconnect reads as EOF");
+        assert!(s.is_disconnected());
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "EOF is permanent");
+        assert_eq!(s.write(b"x").unwrap_err().kind(), ErrorKind::BrokenPipe);
+        assert_eq!(s.flush().unwrap_err().kind(), ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn torn_writes_still_deliver_with_a_patient_writer() {
+        for seed in 0..50u64 {
+            let data: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+            let plan = FaultPlan::new(seed).with_fault_rate(0.8).with_disconnect_rate(0.0);
+            let mut s = ChaosStream::new(Cursor::new(Vec::new()), plan);
+            let mut rest: &[u8] = &data;
+            while !rest.is_empty() {
+                match s.write(rest) {
+                    Ok(n) => {
+                        assert!(n >= 1, "writes must make progress");
+                        rest = &rest[n..];
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                        ) => {}
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            assert_eq!(s.into_inner().into_inner(), data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partial_faults_never_fake_eof() {
+        // A Partial fault must clamp to >= 1 byte while data remains.
+        let plan = FaultPlan::new(3).with_fault_rate(1.0).with_disconnect_rate(0.0);
+        let mut s = ChaosStream::new(Cursor::new(vec![9u8; 40]), plan);
+        let mut seen = 0usize;
+        let mut buf = [0u8; 32];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => seen += n,
+                Err(_) => {}
+            }
+        }
+        assert_eq!(seen, 40);
+    }
+}

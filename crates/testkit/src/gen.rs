@@ -1,0 +1,306 @@
+//! Seeded generators for adversarial and degenerate test inputs.
+//!
+//! Everything here is a pure function of the caller's [`Pcg32`] state, so
+//! test suites can sweep thousands of seeds and replay any failure exactly.
+
+use dd_linalg::Pcg32;
+
+fn pick<'a, T>(rng: &mut Pcg32, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(items.len())]
+}
+
+/// One HTTP/1.1 request byte stream: sometimes well-formed, usually broken
+/// in one of the ways real hostile or buggy clients break — bad request
+/// lines, oversized tokens, duplicate or conflicting `Content-Length`,
+/// invalid percent-escapes, non-UTF-8 bytes, truncation, raw garbage.
+///
+/// The contract under test: feeding any output of this generator to
+/// `read_request` must produce a typed parse result (valid request or
+/// typed error), never a panic or a hang.
+pub fn http_request_bytes(rng: &mut Pcg32) -> Vec<u8> {
+    match rng.gen_range(12) {
+        // Well-formed requests (the parser must keep accepting these).
+        0 => {
+            let src = rng.gen_range(1000);
+            let dst = rng.gen_range(1000);
+            format!("GET /score?src={src}&dst={dst} HTTP/1.1\r\nHost: x\r\n\r\n").into_bytes()
+        }
+        1 => {
+            let body =
+                format!("{{\"src\":{},\"dst\":{}}}\n", rng.gen_range(100), rng.gen_range(100));
+            format!("POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+                .into_bytes()
+        }
+        // Structurally plausible but wrong.
+        2 => {
+            let method = pick(rng, &["G E T", "", "get\0", "GET GET", "🦀"]).to_string();
+            format!("{method} /healthz HTTP/1.1\r\n\r\n").into_bytes()
+        }
+        3 => {
+            let version = pick(rng, &["HTTP/0.9", "SPDY/3", "HTTP/", "http/1.1", ""]).to_string();
+            format!("GET / {version}\r\n\r\n").into_bytes()
+        }
+        4 => {
+            // Percent-encoding edge cases, valid and invalid.
+            let path = pick(
+                rng,
+                &["/a%20b", "/a+b", "/%zz", "/%2", "/%ff%fe", "/%00", "/?k=%2bv&k=1+2", "/%e2%82"],
+            )
+            .to_string();
+            format!("GET {path} HTTP/1.1\r\n\r\n").into_bytes()
+        }
+        5 => {
+            // Content-Length abuse: duplicates, conflicts, junk values.
+            let (a, b) = match rng.gen_range(4) {
+                0 => ("5".to_string(), "5".to_string()),
+                1 => ("5".to_string(), "6".to_string()),
+                2 => ("-1".to_string(), "1".to_string()),
+                _ => ("nope".to_string(), "99999999999999999999".to_string()),
+            };
+            format!(
+                "POST /batch HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\nhello"
+            )
+            .into_bytes()
+        }
+        6 => {
+            // Oversized tokens: long request line or long header value.
+            let n = 1024 * (1 + rng.gen_range(16));
+            if rng.gen_bool(0.5) {
+                format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(n)).into_bytes()
+            } else {
+                format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(n)).into_bytes()
+            }
+        }
+        7 => {
+            // Many headers.
+            let n = 50 + rng.gen_range(100);
+            let headers: String = (0..n).map(|i| format!("h{i}: v\r\n")).collect();
+            format!("GET / HTTP/1.1\r\n{headers}\r\n").into_bytes()
+        }
+        8 => {
+            // Header without a colon, or bare junk lines.
+            let line = pick(rng, &["badheader", ": empty-name", "a;b", "\tindented"]).to_string();
+            format!("GET / HTTP/1.1\r\n{line}\r\n\r\n").into_bytes()
+        }
+        9 => {
+            // Truncations of an otherwise valid request.
+            let full = b"GET /score?src=1&dst=2 HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+            let cut = 1 + rng.gen_range(full.len() - 1);
+            full[..cut].to_vec()
+        }
+        10 => {
+            // Body shorter than the declared Content-Length.
+            format!("POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\nhi", 10 + rng.gen_range(100))
+                .into_bytes()
+        }
+        _ => {
+            // Raw binary garbage, possibly with embedded CRLFs and NULs.
+            let n = 1 + rng.gen_range(256);
+            (0..n).map(|_| (rng.gen_range(256)) as u8).collect()
+        }
+    }
+}
+
+/// Corrupts a valid JSON document the way truncated downloads, bad disks,
+/// and buggy writers do. The contract under test: loaders must return a
+/// typed error on every output, never panic.
+pub fn corrupt_json(rng: &mut Pcg32, valid: &str) -> Vec<u8> {
+    let mut bytes = valid.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return vec![b'{'];
+    }
+    match rng.gen_range(6) {
+        0 => {
+            // Truncate at an arbitrary byte.
+            let cut = rng.gen_range(bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => {
+            // Flip a handful of bytes anywhere in the document.
+            for _ in 0..=rng.gen_range(8) {
+                let i = rng.gen_range(bytes.len());
+                bytes[i] = (rng.gen_range(256)) as u8;
+            }
+        }
+        2 => {
+            // Splice a chunk of the document over another region.
+            let a = rng.gen_range(bytes.len());
+            let len = rng.gen_range(64).min(bytes.len() - a);
+            let chunk = bytes[a..a + len].to_vec();
+            let b = rng.gen_range(bytes.len());
+            bytes.splice(b..b, chunk);
+        }
+        3 => {
+            // Replace a structural character.
+            let targets = [b'{', b'}', b'[', b']', b':', b','];
+            let replacement = *pick(rng, &[b'x', b' ', b'"', 0u8]);
+            if let Some(i) = bytes.iter().position(|b| targets.contains(b)) {
+                bytes[i] = replacement;
+            }
+        }
+        4 => {
+            // Inject a token JSON does not allow.
+            let tokens: [&[u8]; 5] = [b"NaN", b"Infinity", b"'", b"\xff\xfe", b"//"];
+            let tok = pick(rng, &tokens);
+            let i = rng.gen_range(bytes.len());
+            bytes.splice(i..i, tok.iter().copied());
+        }
+        _ => {
+            // Wrap in garbage so the document no longer starts with JSON.
+            let mut out = b"garbage ".to_vec();
+            out.extend_from_slice(&bytes);
+            bytes = out;
+        }
+    }
+    bytes
+}
+
+/// A degenerate directed edge list: self-loops, exact duplicates,
+/// reciprocal pairs, isolated stars, and huge id gaps — the shapes that
+/// break naive graph builders.
+pub fn degenerate_edges(rng: &mut Pcg32) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    let n = 1 + rng.gen_range(40) as u32;
+    for _ in 0..(5 + rng.gen_range(60)) {
+        let (u, v) = match rng.gen_range(5) {
+            0 => {
+                let u = rng.gen_range(n as usize) as u32;
+                (u, u) // self-loop
+            }
+            1 => (0, 1), // guaranteed duplicate mass
+            2 => {
+                let u = rng.gen_range(n as usize) as u32;
+                (u, u.wrapping_add(1_000_000)) // huge id gap
+            }
+            3 => {
+                let v = rng.gen_range(n as usize) as u32;
+                (0, v) // star around node 0
+            }
+            _ => {
+                let u = rng.gen_range(n as usize) as u32;
+                let v = rng.gen_range(n as usize) as u32;
+                (u, v)
+            }
+        };
+        edges.push((u, v));
+        if rng.gen_bool(0.3) {
+            edges.push((v, u)); // reciprocal
+        }
+    }
+    edges
+}
+
+/// A weight vector with an extreme dynamic range — zeros, denormal-scale,
+/// and near-overflow magnitudes — that still satisfies the documented
+/// sampler contract (finite, non-negative, at least one positive weight).
+pub fn degenerate_weights(rng: &mut Pcg32, n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one weight");
+    let magnitudes = [0.0, 0.0, 1e-300, 1e-12, 1.0, 3.5, 1e12, 1e300];
+    let mut w: Vec<f64> = (0..n).map(|_| *pick(rng, &magnitudes)).collect();
+    if w.iter().all(|&x| x == 0.0) {
+        w[rng.gen_range(n)] = 1.0;
+    }
+    w
+}
+
+/// Feature rows with degenerate shapes: constant columns, near-f32-max
+/// magnitudes, denormal-scale values, single-row fits. All values are
+/// finite; the contract under test is that fitting and transforming never
+/// produces a non-finite output.
+pub fn degenerate_rows(rng: &mut Pcg32, n_rows: usize, dim: usize) -> Vec<Vec<f32>> {
+    assert!(n_rows > 0 && dim > 0, "need at least one row and one column");
+    // Pick a per-column style first so whole columns can be constant.
+    let styles: Vec<u32> = (0..dim).map(|_| rng.gen_range(4) as u32).collect();
+    let consts: Vec<f32> = (0..dim).map(|_| *pick(rng, &[0.0, -5.0, 3e37, 1e-37])).collect();
+    (0..n_rows)
+        .map(|_| {
+            styles
+                .iter()
+                .zip(&consts)
+                .map(|(&style, &c)| match style {
+                    0 => c,                              // constant column
+                    1 => (rng.next_f32() - 0.5) * 6e37,  // near f32::MAX scale
+                    2 => (rng.next_f32() - 0.5) * 1e-35, // denormal scale
+                    _ => rng.next_f32() * 10.0 - 5.0,    // ordinary
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Pcg32::seed_from_u64(5);
+        let mut b = Pcg32::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(http_request_bytes(&mut a), http_request_bytes(&mut b));
+        }
+        let mut a = Pcg32::seed_from_u64(6);
+        let mut b = Pcg32::seed_from_u64(6);
+        assert_eq!(degenerate_edges(&mut a), degenerate_edges(&mut b));
+        assert_eq!(degenerate_weights(&mut a, 9), degenerate_weights(&mut b, 9));
+        assert_eq!(degenerate_rows(&mut a, 4, 3), degenerate_rows(&mut b, 4, 3));
+        assert_eq!(corrupt_json(&mut a, "{\"k\":1}"), corrupt_json(&mut b, "{\"k\":1}"));
+    }
+
+    #[test]
+    fn http_generator_covers_valid_and_invalid_shapes() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut n_valid_get = 0;
+        let mut n_garbage = 0;
+        for _ in 0..500 {
+            let bytes = http_request_bytes(&mut rng);
+            assert!(!bytes.is_empty());
+            if bytes.starts_with(b"GET /score?") {
+                n_valid_get += 1;
+            }
+            if std::str::from_utf8(&bytes).is_err() {
+                n_garbage += 1;
+            }
+        }
+        assert!(n_valid_get > 10, "mix must include well-formed requests");
+        assert!(n_garbage > 10, "mix must include non-UTF-8 garbage");
+    }
+
+    #[test]
+    fn weights_satisfy_the_sampler_contract() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        for _ in 0..200 {
+            let n = 1 + rng.gen_range(16);
+            let w = degenerate_weights(&mut rng, n);
+            assert!(w.iter().all(|&x| x.is_finite() && x >= 0.0));
+            assert!(w.iter().any(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn rows_are_finite_and_rectangular() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for _ in 0..100 {
+            let dim = 1 + rng.gen_range(6);
+            let n_rows = 1 + rng.gen_range(12);
+            let rows = degenerate_rows(&mut rng, n_rows, dim);
+            for r in &rows {
+                assert_eq!(r.len(), dim);
+                assert!(r.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_json_differs_from_input() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let valid = "{\"schema\":1,\"ties\":[[1,2]],\"w\":[0.5,-0.25]}";
+        let mut n_changed = 0;
+        for _ in 0..100 {
+            if corrupt_json(&mut rng, valid) != valid.as_bytes() {
+                n_changed += 1;
+            }
+        }
+        assert!(n_changed > 90, "corruption should almost always change the bytes");
+    }
+}
