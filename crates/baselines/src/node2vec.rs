@@ -136,7 +136,7 @@ impl Node2VecLearner {
         let mut vectors = DenseMatrix::uniform_init(n, cfg.dim, &mut rng);
         let mut contexts = DenseMatrix::zeros(n, cfg.dim);
         let weights: Vec<f64> = (0..n).map(|i| g.social_degree(NodeId(i as u32)) as f64).collect();
-        if weights.iter().all(|&w| w == 0.0) {
+        if weights.iter().all(|&w| dd_linalg::is_zero(w)) {
             return vectors;
         }
         let pn = AliasTable::unigram_pow(&weights, 0.75);

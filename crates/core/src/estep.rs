@@ -191,7 +191,7 @@ unsafe fn sgd_iteration(
             }
         }
     }
-    if g_coef != 0.0 {
+    if !dd_linalg::is_zero32(g_coef) {
         // ∂L'/∂m_e gains g_coef · w' (Eq. 23) — read w' before updating it.
         axpy_raw(g_coef, raw.w, gptr, dim);
         // w' ← w' − lr · g_coef · m_e (Eq. 22); b' ← b' − lr · g_coef (Eq. 21).
@@ -317,6 +317,9 @@ pub fn train(universe: &TieUniverse, cfg: &DeepDirectConfig) -> EStep {
     // the cost of one decrement-and-branch per iteration.
     let interval =
         if observing { cfg.progress_interval.unwrap_or((total / 20).max(1)) } else { u64::MAX };
+    // dd-lint: allow(determinism) — progress-report pacing only; the clock
+    // feeds telemetry timestamps, never the training arithmetic or the
+    // iteration schedule (see DESIGN.md §7.11 exemptions)
     let start = Instant::now();
     let mut last_reported = 0u64;
     let per_worker_counts: Vec<u64>;

@@ -38,7 +38,7 @@ pub fn build_instance<R: Rng>(
     max_candidates: usize,
     rng: &mut R,
 ) -> LinkPredInstance {
-    assert!((0.0..1.0).contains(&keep_frac) || keep_frac == 1.0);
+    assert!((0.0..=1.0).contains(&keep_frac));
     // Collect social ties (canonical form) and keep a random subset.
     #[derive(Clone, Copy)]
     enum T {

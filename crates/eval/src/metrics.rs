@@ -31,7 +31,7 @@ pub fn bootstrap_mean_ci(
     seed: u64,
 ) -> ConfidenceInterval {
     assert!(!outcomes.is_empty(), "no outcomes to bootstrap");
-    assert!((0.0..1.0).contains(&level) || level == 0.0, "level must be in [0, 1)");
+    assert!((0.0..1.0).contains(&level), "level must be in [0, 1)");
     let n = outcomes.len();
     let estimate = outcomes.iter().sum::<f64>() / n as f64;
     let mut rng = Pcg32::seed_from_u64(seed);

@@ -6,12 +6,19 @@
 //! same family of hash used by `rustc` itself. All inputs here are internal
 //! ids, never attacker-controlled, so DoS resistance is irrelevant.
 
+// dd-lint: allow(determinism) — this module *defines* the sanctioned
+// deterministic aliases; the std types appear only to be re-keyed with a
+// fixed-seed hasher, which removes the per-process randomness
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
+// dd-lint: allow(determinism) — alias definition; fixed-seed hasher makes
+// iteration order a pure function of the insertion sequence
 /// A `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+// dd-lint: allow(determinism) — alias definition; fixed-seed hasher makes
+// iteration order a pure function of the insertion sequence
 /// A `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
 

@@ -64,7 +64,7 @@ impl AliasTable {
         let powered: Vec<f64> = weights.iter().map(|w| w.powf(power)).collect();
         // Guard: if every weight was zero, fall back to uniform so callers
         // sampling negatives from a degenerate graph still make progress.
-        if powered.iter().all(|&w| w == 0.0) {
+        if powered.iter().all(|&w| crate::float::is_zero(w)) {
             return Self::new(&vec![1.0; weights.len()]);
         }
         Self::new(&powered)

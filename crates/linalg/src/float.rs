@@ -1,0 +1,61 @@
+//! Float comparison helpers that make intent explicit.
+//!
+//! The `float-eq` lint (DESIGN.md §7.11) bans `==`/`!=` against float
+//! literals outside tests: a bare `x == 0.0` reads as either "exactly the
+//! bit pattern zero" or "negligibly small" and the two diverge under
+//! rounding. These helpers name the exact-zero case — sign-insensitive,
+//! like IEEE equality, but spelled so the reader knows it is deliberate —
+//! and an epsilon comparison for the rest.
+
+use std::num::FpCategory;
+
+/// True when `x` is exactly `+0.0` or `-0.0` (IEEE zero, not "tiny").
+///
+/// Equivalent to `x == 0.0` but explicit that bit-exact zero is meant —
+/// use it for skip-work guards (`if !is_zero(g) { apply(g) }`) and
+/// degenerate-input checks where a denormal must *not* count as zero.
+#[inline]
+pub fn is_zero(x: f64) -> bool {
+    matches!(x.classify(), FpCategory::Zero)
+}
+
+/// [`is_zero`] for `f32`.
+#[inline]
+pub fn is_zero32(x: f32) -> bool {
+    matches!(x.classify(), FpCategory::Zero)
+}
+
+/// True when `a` and `b` differ by at most `eps` (absolute). NaN never
+/// approximates anything; infinities only approximate themselves.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matches_both_signs_and_nothing_else() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(f64::MIN_POSITIVE / 2.0), "denormals are not zero");
+        assert!(!is_zero(1e-300));
+        assert!(!is_zero(f64::NAN));
+        assert!(is_zero32(0.0f32));
+        assert!(is_zero32(-0.0f32));
+        assert!(!is_zero32(f32::MIN_POSITIVE / 2.0));
+    }
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+    }
+}

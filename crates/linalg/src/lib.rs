@@ -16,13 +16,16 @@
 //! * a one-hidden-layer MLP (the paper's proposed non-linear D-Step
 //!   extension) — [`mlp`],
 //! * feature standardization — [`scaler`] — and summary statistics
-//!   — [`stats`].
+//!   — [`stats`],
+//! * explicit float comparisons (`is_zero`, `approx_eq`) backing the
+//!   `float-eq` lint — [`float`].
 
 #![warn(missing_docs)]
 
 pub mod activations;
 pub mod adagrad;
 pub mod alias;
+pub mod float;
 pub mod logreg;
 pub mod matrix;
 pub mod mlp;
@@ -34,6 +37,7 @@ pub mod vecops;
 pub use activations::{cross_entropy, log_sigmoid, sigmoid, sigmoid64};
 pub use adagrad::{fit_logreg_adagrad, AdaGrad};
 pub use alias::AliasTable;
+pub use float::{approx_eq, is_zero, is_zero32};
 pub use logreg::{LogRegConfig, LogisticRegression};
 pub use matrix::DenseMatrix;
 pub use mlp::{Mlp, MlpConfig};

@@ -1,0 +1,171 @@
+//! The baseline ratchet: legacy debt is checked in, new debt is rejected.
+//!
+//! `lint-baseline.txt` holds one `path<TAB>rule<TAB>count` line per
+//! `(file, rule)` pair with known violations. A lint run fails on any *new*
+//! violation (count above baseline) **and** on a stale baseline (count
+//! below baseline, or a file/rule pair that no longer violates) — debt may
+//! only shrink by regenerating the file with `--write-baseline`, so the
+//! checked-in number is always exact and reviews see the ratchet move.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::rules::{tally, Violation};
+
+/// Header written at the top of a generated baseline.
+const HEADER: &str = "# dd-lint baseline: one `path<TAB>rule<TAB>count` per line.\n\
+                      # Regenerate with: cargo run -p dd-lint -- --workspace --write-baseline\n";
+
+/// Parsed baseline: `(file, rule) → count`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parses baseline text. Unparseable lines are errors — a corrupt ratchet
+/// must not silently admit new debt.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut map = Baseline::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let entry = (|| {
+            let file = parts.next()?;
+            let rule = parts.next()?;
+            let count: usize = parts.next()?.parse().ok()?;
+            Some(((file.to_string(), rule.to_string()), count))
+        })();
+        match entry {
+            Some((key, count)) if count > 0 => {
+                map.insert(key, count);
+            }
+            _ => return Err(format!("lint-baseline.txt:{}: unparseable line: {line}", i + 1)),
+        }
+    }
+    Ok(map)
+}
+
+/// Loads the baseline from `path`; a missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Renders `violations` as baseline text (sorted, tab-separated).
+pub fn render(violations: &[Violation]) -> String {
+    let mut out = String::from(HEADER);
+    for ((file, rule), count) in tally(violations) {
+        let _ = writeln!(out, "{file}\t{rule}\t{count}");
+    }
+    out
+}
+
+/// The ratchet verdict for one `(file, rule)` pair.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// More violations than the baseline admits — the offending
+    /// [`Violation`]s are attached.
+    New(Vec<Violation>),
+    /// Fewer violations than baselined (including zero): the baseline is
+    /// stale and must be regenerated so the ratchet tightens.
+    Stale {
+        /// The affected file.
+        file: String,
+        /// The affected rule.
+        rule: String,
+        /// Count recorded in the baseline.
+        baselined: usize,
+        /// Count actually found.
+        found: usize,
+    },
+}
+
+/// Compares current violations against the baseline. Empty result = pass.
+pub fn compare(violations: &[Violation], baseline: &Baseline) -> Vec<Drift> {
+    let counts = tally(violations);
+    let mut drift = Vec::new();
+    for (key, &found) in &counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if found > allowed {
+            let offenders =
+                violations.iter().filter(|v| v.file == key.0 && v.rule == key.1).cloned().collect();
+            drift.push(Drift::New(offenders));
+        } else if found < allowed {
+            drift.push(Drift::Stale {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                baselined: allowed,
+                found,
+            });
+        }
+    }
+    for (key, &allowed) in baseline {
+        if !counts.contains_key(key) {
+            drift.push(Drift::Stale {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                baselined: allowed,
+                found: 0,
+            });
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, rule: &'static str, line: u32) -> Violation {
+        Violation { file: file.into(), line, rule, message: "m".into() }
+    }
+
+    #[test]
+    fn round_trip_render_parse() {
+        let vs = vec![v("a.rs", "float-eq", 3), v("a.rs", "float-eq", 9), v("b.rs", "pub-doc", 1)];
+        let text = render(&vs);
+        let parsed = parse(&text).expect("generated baseline must parse");
+        assert_eq!(parsed.get(&("a.rs".into(), "float-eq".into())), Some(&2));
+        assert_eq!(parsed.get(&("b.rs".into(), "pub-doc".into())), Some(&1));
+        assert!(compare(&vs, &parsed).is_empty(), "freshly written baseline is clean");
+    }
+
+    #[test]
+    fn new_violation_is_rejected() {
+        let baseline = parse("a.rs\tfloat-eq\t1\n").expect("parses");
+        let vs = vec![v("a.rs", "float-eq", 3), v("a.rs", "float-eq", 9)];
+        let drift = compare(&vs, &baseline);
+        assert_eq!(drift.len(), 1);
+        assert!(matches!(&drift[0], Drift::New(offs) if offs.len() == 2));
+    }
+
+    #[test]
+    fn shrunk_debt_without_regeneration_is_rejected() {
+        let baseline = parse("a.rs\tfloat-eq\t2\nb.rs\tpub-doc\t1\n").expect("parses");
+        let vs = vec![v("a.rs", "float-eq", 3)];
+        let drift = compare(&vs, &baseline);
+        assert_eq!(drift.len(), 2, "both the shrunk pair and the vanished pair are stale");
+        assert!(drift.iter().all(|d| matches!(d, Drift::Stale { .. })));
+    }
+
+    #[test]
+    fn corrupt_lines_are_errors() {
+        assert!(parse("a.rs\tfloat-eq\n").is_err(), "missing count");
+        assert!(parse("a.rs\tfloat-eq\tzero\n").is_err(), "non-numeric count");
+        assert!(
+            parse("a.rs\tfloat-eq\t0\n").is_err(),
+            "zero-count entries are stale by definition"
+        );
+        assert!(parse("# comment\n\n").expect("comments fine").is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_empty_baseline() {
+        let b = load(Path::new("/nonexistent/lint-baseline.txt")).expect("missing file is ok");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,526 @@
+//! A hand-rolled Rust lexer, just deep enough for contract linting.
+//!
+//! The point of lexing (rather than grepping) is that string literals, char
+//! literals, comments, doc comments, and raw strings are classified
+//! correctly: `"thread::spawn"` inside a test fixture string or a doc
+//! comment mentioning `.unwrap()` must never trip a rule. The lexer is not
+//! a parser — it produces a flat token stream plus a side list of comments
+//! — and it is deliberately forgiving: on input it cannot classify it
+//! degrades to single-character punctuation instead of failing, so a lint
+//! run never aborts on exotic-but-valid Rust.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`thread`, `pub`, `r#type`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f64`, `1.`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// Punctuation, maximally munched (`::`, `==`, `!=`, `->`, single chars).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (for `Str`/`Char` only the delimiters' content class
+    /// matters to rules, but the text is kept for diagnostics).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, with doc-comment classification for the `pub-doc` rule and
+/// raw text for `dd-lint:` pragma parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment text without the `//`/`/*` markers.
+    pub text: String,
+    /// True for *outer* doc comments (`///`, `/** */`) — the kind that
+    /// documents the following item. Inner docs (`//!`) are not `doc`.
+    pub doc: bool,
+    /// True for doc comments of either direction (`///`, `//!`, `/** */`,
+    /// `/*! */`). Pragmas are only honored in plain comments, so prose
+    /// *describing* the pragma syntax can live in docs without firing.
+    pub any_doc: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order (not interleaved into `toks`).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unclassifiable bytes
+/// become single-character punctuation.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { b: src.as_bytes(), i: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' | b'c' => {
+                    if let Some((hashes, skip)) = self.string_prefix_len() {
+                        self.raw_or_prefixed_string(hashes, skip);
+                    } else if c == b'r'
+                        && self.peek(1) == Some(b'#')
+                        && self.ident_start_at(self.i + 2)
+                    {
+                        self.i += 2; // raw identifier r#type
+                        self.ident();
+                    } else {
+                        self.ident();
+                    }
+                }
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn ident_start_at(&self, at: usize) -> bool {
+        self.b.get(at).is_some_and(|&c| is_ident_start(c))
+    }
+
+    fn bump_line_for(&mut self, byte: u8) {
+        if byte == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let rest = &self.b[self.i..];
+        // `///` is an outer doc comment, but `////…` is ordinary.
+        let doc = rest.starts_with(b"///") && !rest.starts_with(b"////");
+        let inner = rest.starts_with(b"//!");
+        let mut j = self.i + 2;
+        while j < self.b.len() && self.b[j] != b'\n' {
+            j += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[self.i + 2..j]).into_owned();
+        self.i = j;
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: start_line,
+            text,
+            doc,
+            any_doc: doc || inner,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let rest = &self.b[self.i..];
+        // `/**` is an outer doc comment, except `/**/` (empty) and `/***`.
+        let doc =
+            rest.starts_with(b"/**") && !rest.starts_with(b"/**/") && !rest.starts_with(b"/***");
+        let inner = rest.starts_with(b"/*!");
+        let body_start = self.i + 2;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i..].starts_with(b"/*") {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i..].starts_with(b"*/") {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.bump_line_for(self.b[self.i]);
+                self.i += 1;
+            }
+        }
+        let body_end = self.i.saturating_sub(2).max(body_start);
+        let text = String::from_utf8_lossy(&self.b[body_start..body_end]).into_owned();
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text,
+            doc,
+            any_doc: doc || inner,
+        });
+    }
+
+    /// If the cursor sits on a string prefix (`r"`, `r#"`, `b"`, `br#"`,
+    /// `c"`, `cr##"`, …), returns `(hashes, prefix_len)` where `hashes` is
+    /// the raw-string hash count, or `usize::MAX` for non-raw (escaped)
+    /// prefixed strings.
+    fn string_prefix_len(&self) -> Option<(usize, usize)> {
+        let rest = &self.b[self.i..];
+        let (is_raw, mut p) = match rest {
+            [b'r', ..] => (true, 1),
+            [b'b', b'r', ..] | [b'c', b'r', ..] => (true, 2),
+            [b'b', ..] | [b'c', ..] => (false, 1),
+            _ => return None,
+        };
+        if is_raw {
+            let mut hashes = 0;
+            while rest.get(p) == Some(&b'#') {
+                hashes += 1;
+                p += 1;
+            }
+            if rest.get(p) == Some(&b'"') {
+                return Some((hashes, p + 1));
+            }
+            return None;
+        }
+        if rest.get(p) == Some(&b'"') {
+            return Some((usize::MAX, p + 1));
+        }
+        None
+    }
+
+    fn raw_or_prefixed_string(&mut self, hashes: usize, skip: usize) {
+        let line = self.line;
+        self.i += skip;
+        if hashes == usize::MAX {
+            self.consume_escaped_string_body();
+        } else {
+            // Raw string: ends at `"` followed by `hashes` hash marks.
+            while self.i < self.b.len() {
+                if self.b[self.i] == b'"' {
+                    let tail = &self.b[self.i + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                        self.i += 1 + hashes;
+                        break;
+                    }
+                }
+                self.bump_line_for(self.b[self.i]);
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        self.consume_escaped_string_body();
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Consumes up to and including the closing `"`, honoring backslash
+    /// escapes and counting newlines (multi-line strings are valid Rust).
+    fn consume_escaped_string_body(&mut self) {
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                c => {
+                    self.bump_line_for(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        self.i += 1; // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escape, then scan to `'`.
+                self.i += 2;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    // 'a' — a char literal.
+                    self.i = j + 1;
+                    self.push(TokKind::Char, String::new(), line);
+                } else {
+                    // 'a (no closing quote) — a lifetime.
+                    let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+                    self.i = j;
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '(' or '"'.
+                self.i += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.i += 1;
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            None => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut float = false;
+        if self.b[self.i] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.i += 2;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+            let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        self.digits();
+        // A `.` continues the number only when it is not a range (`1..2`),
+        // a method call (`1.max(2)`), or a field access.
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    self.i += 1;
+                    self.digits();
+                    float = true;
+                }
+                Some(b'.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    self.i += 1; // trailing-dot float `1.`
+                    float = true;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match (sign, digit) {
+                (Some(d), _) if d.is_ascii_digit() => true,
+                (Some(b'+') | Some(b'-'), Some(d)) if d.is_ascii_digit() => true,
+                _ => false,
+            };
+            if exp {
+                self.i += if matches!(sign, Some(b'+') | Some(b'-')) { 2 } else { 1 };
+                self.digits();
+                float = true;
+            }
+        }
+        // Type suffix (`u32`, `f64`, …) — an `f32`/`f64` suffix makes it a
+        // float regardless of the spelling before it.
+        let suffix_start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let suffix = &self.b[suffix_start..self.i];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(if float { TokKind::Float } else { TokKind::Int }, text, line);
+    }
+
+    fn digits(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_') {
+            self.i += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let rest = &self.b[self.i..];
+        for p in PUNCTS {
+            if rest.starts_with(p.as_bytes()) {
+                self.i += p.len();
+                self.push(TokKind::Punct, (*p).to_string(), line);
+                return;
+            }
+        }
+        // Single byte — degrade gracefully on non-UTF-8-boundary bytes.
+        let text = String::from_utf8_lossy(&rest[..1]).into_owned();
+        self.i += 1;
+        self.push(TokKind::Punct, text, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let toks = kinds("thread::spawn(x)");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "thread".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "spawn".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let s = "thread::spawn .unwrap()";"#);
+        assert!(lexed.toks.iter().all(|t| t.text != "spawn" && t.text != "unwrap"));
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_prefixed_strings() {
+        for src in [
+            r##"let s = r"no \ escapes";"##,
+            r###"let s = r#"with "quotes" inside"#;"###,
+            r#"let s = b"bytes";"#,
+            r##"let s = br#"raw bytes"#;"##,
+            r#"let s = c"cstr";"#,
+        ] {
+            let lexed = lex(src);
+            assert_eq!(
+                lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+                1,
+                "source: {src}"
+            );
+            let semis = lexed.toks.iter().filter(|t| t.text == ";").count();
+            assert_eq!(semis, 1, "string body leaked into tokens: {src}");
+        }
+    }
+
+    #[test]
+    fn r_prefix_without_quote_is_an_ident() {
+        let toks = kinds("railway r#type");
+        assert_eq!(toks[0], (TokKind::Ident, "railway".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) { let q = '\\''; }");
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn numbers_classify_int_versus_float() {
+        let toks = kinds("1 1.0 1. 1e5 1.5e-3 2f64 3f32 0xFF 1_000u64 1..2 x.0");
+        let floats: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Float).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(floats, vec!["1.0", "1.", "1e5", "1.5e-3", "2f64", "3f32"]);
+        // `1..2` stays two ints around a range; `x.0` is a tuple index.
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn method_call_on_int_does_not_eat_the_dot() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn comments_collected_with_doc_flags() {
+        let src = "/// outer doc\n//! inner doc\n// plain\n//// not doc\n/** block doc */\n/*** not doc */\nfn f() {}\n";
+        let lexed = lex(src);
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, false, false, false, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "/* a /* nested */ still comment */ fn f() {}\n// after\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.toks[0].text, "fn", "nested comment must close correctly");
+    }
+
+    #[test]
+    fn multiline_string_advances_line_numbers() {
+        let src = "let s = \"line\nbreak\";\nfn f() {}\n";
+        let lexed = lex(src);
+        let f = lexed.toks.iter().find(|t| t.text == "fn").map(|t| t.line);
+        assert_eq!(f, Some(3));
+    }
+}

@@ -1,0 +1,228 @@
+//! # dd-lint — token-aware workspace analyzer for repo contracts
+//!
+//! The reproduction's core guarantee — bit-identical training and scoring
+//! at any thread count (DESIGN.md §7.9) — and its serving hygiene
+//! (DESIGN.md §7.10) used to be enforced by two `grep` lints and
+//! convention. dd-lint replaces both with a real static-analysis pass: a
+//! hand-rolled lexer (strings, char literals, comments, attributes handled
+//! correctly, so a doc comment mentioning `.unwrap()` never fires) feeding
+//! named rules over every workspace source file.
+//!
+//! | rule | scope | contract |
+//! |------|-------|----------|
+//! | `thread-confinement` | everywhere but `crates/runtime` | no `thread::spawn`/`thread::scope`; use the dd-runtime substrate |
+//! | `unwind-confinement` | everywhere but `crates/serve`, `crates/runtime` | no `catch_unwind`; library code stays panic-transparent |
+//! | `determinism` | non-test code in core, graph, linalg, baselines, eval, runtime | no `Instant::now`/`SystemTime`, no bare `HashMap`/`HashSet` |
+//! | `panic-hygiene` | non-test `crates/serve/src`, `crates/runtime/src` | no `.unwrap()`/`.expect(` on the request path or in workers |
+//! | `float-eq` | all non-test code | no `==`/`!=` against float literals |
+//! | `pub-doc` | non-test src of the core crates | top-level `pub` items need doc comments |
+//! | `pragma` | everywhere | `allow()` pragmas must be well-formed, reasoned, and used |
+//!
+//! Violations print as `file:line: rule: message` (JSONL with `--json`).
+//! Suppression is explicit and audited: `// dd-lint: allow(<rule>) — <reason>`
+//! on the violating line or the line above. Legacy debt lives in
+//! `lint-baseline.txt`, a ratchet that fails CI on any new violation *and*
+//! on silently shrunk debt (regenerate with `--write-baseline`).
+//!
+//! ## Adding a rule
+//!
+//! 1. Pick a kebab-case name and add it to [`rules::RULE_NAMES`].
+//! 2. Write a `fn my_rule(path, scope, toks, test_mask, out)` in
+//!    `rules.rs`: iterate the token stream ([`lexer::Tok`]), skip indices
+//!    where `test_mask[i]` is true if the rule should ignore tests, and
+//!    push [`rules::Violation`]s with a message that names the fix.
+//!    Scoping is path-based — reuse `Scope` or prefix checks.
+//! 3. Call it from [`rules::check_file`]. Pragmas and the baseline work
+//!    automatically for any pushed violation.
+//! 4. Add two fixtures under `tests/fixtures/<rule>/` — `bad.rs` (expected
+//!    hits) and `clean.rs` (look-alikes that must not fire: the string /
+//!    doc-comment / `#[cfg(test)]` traps) — and wire them up in
+//!    `tests/rule_fixtures.rs`.
+//! 5. Document the rule row in DESIGN.md §7.11 and run
+//!    `cargo run -p dd-lint -- --workspace --write-baseline` if it lands
+//!    with legacy debt.
+//!
+//! The crate is std-only and offline; the CI lint job builds and runs it
+//! before anything heavier compiles.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_file, FileReport, Pragma, Violation};
+
+/// Directories scanned relative to the workspace root (mirrors what the old
+/// grep lints covered).
+const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// The combined result of analyzing a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations, sorted by file, line, rule.
+    pub violations: Vec<Violation>,
+    /// Every pragma encountered (the suppression audit trail).
+    pub pragmas: Vec<Pragma>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+/// Analyzes the whole workspace rooted at `root`.
+///
+/// Walks `crates/`, `tests/`, and `examples/` for `*.rs` files, skipping
+/// `target/`, `vendor/`,
+/// and `fixtures/` directories (lint fixtures contain deliberate
+/// violations). Paths are reported workspace-relative with `/` separators,
+/// and files are visited in sorted order so output and baselines are
+/// deterministic.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    check_paths(root, &files)
+}
+
+/// Analyzes an explicit set of files (absolute or root-relative). Unlike
+/// [`check_workspace`], no `fixtures/` filtering is applied — an explicitly
+/// named path is always checked (the CI lint-smoke step relies on this to
+/// point dd-lint at a known-bad fixture).
+pub fn check_paths(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for file in files {
+        let rel = match file.strip_prefix(root) {
+            Ok(rel) => rel.to_path_buf(),
+            Err(_) => file.clone(),
+        };
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let mut file_report = rules::check_file(&rel, &src);
+        report.violations.append(&mut file_report.violations);
+        report.pragmas.append(&mut file_report.pragmas);
+        report.files += 1;
+    }
+    report.violations.sort();
+    Ok(report)
+}
+
+/// Recursively collects `*.rs` files under `dir`, skipping directories that
+/// must never be linted.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures/` holds deliberate violations for dd-lint's own
+            // tests; `vendor/` is third-party-shaped stub code; `target/`
+            // is build output.
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `--check-exemptions`: every `allow(determinism)` pragma inside
+/// `crates/runtime` must have a matching exemption note in the design doc —
+/// the doc must mention the file's workspace-relative path (DESIGN.md
+/// §7.11 keeps the list). Returns human-readable failures.
+pub fn check_exemptions(pragmas: &[Pragma], design_doc_text: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for p in pragmas {
+        if p.rule != "determinism" || !p.file.starts_with("crates/runtime/") {
+            continue;
+        }
+        if !design_doc_text.contains(&p.file) {
+            failures.push(format!(
+                "{}:{}: allow(determinism) pragma has no exemption note naming `{}` in the \
+                 design doc (add one under DESIGN.md §7.11)",
+                p.file, p.line, p.file
+            ));
+        }
+    }
+    failures
+}
+
+/// Minimal JSON string escaping for the `--json` output (std-only crate —
+/// no serde here).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemption_check_requires_design_mention() {
+        let pragma = Pragma {
+            file: "crates/runtime/src/pool.rs".into(),
+            line: 10,
+            end_line: 10,
+            rule: "determinism".into(),
+            reason: "stats only".into(),
+            used: true,
+        };
+        let ok = check_exemptions(
+            std::slice::from_ref(&pragma),
+            "exemptions: `crates/runtime/src/pool.rs` wall-clock stats",
+        );
+        assert!(ok.is_empty());
+        let bad = check_exemptions(std::slice::from_ref(&pragma), "no mention here");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("pool.rs"));
+    }
+
+    #[test]
+    fn exemption_check_ignores_other_rules_and_crates() {
+        let mk = |file: &str, rule: &str| Pragma {
+            file: file.into(),
+            line: 1,
+            end_line: 1,
+            rule: rule.into(),
+            reason: "r".into(),
+            used: true,
+        };
+        let pragmas = vec![
+            mk("crates/runtime/src/pool.rs", "panic-hygiene"),
+            mk("crates/core/src/estep.rs", "determinism"),
+        ];
+        assert!(check_exemptions(&pragmas, "").is_empty());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,278 @@
+//! `dd-lint` — the workspace contract analyzer CLI.
+//!
+//! ```text
+//! dd-lint --workspace [--root DIR]         lint the whole workspace
+//! dd-lint PATH...                          lint explicit files/dirs
+//!   --json                                 JSONL output (one object per finding)
+//!   --baseline FILE                        ratchet file (default: <root>/lint-baseline.txt)
+//!   --no-baseline                          report every violation, ignore the ratchet
+//!   --write-baseline                       regenerate the ratchet from current violations
+//!   --check-exemptions FILE                require DESIGN.md notes for runtime determinism pragmas
+//!   --list-pragmas                         print the suppression audit trail
+//! ```
+//!
+//! Exit codes: `0` clean, `1` contract violations / stale baseline /
+//! missing exemptions, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dd_lint::{baseline, check_exemptions, check_paths, check_workspace, json_escape, Report};
+
+struct Options {
+    workspace: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+    json: bool,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    check_exemptions: Option<PathBuf>,
+    list_pragmas: bool,
+}
+
+fn usage() -> String {
+    "usage: dd-lint (--workspace | PATH...) [--root DIR] [--json] [--baseline FILE] \
+     [--no-baseline] [--write-baseline] [--check-exemptions FILE] [--list-pragmas]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        json: false,
+        baseline_path: None,
+        no_baseline: false,
+        write_baseline: false,
+        check_exemptions: None,
+        list_pragmas: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-pragmas" => opts.list_pragmas = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--check-exemptions" => {
+                let v = it.next().ok_or("--check-exemptions needs a file path")?;
+                opts.check_exemptions = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}\n{}", usage()))
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err(usage());
+    }
+    if opts.workspace && !opts.paths.is_empty() {
+        return Err(format!("--workspace and explicit paths are mutually exclusive\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+/// Expands explicit path arguments: files stay as-is, directories are
+/// walked for `*.rs` (without the workspace `fixtures/` filter — an
+/// explicitly named path is always checked).
+fn expand_paths(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut stack = vec![p.clone()];
+            while let Some(dir) = stack.pop() {
+                let entries = std::fs::read_dir(&dir)
+                    .map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+                for entry in entries {
+                    let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+                    let path = entry.path();
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else if path.to_string_lossy().ends_with(".rs") {
+                        files.push(path);
+                    }
+                }
+            }
+        } else if p.is_file() {
+            files.push(p.clone());
+        } else {
+            return Err(format!("no such file or directory: {}", p.display()));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Prints one finding line. A closed stdout (`dd-lint --json | head`)
+/// means the consumer has read all it wants — finish quietly instead of
+/// panicking like a bare `println!` would.
+fn out(line: std::fmt::Arguments) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    if stdout.write_fmt(line).and_then(|()| stdout.write_all(b"\n")).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn emit_violation(v: &dd_lint::Violation, baselined: bool, json: bool) {
+    if json {
+        out(format_args!(
+            "{{\"kind\":\"violation\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"baselined\":{}}}",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.rule),
+            json_escape(&v.message),
+            baselined
+        ));
+    } else {
+        let suffix = if baselined { " [baselined]" } else { "" };
+        out(format_args!("{}{suffix}", v.render()));
+    }
+}
+
+fn emit_pragma(p: &dd_lint::Pragma, json: bool) {
+    if json {
+        out(format_args!(
+            "{{\"kind\":\"pragma\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"reason\":\"{}\"}}",
+            json_escape(&p.file),
+            p.line,
+            json_escape(&p.rule),
+            json_escape(&p.reason),
+        ));
+    } else {
+        out(format_args!("{}:{}: allow({}): {}", p.file, p.line, p.rule, p.reason));
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let report: Report = if opts.workspace {
+        check_workspace(&opts.root)?
+    } else {
+        let files = expand_paths(&opts.paths)?;
+        check_paths(&opts.root, &files)?
+    };
+
+    let baseline_path =
+        opts.baseline_path.clone().unwrap_or_else(|| opts.root.join("lint-baseline.txt"));
+
+    if opts.write_baseline {
+        let text = baseline::render(&report.violations);
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "dd-lint: wrote {} ({} violations across {} files)",
+            baseline_path.display(),
+            report.violations.len(),
+            report.files
+        );
+        return Ok(true);
+    }
+
+    let base =
+        if opts.no_baseline { baseline::Baseline::new() } else { baseline::load(&baseline_path)? };
+
+    let mut failed = false;
+    let drift = baseline::compare(&report.violations, &base);
+    if opts.no_baseline {
+        for v in &report.violations {
+            emit_violation(v, false, opts.json);
+        }
+        failed = !report.violations.is_empty();
+    } else {
+        for d in &drift {
+            match d {
+                baseline::Drift::New(offenders) => {
+                    for v in offenders {
+                        emit_violation(v, false, opts.json);
+                    }
+                    failed = true;
+                }
+                baseline::Drift::Stale { file, rule, baselined, found } => {
+                    eprintln!(
+                        "dd-lint: stale baseline: {file} / {rule}: baselined {baselined}, found \
+                         {found} — regenerate with --write-baseline so the ratchet tightens"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        // Baselined (legacy) violations are visible in --json output so CI
+        // artifacts carry the full picture, but they do not fail the run.
+        if opts.json {
+            let new_set: std::collections::BTreeSet<_> = drift
+                .iter()
+                .filter_map(|d| match d {
+                    baseline::Drift::New(offs) => Some(offs.iter().collect::<Vec<_>>()),
+                    _ => None,
+                })
+                .flatten()
+                .map(|v| (v.file.clone(), v.line, v.rule))
+                .collect();
+            for v in &report.violations {
+                if !new_set.contains(&(v.file.clone(), v.line, v.rule)) {
+                    emit_violation(v, true, opts.json);
+                }
+            }
+        }
+    }
+
+    // JSON mode always carries the suppression audit trail, so the CI
+    // artifact is the complete picture even on a clean tree.
+    if opts.list_pragmas || opts.json {
+        for p in &report.pragmas {
+            emit_pragma(p, opts.json);
+        }
+    }
+
+    if let Some(doc_path) = &opts.check_exemptions {
+        let doc = std::fs::read_to_string(opts.root.join(doc_path))
+            .or_else(|_| std::fs::read_to_string(doc_path))
+            .map_err(|e| format!("reading {}: {e}", doc_path.display()))?;
+        for failure in check_exemptions(&report.pragmas, &doc) {
+            eprintln!("dd-lint: {failure}");
+            failed = true;
+        }
+    }
+
+    if !failed && !opts.json {
+        eprintln!(
+            "dd-lint: {} files clean ({} pragmas, {} baselined violations)",
+            report.files,
+            report.pragmas.len(),
+            report.violations.len()
+        );
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("dd-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Deliberate violations: wall clocks and randomized iteration order.
+
+/// Reads wall clocks and iterates randomized collections.
+pub fn unstable() -> usize {
+    let started = std::time::Instant::now();
+    let clock = std::time::SystemTime::now();
+    let map = std::collections::HashMap::<u32, u32>::new();
+    let set = std::collections::HashSet::<u32>::new();
+    let _ = (clock, set.len());
+    map.len() + started.elapsed().as_secs() as usize
+}

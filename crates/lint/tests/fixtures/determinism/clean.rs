@@ -1,0 +1,23 @@
+//! Sanctioned alternatives plus the three traps that must not fire:
+//! a string literal, a doc comment, and a `#[cfg(test)]` module.
+
+use std::collections::BTreeMap;
+
+/// Explains why `SystemTime` and a bare `HashMap` are banned — doc
+/// mentions of `Instant::now` are not clock reads.
+pub fn stable() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let hint = "HashMap, HashSet, and Instant::now() inside a string";
+    m.len() + hint.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t = std::time::Instant::now();
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, t.elapsed().as_nanos());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Deliberate violations: exact comparison against float literals.
+
+/// Compares floats against literals three different ways.
+pub fn brittle(a: f64, b: f32) -> bool {
+    let zeroish = a == 0.0;
+    let negcheck = a == -1.0;
+    let lhs = 0.5 != (b as f64);
+    zeroish || negcheck || lhs
+}

@@ -1,0 +1,18 @@
+//! Comparisons that must not fire.
+
+/// Doc prose: `x == 0.0` is banned outside tests.
+pub fn careful(a: f64, b: f64, n: usize) -> bool {
+    let ints = n == 0;
+    let vars = a == b;
+    let range = (0.0..1.0).contains(&a);
+    let hint = "a == 0.0 inside a string";
+    ints || vars || range || hint.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_values_are_fine_in_tests() {
+        assert!(super::careful(0.0, 0.0, 0) || 1.0 == 1.0);
+    }
+}

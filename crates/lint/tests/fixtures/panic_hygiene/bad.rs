@@ -1,0 +1,6 @@
+//! Deliberate violations: panics on the request path.
+
+/// Panics whenever its inputs are absent.
+pub fn fragile(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    x.unwrap() + y.expect("must be set")
+}

@@ -1,0 +1,17 @@
+//! Panic-free handling plus the traps that must not fire.
+
+/// Doc prose saying `.unwrap()` is banned is not a call.
+pub fn sturdy(x: Option<u32>) -> u32 {
+    let hint = ".unwrap() and .expect( inside a string";
+    x.unwrap_or_else(|| hint.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+        let r: Result<u32, ()> = Ok(1);
+        assert_eq!(r.expect("test code may panic"), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Deliberate pragma misuse: every audited-suppression failure mode.
+
+// dd-lint: allow(determinism) — nothing below actually violates it
+/// Valid pragma above, but nothing to suppress.
+pub fn unused_suppression() {}
+
+// dd-lint: allow(not-a-rule) — names a rule that does not exist
+/// The pragma above names an unknown rule.
+pub fn unknown_rule() {}
+
+// dd-lint: allow(float-eq)
+/// The pragma above has no reason, so it suppresses nothing.
+pub fn missing_reason(a: f64) -> bool {
+    a == 0.0
+}
+
+// dd-lint: allowed(float-eq) — wrong keyword, not the allow() form
+/// The comment above is malformed.
+pub fn malformed() {}

@@ -1,0 +1,8 @@
+//! A correctly audited suppression.
+
+/// Docs may describe the `// dd-lint: allow(<rule>) — <reason>` syntax
+/// without being parsed as a pragma.
+pub fn audited(a: f64) -> bool {
+    // dd-lint: allow(float-eq) — sentinel comparison; -1.0 is never a score
+    a == -1.0
+}

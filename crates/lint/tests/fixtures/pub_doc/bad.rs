@@ -1,0 +1,9 @@
+//! Deliberate violations: undocumented public API.
+
+pub fn naked() {}
+
+pub struct Bare {
+    pub field: u32,
+}
+
+pub const LIMIT: usize = 8;

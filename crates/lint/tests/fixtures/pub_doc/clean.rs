@@ -1,0 +1,23 @@
+//! Documented public API and items that are out of scope.
+
+/// A documented function.
+pub fn documented() {}
+
+/// Documented even though an attribute sits between docs and item.
+#[inline]
+pub fn attributed() -> u32 {
+    7
+}
+
+/// A documented struct; field docs are rustdoc's business, not this
+/// rule's (fields sit inside braces).
+pub struct Covered {
+    pub field: u32,
+}
+
+pub(crate) fn internal_items_need_no_docs() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn helpers_in_test_modules_are_fine() {}
+}

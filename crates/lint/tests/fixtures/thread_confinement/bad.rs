@@ -1,0 +1,12 @@
+//! Deliberate violations: spawns outside crates/runtime.
+
+use std::thread;
+
+/// Spawns directly instead of going through the dd-runtime substrate.
+pub fn naive_parallel() -> u32 {
+    let h = thread::spawn(|| 2 + 2);
+    thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    h.join().unwrap_or(0)
+}

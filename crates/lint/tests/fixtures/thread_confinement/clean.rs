@@ -1,0 +1,14 @@
+//! Look-alikes that must not fire — this rule applies even in test code,
+//! so the traps are prose and strings, not `#[cfg(test)]`.
+
+/// Explains that `thread::scope` is banned outside dd-runtime; a doc
+/// comment mentioning `thread::spawn` is not a spawn.
+pub fn helper() -> &'static str {
+    "error: replace thread::spawn(f) with dd_runtime::spawn_named"
+}
+
+#[cfg(test)]
+mod tests {
+    // A string in test code is still just a string.
+    const HINT: &str = "thread::scope";
+}

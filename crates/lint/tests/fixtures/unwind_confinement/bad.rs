@@ -1,0 +1,8 @@
+//! Deliberate violations: panic capture outside the scheduling boundaries.
+
+use std::panic::catch_unwind;
+
+/// Captures a panic in library code instead of staying transparent.
+pub fn swallow() -> bool {
+    catch_unwind(|| ()).is_ok()
+}

@@ -1,0 +1,6 @@
+//! `catch_unwind` in prose and strings only.
+
+/// The serve worker loop uses `catch_unwind`; this crate must not.
+pub fn doc_only() -> &'static str {
+    "catch_unwind belongs in crates/serve and crates/runtime"
+}

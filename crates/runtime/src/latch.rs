@@ -5,7 +5,7 @@
 //! woken the moment the last worker arrives, instead of rediscovering
 //! completion up to one poll interval late.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A one-shot countdown latch.
@@ -26,9 +26,17 @@ impl Latch {
         Latch { remaining: Mutex::new(count), released: Condvar::new() }
     }
 
+    /// Locks the counter, recovering from poison: every critical section in
+    /// this module is a single read or write of the `usize`, which cannot be
+    /// left half-updated by a panicking holder, so the data is always
+    /// consistent and the poison flag carries no information.
+    fn lock_counter(&self) -> MutexGuard<'_, usize> {
+        self.remaining.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Records one arrival, waking all waiters if it was the last.
     pub fn arrive(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        let mut remaining = self.lock_counter();
         *remaining = remaining.saturating_sub(1);
         if *remaining == 0 {
             self.released.notify_all();
@@ -42,14 +50,15 @@ impl Latch {
 
     /// True once every expected arrival has happened.
     pub fn is_released(&self) -> bool {
-        *self.remaining.lock().expect("latch poisoned") == 0
+        *self.lock_counter() == 0
     }
 
     /// Parks until the latch is released.
     pub fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        let mut remaining = self.lock_counter();
         while *remaining > 0 {
-            remaining = self.released.wait(remaining).expect("latch poisoned");
+            remaining =
+                self.released.wait(remaining).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
@@ -59,12 +68,14 @@ impl Latch {
     /// a generous timeout costs nothing in completion latency — it only
     /// bounds how often a monitor loop gets a chance to do periodic work.
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        let mut remaining = self.lock_counter();
         if *remaining == 0 {
             return true;
         }
-        let (guard, _result) =
-            self.released.wait_timeout(remaining, timeout).expect("latch poisoned");
+        let (guard, _result) = self
+            .released
+            .wait_timeout(remaining, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         remaining = guard;
         *remaining == 0
     }

@@ -138,6 +138,9 @@ impl Pool {
         F: Fn(usize, &mut [T]) + Sync,
     {
         assert!(chunk > 0, "chunk size must be positive");
+        // dd-lint: allow(determinism) — wall-clock stats counter only; chunk
+        // boundaries and results depend solely on data.len() and chunk
+        // (see DESIGN.md §7.11 exemptions)
         let wall_start = Instant::now();
         self.calls.fetch_add(1, Ordering::Relaxed);
         let n = data.len();
@@ -152,12 +155,17 @@ impl Pool {
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let panicked = AtomicBool::new(false);
         let run_chunk = |offset: usize, slice: &mut [T]| {
+            // dd-lint: allow(determinism) — busy-time stats counter only,
+            // never read by the chunk body (see DESIGN.md §7.11 exemptions)
             let busy_start = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| f(offset, slice)));
             self.record_busy(busy_start);
             if let Err(payload) = result {
                 panicked.store(true, Ordering::SeqCst);
-                let mut slot = first_panic.lock().expect("panic slot poisoned");
+                // Poison recovery: the critical section is a single
+                // `get_or_insert`, which cannot leave the Option
+                // half-written, so a poisoned flag carries no information.
+                let mut slot = first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
                 slot.get_or_insert(payload);
             }
         };
@@ -192,7 +200,12 @@ impl Pool {
                             // expression directly in a `while let` would
                             // keep the guard alive across the body and
                             // serialize the whole pool.
-                            let task = queue.lock().expect("pool queue poisoned").pop();
+                            // Poison recovery: chunk bodies run under
+                            // `catch_unwind`, so the only code that can
+                            // panic while holding this lock is `Vec::pop`,
+                            // which never does; the queue stays consistent.
+                            let task =
+                                queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).pop();
                             let Some((offset, slice)) = task else { break };
                             run_chunk(offset, slice);
                         }
@@ -202,7 +215,7 @@ impl Pool {
         }
         self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
         self.wall_nanos.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let payload = first_panic.lock().expect("panic slot poisoned").take();
+        let payload = first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -222,6 +235,8 @@ impl Pool {
                 *slot = Some(f(offset + j));
             }
         });
+        // dd-lint: allow(panic-hygiene) — every index is covered by exactly
+        // one chunk; an empty slot is a pool bug worth a loud crash
         slots.into_iter().map(|slot| slot.expect("par_map chunk left a slot unfilled")).collect()
     }
 
@@ -249,8 +264,11 @@ impl Pool {
             let end = (start + chunk).min(n);
             slot[0] = Some(map(start..end));
         });
-        let mut parts =
-            parts.into_iter().map(|p| p.expect("par_map_reduce chunk left a slot unfilled"));
+        let mut parts = parts
+            .into_iter()
+            // dd-lint: allow(panic-hygiene) — each chunk writes its own slot
+            // before returning; an empty slot is a pool bug worth a loud crash
+            .map(|p| p.expect("par_map_reduce chunk left a slot unfilled"));
         let first = parts.next()?;
         Some(parts.fold(first, reduce))
     }

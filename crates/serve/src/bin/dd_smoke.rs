@@ -104,7 +104,9 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
     for (line, &(src, dst)) in lines.iter().zip(&ties) {
         let parsed: ScoreResponse = serde_json::from_str(line)
             .map_err(|e| format!("/batch line not parseable ({e}): {line}"))?;
-        let expected = model.score(NodeId(src), NodeId(dst)).expect("checked above");
+        let expected = model
+            .score(NodeId(src), NodeId(dst))
+            .ok_or_else(|| format!("model lost tie ({src},{dst})"))?;
         check_bits(src, dst, parsed.score, expected, "/batch")?;
     }
     println!("batch ok: {} lines bit-exact", lines.len());

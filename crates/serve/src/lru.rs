@@ -100,6 +100,19 @@ impl Shard {
     }
 }
 
+/// Locks a shard, recovering from poison by discarding the shard's
+/// contents. No user code runs under these locks, so poison means a panic
+/// inside `Shard` itself — the intrusive list may be half-linked, and
+/// because every entry is a pure function of the frozen model the cheapest
+/// consistent state is simply an empty shard (a cold cache, not an error).
+fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(|poisoned| {
+        let mut guard = poisoned.into_inner();
+        *guard = Shard::new(guard.cap);
+        guard
+    })
+}
+
 /// Thread-safe sharded LRU mapping ordered ties to scores.
 pub struct ScoreCache {
     shards: Vec<Mutex<Shard>>,
@@ -141,7 +154,7 @@ impl ScoreCache {
     /// Total entry budget across all shards (the `capacity` the cache was
     /// built with).
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().cap).sum()
+        self.shards.iter().map(|s| lock_shard(s).cap).sum()
     }
 
     fn shard(&self, key: TieKey) -> &Mutex<Shard> {
@@ -154,19 +167,19 @@ impl ScoreCache {
 
     /// Cached score for `key`, refreshing its recency.
     pub fn get(&self, key: TieKey) -> Option<f64> {
-        self.shard(key).lock().unwrap().get(key)
+        lock_shard(self.shard(key)).get(key)
     }
 
     /// Caches `val` under `key`; returns `true` when an older entry was
     /// evicted to make room.
     pub fn insert(&self, key: TieKey, val: f64) -> bool {
-        self.shard(key).lock().unwrap().insert(key, val)
+        lock_shard(self.shard(key)).insert(key, val)
     }
 
     /// Entries currently cached (sums the shards; used for the occupancy
     /// gauge, not on the per-request hot path).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// Whether the cache holds no entries.

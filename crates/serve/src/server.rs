@@ -160,9 +160,11 @@ impl AppState {
         }
     }
 
-    fn endpoint(&self, name: &str) -> &EndpointMetrics {
-        // ENDPOINTS is tiny and `name` always comes from routing constants.
-        &self.endpoints.iter().find(|(n, _)| *n == name).expect("known endpoint").1
+    fn endpoint(&self, name: &str) -> Option<&EndpointMetrics> {
+        // ENDPOINTS is tiny and `name` always comes from routing constants;
+        // an unknown name is a routing bug, and losing that one metrics
+        // sample beats panicking on the response path.
+        self.endpoints.iter().find(|(n, _)| *n == name).map(|(_, m)| m)
     }
 
     /// Scores `(src, dst)` through the LRU cache. `None` when the ordered
@@ -393,9 +395,10 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
     let mut write_half = stream;
     let _ = http::write_response(&mut write_half, status, content_type, &body);
     let seconds = start.elapsed().as_secs_f64();
-    let m = state.endpoint(endpoint);
-    m.requests.incr();
-    m.latency.record(seconds);
+    if let Some(m) = state.endpoint(endpoint) {
+        m.requests.incr();
+        m.latency.record(seconds);
+    }
     state.observer.on_event(&Event::serve_request(endpoint, status, seconds));
 }
 
@@ -439,8 +442,10 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, state: Arc<AppState>) {
         // Holding the lock while blocked in `recv` is the shared-receiver
         // pattern: exactly one worker waits in recv, the rest wait on the
         // mutex, and handling happens outside the lock — so the pool still
-        // processes in parallel.
-        let next = { rx.lock().unwrap().recv() };
+        // processes in parallel. Poison recovery is sound because nothing
+        // under the lock can panic (it only wraps `recv`); connection
+        // handling runs outside it, under `catch_unwind`.
+        let next = { rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv() };
         match next {
             Ok(stream) => {
                 // Backstop: `handle_connection` already isolates handler

@@ -197,7 +197,7 @@ pub fn degenerate_weights(rng: &mut Pcg32, n: usize) -> Vec<f64> {
     assert!(n > 0, "need at least one weight");
     let magnitudes = [0.0, 0.0, 1e-300, 1e-12, 1.0, 3.5, 1e12, 1e300];
     let mut w: Vec<f64> = (0..n).map(|_| *pick(rng, &magnitudes)).collect();
-    if w.iter().all(|&x| x == 0.0) {
+    if w.iter().all(|&x| matches!(x.classify(), std::num::FpCategory::Zero)) {
         w[rng.gen_range(n)] = 1.0;
     }
     w
