@@ -52,6 +52,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "serve" => serve(args),
         "eval" => eval(args),
         "bench" => bench(args),
+        "trace" => trace_cmd(args),
+        "profile" => profile(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -79,7 +81,15 @@ USAGE:
                                       [--threads T] [--seed S]
                                       (direction-discovery accuracy per method, Sec. 6.2)
   dd bench   [--dataset D] [--scale K] [--threads T] [--seed S] [--out BENCH_runtime.json]
-                                      (serial vs parallel wall time; verifies bit-identity)
+                                      [--baseline BENCH_runtime.json] [--tolerance F]
+                                      (serial vs parallel wall time; verifies bit-identity;
+                                       --baseline enforces the committed perf ratchet)
+  dd trace export <telemetry.jsonl>   --chrome <trace.json>
+                                      (Chrome trace-event JSON for chrome://tracing / Perfetto)
+  dd trace summarize <telemetry.jsonl>
+                                      (per-stage self-time table + critical path)
+  dd profile <command> [args…]        run any dd command with allocation counting
+                                      enabled; appends wall/alloc/peak-RSS summary
 
 THREADS:
   --threads T                 worker threads for parallel stages; falls back to
@@ -430,15 +440,134 @@ struct BenchReport {
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // dd-lint: allow(trace-hygiene) — bench/profile stage timing is this
+    // command's output, not an untraced side channel.
     let t0 = Instant::now();
     let v = f();
     (v, t0.elapsed().as_secs_f64())
+}
+
+/// `dd trace export|summarize <telemetry.jsonl>`: post-processes a JSONL
+/// event stream written by `--telemetry` into a Chrome trace-event file or a
+/// per-stage critical-path table.
+fn trace_cmd(args: &Args) -> Result<String, String> {
+    let sub = args.positional(0, "trace subcommand (export|summarize)")?;
+    let path = args.positional(1, "telemetry.jsonl")?;
+    let events = deepdirect::telemetry::read_jsonl(path)?;
+    match sub {
+        "export" => {
+            let out = args
+                .flags
+                .get("chrome")
+                .ok_or("trace export requires --chrome <trace.json> (Chrome trace-event JSON)")?;
+            let n = events
+                .iter()
+                .filter(|e| {
+                    e.kind == deepdirect::telemetry::kind::SPAN || e.kind == "serve.request"
+                })
+                .count();
+            let json = deepdirect::telemetry::export::chrome_trace(&events);
+            std::fs::write(out, &json).map_err(|e| format!("writing '{out}': {e}"))?;
+            Ok(format!(
+                "wrote Chrome trace ({n} events) to {out}\nopen it in chrome://tracing or https://ui.perfetto.dev"
+            ))
+        }
+        "summarize" => Ok(deepdirect::telemetry::export::summarize(&events)),
+        other => Err(format!("unknown trace subcommand '{other}' (expected export|summarize)")),
+    }
+}
+
+/// `dd profile <command> [args…]`: re-dispatches to any other command with
+/// allocation counting enabled (the `dd` binary installs
+/// [`deepdirect::telemetry::alloc::CountingAlloc`] as its global allocator)
+/// and appends a resource summary. Flags pass through to the inner command.
+fn profile(args: &Args) -> Result<String, String> {
+    let inner_cmd = args.positional(0, "command to profile")?.to_string();
+    if inner_cmd == "profile" {
+        return Err("dd profile does not nest".into());
+    }
+    deepdirect::telemetry::alloc::enable_profiling();
+    let inner = Args {
+        command: inner_cmd,
+        positional: args.positional[1..].to_vec(),
+        flags: args.flags.clone(),
+    };
+    let (a0, b0) = deepdirect::telemetry::alloc::alloc_totals();
+    let (result, seconds) = timed(|| run(&inner));
+    let (a1, b1) = deepdirect::telemetry::alloc::alloc_totals();
+    let out = result?;
+    let mut summary = format!(
+        "{out}\n--- dd profile: {} ---\nwall        {seconds:.3} s\nallocations {} calls, {} bytes",
+        inner.command,
+        a1 - a0,
+        b1 - b0,
+    );
+    if let Some(rss) = deepdirect::telemetry::alloc::peak_rss_bytes() {
+        summary.push_str(&format!("\npeak RSS    {rss} bytes"));
+    }
+    Ok(summary)
+}
+
+/// Checks a fresh [`BenchReport`] against a committed baseline
+/// (`--baseline`): per-stage speedup may not fall more than `tolerance`
+/// below the recorded value. Speedup (serial/parallel ratio) is the
+/// ratcheted metric because it is machine-speed independent, unlike raw
+/// wall seconds.
+fn check_ratchet(report: &BenchReport, baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading baseline '{baseline_path}': {e}"))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| format!("baseline '{baseline_path}' is not valid JSON: {e}"))?;
+    let base_threads = doc.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+    if base_threads != report.threads {
+        return Err(format!(
+            "bench ratchet: baseline was recorded with {base_threads} threads, this run used {} \
+             (re-run with --threads {base_threads})",
+            report.threads
+        ));
+    }
+    let Some(serde_json::Value::Array(stages)) = doc.get("stages") else {
+        return Err(format!("baseline '{baseline_path}' has no stages array"));
+    };
+    for s in stages {
+        let name = match s.get("stage") {
+            Some(serde_json::Value::Str(n)) => n.as_str(),
+            _ => return Err(format!("baseline '{baseline_path}': stage without a name")),
+        };
+        let base_speedup = s
+            .get("speedup")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline '{baseline_path}': stage '{name}' has no speedup"))?;
+        let cur =
+            report.stages.iter().find(|r| r.stage == name).ok_or_else(|| {
+                format!("bench ratchet: baseline stage '{name}' no longer benched")
+            })?;
+        if !cur.bit_identical {
+            return Err(format!("bench ratchet: stage '{name}' lost bit-identity"));
+        }
+        let floor = base_speedup * (1.0 - tolerance);
+        if cur.speedup < floor {
+            return Err(format!(
+                "bench ratchet: stage '{name}' speedup {:.2}x fell below the floor {floor:.2}x \
+                 (baseline {base_speedup:.2}x minus {:.0}% tolerance)",
+                cur.speedup,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// `dd bench`: generates a synthetic analog, times the hot parallel stages
 /// (betweenness, closeness, HF feature extraction) serially and on
 /// `--threads` workers, verifies the outputs are bit-identical, and writes
 /// the stage table plus pool utilization to `--out` (BENCH_runtime.json).
+///
+/// With `--baseline <BENCH_runtime.json>` the run additionally enforces the
+/// perf ratchet: each stage's speedup must stay within `--tolerance`
+/// (default 0.35) of the committed baseline. A failing comparison gets one
+/// re-bench before it is reported — single-run timing noise is expected on
+/// shared CI hosts, a real regression fails twice.
 fn bench(args: &Args) -> Result<String, String> {
     let threads = resolve_threads(args)?;
     // `scale` is the dataset divisor (crawl size / scale): the default 60
@@ -447,6 +576,11 @@ fn bench(args: &Args) -> Result<String, String> {
     let scale: usize = args.get_num("scale", 60usize)?;
     let seed: u64 = args.get_num("seed", 7u64)?;
     let out_path = args.get("out", "BENCH_runtime.json");
+    let baseline_path = args.get("baseline", "");
+    let tolerance: f64 = args.get_num("tolerance", 0.35f64)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("flag --tolerance must be in [0, 1), got {tolerance}"));
+    }
     let name = args.get("dataset", "twitter").to_lowercase();
     let spec =
         all_datasets().into_iter().find(|s| s.name.to_lowercase() == name).ok_or_else(|| {
@@ -454,55 +588,77 @@ fn bench(args: &Args) -> Result<String, String> {
         })?;
     let g = spec.generate(scale, seed).network;
 
-    let serial_pool = Pool::new("bench.serial", Threads::serial());
-    let par_pool = Pool::new("bench.parallel", threads);
-    let mut stages = Vec::new();
-    let mut push = |stage: &'static str, ts: f64, tp: f64, identical: bool| {
-        stages.push(BenchStage {
-            stage,
-            serial_seconds: ts,
-            parallel_seconds: tp,
-            speedup: ts / tp.max(1e-12),
-            bit_identical: identical,
-        });
+    let run_once = || {
+        let serial_pool = Pool::new("bench.serial", Threads::serial());
+        let par_pool = Pool::new("bench.parallel", threads);
+        let mut stages = Vec::new();
+        let mut push = |stage: &'static str, ts: f64, tp: f64, identical: bool| {
+            stages.push(BenchStage {
+                stage,
+                serial_seconds: ts,
+                parallel_seconds: tp,
+                speedup: ts / tp.max(1e-12),
+                bit_identical: identical,
+            });
+        };
+
+        let (b1, ts) = timed(|| betweenness_all_pool(&g, &serial_pool));
+        let (b2, tp) = timed(|| betweenness_all_pool(&g, &par_pool));
+        push("betweenness", ts, tp, b1.iter().zip(&b2).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        let (c1, ts) = timed(|| closeness_all_pool(&g, &serial_pool));
+        let (c2, tp) = timed(|| closeness_all_pool(&g, &par_pool));
+        push("closeness", ts, tp, c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        // HF feature extraction reuses one stats pass; only the matrix build
+        // is timed, since the centrality passes are covered above.
+        let stats = NodeStats::compute(&g, &HfConfig::default());
+        let ((x1, y1), ts) = timed(|| training_matrix(&g, &stats, &serial_pool));
+        let ((x2, y2), tp) = timed(|| training_matrix(&g, &stats, &par_pool));
+        let identical = x1 == x2 && y1 == y2;
+        push("hf_features", ts, tp, identical);
+
+        let pstats = par_pool.stats();
+        BenchReport {
+            schema: 1,
+            dataset: spec.name.to_string(),
+            scale,
+            nodes: g.n_nodes(),
+            ties: g.counts().total(),
+            threads: threads.get(),
+            available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            stages,
+            pool_calls: pstats.calls,
+            pool_chunks: pstats.chunks,
+            pool_utilization: pstats.utilization(),
+        }
     };
 
-    let (b1, ts) = timed(|| betweenness_all_pool(&g, &serial_pool));
-    let (b2, tp) = timed(|| betweenness_all_pool(&g, &par_pool));
-    push("betweenness", ts, tp, b1.iter().zip(&b2).all(|(x, y)| x.to_bits() == y.to_bits()));
-
-    let (c1, ts) = timed(|| closeness_all_pool(&g, &serial_pool));
-    let (c2, tp) = timed(|| closeness_all_pool(&g, &par_pool));
-    push("closeness", ts, tp, c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
-
-    // HF feature extraction reuses one stats pass; only the matrix build is
-    // timed, since the centrality passes are covered above.
-    let stats = NodeStats::compute(&g, &HfConfig::default());
-    let ((x1, y1), ts) = timed(|| training_matrix(&g, &stats, &serial_pool));
-    let ((x2, y2), tp) = timed(|| training_matrix(&g, &stats, &par_pool));
-    let identical = x1 == x2 && y1 == y2;
-    push("hf_features", ts, tp, identical);
+    let mut report = run_once();
+    let mut rebenched = false;
+    if !baseline_path.is_empty() {
+        if let Err(first) = check_ratchet(&report, &baseline_path, tolerance) {
+            // One re-bench: a single noisy run must not fail the gate.
+            report = run_once();
+            rebenched = true;
+            if let Err(second) = check_ratchet(&report, &baseline_path, tolerance) {
+                return Err(format!(
+                    "{second}\n(first attempt: {first})\n\
+                     If this slowdown is intentional, refresh the committed baseline:\n  \
+                     cargo run --release -p dd-cli -- bench --threads {} --out {baseline_path}\n\
+                     and commit the updated {baseline_path}.",
+                    report.threads,
+                ));
+            }
+        }
+    }
 
     // Per-pool utilization lands in the global registry (the same gauges a
     // long-lived process would export on /metrics) and in the JSON report.
-    let pstats = par_pool.stats();
     let reg = Registry::global();
     reg.gauge("runtime.pool.bench.parallel.threads").set(threads.get() as f64);
-    reg.gauge("runtime.pool.bench.parallel.utilization").set(pstats.utilization());
+    reg.gauge("runtime.pool.bench.parallel.utilization").set(report.pool_utilization);
 
-    let report = BenchReport {
-        schema: 1,
-        dataset: spec.name.to_string(),
-        scale,
-        nodes: g.n_nodes(),
-        ties: g.counts().total(),
-        threads: threads.get(),
-        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        stages,
-        pool_calls: pstats.calls,
-        pool_chunks: pstats.chunks,
-        pool_utilization: pstats.utilization(),
-    };
     let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(parent).map_err(|e| format!("creating '{out_path}': {e}"))?;
@@ -524,6 +680,13 @@ fn bench(args: &Args) -> Result<String, String> {
         "  pool utilization {:.3} over {} calls / {} chunks\nreport written to {out_path}\n",
         report.pool_utilization, report.pool_calls, report.pool_chunks,
     ));
+    if !baseline_path.is_empty() {
+        out.push_str(&format!(
+            "ratchet ok against {baseline_path} (tolerance {:.0}%{})\n",
+            tolerance * 100.0,
+            if rebenched { ", after one re-bench" } else { "" },
+        ));
+    }
     Ok(out)
 }
 
@@ -751,6 +914,127 @@ mod tests {
             assert!(s.get("parallel_seconds").and_then(|v| v.as_f64()).unwrap() > 0.0);
         }
         assert!(doc.get("pool_utilization").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_export_and_summarize_consume_telemetry_jsonl() {
+        let edges = demo_network_file();
+        let model = tmp("trace_model.json");
+        let jsonl = tmp("trace_telemetry.jsonl");
+        run_words(&[
+            "train",
+            &edges,
+            "--out",
+            &model,
+            "--dim",
+            "8",
+            "--iterations",
+            "3000",
+            "--telemetry",
+            &jsonl,
+        ])
+        .unwrap();
+
+        let chrome = tmp("trace.json");
+        let out = run_words(&["trace", "export", &jsonl, "--chrome", &chrome]).unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let serde_json::Value::Array(events) = doc.get("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array")
+        };
+        assert!(!events.is_empty(), "trace export produced no events");
+        // The exported spans keep the training trace identity.
+        assert!(std::fs::read_to_string(&chrome).unwrap().contains("\"trace_id\""));
+
+        let table = run_words(&["trace", "summarize", &jsonl]).unwrap();
+        assert!(table.contains("stage"), "{table}");
+        assert!(table.contains("estep.train"), "{table}");
+        assert!(table.contains("critical path: model.fit"), "{table}");
+
+        // Missing flag / bad subcommand error cleanly.
+        assert!(run_words(&["trace", "export", &jsonl]).unwrap_err().contains("--chrome"));
+        assert!(run_words(&["trace", "frobnicate", &jsonl]).is_err());
+    }
+
+    #[test]
+    fn profile_wraps_inner_commands_and_reports_resources() {
+        let edges = demo_network_file();
+        let out = run_words(&["profile", "stats", &edges]).unwrap();
+        assert!(out.contains("nodes: 6"), "inner output preserved: {out}");
+        assert!(out.contains("--- dd profile: stats ---"), "{out}");
+        assert!(out.contains("wall"), "{out}");
+        assert!(out.contains("allocations"), "{out}");
+        // Inner errors surface as errors; nesting is rejected.
+        assert!(run_words(&["profile", "frobnicate"]).is_err());
+        assert!(run_words(&["profile", "profile", "stats"]).is_err());
+        assert!(run_words(&["profile"]).unwrap_err().contains("command to profile"));
+    }
+
+    #[test]
+    fn bench_ratchet_enforces_baseline_speedups() {
+        let out_json = tmp("BENCH_ratchet_run.json");
+        // A permissive baseline (tiny recorded speedups) passes.
+        let good = tmp("BENCH_baseline_good.json");
+        std::fs::write(
+            &good,
+            r#"{"schema":1,"threads":2,"stages":[{"stage":"betweenness","speedup":0.000001},{"stage":"closeness","speedup":0.000001},{"stage":"hf_features","speedup":0.000001}]}"#,
+        )
+        .unwrap();
+        let out = run_words(&[
+            "bench",
+            "--scale",
+            "300",
+            "--threads",
+            "2",
+            "--out",
+            &out_json,
+            "--baseline",
+            &good,
+        ])
+        .unwrap();
+        assert!(out.contains("ratchet ok"), "{out}");
+
+        // An impossible baseline fails twice (one re-bench) and the error
+        // carries the update-the-baseline instructions.
+        let bad = tmp("BENCH_baseline_bad.json");
+        std::fs::write(
+            &bad,
+            r#"{"schema":1,"threads":2,"stages":[{"stage":"betweenness","speedup":1000000.0}]}"#,
+        )
+        .unwrap();
+        let err = run_words(&[
+            "bench",
+            "--scale",
+            "300",
+            "--threads",
+            "2",
+            "--out",
+            &out_json,
+            "--baseline",
+            &bad,
+        ])
+        .unwrap_err();
+        assert!(err.contains("fell below the floor"), "{err}");
+        assert!(err.contains("first attempt"), "one re-bench before failing: {err}");
+        assert!(err.contains("refresh the committed baseline"), "{err}");
+
+        // Thread-count mismatch is a configuration error, not a perf fail.
+        let err = run_words(&[
+            "bench",
+            "--scale",
+            "300",
+            "--threads",
+            "4",
+            "--out",
+            &out_json,
+            "--baseline",
+            &good,
+        ])
+        .unwrap_err();
+        assert!(err.contains("--threads 2"), "{err}");
+        // Degenerate tolerance errors cleanly.
+        assert!(run_words(&["bench", "--tolerance", "1.5"]).is_err());
     }
 
     #[test]

@@ -8,7 +8,16 @@ mod commands;
 use std::io::Write;
 use std::process::ExitCode;
 
+/// Counting allocator for `dd profile` and resource-tracked spans. Inert
+/// (one relaxed atomic load per allocation) until profiling is enabled.
+#[global_allocator]
+static ALLOC: deepdirect::telemetry::alloc::CountingAlloc =
+    deepdirect::telemetry::alloc::CountingAlloc;
+
 fn main() -> ExitCode {
+    // Pin the process trace epoch at startup so span `start_seconds` offsets
+    // cover the whole run, not just the first span's construction.
+    deepdirect::telemetry::trace::init_epoch();
     let parsed = match args::Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {

@@ -153,15 +153,20 @@ fn serve_e2e_train_query_shutdown() {
     let metrics = client::get_with_retry(&addr, "/metrics", &retry).unwrap();
     assert_eq!(metrics.status, 200);
     let total = (N_THREADS * PER_THREAD) as u64;
+    let score_line = format!("dd_serve_requests_total{{endpoint=\"score\"}} {total}");
     assert!(
-        metrics.body.contains(&format!("serve.requests.score {total}")),
-        "metrics missing 'serve.requests.score {total}':\n{}",
+        metrics.body.contains(&score_line),
+        "metrics missing '{score_line}':\n{}",
         metrics.body
     );
+    // The exposition must be well-formed Prometheus text: typed families,
+    // histogram triples.
+    assert!(metrics.body.contains("# TYPE dd_serve_requests_total counter"), "{}", metrics.body);
+    assert!(metrics.body.contains("# TYPE dd_serve_latency_seconds histogram"), "{}", metrics.body);
     let latency_count = metrics
         .body
         .lines()
-        .find_map(|l| l.strip_prefix("serve.latency.score.count "))
+        .find_map(|l| l.strip_prefix("dd_serve_latency_seconds_count{endpoint=\"score\"} "))
         .and_then(|v| v.trim().parse::<u64>().ok())
         .expect("latency histogram in metrics");
     assert_eq!(latency_count, total, "latency histogram must hold one sample per request");
@@ -191,5 +196,9 @@ fn serve_e2e_train_query_shutdown() {
     assert!(
         served.iter().any(|e| e.name.as_deref() == Some("score")),
         "request log should label score requests"
+    );
+    assert!(
+        served.iter().all(|e| e.trace_id.is_some() && e.span_id.is_some()),
+        "every logged request carries a trace identity"
     );
 }

@@ -60,21 +60,35 @@ impl DeepDirect {
 
     /// Runs preprocessing, the E-Step, and the D-Step (Algorithm 1).
     ///
-    /// Each phase runs under a telemetry span (`universe.build`,
-    /// `estep.train`, `dstep.train`) reported through
+    /// The whole fit runs under a `model.fit` root span whose trace ID is
+    /// derived from [`DeepDirectConfig::seed`], with each phase
+    /// (`universe.build`, `estep.train`, `dstep.train`) a child span and the
+    /// universe build's pool chunks grandchildren — so a re-run of the same
+    /// config reproduces the same trace tree. All reporting goes through
     /// [`DeepDirectConfig::observer`]; the E-Step additionally reports
-    /// periodic progress samples and the D-Step its epoch losses.
+    /// periodic progress samples and the D-Step its epoch losses. Tracing is
+    /// observational only: results are bit-identical with the observer on or
+    /// off (DESIGN.md §7.12).
     pub fn fit(&self, g: &MixedSocialNetwork) -> DirectionalityModel {
         let obs = &self.cfg.observer;
         let mut rng = Pcg32::seed_from_u64(self.cfg.seed ^ 0x9e37);
         let threads = dd_runtime::Threads::new(self.cfg.threads)
             .expect("DeepDirectConfig.threads is zero; call validate() first");
-        let (universe, _) = obs.time("universe.build", || {
-            TieUniverse::build_with_threads(g, self.cfg.gamma, &mut rng, threads)
-        });
-        let (estep_out, _) = obs.time("estep.train", || estep::train(&universe, &self.cfg));
-        let (head, _) =
-            obs.time("dstep.train", || dstep::train(&universe, &estep_out.params, &self.cfg));
+        let root = obs.trace_root("model.fit", self.cfg.seed);
+        let universe = {
+            let span = root.child_named("universe.build");
+            let u = TieUniverse::build_traced(g, self.cfg.gamma, &mut rng, threads, Some(&span));
+            span.finish();
+            u
+        };
+        let estep_out = {
+            let _span = root.child_named("estep.train");
+            estep::train(&universe, &self.cfg)
+        };
+        let head = {
+            let _span = root.child_named("dstep.train");
+            dstep::train(&universe, &estep_out.params, &self.cfg)
+        };
         let contexts =
             if self.cfg.context_features { Some(estep_out.params.n.clone()) } else { None };
         let mut pair_index = FxHashMap::default();
@@ -83,6 +97,7 @@ impl DeepDirect {
             pair_index.insert((t.src.0, t.dst.0), i as u32);
             ties.push((t.src.0, t.dst.0));
         }
+        root.finish();
         obs.flush();
         DirectionalityModel {
             cfg: self.cfg.clone(),
@@ -457,10 +472,79 @@ mod tests {
         }
         assert!(events.iter().any(|e| e.kind == dd_telemetry::kind::ESTEP_PROGRESS));
         assert!(events.iter().any(|e| e.kind == dd_telemetry::kind::DSTEP_EPOCH));
+        // The whole fit shares one trace: the root span's ID is derived from
+        // the config seed, and every phase span parents to it.
+        let root = events
+            .iter()
+            .find(|e| e.name.as_deref() == Some("model.fit"))
+            .expect("fit emits a root span");
+        let expect_trace =
+            dd_telemetry::trace::hex16(dd_telemetry::trace::derive_trace_id(0xdeed, "model.fit"));
+        assert_eq!(root.trace_id.as_deref(), Some(expect_trace.as_str()), "default seed 0xdeed");
+        for phase in ["universe.build", "estep.train", "dstep.train"] {
+            let e = events.iter().find(|e| e.name.as_deref() == Some(phase)).unwrap();
+            assert_eq!(e.trace_id, root.trace_id, "{phase} shares the fit trace");
+            assert_eq!(e.parent_span_id, root.span_id, "{phase} parents to model.fit");
+        }
+        // The universe build's pool call appears as a grandchild.
+        let pool_call = events
+            .iter()
+            .find(|e| e.name.as_deref() == Some("pool.universe.build"))
+            .expect("universe pool call is traced");
+        let ub = events.iter().find(|e| e.name.as_deref() == Some("universe.build")).unwrap();
+        assert_eq!(pool_call.trace_id, root.trace_id);
+        assert_eq!(pool_call.parent_span_id, ub.span_id);
         let summary = model.fit_summary();
         assert!(summary.contains("estep 5000 iters"), "{summary}");
         assert!(model.estep_seconds() > 0.0);
         assert!(model.estep_iters_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn tracing_and_profiling_do_not_perturb_training() {
+        // The acceptance bar for DESIGN.md §7.12: a fully-traced, profiled
+        // fit must be bit-identical to a silent one. Tracing only *observes*
+        // (span IDs from logical inputs, allocation counting that never
+        // changes allocation behaviour), so every embedding bit must match.
+        let gen_cfg = SocialNetConfig { n_nodes: 90, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(7);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        // Serial threads: the Hogwild E-Step is the one documented
+        // determinism exemption (§7.9), so run-to-run comparison needs one
+        // worker. Tracing still exercises the universe pool's span path.
+        let base = DeepDirectConfig {
+            dim: 8,
+            max_iterations: Some(4_000),
+            threads: 1,
+            ..DeepDirectConfig::default()
+        };
+
+        let silent = DeepDirect::new(base.clone()).fit(&net);
+
+        dd_telemetry::alloc::enable_profiling();
+        let sink = dd_telemetry::JsonlSink::from_writer(Box::new(std::io::sink()));
+        let traced_cfg = DeepDirectConfig {
+            observer: dd_telemetry::ObserverHandle::new(std::sync::Arc::new(sink)),
+            ..base
+        };
+        let traced = DeepDirect::new(traced_cfg).fit(&net);
+
+        let a = silent.embedding_matrix();
+        let b = traced.embedding_matrix();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for r in 0..a.rows() {
+            for (x, y) in a.row(r).iter().zip(b.row(r)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "embedding row {r} diverged under tracing");
+            }
+        }
+        for (i, _) in silent.ties().iter().enumerate() {
+            assert_eq!(
+                silent.score_row(i).to_bits(),
+                traced.score_row(i).to_bits(),
+                "score for tie row {i} diverged under tracing"
+            );
+        }
     }
 
     #[test]

@@ -91,6 +91,23 @@ impl TieUniverse {
         rng: &mut Pcg32,
         threads: Threads,
     ) -> Self {
+        Self::build_traced(g, gamma, rng, threads, None)
+    }
+
+    /// Builds the universe on `threads` workers, reporting the internal
+    /// pool's call/chunk spans as children of `stage` when given.
+    ///
+    /// Tracing is observational only: the pool's chunk structure, RNG
+    /// streams, and reduction order are identical with or without a stage
+    /// span, so traced and untraced builds agree bit-for-bit (DESIGN.md
+    /// §7.12).
+    pub fn build_traced(
+        g: &MixedSocialNetwork,
+        gamma: usize,
+        rng: &mut Pcg32,
+        threads: Threads,
+        stage: Option<&dd_telemetry::Span>,
+    ) -> Self {
         let counts = g.counts();
         let n_universe = g.n_ordered_ties() + counts.directed;
         let mut ties: Vec<UniverseTie> = Vec::with_capacity(n_universe);
@@ -151,6 +168,9 @@ impl TieUniverse {
         }
 
         let pool = Pool::new("universe.build", threads);
+        if let Some(span) = stage {
+            pool.set_trace(span.observer(), span.context());
+        }
 
         // Every universe tie has its reverse present, so deg_tie = outdeg−1.
         // This is the connected-tie-pair enumeration: Σ deg_tie = |C(G)|.

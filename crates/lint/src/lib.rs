@@ -13,6 +13,7 @@
 //! | `thread-confinement` | everywhere but `crates/runtime` | no `thread::spawn`/`thread::scope`; use the dd-runtime substrate |
 //! | `unwind-confinement` | everywhere but `crates/serve`, `crates/runtime` | no `catch_unwind`; library code stays panic-transparent |
 //! | `determinism` | non-test code in core, graph, linalg, baselines, eval, runtime | no `Instant::now`/`SystemTime`, no bare `HashMap`/`HashSet` |
+//! | `trace-hygiene` | non-test code outside `crates/telemetry` and the determinism crates | no raw `Instant::now`; time work through telemetry spans |
 //! | `panic-hygiene` | non-test `crates/serve/src`, `crates/runtime/src` | no `.unwrap()`/`.expect(` on the request path or in workers |
 //! | `float-eq` | all non-test code | no `==`/`!=` against float literals |
 //! | `pub-doc` | non-test src of the core crates | top-level `pub` items need doc comments |

@@ -25,6 +25,7 @@ pub const RULE_NAMES: &[&str] = &[
     "thread-confinement",
     "unwind-confinement",
     "determinism",
+    "trace-hygiene",
     "panic-hygiene",
     "float-eq",
     "pub-doc",
@@ -119,6 +120,7 @@ pub fn check_file(path: &str, src: &str) -> FileReport {
     thread_confinement(path, sc, &lexed.toks, &mut raw);
     unwind_confinement(path, sc, &lexed.toks, &mut raw);
     determinism(path, sc, &lexed.toks, &test_tok, &mut raw);
+    trace_hygiene(path, sc, &lexed.toks, &test_tok, &mut raw);
     panic_hygiene(path, sc, &lexed.toks, &test_tok, &mut raw);
     float_eq(path, sc, &lexed.toks, &test_tok, &mut raw);
     pub_doc(path, sc, &lexed, &test_tok, &mut raw);
@@ -355,6 +357,42 @@ fn determinism(path: &str, sc: Scope, toks: &[Tok], test: &[bool], out: &mut Vec
                      use dd_graph::hash::Fx{} or a sorted collection (DESIGN.md §7.9)",
                     t.text, t.text
                 ),
+            );
+        }
+    }
+}
+
+/// `trace-hygiene`: raw `Instant::now` reads belong to `crates/telemetry` —
+/// spans, the trace epoch, and the observer own the clocks, so timing that
+/// matters shows up in the trace instead of vanishing into a local. Non-test
+/// code elsewhere must time work through a telemetry span or carry an
+/// audited pragma saying why the read is not a lost span (DESIGN.md §7.12).
+/// Result-affecting crates are excluded: the stricter `determinism` rule
+/// already bans wall clocks there outright, and one audited pragma per
+/// exemption is enough.
+fn trace_hygiene(path: &str, sc: Scope, toks: &[Tok], test: &[bool], out: &mut Vec<Violation>) {
+    if path.starts_with("crates/telemetry/")
+        || sc.crate_name.is_some_and(|c| RESULT_AFFECTING.contains(&c))
+    {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if test[i] {
+            continue;
+        }
+        if is_ident(t, "Instant")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+            && toks.get(i + 2).is_some_and(|n| is_ident(n, "now"))
+        {
+            push(
+                out,
+                path,
+                t.line,
+                "trace-hygiene",
+                "raw Instant::now outside crates/telemetry; time the work with a telemetry span \
+                 so it appears in the trace, or audit the clock read with an allow pragma \
+                 (DESIGN.md §7.12)"
+                    .to_string(),
             );
         }
     }

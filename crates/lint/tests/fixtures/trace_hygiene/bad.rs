@@ -1,0 +1,12 @@
+//! Deliberate violations: raw clock reads that never reach the trace.
+
+/// Times work into a local instead of a telemetry span.
+pub fn untraced_timing() -> f64 {
+    let start = std::time::Instant::now();
+    expensive();
+    let also = std::time::Instant::now();
+    let _ = also;
+    start.elapsed().as_secs_f64()
+}
+
+fn expensive() {}

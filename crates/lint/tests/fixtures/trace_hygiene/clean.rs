@@ -1,0 +1,24 @@
+//! Look-alikes that must not fire: a string literal, a doc comment, a
+//! `#[cfg(test)]` module, and a pragma-audited read.
+
+/// Explains that `Instant::now` in prose is not a clock read.
+pub fn documented() -> usize {
+    let hint = "Instant::now() inside a string literal";
+    hint.len()
+}
+
+/// An audited read: the pragma names the rule and carries a reason.
+pub fn audited() -> f64 {
+    // dd-lint: allow(trace-hygiene) — fixture: an audited clock read.
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

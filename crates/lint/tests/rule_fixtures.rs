@@ -92,14 +92,51 @@ fn determinism_fires_on_clocks_and_bare_hash_collections() {
 
 #[test]
 fn determinism_skips_non_result_crates_and_all_three_traps() {
-    // dd-serve is not result-affecting: the same code is fine there.
+    // dd-serve is not result-affecting: determinism stays silent there (the
+    // fixture's raw clock read still answers to trace-hygiene, so filter).
     let report =
         check_file("crates/serve/src/fixture.rs", include_str!("fixtures/determinism/bad.rs"));
-    assert_clean(&report, "bad.rs checked as crates/serve");
+    assert!(
+        report.violations.iter().all(|v| v.rule != "determinism"),
+        "bad.rs checked as crates/serve should raise no determinism hits:\n{}",
+        report.violations.iter().map(dd_lint::Violation::render).collect::<Vec<_>>().join("\n")
+    );
     // String literal, doc comment, and #[cfg(test)] module must not fire.
     let report =
         check_file("crates/core/src/fixture.rs", include_str!("fixtures/determinism/clean.rs"));
     assert_clean(&report, "determinism/clean.rs");
+}
+
+#[test]
+fn trace_hygiene_fires_on_raw_clock_reads() {
+    let report =
+        check_file("crates/serve/src/fixture.rs", include_str!("fixtures/trace_hygiene/bad.rs"));
+    let expected = vec![(5, "trace-hygiene".to_string()), (7, "trace-hygiene".to_string())];
+    assert_eq!(hits(&report), expected);
+}
+
+#[test]
+fn trace_hygiene_exempts_telemetry_and_result_crates_and_traps() {
+    // crates/telemetry owns the clocks: the same code is legal there.
+    let report = check_file(
+        "crates/telemetry/src/fixture.rs",
+        include_str!("fixtures/trace_hygiene/bad.rs"),
+    );
+    assert_clean(&report, "bad.rs checked as crates/telemetry");
+    // Result-affecting crates answer to the stricter `determinism` rule
+    // instead — trace-hygiene must not double-report the same line.
+    let report =
+        check_file("crates/core/src/fixture.rs", include_str!("fixtures/trace_hygiene/bad.rs"));
+    assert!(
+        report.violations.iter().all(|v| v.rule == "determinism"),
+        "bad.rs checked as crates/core should only raise determinism hits:\n{}",
+        report.violations.iter().map(dd_lint::Violation::render).collect::<Vec<_>>().join("\n")
+    );
+    // String literal, doc comment, #[cfg(test)] module, and an audited
+    // pragma must not fire.
+    let report =
+        check_file("crates/serve/src/fixture.rs", include_str!("fixtures/trace_hygiene/clean.rs"));
+    assert_clean(&report, "trace_hygiene/clean.rs");
 }
 
 #[test]

@@ -16,6 +16,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use dd_linalg::Pcg32;
+use dd_telemetry::trace::{derive_span_id, now_seconds, SpanContext};
+use dd_telemetry::{Event, ObserverHandle};
 
 use crate::Threads;
 
@@ -80,6 +82,14 @@ pub struct Pool {
     chunks: AtomicU64,
     busy_nanos: AtomicU64,
     wall_nanos: AtomicU64,
+    trace: Mutex<Option<TraceTarget>>,
+}
+
+/// Where a traced pool reports its call/chunk spans.
+#[derive(Clone)]
+struct TraceTarget {
+    obs: ObserverHandle,
+    ctx: SpanContext,
 }
 
 impl Pool {
@@ -93,7 +103,31 @@ impl Pool {
             chunks: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Attaches a trace context: subsequent parallel calls emit a
+    /// `pool.<label>` span as a child of `ctx`, plus one
+    /// `pool.<label>.chunk` child span per work chunk (tagged with the
+    /// worker's thread index). Span IDs are derived from the call counter
+    /// and chunk offsets, so the trace *tree* is identical across runs and
+    /// thread counts; only the timing values and JSONL line order vary.
+    /// Tracing is observational: it never changes chunk structure or
+    /// reduction order (DESIGN.md §7.12).
+    pub fn set_trace(&self, obs: ObserverHandle, ctx: SpanContext) {
+        if obs.is_enabled() {
+            *self.trace.lock().unwrap_or_else(|p| p.into_inner()) = Some(TraceTarget { obs, ctx });
+        }
+    }
+
+    /// Detaches the trace context; subsequent calls emit nothing.
+    pub fn clear_trace(&self) {
+        *self.trace.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    fn trace_target(&self) -> Option<TraceTarget> {
+        self.trace.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// The telemetry label given at construction.
@@ -142,10 +176,21 @@ impl Pool {
         // boundaries and results depend solely on data.len() and chunk
         // (see DESIGN.md §7.11 exemptions)
         let wall_start = Instant::now();
-        self.calls.fetch_add(1, Ordering::Relaxed);
+        let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
         let n = data.len();
         let n_chunks = n.div_ceil(chunk);
         let workers = self.threads.get().min(n_chunks);
+        // Trace bookkeeping (None on the untraced fast path). Span IDs are
+        // derived from the call counter and chunk offsets — logical inputs
+        // only — so the emitted trace tree is reproducible even though the
+        // timings inside it are not.
+        let trace = self.trace_target();
+        let call_name = format!("pool.{}", self.label);
+        let call_span_id = trace
+            .as_ref()
+            .map(|t| derive_span_id(t.ctx.trace_id, t.ctx.span_id, &call_name, call_index));
+        let call_start = trace.as_ref().map(|_| now_seconds());
+        let call_busy_nanos = AtomicU64::new(0);
         // A chunk-body panic must reach the caller (a silently dropped
         // chunk would be data corruption), but it must not deadlock the
         // queue, kill sibling workers mid-chunk, or poison the stats
@@ -154,12 +199,24 @@ impl Pool {
         // after the scope joins and the counters are settled.
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let panicked = AtomicBool::new(false);
-        let run_chunk = |offset: usize, slice: &mut [T]| {
+        let run_chunk = |thread: usize, offset: usize, slice: &mut [T]| {
             // dd-lint: allow(determinism) — busy-time stats counter only,
             // never read by the chunk body (see DESIGN.md §7.11 exemptions)
             let busy_start = Instant::now();
+            let chunk_start = trace.as_ref().map(|_| now_seconds());
             let result = catch_unwind(AssertUnwindSafe(|| f(offset, slice)));
-            self.record_busy(busy_start);
+            let busy = busy_start.elapsed().as_nanos() as u64;
+            self.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+            call_busy_nanos.fetch_add(busy, Ordering::Relaxed);
+            if let (Some(t), Some(call_sid)) = (&trace, call_span_id) {
+                let chunk_name = format!("{call_name}.chunk");
+                let sid = derive_span_id(t.ctx.trace_id, call_sid, &chunk_name, offset as u64);
+                let mut e = Event::span(&chunk_name, Some(&call_name), busy as f64 * 1e-9)
+                    .with_trace(t.ctx.trace_id, sid, Some(call_sid));
+                e.start_seconds = chunk_start;
+                e.thread = Some(thread as u64);
+                t.obs.on_event(&e);
+            }
             if let Err(payload) = result {
                 panicked.store(true, Ordering::SeqCst);
                 // Poison recovery: the critical section is a single
@@ -174,7 +231,7 @@ impl Pool {
                 if panicked.load(Ordering::SeqCst) {
                     break;
                 }
-                run_chunk(ci * chunk, slice);
+                run_chunk(0, ci * chunk, slice);
             }
         } else {
             // A LIFO queue of (offset, slice) tasks. Completion order is
@@ -185,8 +242,11 @@ impl Pool {
             tasks.reverse();
             let queue = Mutex::new(tasks);
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
+                for w in 0..workers {
+                    let run_chunk = &run_chunk;
+                    let queue = &queue;
+                    let panicked = &panicked;
+                    s.spawn(move || {
                         loop {
                             // Once a chunk has panicked the operation's
                             // result is void; stop draining the queue so
@@ -207,14 +267,25 @@ impl Pool {
                             let task =
                                 queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).pop();
                             let Some((offset, slice)) = task else { break };
-                            run_chunk(offset, slice);
+                            run_chunk(w, offset, slice);
                         }
                     });
                 }
             });
         }
         self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
-        self.wall_nanos.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let wall = wall_start.elapsed();
+        self.wall_nanos.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        if let (Some(t), Some(call_sid)) = (&trace, call_span_id) {
+            let mut e = Event::span(&call_name, None, wall.as_secs_f64()).with_trace(
+                t.ctx.trace_id,
+                call_sid,
+                Some(t.ctx.span_id),
+            );
+            e.start_seconds = call_start;
+            e.busy_seconds = Some(call_busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9);
+            t.obs.on_event(&e);
+        }
         let payload = first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -271,10 +342,6 @@ impl Pool {
             .map(|p| p.expect("par_map_reduce chunk left a slot unfilled"));
         let first = parts.next()?;
         Some(parts.fold(first, reduce))
-    }
-
-    fn record_busy(&self, since: Instant) {
-        self.busy_nanos.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -425,6 +492,80 @@ mod tests {
             assert_eq!(x.next_u64(), y.next_u64());
         }
         assert_ne!(sa[0].next_u64(), sa[1].next_u64());
+    }
+
+    #[test]
+    fn traced_pool_emits_call_and_chunk_child_spans() {
+        use std::sync::Arc;
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<Event>>);
+        impl dd_telemetry::TrainObserver for Capture {
+            fn on_event(&self, e: &Event) {
+                self.0.lock().unwrap().push(e.clone());
+            }
+        }
+
+        let run = |threads: usize| -> (Vec<Event>, Vec<u32>) {
+            let cap = Arc::new(Capture::default());
+            let p = pool(threads);
+            let root = dd_telemetry::ObserverHandle::new(cap.clone()).trace_root("fit", 9);
+            p.set_trace(root.observer(), root.context());
+            let mut data = vec![0u32; 100];
+            p.par_chunks_mut(&mut data, 25, |offset, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (offset + j) as u32;
+                }
+            });
+            p.clear_trace();
+            let mut d2 = vec![0u8; 4];
+            p.par_chunks_mut(&mut d2, 2, |_, _| {});
+            drop(root); // emits the root span last
+            let events = cap.0.lock().unwrap().clone();
+            (events, data)
+        };
+
+        let (events, data) = run(4);
+        assert_eq!(data, (0..100).collect::<Vec<u32>>());
+        let call: Vec<&Event> =
+            events.iter().filter(|e| e.name.as_deref() == Some("pool.test")).collect();
+        assert_eq!(call.len(), 1, "one traced call (the cleared call emits nothing)");
+        let chunks: Vec<&Event> =
+            events.iter().filter(|e| e.name.as_deref() == Some("pool.test.chunk")).collect();
+        assert_eq!(chunks.len(), 4, "one chunk span per chunk");
+        let call_sid = call[0].span_id.as_deref().unwrap();
+        for c in &chunks {
+            assert_eq!(c.parent_span_id.as_deref(), Some(call_sid), "chunks parent to the call");
+            assert_eq!(c.trace_id, call[0].trace_id);
+            assert!(c.thread.is_some());
+            assert!(c.start_seconds.is_some());
+        }
+        let root_event = events.iter().find(|e| e.name.as_deref() == Some("fit")).unwrap();
+        assert_eq!(
+            call[0].parent_span_id, root_event.span_id,
+            "the pool call parents to the stage span"
+        );
+        assert!(call[0].busy_seconds.is_some());
+
+        // The trace *tree* (IDs) is identical across thread counts; only
+        // timings and line order differ.
+        let (events1, data1) = run(1);
+        assert_eq!(data1, data);
+        let ids = |evs: &[Event]| -> Vec<String> {
+            let mut v: Vec<String> = evs
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}:{}:{}",
+                        e.name.as_deref().unwrap_or(""),
+                        e.span_id.as_deref().unwrap_or(""),
+                        e.parent_span_id.as_deref().unwrap_or("-")
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&events), ids(&events1), "trace tree is thread-count independent");
     }
 
     #[test]

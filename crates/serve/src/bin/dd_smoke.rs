@@ -127,7 +127,7 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
     if resp.status != 200 {
         return Err(format!("/metrics returned {}", resp.status));
     }
-    let score_requests = metric_value(&resp.body, "serve.requests.score")?;
+    let score_requests = metric_value(&resp.body, "dd_serve_requests_total{endpoint=\"score\"}")?;
     // At least the sample + the two error-path requests.
     let expected_min = (ties.len() + 2) as f64;
     if score_requests < expected_min {
@@ -135,7 +135,8 @@ fn smoke(addr: &str, model_path: &str) -> Result<(), String> {
             "/metrics reports {score_requests} score requests, expected >= {expected_min}"
         ));
     }
-    let latency_count = metric_value(&resp.body, "serve.latency.score.count")?;
+    let latency_count =
+        metric_value(&resp.body, "dd_serve_latency_seconds_count{endpoint=\"score\"}")?;
     if latency_count < expected_min {
         return Err(format!(
             "/metrics latency histogram has {latency_count} samples, expected >= {expected_min}"
@@ -162,7 +163,8 @@ fn check_bits(
     Ok(())
 }
 
-/// Finds `name value` in the /metrics plain-text dump.
+/// Finds `name value` in the /metrics Prometheus text exposition; `name`
+/// includes any label set, e.g. `dd_serve_requests_total{endpoint="score"}`.
 fn metric_value(metrics: &str, name: &str) -> Result<f64, String> {
     for line in metrics.lines() {
         if let Some(rest) = line.strip_prefix(name) {

@@ -99,6 +99,8 @@ pub fn get_with_retry(
     policy: &RetryPolicy,
 ) -> Result<ClientResponse, String> {
     let mut rng = Pcg32::seed_from_u64(policy.seed);
+    // dd-lint: allow(trace-hygiene) — retry-budget accounting; the client
+    // library has no observer to attach a span to.
     let start = Instant::now();
     let attempts = policy.attempts.max(1);
     let mut outcome = get(addr, path);

@@ -25,6 +25,8 @@ pub struct Request {
     pub path: String,
     /// Decoded `key=value` query parameters, in order of appearance.
     pub query: Vec<(String, String)>,
+    /// Headers in order of appearance: lowercased names, trimmed values.
+    pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
 }
@@ -33,6 +35,11 @@ impl Request {
     /// First query parameter named `key`, if present.
     pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 }
 
@@ -120,19 +127,19 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
     // *conflicting* values are the classic request-smuggling ambiguity and
     // must be rejected, never resolved last-wins.
     let mut seen_content_length: Option<String> = None;
-    let mut n_headers = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let header = read_line(r, MAX_HEADER_LINE, "header line")?;
         if header.is_empty() {
             break;
         }
-        n_headers += 1;
-        if n_headers > MAX_HEADERS {
+        if headers.len() >= MAX_HEADERS {
             return Err(ParseError::TooLarge(format!("more than {MAX_HEADERS} headers")));
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(ParseError::Malformed(format!("header without colon: '{header}'")));
         };
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         if name.eq_ignore_ascii_case("content-length") {
             let raw = value.trim();
             match &seen_content_length {
@@ -182,7 +189,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
         query.push((k, v));
     }
 
-    Ok(Request { method: method.to_string(), path, query, body })
+    Ok(Request { method: method.to_string(), path, query, headers, body })
 }
 
 /// Decodes `%XX` escapes in a path segment. `+` is form-encoding and only
@@ -250,11 +257,28 @@ pub fn write_response<W: Write>(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with_headers(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] plus caller-supplied extra headers (e.g. the
+/// `traceparent` echo). Header values must already be valid header text —
+/// no CR/LF — which holds for everything the server produces.
+pub fn write_response_with_headers<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -350,6 +374,34 @@ mod tests {
             (0..=MAX_HEADERS).map(|i| format!("h{i}: v\r\n")).collect::<String>()
         );
         assert!(matches!(parse(&many_headers), Err(ParseError::TooLarge(_))));
+    }
+
+    #[test]
+    fn headers_are_captured_case_insensitively() {
+        let req = parse(
+            "GET /score HTTP/1.1\r\nHost: x\r\nTraceParent: 00-aa-bb-01\r\nX-Thing:  padded \r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.header("traceparent"), Some("00-aa-bb-01"));
+        assert_eq!(req.header("TRACEPARENT"), Some("00-aa-bb-01"));
+        assert_eq!(req.header("x-thing"), Some("padded"), "values are trimmed");
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn extra_headers_render_before_connection_close() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            200,
+            "application/json",
+            &[("traceparent", "00-ab-cd-01".to_string())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\ntraceparent: 00-ab-cd-01\r\n"), "{text}");
+        assert!(text.contains("\r\nConnection: close\r\n\r\n{}"), "{text}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -20,6 +20,11 @@ use std::time::{Duration, Instant};
 
 use dd_graph::NodeId;
 use dd_runtime::{spawn_named, Threads, WorkerPool};
+use dd_telemetry::export::{prometheus_text, PromFamily};
+use dd_telemetry::trace::{
+    derive_span_id, derive_trace_id, format_traceparent, now_seconds, parse_traceparent,
+    SpanContext,
+};
 use dd_telemetry::{Counter, Event, Gauge, Histogram, MetricSnapshot, ObserverHandle, Registry};
 use deepdirect::{DirectionalityModel, MODEL_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
@@ -29,7 +34,8 @@ use crate::lru::ScoreCache;
 
 const JSON: &str = "application/json";
 const NDJSON: &str = "application/x-ndjson";
-const TEXT: &str = "text/plain; charset=utf-8";
+/// Prometheus text exposition format version 0.0.4.
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Server configuration. `Default` is suitable for local use.
 #[derive(Debug, Clone)]
@@ -108,6 +114,18 @@ struct AppState {
     started: Instant,
     n_workers: usize,
     panic_route: bool,
+    /// Monotone request sequence; seeds per-request trace IDs when the
+    /// client did not send a `traceparent` header.
+    request_seq: AtomicU64,
+}
+
+/// Per-request cache accounting, collected by [`AppState::score_cached`] so
+/// the request trace can tag cache hits/misses without reading the global
+/// counters (which concurrent requests would tear).
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteStats {
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Endpoint labels used in metric names and request-log events.
@@ -142,9 +160,12 @@ impl AppState {
             request_timeout: cfg.request_timeout,
             endpoints,
             pool_utilization: registry.gauge("serve.pool.utilization"),
+            // dd-lint: allow(trace-hygiene) — uptime anchor for /healthz;
+            // a process lifetime is not a span.
             started: Instant::now(),
             n_workers: cfg.workers,
             panic_route: cfg.panic_route,
+            request_seq: AtomicU64::new(0),
             registry,
         }
     }
@@ -169,16 +190,18 @@ impl AppState {
 
     /// Scores `(src, dst)` through the LRU cache. `None` when the ordered
     /// tie is not in the trained universe (never cached).
-    fn score_cached(&self, src: u32, dst: u32) -> Option<f64> {
+    fn score_cached(&self, src: u32, dst: u32, stats: &mut RouteStats) -> Option<f64> {
         let Some(cache) = &self.cache else {
             return self.model.score(NodeId(src), NodeId(dst));
         };
         if let Some(v) = cache.get((src, dst)) {
             self.cache_hits.incr();
+            stats.cache_hits += 1;
             return Some(v);
         }
         let v = self.model.score(NodeId(src), NodeId(dst))?;
         self.cache_misses.incr();
+        stats.cache_misses += 1;
         if cache.insert((src, dst), v) {
             self.cache_evictions.incr();
         }
@@ -224,7 +247,7 @@ fn error_body(msg: &str) -> Vec<u8> {
 
 type Routed = (&'static str, u16, &'static str, Vec<u8>);
 
-fn route(state: &AppState, req: &http::Request) -> Routed {
+fn route(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let body = HealthResponse {
@@ -234,8 +257,8 @@ fn route(state: &AppState, req: &http::Request) -> Routed {
             };
             ("healthz", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }
-        ("GET", "/score") => score_endpoint(state, req),
-        ("POST", "/batch") => batch_endpoint(state, req),
+        ("GET", "/score") => score_endpoint(state, req, stats),
+        ("POST", "/batch") => batch_endpoint(state, req, stats),
         // Fault injection for the chaos suite (ServeConfig::panic_route);
         // with the flag off this falls through to the 404 arm.
         ("GET", "/__panic") if state.panic_route => {
@@ -246,7 +269,7 @@ fn route(state: &AppState, req: &http::Request) -> Routed {
                 state.cache_occupancy.set(cache.len() as f64);
             }
             state.update_pool_utilization();
-            ("metrics", 200, TEXT, render_metrics(&state.registry))
+            ("metrics", 200, PROM_TEXT, render_metrics(&state.registry))
         }
         (_, "/healthz" | "/score" | "/batch" | "/metrics") => {
             ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
@@ -264,12 +287,12 @@ fn parse_id(req: &http::Request, key: &str) -> Result<u32, String> {
     }
 }
 
-fn score_endpoint(state: &AppState, req: &http::Request) -> Routed {
+fn score_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
     let (src, dst) = match (parse_id(req, "src"), parse_id(req, "dst")) {
         (Ok(s), Ok(d)) => (s, d),
         (Err(e), _) | (_, Err(e)) => return ("score", 400, JSON, error_body(&e)),
     };
-    match state.score_cached(src, dst) {
+    match state.score_cached(src, dst, stats) {
         Some(score) => {
             let body = ScoreResponse { src, dst, score: Some(score), error: None };
             ("score", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
@@ -286,7 +309,7 @@ fn score_endpoint(state: &AppState, req: &http::Request) -> Routed {
     }
 }
 
-fn batch_endpoint(state: &AppState, req: &http::Request) -> Routed {
+fn batch_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return ("batch", 400, JSON, error_body("body must be UTF-8 JSONL"));
     };
@@ -308,7 +331,7 @@ fn batch_endpoint(state: &AppState, req: &http::Request) -> Routed {
             }
         };
         n_pairs += 1;
-        let resp = match state.score_cached(pair.src, pair.dst) {
+        let resp = match state.score_cached(pair.src, pair.dst, stats) {
             Some(score) => {
                 ScoreResponse { src: pair.src, dst: pair.dst, score: Some(score), error: None }
             }
@@ -328,49 +351,63 @@ fn batch_endpoint(state: &AppState, req: &http::Request) -> Routed {
     ("batch", 200, NDJSON, out.into_bytes())
 }
 
-/// Renders the registry as plain `name value` lines; histograms expand to
-/// `.count`/`.sum`/`.p50`/`.p90`/`.p99` plus cumulative `.bucket;le=` lines.
+/// Renders the registry in Prometheus text exposition format (0.0.4).
+/// Per-endpoint counters and latency histograms are grouped into labeled
+/// families (`dd_serve_requests_total{endpoint="…"}`,
+/// `dd_serve_latency_seconds_bucket{endpoint="…",le="…"}`); everything else
+/// renders standalone under its sanitized `dd_`-prefixed name.
 fn render_metrics(registry: &Registry) -> Vec<u8> {
-    let mut out = String::from("# dd-serve metrics: one `name value` pair per line\n");
-    for (name, snap) in registry.snapshot() {
-        match snap {
-            MetricSnapshot::Counter(c) => {
-                out.push_str(&format!("{name} {c}\n"));
-            }
-            MetricSnapshot::Gauge(g) => {
-                out.push_str(&format!("{name} {g}\n"));
-            }
-            MetricSnapshot::Histogram(h) => {
-                out.push_str(&format!("{name}.count {}\n", h.count));
-                out.push_str(&format!("{name}.sum {}\n", h.sum));
-                out.push_str(&format!("{name}.p50 {}\n", h.p50));
-                out.push_str(&format!("{name}.p90 {}\n", h.p90));
-                out.push_str(&format!("{name}.p99 {}\n", h.p99));
-                let mut cumulative = 0u64;
-                for (bound, count) in h.buckets {
-                    cumulative += count;
-                    out.push_str(&format!("{name}.bucket;le={bound} {cumulative}\n"));
-                }
-            }
-        }
-    }
-    out.into_bytes()
+    let families = [
+        PromFamily {
+            prefix: "serve.requests.",
+            family: "dd_serve_requests",
+            label: "endpoint",
+            help: "Requests handled, by endpoint.",
+        },
+        PromFamily {
+            prefix: "serve.latency.",
+            family: "dd_serve_latency_seconds",
+            label: "endpoint",
+            help: "Request wall latency in seconds, by endpoint.",
+        },
+    ];
+    prometheus_text(&registry.snapshot(), &families).into_bytes()
 }
 
-fn handle_connection(state: &AppState, stream: TcpStream) {
+fn handle_connection(state: &AppState, stream: TcpStream, accepted: Instant) {
+    // dd-lint: allow(trace-hygiene) — request latency/queue-wait measurement
+    // is the serving path's own instrumentation, reported via telemetry.
     let start = Instant::now();
+    let start_seconds = now_seconds();
+    let queue_seconds = start.saturating_duration_since(accepted).as_secs_f64();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(state.request_timeout));
     let _ = stream.set_write_timeout(Some(state.request_timeout));
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
-    let (endpoint, status, content_type, body) = match http::read_request(&mut reader) {
+    let parsed = http::read_request(&mut reader);
+
+    // Request trace identity: a client-supplied `traceparent` wins (the
+    // request joins the caller's trace); otherwise each request opens its
+    // own trace derived from the request sequence number.
+    let seq = state.request_seq.fetch_add(1, Ordering::Relaxed);
+    let client_trace =
+        parsed.as_ref().ok().and_then(|r| r.header("traceparent")).and_then(parse_traceparent);
+    let trace_id = client_trace.unwrap_or_else(|| derive_trace_id(seq, "serve.request"));
+    let root_sid = derive_span_id(trace_id, 0, "serve.request", seq);
+
+    let mut stats = RouteStats::default();
+    let handler_start_seconds = now_seconds();
+    // dd-lint: allow(trace-hygiene) — handler-phase timing for the request
+    // trace's `serve.handler.*` child span.
+    let handler_start = Instant::now();
+    let (endpoint, status, content_type, body) = match parsed {
         // Panic isolation: a handler panic becomes a `500` to this client
         // and a `serve.panics` tick; the worker thread survives and keeps
         // serving. The state captured here is only read behind its own
         // locks/atomics, so `AssertUnwindSafe` cannot observe broken
         // invariants.
-        Ok(req) => match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+        Ok(req) => match catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut stats))) {
             Ok(routed) => routed,
             Err(_) => {
                 state.panics.incr();
@@ -392,19 +429,93 @@ fn handle_connection(state: &AppState, stream: TcpStream) {
         }
         Err(http::ParseError::Io(_)) => return,
     };
+    let handler_seconds = handler_start.elapsed().as_secs_f64();
     let mut write_half = stream;
-    let _ = http::write_response(&mut write_half, status, content_type, &body);
+    // Echo the request's trace identity so callers can stitch their trace to
+    // the server's JSONL request log.
+    let traceparent = format_traceparent(SpanContext { trace_id, span_id: root_sid });
+    let _ = http::write_response_with_headers(
+        &mut write_half,
+        status,
+        content_type,
+        &[("traceparent", traceparent)],
+        &body,
+    );
     let seconds = start.elapsed().as_secs_f64();
     if let Some(m) = state.endpoint(endpoint) {
         m.requests.incr();
         m.latency.record(seconds);
     }
-    state.observer.on_event(&Event::serve_request(endpoint, status, seconds));
+    if state.observer.is_enabled() {
+        emit_request_trace(
+            state,
+            &RequestTrace { trace_id, root_sid, endpoint, start_seconds, queue_seconds },
+            handler_start_seconds,
+            handler_seconds,
+            &stats,
+        );
+    }
+    let mut e =
+        Event::serve_request(endpoint, status, seconds).with_trace(trace_id, root_sid, None);
+    e.start_seconds = Some(start_seconds);
+    state.observer.on_event(&e);
+}
+
+/// Identity and timing of one request's trace root.
+struct RequestTrace {
+    trace_id: u64,
+    root_sid: u64,
+    endpoint: &'static str,
+    start_seconds: f64,
+    queue_seconds: f64,
+}
+
+/// Emits the per-request child spans: accept-queue wait, the handler phase,
+/// and cache hit/miss tags. All share the request's trace ID and parent to
+/// the `serve.request` root (the request-log event itself).
+fn emit_request_trace(
+    state: &AppState,
+    req: &RequestTrace,
+    handler_start_seconds: f64,
+    handler_seconds: f64,
+    stats: &RouteStats,
+) {
+    let mut queue = Event::span("serve.queue_wait", Some("serve.request"), req.queue_seconds)
+        .with_trace(
+            req.trace_id,
+            derive_span_id(req.trace_id, req.root_sid, "serve.queue_wait", 0),
+            Some(req.root_sid),
+        );
+    queue.start_seconds = Some((req.start_seconds - req.queue_seconds).max(0.0));
+    state.observer.on_event(&queue);
+
+    let handler_name = format!("serve.handler.{}", req.endpoint);
+    let handler_sid = derive_span_id(req.trace_id, req.root_sid, &handler_name, 0);
+    let mut handler = Event::span(&handler_name, Some("serve.request"), handler_seconds)
+        .with_trace(req.trace_id, handler_sid, Some(req.root_sid));
+    handler.start_seconds = Some(handler_start_seconds);
+    state.observer.on_event(&handler);
+
+    for (name, count) in
+        [("serve.cache.hit", stats.cache_hits), ("serve.cache.miss", stats.cache_misses)]
+    {
+        if count == 0 {
+            continue;
+        }
+        let mut tag = Event::span(name, Some(handler_name.as_str()), 0.0).with_trace(
+            req.trace_id,
+            derive_span_id(req.trace_id, handler_sid, name, 0),
+            Some(handler_sid),
+        );
+        tag.value = Some(count as f64);
+        tag.start_seconds = Some(handler_start_seconds);
+        state.observer.on_event(&tag);
+    }
 }
 
 fn accept_loop(
     listener: TcpListener,
-    tx: SyncSender<TcpStream>,
+    tx: SyncSender<(TcpStream, Instant)>,
     shutdown: Arc<AtomicBool>,
     state: Arc<AppState>,
 ) {
@@ -413,9 +524,12 @@ fn accept_loop(
             break;
         }
         match conn {
-            Ok(stream) => match tx.try_send(stream) {
+            // The accept timestamp rides along so the handling worker can
+            // report how long the connection sat in the queue.
+            // dd-lint: allow(trace-hygiene) — queue-wait enqueue timestamp.
+            Ok(stream) => match tx.try_send((stream, Instant::now())) {
                 Ok(()) => {}
-                Err(TrySendError::Full(stream)) => {
+                Err(TrySendError::Full((stream, _))) => {
                     state.queue_rejections.incr();
                     state.observer.on_event(&Event::serve_request("rejected", 503, 0.0));
                     let mut stream = stream;
@@ -437,7 +551,7 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, state: Arc<AppState>) {
+fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppState>) {
     loop {
         // Holding the lock while blocked in `recv` is the shared-receiver
         // pattern: exactly one worker waits in recv, the rest wait on the
@@ -447,12 +561,14 @@ fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, state: Arc<AppState>) {
         // handling runs outside it, under `catch_unwind`.
         let next = { rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv() };
         match next {
-            Ok(stream) => {
+            Ok((stream, accepted)) => {
                 // Backstop: `handle_connection` already isolates handler
                 // panics, but a panic anywhere else on the connection path
                 // (response write, metrics) must not kill the worker either
                 // — a dead worker would silently shrink the pool.
-                if catch_unwind(AssertUnwindSafe(|| handle_connection(&state, stream))).is_err() {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| handle_connection(&state, stream, accepted)));
+                if outcome.is_err() {
                     state.panics.incr();
                 }
             }
@@ -480,7 +596,7 @@ impl Server {
         let state = Arc::new(AppState::new(model, &cfg));
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let workers = {
             let state = Arc::clone(&state);

@@ -13,7 +13,7 @@ use dd_graph::sampling::hide_directions;
 use dd_graph::NodeId;
 use dd_serve::client;
 use dd_serve::{ScoreResponse, ServeConfig, Server, ServerHandle};
-use dd_telemetry::MetricSnapshot;
+use dd_telemetry::{MetricSnapshot, ObserverHandle};
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,17 +105,129 @@ fn concurrent_requests_match_offline_scores_bit_for_bit() {
     assert!(h.sum > 0.0, "latency sum should be positive");
     assert!(h.buckets.iter().any(|&(_, c)| c > 0), "some bucket must be non-empty");
 
-    // /metrics (the wire view) agrees with the registry (the in-process view).
+    // /metrics (the wire view) agrees with the registry (the in-process
+    // view), in Prometheus text exposition format.
     let resp = client::get(&addr, "/metrics").expect("metrics");
     assert_eq!(resp.status, 200);
     assert!(
-        resp.body.contains(&format!("serve.requests.score {total}")),
+        resp.body.contains(&format!("dd_serve_requests_total{{endpoint=\"score\"}} {total}")),
         "metrics dump missing request count: {}",
         resp.body
     );
-    assert!(resp.body.contains("serve.latency.score.count"), "{}", resp.body);
+    assert!(resp.body.contains("# TYPE dd_serve_requests_total counter"), "{}", resp.body);
+    assert!(
+        resp.body
+            .contains(&format!("dd_serve_latency_seconds_count{{endpoint=\"score\"}} {total}")),
+        "{}",
+        resp.body
+    );
+    assert!(
+        resp.body.contains("dd_serve_latency_seconds_bucket{endpoint=\"score\",le=\"+Inf\"}"),
+        "{}",
+        resp.body
+    );
 
     assert!(handle.shutdown() >= total);
+}
+
+/// The tracing acceptance test: one traced request shows a single trace ID
+/// across the `serve.request` JSONL event and its child queue-wait /
+/// handler / cache spans; a client-supplied `traceparent` is honored and
+/// echoed back on the response.
+#[test]
+fn request_traces_share_one_trace_id_and_echo_traceparent() {
+    let log = std::env::temp_dir().join(format!("dd_serve_trace_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log);
+    let sink = dd_telemetry::JsonlSink::create(&log).expect("jsonl sink");
+    let (model, handle) = start(|cfg| cfg.observer = ObserverHandle::new(Arc::new(sink)));
+    let addr = handle.addr().to_string();
+    let &(src, dst) = model.ties().first().expect("model has ties");
+
+    // Request 1 joins a caller-supplied trace; the server must echo it.
+    let supplied = "00-000000000000000000000000deadbeef-0000000000000001-01";
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(
+        format!(
+            "GET /score?src={src}&dst={dst} HTTP/1.1\r\nHost: x\r\ntraceparent: {supplied}\r\n\r\n"
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut resp = String::new();
+    raw.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let echoed = resp
+        .lines()
+        .find_map(|l| l.strip_prefix("traceparent: "))
+        .expect("response echoes traceparent");
+    assert!(echoed.starts_with("00-"), "echo keeps the 00 version: {echoed}");
+    assert!(echoed.contains("deadbeef-"), "echo carries the supplied trace id, got: {echoed}");
+
+    // Request 2 (same pair, cache warm → hit) and request 3 (fresh trace).
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(
+        format!(
+            "GET /score?src={src}&dst={dst} HTTP/1.1\r\nHost: x\r\ntraceparent: {supplied}\r\n\r\n"
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut resp2 = String::new();
+    raw.read_to_string(&mut resp2).unwrap();
+    assert!(resp2.starts_with("HTTP/1.1 200"), "{resp2}");
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+
+    handle.shutdown(); // flushes the JSONL sink
+    let events = dd_telemetry::read_jsonl(&log).expect("readable request log");
+    let supplied_trace = "00000000deadbeef"; // low 64 bits of the 128-bit field
+
+    let requests: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == "serve.request" && e.name.as_deref() == Some("score"))
+        .collect();
+    assert_eq!(requests.len(), 2, "two score requests logged");
+    for r in &requests {
+        assert_eq!(r.trace_id.as_deref(), Some(supplied_trace), "traceparent honored");
+        assert!(r.span_id.is_some() && r.parent_span_id.is_none(), "request event is the root");
+    }
+
+    // Child spans parent to their request root and share its trace ID.
+    let root_sid = requests[0].span_id.clone().unwrap();
+    let children: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == "span" && e.parent_span_id.as_deref() == Some(root_sid.as_str()))
+        .collect();
+    let names: Vec<&str> = children.iter().filter_map(|e| e.name.as_deref()).collect();
+    assert!(names.contains(&"serve.queue_wait"), "missing queue-wait span: {names:?}");
+    assert!(names.contains(&"serve.handler.score"), "missing handler span: {names:?}");
+    for c in &children {
+        assert_eq!(c.trace_id.as_deref(), Some(supplied_trace), "one trace id per request");
+    }
+
+    // The warm second request tags its cache hit inside the same trace.
+    assert!(
+        events.iter().any(|e| e.kind == "span"
+            && e.name.as_deref() == Some("serve.cache.hit")
+            && e.trace_id.as_deref() == Some(supplied_trace)),
+        "cache hit tagged in trace"
+    );
+    // The miss on the cold first request is tagged too.
+    assert!(
+        events.iter().any(|e| e.kind == "span"
+            && e.name.as_deref() == Some("serve.cache.miss")
+            && e.trace_id.as_deref() == Some(supplied_trace)),
+        "cache miss tagged in trace"
+    );
+
+    // The untraced /healthz request opened its own (different) trace.
+    let health = events
+        .iter()
+        .find(|e| e.kind == "serve.request" && e.name.as_deref() == Some("healthz"))
+        .expect("healthz logged");
+    assert!(health.trace_id.is_some());
+    assert_ne!(health.trace_id.as_deref(), Some(supplied_trace));
+
+    let _ = std::fs::remove_file(&log);
 }
 
 #[test]

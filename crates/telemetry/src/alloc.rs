@@ -1,0 +1,140 @@
+//! Opt-in allocation counting and peak-RSS sampling for resource-tracked
+//! spans.
+//!
+//! [`CountingAlloc`] is a `GlobalAlloc` wrapper around the system allocator.
+//! Binaries install it with `#[global_allocator]`; until
+//! [`enable_profiling`] is called it adds one relaxed atomic load per
+//! allocation and nothing else, so the default (tracing-off and tracing-on
+//! non-profiled) paths stay effectively free. When profiling is enabled,
+//! every allocation bumps two process-wide counters which spans snapshot at
+//! start/finish to report per-span allocation deltas; spans also sample the
+//! process peak RSS (`VmHWM` on Linux) at finish.
+//!
+//! Counting is observational only: it never changes allocation behaviour,
+//! so enabling it cannot perturb training results (DESIGN.md §7.12).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts allocations when profiling is
+/// enabled. Install as the `#[global_allocator]` of a binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: dd_telemetry::alloc::CountingAlloc = dd_telemetry::alloc::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn tally(layout: Layout) {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the wrapper only updates
+// atomic counters and never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::tally(layout);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::tally(layout);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            // Count only growth; shrinks move no new bytes.
+            let grown = new_size.saturating_sub(layout.size());
+            ALLOC_BYTES.fetch_add(grown as u64, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Turns allocation counting on for the rest of the process (used by
+/// `dd profile` and `--telemetry` runs that request resource spans).
+/// Has no effect unless the binary installed [`CountingAlloc`].
+pub fn enable_profiling() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether profiling (allocation counting + RSS sampling) is enabled.
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Cumulative `(allocation count, allocated bytes)` since profiling was
+/// enabled. Spans subtract two readings to get per-span deltas.
+pub fn alloc_totals() -> (u64, u64) {
+    (ALLOC_COUNT.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` on platforms without procfs or on parse
+/// failure.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_monotone_and_gated() {
+        // The test binary does not install CountingAlloc, so exercise the
+        // tally path directly.
+        let before = alloc_totals();
+        CountingAlloc::tally(Layout::from_size_align(64, 8).unwrap());
+        if !profiling_enabled() {
+            assert_eq!(alloc_totals(), before, "disabled counting must not move");
+        }
+        enable_profiling();
+        assert!(profiling_enabled());
+        let (c0, b0) = alloc_totals();
+        CountingAlloc::tally(Layout::from_size_align(128, 8).unwrap());
+        let (c1, b1) = alloc_totals();
+        assert_eq!(c1, c0 + 1);
+        assert_eq!(b1, b0 + 128);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        #[cfg(target_os = "linux")]
+        assert!(rss.is_some_and(|r| r > 0), "Linux must report a nonzero VmHWM");
+        // Elsewhere the reader is absent by design; `None` is the contract.
+        #[cfg(not(target_os = "linux"))]
+        assert!(rss.is_none(), "peak RSS is Linux-gated");
+    }
+}

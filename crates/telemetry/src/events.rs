@@ -8,12 +8,26 @@
 use serde::{Deserialize, Serialize};
 
 /// Version stamped into every event; bump on breaking schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// - **1** — flat span/progress/metric events; spans identified by name and
+///   parent name only.
+/// - **2** — tracing fields (`trace_id`, `span_id`, `parent_span_id`, all
+///   16-hex-digit strings), span timeline offsets (`start_seconds`), and
+///   resource deltas (`busy_seconds`, `alloc_count`, `alloc_bytes`,
+///   `peak_rss_bytes`, `thread`). Purely additive: v1 lines parse under v2
+///   readers with the new fields absent.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version this build can read.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Event kinds emitted by the pipeline. Kept as `&str` constants rather than
 /// an enum so downstream crates can add kinds without touching this crate.
 pub mod kind {
-    /// A finished timed scope. Fields: `name`, `parent`, `seconds`.
+    /// A finished timed scope. Fields: `name`, `parent`, `seconds`; under
+    /// schema ≥ 2 also `trace_id`/`span_id`/`parent_span_id`,
+    /// `start_seconds`, and (profiling runs) resource deltas.
     pub const SPAN: &str = "span";
     /// E-Step progress sample. Fields: `iteration`, `total_iterations`,
     /// `sampled_loss`, `loss_*`, `iters_per_sec`, `per_worker_iterations`.
@@ -76,6 +90,28 @@ pub struct Event {
     pub unit: Option<String>,
     /// Free-form named numeric payload (e.g. network stats).
     pub fields: Option<Vec<(String, f64)>>,
+    /// Trace the event belongs to, as 16 lowercase hex digits (schema ≥ 2).
+    pub trace_id: Option<String>,
+    /// This span's ID, as 16 lowercase hex digits (schema ≥ 2).
+    pub span_id: Option<String>,
+    /// Parent span's ID, as 16 lowercase hex digits; absent on trace roots
+    /// (schema ≥ 2).
+    pub parent_span_id: Option<String>,
+    /// Span start as seconds since the process epoch (schema ≥ 2).
+    pub start_seconds: Option<f64>,
+    /// CPU-busy seconds inside the span, where measured (pool calls report
+    /// summed worker busy time; schema ≥ 2).
+    pub busy_seconds: Option<f64>,
+    /// Allocations performed during the span (profiling runs only;
+    /// schema ≥ 2).
+    pub alloc_count: Option<u64>,
+    /// Bytes allocated during the span (profiling runs only; schema ≥ 2).
+    pub alloc_bytes: Option<u64>,
+    /// Process peak RSS in bytes sampled at span end (profiling runs only;
+    /// schema ≥ 2).
+    pub peak_rss_bytes: Option<u64>,
+    /// 0-based worker index for per-thread spans (pool chunks; schema ≥ 2).
+    pub thread: Option<u64>,
 }
 
 impl Event {
@@ -100,7 +136,25 @@ impl Event {
             value: None,
             unit: None,
             fields: None,
+            trace_id: None,
+            span_id: None,
+            parent_span_id: None,
+            start_seconds: None,
+            busy_seconds: None,
+            alloc_count: None,
+            alloc_bytes: None,
+            peak_rss_bytes: None,
+            thread: None,
         }
+    }
+
+    /// Attaches trace identity to the event (hex-encoded; see
+    /// [`crate::trace`]).
+    pub fn with_trace(mut self, trace_id: u64, span_id: u64, parent_span_id: Option<u64>) -> Self {
+        self.trace_id = Some(crate::trace::hex16(trace_id));
+        self.span_id = Some(crate::trace::hex16(span_id));
+        self.parent_span_id = parent_span_id.map(crate::trace::hex16);
+        self
     }
 
     /// A finished-span event.
@@ -209,6 +263,41 @@ mod tests {
         assert_eq!(back.name.as_deref(), Some("estep.train"));
         assert_eq!(back.parent.as_deref(), Some("fit"));
         assert_eq!(back.seconds, Some(1.25));
+    }
+
+    #[test]
+    fn v2_trace_fields_round_trip() {
+        let mut e = Event::span("pool.estep", Some("fit"), 0.5).with_trace(0xabc, 0xdef, Some(0x1));
+        e.start_seconds = Some(1.25);
+        e.busy_seconds = Some(0.4);
+        e.alloc_count = Some(10);
+        e.alloc_bytes = Some(4096);
+        e.peak_rss_bytes = Some(1 << 20);
+        e.thread = Some(3);
+        let line = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.schema, 2);
+        assert_eq!(back.trace_id.as_deref(), Some("0000000000000abc"));
+        assert_eq!(back.span_id.as_deref(), Some("0000000000000def"));
+        assert_eq!(back.parent_span_id.as_deref(), Some("0000000000000001"));
+        assert_eq!(back.start_seconds, Some(1.25));
+        assert_eq!(back.busy_seconds, Some(0.4));
+        assert_eq!(back.alloc_count, Some(10));
+        assert_eq!(back.alloc_bytes, Some(4096));
+        assert_eq!(back.peak_rss_bytes, Some(1 << 20));
+        assert_eq!(back.thread, Some(3));
+    }
+
+    #[test]
+    fn v1_lines_still_parse() {
+        // A literal line as written by schema-1 builds: no trace fields.
+        let line =
+            r#"{"schema":1,"kind":"span","name":"estep.train","parent":"fit","seconds":1.5}"#;
+        let back: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(back.schema, 1);
+        assert_eq!(back.name.as_deref(), Some("estep.train"));
+        assert_eq!(back.trace_id, None);
+        assert_eq!(back.start_seconds, None);
     }
 
     #[test]

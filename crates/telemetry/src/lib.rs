@@ -17,15 +17,26 @@
 //! rate-limited) and [`JsonlSink`] (schema-versioned [`Event`] per line).
 //! [`Fanout`] combines them; [`NullObserver`] / a disabled
 //! [`ObserverHandle`] is the default no-cost path.
+//!
+//! Since schema 2 the crate is a full tracing subsystem: spans carry 64-bit
+//! trace/span/parent IDs derived deterministically from config seeds and
+//! span names ([`trace`]), opt-in per-span resource deltas (allocation
+//! count/bytes via the [`alloc::CountingAlloc`] global-allocator wrapper,
+//! peak RSS), and exporters ([`export`]) rendering event streams as Chrome
+//! trace JSON, a per-stage critical-path summary, or Prometheus text
+//! exposition.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod events;
+pub mod export;
 pub mod metrics;
 pub mod observer;
 pub mod span;
+pub mod trace;
 
-pub use events::{kind, Event, SCHEMA_VERSION};
+pub use events::{kind, Event, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricReading, MetricSnapshot, Registry,
 };
@@ -34,3 +45,4 @@ pub use observer::{
     ProgressSink, TrainObserver,
 };
 pub use span::Span;
+pub use trace::SpanContext;

@@ -99,6 +99,9 @@ impl Histogram {
             return;
         }
         let idx = self.bounds.partition_point(|&b| b < v);
+        // Bucket before total: a concurrent snapshot derives its count from
+        // the bucket array, and the scalar `count` must never run ahead of
+        // the buckets it summarizes.
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // CAS loop: contention on telemetry sums is negligible next to the
@@ -190,17 +193,49 @@ pub struct HistogramSnapshot {
     pub p99: f64,
 }
 
+impl HistogramSnapshot {
+    /// `q`-quantile computed from the captured buckets (same estimator as
+    /// [`Histogram::percentile`], but torn-read-free: it sees exactly the
+    /// samples counted in `self.count`).
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut last_finite = 0.0;
+        let mut seen = 0u64;
+        for &(bound, c) in &self.buckets {
+            if bound.is_finite() {
+                last_finite = bound;
+            }
+            seen += c;
+            if seen >= rank {
+                return if bound.is_finite() { bound } else { last_finite };
+            }
+        }
+        last_finite
+    }
+}
+
 impl Histogram {
     /// Captures the histogram's full current state.
+    ///
+    /// Internally consistent under concurrent recording: the bucket array is
+    /// read once and `count` is *derived* from it (never from the separately
+    /// updated scalar counter), so `snapshot.count` always equals the sum of
+    /// `snapshot.buckets` counts and the percentiles are computed from the
+    /// same capture. Exporters (`/metrics`, `dd stats --json`) therefore
+    /// cannot observe a torn read between the total and the buckets.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            count: self.count(),
-            sum: self.sum(),
-            buckets: self.buckets(),
-            p50: self.percentile(0.50),
-            p90: self.percentile(0.90),
-            p99: self.percentile(0.99),
-        }
+        let buckets = self.buckets();
+        let count = buckets.iter().map(|&(_, c)| c).sum();
+        let mut snap =
+            HistogramSnapshot { count, sum: self.sum(), buckets, p50: 0.0, p90: 0.0, p99: 0.0 };
+        snap.p50 = snap.percentile(0.50);
+        snap.p90 = snap.percentile(0.90);
+        snap.p99 = snap.percentile(0.99);
+        snap
     }
 }
 
@@ -444,5 +479,101 @@ mod tests {
         assert_eq!(h.count(), 40_000);
         let expected: f64 = (0..40_000u64).map(|i| i as f64 * 1e-3).sum();
         assert!((h.sum() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        // Bounds: 1, 2, 4, 8. Bucket i covers (bound[i-1], bound[i]].
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v); // each exactly ON a bound → belongs to that bound's bucket
+        }
+        let counts: Vec<u64> = h.buckets().iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1, 1, 0], "edge values land in the bucket they bound");
+        // The next representable value above a bound spills into the next bucket.
+        h.record(2.0 + f64::EPSILON * 4.0);
+        let counts: Vec<u64> = h.buckets().iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 2, 1, 0]);
+        // Just above the last bound goes to overflow.
+        h.record(8.000001);
+        let counts: Vec<u64> = h.buckets().iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts[4], 1);
+        // Percentile at an edge reports the edge itself.
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn snapshot_count_always_equals_bucket_sum_under_writers() {
+        let h = std::sync::Arc::new(Histogram::exponential(0.001, 2.0, 16));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        dd_runtime::scope(|s| {
+            for t in 0..3 {
+                let h = std::sync::Arc::clone(&h);
+                let stop = std::sync::Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(((t * 7 + i) % 100) as f64 * 1e-2);
+                        i += 1;
+                    }
+                });
+            }
+            // Snapshot while writers hammer: the derived count must match
+            // the captured buckets exactly, every time.
+            for _ in 0..500 {
+                let snap = h.snapshot();
+                let bucket_sum: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+                assert_eq!(snap.count, bucket_sum, "torn read between count and buckets");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent: scalar count, bucket sum, and snapshot all agree.
+        let snap = h.snapshot();
+        assert_eq!(snap.count, h.count());
+        assert_eq!(snap.count, snap.buckets.iter().map(|&(_, c)| c).sum::<u64>());
+    }
+
+    #[test]
+    fn registry_snapshot_consistent_under_concurrent_writers() {
+        let r = std::sync::Arc::new(Registry::new());
+        let h = r.histogram("lat", 0.001, 2.0, 12);
+        let c = r.counter("req");
+        dd_runtime::scope(|s| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                let c = std::sync::Arc::clone(&c);
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(i as f64 * 1e-3);
+                        c.incr();
+                        if i % 512 == 0 {
+                            // Concurrent snapshots must be internally consistent.
+                            for (_, m) in r.snapshot() {
+                                if let MetricSnapshot::Histogram(hs) = m {
+                                    let sum: u64 = hs.buckets.iter().map(|&(_, n)| n).sum();
+                                    assert_eq!(hs.count, sum);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Merge totals are exact once writers finish.
+        let snap = r.snapshot();
+        for (name, m) in snap {
+            match m {
+                MetricSnapshot::Histogram(hs) => {
+                    assert_eq!(hs.count, 20_000, "{name}");
+                    let expected: f64 = (0..5_000u64).map(|i| i as f64 * 1e-3).sum::<f64>() * 4.0;
+                    assert!((hs.sum - expected).abs() < 1e-6 * expected);
+                }
+                MetricSnapshot::Counter(n) => assert_eq!(n, 20_000, "{name}"),
+                MetricSnapshot::Gauge(_) => {}
+            }
+        }
     }
 }

@@ -164,6 +164,12 @@ impl ObserverHandle {
         Span::root(name, self.clone())
     }
 
+    /// Starts a root span whose trace ID is derived from `(seed, name)`,
+    /// so re-runs of the same config reproduce the same trace tree.
+    pub fn trace_root(&self, name: &str, seed: u64) -> Span {
+        Span::root_seeded(name, seed, self.clone())
+    }
+
     /// Times `f` under a span, returning its result and the elapsed seconds.
     pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> (R, f64) {
         let span = self.span(name);
@@ -366,7 +372,13 @@ impl TrainObserver for Fanout {
 }
 
 /// Reads a JSONL event file back into events — the consumer-side helper
-/// used by tests and analysis tooling.
+/// used by tests, the `dd trace` exporters, and analysis tooling.
+///
+/// Accepts every schema version from [`crate::events::MIN_SCHEMA_VERSION`]
+/// through [`crate::events::SCHEMA_VERSION`] (older lines simply lack the
+/// newer optional fields). Lines stamped with a *newer* schema than this
+/// build understands produce a targeted error rather than silently
+/// misreading fields whose meaning may have changed.
 pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
     let file =
         File::open(path.as_ref()).map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
@@ -378,6 +390,23 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<Event>, String> {
         }
         let event: Event =
             serde_json::from_str(&line).map_err(|e| format!("parse line {}: {e}", i + 1))?;
+        if event.schema > crate::events::SCHEMA_VERSION {
+            return Err(format!(
+                "line {}: event schema {} is newer than this build supports (max {}); \
+                 upgrade dd to read this stream",
+                i + 1,
+                event.schema,
+                crate::events::SCHEMA_VERSION
+            ));
+        }
+        if event.schema < crate::events::MIN_SCHEMA_VERSION {
+            return Err(format!(
+                "line {}: event schema {} predates the oldest supported version {}",
+                i + 1,
+                event.schema,
+                crate::events::MIN_SCHEMA_VERSION
+            ));
+        }
         events.push(event);
     }
     Ok(events)
@@ -419,6 +448,38 @@ mod tests {
         assert_eq!(events[2].iteration, Some(200));
         assert!(events.iter().all(|e| e.schema == crate::events::SCHEMA_VERSION));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_jsonl_accepts_old_schemas_and_rejects_future_ones() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join("dd_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Mixed v1 + v2 stream: both parse, v1 lines lack trace fields.
+        let mixed = dir.join("mixed_schema.jsonl");
+        let mut f = File::create(&mixed).unwrap();
+        writeln!(f, r#"{{"schema":1,"kind":"span","name":"old.stage","seconds":1.0}}"#).unwrap();
+        let v2 = Event::span("new.stage", None, 2.0).with_trace(1, 2, None);
+        writeln!(f, "{}", serde_json::to_string(&v2).unwrap()).unwrap();
+        drop(f);
+        let events = read_jsonl(&mixed).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].schema, 1);
+        assert_eq!(events[0].trace_id, None);
+        assert_eq!(events[1].trace_id.as_deref(), Some("0000000000000001"));
+
+        // A future schema is a hard, targeted error.
+        let future = dir.join("future_schema.jsonl");
+        let mut f = File::create(&future).unwrap();
+        writeln!(f, r#"{{"schema":99,"kind":"span","name":"future.stage"}}"#).unwrap();
+        drop(f);
+        let err = read_jsonl(&future).unwrap_err();
+        assert!(err.contains("schema 99"), "{err}");
+        assert!(err.contains("newer than this build"), "{err}");
+
+        std::fs::remove_file(&mixed).ok();
+        std::fs::remove_file(&future).ok();
     }
 
     #[test]

@@ -1,45 +1,129 @@
-//! Wall-clock spans: named timed scopes with optional nesting.
+//! Traced spans: named timed scopes with 64-bit trace/span identity,
+//! nesting, and optional resource deltas.
 //!
 //! A [`Span`] measures from construction to [`Span::finish`] (or drop) and
-//! reports the duration through the attached [`ObserverHandle`]. Spans on a
-//! disabled handle still measure (callers may use the returned seconds) but
-//! emit nothing.
+//! reports through the attached [`ObserverHandle`]. Every span carries a
+//! [`SpanContext`] — a trace ID shared by the whole tree and its own span
+//! ID — derived deterministically (see [`crate::trace`]) so identical runs
+//! produce identical trace trees. Spans on a disabled handle still measure
+//! (callers may use the returned seconds) but emit nothing.
+//!
+//! When profiling is enabled ([`crate::alloc::enable_profiling`]), finished
+//! spans additionally report the allocation count/bytes performed during
+//! the span and the process peak RSS at span end.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::alloc;
+use crate::events::Event;
 use crate::observer::ObserverHandle;
+use crate::trace::{derive_span_id, derive_trace_id, SpanContext};
 
 /// A named timed scope. Emits a `span` event when finished or dropped.
 #[derive(Debug)]
 pub struct Span {
     name: String,
-    parent: Option<String>,
+    parent_name: Option<String>,
+    ctx: SpanContext,
+    parent_span_id: Option<u64>,
+    children: AtomicU64,
     start: Instant,
+    start_seconds: f64,
+    alloc_start: Option<(u64, u64)>,
+    busy_seconds: Cell<Option<f64>>,
     obs: ObserverHandle,
     finished: bool,
 }
 
 impl Span {
-    /// Starts a top-level span.
-    pub fn root(name: &str, obs: ObserverHandle) -> Self {
-        Span { name: name.to_string(), parent: None, start: Instant::now(), obs, finished: false }
-    }
-
-    /// Starts a nested span; the emitted event carries this span's name as
-    /// `parent`, and the child's name is `parent.child`.
-    pub fn child(&self, name: &str) -> Span {
+    fn build(
+        name: String,
+        parent_name: Option<String>,
+        ctx: SpanContext,
+        parent_span_id: Option<u64>,
+        obs: ObserverHandle,
+    ) -> Self {
         Span {
-            name: format!("{}.{name}", self.name),
-            parent: Some(self.name.clone()),
+            name,
+            parent_name,
+            ctx,
+            parent_span_id,
+            children: AtomicU64::new(0),
             start: Instant::now(),
-            obs: self.obs.clone(),
+            start_seconds: crate::trace::now_seconds(),
+            alloc_start: alloc::profiling_enabled().then(alloc::alloc_totals),
+            busy_seconds: Cell::new(None),
+            obs,
             finished: false,
         }
+    }
+
+    /// Starts a top-level span in an unseeded trace (trace ID derived from
+    /// the name alone). Prefer [`Span::root_seeded`] where a config seed is
+    /// available.
+    pub fn root(name: &str, obs: ObserverHandle) -> Self {
+        Span::root_seeded(name, 0, obs)
+    }
+
+    /// Starts a top-level span whose trace ID is derived from `(seed,
+    /// name)`, making the whole trace tree reproducible across runs.
+    pub fn root_seeded(name: &str, seed: u64, obs: ObserverHandle) -> Self {
+        let trace_id = derive_trace_id(seed, name);
+        Span::root_of_trace(name, trace_id, obs)
+    }
+
+    /// Starts a top-level span inside an existing trace — e.g. a `dd serve`
+    /// request whose trace ID came from a `traceparent` header.
+    pub fn root_of_trace(name: &str, trace_id: u64, obs: ObserverHandle) -> Self {
+        let span_id = derive_span_id(trace_id, 0, name, 0);
+        Span::build(name.to_string(), None, SpanContext { trace_id, span_id }, None, obs)
+    }
+
+    /// Starts a nested span: same trace, this span as parent, name
+    /// `parent.child`. Sibling spans with the same name get distinct IDs via
+    /// a per-parent child index.
+    pub fn child(&self, name: &str) -> Span {
+        self.child_named(&format!("{}.{name}", self.name))
+    }
+
+    /// Starts a nested span whose name is used verbatim (no `parent.`
+    /// prefix) — for established stage names like `estep.train` that
+    /// pre-date tracing and are matched by name downstream. Trace linkage
+    /// (IDs, child index) is identical to [`Span::child`].
+    pub fn child_named(&self, full_name: &str) -> Span {
+        let index = self.children.fetch_add(1, Ordering::Relaxed);
+        let span_id = derive_span_id(self.ctx.trace_id, self.ctx.span_id, full_name, index);
+        Span::build(
+            full_name.to_string(),
+            Some(self.name.clone()),
+            SpanContext { trace_id: self.ctx.trace_id, span_id },
+            Some(self.ctx.span_id),
+            self.obs.clone(),
+        )
     }
 
     /// The span's full name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The span's trace/span identity, for propagation to work that emits
+    /// its own child events (e.g. the `dd-runtime` pool).
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+
+    /// The observer this span reports to (cheap clone).
+    pub fn observer(&self) -> ObserverHandle {
+        self.obs.clone()
+    }
+
+    /// Records CPU-busy seconds to attach to the emitted event (e.g. summed
+    /// worker busy time for a parallel stage).
+    pub fn set_busy_seconds(&self, seconds: f64) {
+        self.busy_seconds.set(Some(seconds));
     }
 
     /// Seconds elapsed so far, without finishing the span.
@@ -56,7 +140,22 @@ impl Span {
         let secs = self.elapsed();
         if !self.finished {
             self.finished = true;
-            self.obs.on_span(&self.name, self.parent.as_deref(), secs);
+            if self.obs.is_enabled() {
+                let mut e = Event::span(&self.name, self.parent_name.as_deref(), secs).with_trace(
+                    self.ctx.trace_id,
+                    self.ctx.span_id,
+                    self.parent_span_id,
+                );
+                e.start_seconds = Some(self.start_seconds);
+                e.busy_seconds = self.busy_seconds.get();
+                if let Some((c0, b0)) = self.alloc_start {
+                    let (c1, b1) = alloc::alloc_totals();
+                    e.alloc_count = Some(c1.saturating_sub(c0));
+                    e.alloc_bytes = Some(b1.saturating_sub(b0));
+                    e.peak_rss_bytes = alloc::peak_rss_bytes();
+                }
+                self.obs.on_event(&e);
+            }
         }
         secs
     }
@@ -71,7 +170,6 @@ impl Drop for Span {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::events::Event;
     use crate::observer::TrainObserver;
     use std::sync::{Arc, Mutex};
 
@@ -103,6 +201,46 @@ mod tests {
         assert_eq!(events[0].parent.as_deref(), Some("fit"));
         assert_eq!(events[1].name.as_deref(), Some("fit"));
         assert_eq!(events[1].parent, None);
+    }
+
+    #[test]
+    fn spans_carry_consistent_trace_identity() {
+        let cap = Arc::new(Capture::default());
+        let obs = ObserverHandle::new(cap.clone());
+        let root = obs.trace_root("fit", 42);
+        let ctx = root.context();
+        assert_eq!(ctx.trace_id, derive_trace_id(42, "fit"));
+        let c1 = root.child("estep");
+        let c1_ctx = c1.context();
+        let c2 = root.child("estep");
+        assert_ne!(c1_ctx.span_id, c2.context().span_id, "siblings get distinct IDs");
+        c1.finish();
+        c2.finish();
+        root.finish();
+        let events = cap.0.lock().unwrap();
+        let root_hex = crate::trace::hex16(ctx.span_id);
+        for e in events.iter() {
+            assert_eq!(e.trace_id.as_deref(), Some(crate::trace::hex16(ctx.trace_id).as_str()));
+            assert!(e.start_seconds.is_some());
+        }
+        assert_eq!(events[0].parent_span_id.as_deref(), Some(root_hex.as_str()));
+        assert_eq!(events[1].parent_span_id.as_deref(), Some(root_hex.as_str()));
+        assert_eq!(events[2].parent_span_id, None, "root has no parent span");
+        // Identical runs derive identical IDs.
+        let again = ObserverHandle::none().trace_root("fit", 42);
+        assert_eq!(again.context(), ctx);
+        assert_eq!(again.child("estep").context().span_id, c1_ctx.span_id);
+    }
+
+    #[test]
+    fn busy_seconds_attach_to_event() {
+        let cap = Arc::new(Capture::default());
+        let obs = ObserverHandle::new(cap.clone());
+        let span = obs.span("pool.call");
+        span.set_busy_seconds(1.5);
+        span.finish();
+        let events = cap.0.lock().unwrap();
+        assert_eq!(events[0].busy_seconds, Some(1.5));
     }
 
     #[test]
