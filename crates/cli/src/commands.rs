@@ -9,9 +9,11 @@
 //! | `generate <dataset> --out f` | write a synthetic dataset analog |
 //! | `stats <edges>` | dataset statistics (Table 2 columns) |
 //! | `score <model> <src> <dst>` | print one raw score (machine-readable) |
+//! | `export <model> --out f` | re-encode a model (binary `.ddm` by default) |
 //! | `serve <model> --port P` | HTTP query server (see `dd-serve`) |
 //! | `eval <edges>` | direction-discovery accuracy per method (Sec. 6.2) |
 //! | `bench` | serial vs parallel wall time for the hot stages |
+//! | `bench --model-io` | JSON vs binary load time + scoring-kernel bench |
 //!
 //! Edge-list format: `d|b|u <src> <dst>` per line (see `dd-graph::io`).
 //!
@@ -32,7 +34,7 @@ use dd_graph::sampling::hide_directions;
 use dd_graph::{MixedSocialNetwork, NodeId};
 use dd_runtime::{Pool, Threads};
 use deepdirect::apps::discovery::discover_directions;
-use deepdirect::telemetry::{Fanout, JsonlSink, ObserverHandle, ProgressSink, Registry};
+use deepdirect::telemetry::{Event, Fanout, JsonlSink, ObserverHandle, ProgressSink, Registry};
 use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,6 +51,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "generate" => generate(args),
         "stats" => stats(args),
         "score" => score(args),
+        "export" => export(args),
         "serve" => serve(args),
         "eval" => eval(args),
         "bench" => bench(args),
@@ -66,15 +69,19 @@ pub fn usage() -> String {
 USAGE:
   dd train   <edges>          --out <model.json> [--dim N] [--alpha A] [--beta B]
                                       [--iterations N] [--threads T] [--seed S]
-  dd predict <model.json> <src> <dst>
+  dd predict <model> <src> <dst>
   dd discover <edges>         [--model <model.json>] [--top N]
   dd quantify <edges>         [--model <model.json>] [--top N]
   dd generate <dataset>       --out <edges> [--scale K] [--seed S]
                                       (datasets: twitter livejournal epinions slashdot tencent)
   dd stats   <edges>          [--json]
-  dd score   <model.json> <src> <dst>
+  dd score   <model> <src> <dst>
                                       (machine-readable: prints the raw d(src,dst) value)
-  dd serve   <model.json>     [--host H] [--port P] [--workers N] [--cache-size N]
+  dd export  <model>          --out <file> [--binary|--json]
+                                      (re-encode a model artifact; default is the compact
+                                       binary .ddm container, --json the portable JSON.
+                                       Input format is sniffed — converts either way)
+  dd serve   <model>          [--host H] [--port P] [--workers N] [--cache-size N]
                                       [--request-timeout-ms MS] [--queue-depth N]
                                       (HTTP endpoints: /healthz /score /batch /metrics)
   dd eval    <edges>          [--hide F] [--dim N] [--iterations N] [--methods a,b]
@@ -84,12 +91,22 @@ USAGE:
                                       [--baseline BENCH_runtime.json] [--tolerance F]
                                       (serial vs parallel wall time; verifies bit-identity;
                                        --baseline enforces the committed perf ratchet)
+  dd bench --model-io [--dim N] [--iterations N] [--threads T]
+                                      [--out BENCH_model_io.json] [--baseline f] [--tolerance F]
+                                      (JSON parse vs binary .ddm load wall time, plus the
+                                       scalar vs unrolled scoring kernel; verifies that
+                                       both load paths score bit-identically)
   dd trace export <telemetry.jsonl>   --chrome <trace.json>
                                       (Chrome trace-event JSON for chrome://tracing / Perfetto)
   dd trace summarize <telemetry.jsonl>
                                       (per-stage self-time table + critical path)
   dd profile <command> [args…]        run any dd command with allocation counting
                                       enabled; appends wall/alloc/peak-RSS summary
+
+MODEL FORMATS:
+  <model> arguments are format-sniffed: the portable JSON format and the
+  compact binary .ddm container (written by dd export) load interchangeably
+  and score bit-identically (DESIGN.md §7.13).
 
 THREADS:
   --threads T                 worker threads for parallel stages; falls back to
@@ -168,6 +185,19 @@ fn load_net(path: &str) -> Result<MixedSocialNetwork, String> {
     load_edge_list(path).map_err(|e| format!("loading '{path}': {e}"))
 }
 
+/// Loads a model artifact (JSON or binary, sniffed) under a `model.load`
+/// telemetry span, and records the artifact's size as a `model.load.bytes`
+/// metric so traces show effective load bandwidth alongside the wall time.
+fn load_model_traced(path: &str, obs: &ObserverHandle) -> Result<DirectionalityModel, String> {
+    let (loaded, _seconds) = obs.time("model.load", || DirectionalityModel::load_from_path(path));
+    if obs.is_enabled() {
+        if let Ok(meta) = std::fs::metadata(path) {
+            obs.on_event(&Event::metric("model.load.bytes", meta.len() as f64, Some("bytes")));
+        }
+    }
+    loaded
+}
+
 fn fit_or_load(args: &Args, g: &MixedSocialNetwork) -> Result<DirectionalityModel, String> {
     let model_path = args.get("model", "");
     if model_path.is_empty() {
@@ -175,7 +205,8 @@ fn fit_or_load(args: &Args, g: &MixedSocialNetwork) -> Result<DirectionalityMode
     } else {
         // `load_from_path` names the offending path in schema/corruption
         // errors; tag the flag so the user knows where the path came from.
-        DirectionalityModel::load_from_path(model_path).map_err(|e| format!("flag --model: {e}"))
+        load_model_traced(&model_path, &telemetry_observer(args)?)
+            .map_err(|e| format!("flag --model: {e}"))
     }
 }
 
@@ -199,7 +230,7 @@ fn predict(args: &Args) -> Result<String, String> {
     let model_path = args.positional(0, "model")?;
     let src: u32 = args.positional(1, "src")?.parse().map_err(|_| "src must be a node id")?;
     let dst: u32 = args.positional(2, "dst")?.parse().map_err(|_| "dst must be a node id")?;
-    let model = DirectionalityModel::load_from_path(model_path)?;
+    let model = load_model_traced(model_path, &telemetry_observer(args)?)?;
     let fwd = model.score(NodeId(src), NodeId(dst));
     let rev = model.score(NodeId(dst), NodeId(src));
     match (fwd, rev) {
@@ -305,17 +336,47 @@ fn score(args: &Args) -> Result<String, String> {
     let model_path = args.positional(0, "model")?;
     let src: u32 = args.positional(1, "src")?.parse().map_err(|_| "src must be a node id")?;
     let dst: u32 = args.positional(2, "dst")?.parse().map_err(|_| "dst must be a node id")?;
-    let model = DirectionalityModel::load_from_path(model_path)?;
+    let model = load_model_traced(model_path, &telemetry_observer(args)?)?;
     match model.score(NodeId(src), NodeId(dst)) {
         Some(v) => Ok(format!("{v}")),
         None => Err(format!("tie ({src},{dst}) was not in the training network")),
     }
 }
 
+/// `dd export <model> --out <file>`: re-encodes a model artifact. The
+/// default output is the compact binary `.ddm` container (DESIGN.md §7.13);
+/// `--json` writes the portable JSON format instead. The input format is
+/// sniffed, so this converts in either direction — and because both formats
+/// load into the same aligned store, the re-encoded artifact scores
+/// bit-identically to its source.
+fn export(args: &Args) -> Result<String, String> {
+    let model_path = args.positional(0, "model")?;
+    let out = args.flags.get("out").ok_or("export requires --out <file>")?;
+    let as_json = args.get_bool("json");
+    if as_json && args.get_bool("binary") {
+        return Err("export: --binary and --json are mutually exclusive".into());
+    }
+    let model = load_model_traced(model_path, &telemetry_observer(args)?)?;
+    if as_json {
+        model.save_to_path(out)?;
+    } else {
+        model.save_binary_to_path(out)?;
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "exported {} model ({} ties, dim {}) to {out} ({bytes} bytes, fingerprint {:016x})",
+        if as_json { "JSON" } else { "binary" },
+        model.n_ties(),
+        model.dim(),
+        model.fingerprint(),
+    ))
+}
+
 /// `dd serve <model>`: blocks until SIGINT/SIGTERM, then drains gracefully.
 fn serve(args: &Args) -> Result<String, String> {
     let model_path = args.positional(0, "model")?;
-    let model = Arc::new(DirectionalityModel::load_from_path(model_path)?);
+    let observer = serve_observer(args)?;
+    let model = Arc::new(load_model_traced(model_path, &observer)?);
 
     let host = args.get("host", "127.0.0.1");
     let port: u16 = args.get_num("port", 8080u16)?;
@@ -325,7 +386,7 @@ fn serve(args: &Args) -> Result<String, String> {
         cache_size: args.get_num("cache-size", 4096usize)?,
         request_timeout: Duration::from_millis(args.get_num("request-timeout-ms", 5000u64)?),
         queue_depth: args.get_num("queue-depth", 64usize)?,
-        observer: serve_observer(args)?,
+        observer,
         // Fault injection stays off in production; only tests flip it.
         panic_route: false,
     };
@@ -569,6 +630,9 @@ fn check_ratchet(report: &BenchReport, baseline_path: &str, tolerance: f64) -> R
 /// re-bench before it is reported — single-run timing noise is expected on
 /// shared CI hosts, a real regression fails twice.
 fn bench(args: &Args) -> Result<String, String> {
+    if args.get_bool("model-io") {
+        return bench_model_io(args);
+    }
     let threads = resolve_threads(args)?;
     // `scale` is the dataset divisor (crawl size / scale): the default 60
     // yields a ~1100-node Twitter analog, big enough that the timed stages
@@ -680,6 +744,189 @@ fn bench(args: &Args) -> Result<String, String> {
         "  pool utilization {:.3} over {} calls / {} chunks\nreport written to {out_path}\n",
         report.pool_utilization, report.pool_calls, report.pool_chunks,
     ));
+    if !baseline_path.is_empty() {
+        out.push_str(&format!(
+            "ratchet ok against {baseline_path} (tolerance {:.0}%{})\n",
+            tolerance * 100.0,
+            if rebenched { ", after one re-bench" } else { "" },
+        ));
+    }
+    Ok(out)
+}
+
+/// `dd bench --model-io`: the model-format I/O bench behind the
+/// `BENCH_model_io.json` ratchet. Fits one model, writes it as JSON and as
+/// the binary `.ddm` container, and times two stages:
+///
+/// * `model_load` — JSON parse (`serial_seconds`) vs binary load
+///   (`parallel_seconds`); the speedup is the binary format's load-time
+///   advantage. Best-of-5 per format: the min damps scheduler noise.
+/// * `score_kernel` — scoring every tie through the strict left-to-right
+///   scalar kernel (`serial_seconds`) vs the unrolled 8-wide kernel
+///   (`parallel_seconds`); the speedup is what the vectorized hot path buys.
+///
+/// `bit_identical` on both stages asserts the cross-format contract: the
+/// JSON- and binary-loaded copies agree on fingerprint and on every score,
+/// bit for bit. `--baseline` enforces the same ratchet machinery (and
+/// re-bench-once policy) as the runtime bench.
+fn bench_model_io(args: &Args) -> Result<String, String> {
+    /// Kernel passes over the whole tie table per timed stage; enough that
+    /// each stage takes milliseconds, not microseconds.
+    const REPS: usize = 200;
+    let threads = resolve_threads(args)?;
+    let scale: usize = args.get_num("scale", 60usize)?;
+    let seed: u64 = args.get_num("seed", 7u64)?;
+    let out_path = args.get("out", "BENCH_model_io.json");
+    let baseline_path = args.get("baseline", "");
+    let tolerance: f64 = args.get_num("tolerance", 0.35f64)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("flag --tolerance must be in [0, 1), got {tolerance}"));
+    }
+    let name = args.get("dataset", "twitter").to_lowercase();
+    let spec =
+        all_datasets().into_iter().find(|s| s.name.to_lowercase() == name).ok_or_else(|| {
+            format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)")
+        })?;
+    let g = spec.generate(scale, seed).network;
+
+    let cfg = DeepDirectConfig {
+        dim: args.get_num("dim", 32usize)?,
+        threads: threads.get(),
+        seed,
+        max_iterations: Some(args.get_num("iterations", 30_000u64)?),
+        ..Default::default()
+    };
+    cfg.validate()?;
+    let model = DeepDirect::new(cfg).fit(&g);
+
+    let dir = std::env::temp_dir().join("dd_bench_model_io");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let json_path = dir.join(format!("model_{seed}_{scale}.json"));
+    let bin_path = dir.join(format!("model_{seed}_{scale}.ddm"));
+    model.save_to_path(&json_path)?;
+    model.save_binary_to_path(&bin_path)?;
+    let json_bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
+    let bin_bytes = std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0);
+
+    let run_once = || -> Result<BenchReport, String> {
+        let (mut t_json, mut t_bin) = (f64::INFINITY, f64::INFINITY);
+        let (mut from_json, mut from_bin) = (None, None);
+        for _ in 0..5 {
+            let (m, t) = timed(|| DirectionalityModel::load_from_path(&json_path));
+            from_json = Some(m?);
+            t_json = t_json.min(t);
+            let (m, t) = timed(|| DirectionalityModel::load_from_path(&bin_path));
+            from_bin = Some(m?);
+            t_bin = t_bin.min(t);
+        }
+        let (from_json, from_bin) = (from_json.unwrap(), from_bin.unwrap());
+        let rows = from_json.n_ties();
+        let identical = from_json.fingerprint() == from_bin.fingerprint()
+            && (0..rows)
+                .all(|r| from_json.score_row(r).to_bits() == from_bin.score_row(r).to_bits());
+
+        let (acc_scalar, t_scalar) = timed(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..REPS {
+                for r in 0..rows {
+                    acc += from_bin.score_row_scalar(r);
+                }
+            }
+            acc
+        });
+        let (acc_vec, t_vec) = timed(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..REPS {
+                for r in 0..rows {
+                    acc += from_bin.score_row(r);
+                }
+            }
+            acc
+        });
+        // The two kernels differ only in f64 accumulation order; drift past
+        // 1e-6 relative means one of them is broken, not noisy.
+        if (acc_scalar - acc_vec).abs() > 1e-6 * acc_scalar.abs().max(1.0) {
+            return Err(format!(
+                "model-io bench: scalar and unrolled kernels diverged ({acc_scalar} vs {acc_vec})"
+            ));
+        }
+
+        Ok(BenchReport {
+            schema: 1,
+            dataset: spec.name.to_string(),
+            scale,
+            nodes: g.n_nodes(),
+            ties: g.counts().total(),
+            threads: threads.get(),
+            available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            stages: vec![
+                BenchStage {
+                    stage: "model_load",
+                    serial_seconds: t_json,
+                    parallel_seconds: t_bin,
+                    speedup: t_json / t_bin.max(1e-12),
+                    bit_identical: identical,
+                },
+                BenchStage {
+                    stage: "score_kernel",
+                    serial_seconds: t_scalar,
+                    parallel_seconds: t_vec,
+                    speedup: t_scalar / t_vec.max(1e-12),
+                    bit_identical: identical,
+                },
+            ],
+            // No worker pool runs in this bench; the stages compare formats
+            // and kernels, not thread counts.
+            pool_calls: 0,
+            pool_chunks: 0,
+            pool_utilization: 0.0,
+        })
+    };
+
+    let mut report = run_once()?;
+    let mut rebenched = false;
+    if !baseline_path.is_empty() {
+        if let Err(first) = check_ratchet(&report, &baseline_path, tolerance) {
+            // One re-bench: a single noisy run must not fail the gate.
+            report = run_once()?;
+            rebenched = true;
+            if let Err(second) = check_ratchet(&report, &baseline_path, tolerance) {
+                return Err(format!(
+                    "{second}\n(first attempt: {first})\n\
+                     If this slowdown is intentional, refresh the committed baseline:\n  \
+                     cargo run --release -p dd-cli -- bench --model-io --threads {} --out {baseline_path}\n\
+                     and commit the updated {baseline_path}.",
+                    report.threads,
+                ));
+            }
+        }
+    }
+
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating '{out_path}': {e}"))?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing '{out_path}': {e}"))?;
+
+    let rows = model.n_ties();
+    let load = &report.stages[0];
+    let kern = &report.stages[1];
+    let mut out = format!(
+        "model-io bench on {} analog ({rows} ties, dim {}):\n  \
+         model_load   JSON {:>9.6}s ({json_bytes} bytes)   binary {:>9.6}s ({bin_bytes} bytes)   speedup {:>6.2}x\n  \
+         score_kernel scalar {:>9.6}s   unrolled {:>9.6}s   speedup {:>6.2}x   ({:.0} scores/sec unrolled)\n  \
+         cross-format bit-identical: {}\nreport written to {out_path}\n",
+        report.dataset,
+        model.dim(),
+        load.serial_seconds,
+        load.parallel_seconds,
+        load.speedup,
+        kern.serial_seconds,
+        kern.parallel_seconds,
+        kern.speedup,
+        (rows * REPS) as f64 / kern.parallel_seconds.max(1e-12),
+        load.bit_identical,
+    );
     if !baseline_path.is_empty() {
         out.push_str(&format!(
             "ratchet ok against {baseline_path} (tolerance {:.0}%{})\n",
@@ -833,6 +1080,133 @@ mod tests {
         assert_eq!(printed.to_bits(), direct.to_bits());
         // Unknown ties error instead of printing a default.
         assert!(run_words(&["score", &model, "0", "3"]).is_err());
+    }
+
+    #[test]
+    fn export_converts_formats_and_scores_stay_textually_identical() {
+        let edges = demo_network_file();
+        let json_model = tmp("export_model.json");
+        run_words(&["train", &edges, "--out", &json_model, "--dim", "8", "--iterations", "3000"])
+            .unwrap();
+
+        // JSON → binary (the default), then binary → JSON again.
+        let ddm = tmp("export_model.ddm");
+        let out = run_words(&["export", &json_model, "--out", &ddm, "--binary"]).unwrap();
+        assert!(out.contains("exported binary model"), "{out}");
+        assert!(out.contains("fingerprint"), "{out}");
+        let json2 = tmp("export_model_roundtrip.json");
+        let out = run_words(&["export", &ddm, "--out", &json2, "--json"]).unwrap();
+        assert!(out.contains("exported JSON model"), "{out}");
+
+        // `dd score` output is textually identical across all three
+        // artifacts — the same check the model-io CI smoke makes over HTTP.
+        let s_json = run_words(&["score", &json_model, "0", "1"]).unwrap();
+        let s_bin = run_words(&["score", &ddm, "0", "1"]).unwrap();
+        let s_json2 = run_words(&["score", &json2, "0", "1"]).unwrap();
+        assert_eq!(s_json, s_bin, "JSON vs binary scores must match textually");
+        assert_eq!(s_json, s_json2, "binary → JSON round-trip must not drift");
+
+        // The binary artifact is the compact one, and flag misuse errors.
+        let bin_len = std::fs::metadata(&ddm).unwrap().len();
+        let json_len = std::fs::metadata(&json_model).unwrap().len();
+        assert!(bin_len < json_len, "binary ({bin_len}) must be smaller than JSON ({json_len})");
+        assert!(run_words(&["export", &json_model, "--out", &ddm, "--binary", "--json"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(run_words(&["export", &json_model]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn model_load_span_lands_in_telemetry() {
+        let edges = demo_network_file();
+        let model = tmp("load_span_model.json");
+        run_words(&["train", &edges, "--out", &model, "--dim", "8", "--iterations", "3000"])
+            .unwrap();
+        let jsonl = tmp("load_span.jsonl");
+        run_words(&["score", &model, "0", "1", "--telemetry", &jsonl]).unwrap();
+        let events = deepdirect::telemetry::read_jsonl(&jsonl).unwrap();
+        let span = events
+            .iter()
+            .find(|e| {
+                e.kind == deepdirect::telemetry::kind::SPAN
+                    && e.name.as_deref() == Some("model.load")
+            })
+            .expect("model.load span missing");
+        assert!(span.seconds.unwrap() >= 0.0);
+        let bytes = events
+            .iter()
+            .find(|e| e.name.as_deref() == Some("model.load.bytes"))
+            .expect("model.load.bytes metric missing");
+        assert_eq!(
+            bytes.value.map(|v| v as u64),
+            Some(std::fs::metadata(&model).unwrap().len()),
+            "metric must carry the artifact size"
+        );
+    }
+
+    #[test]
+    fn bench_model_io_reports_load_and_kernel_stages() {
+        let out_json = tmp("BENCH_model_io_test.json");
+        let out = run_words(&[
+            "bench",
+            "--model-io",
+            "--scale",
+            "400",
+            "--iterations",
+            "5000",
+            "--dim",
+            "16",
+            "--threads",
+            "2",
+            "--out",
+            &out_json,
+        ])
+        .unwrap();
+        assert!(out.contains("model-io bench"), "{out}");
+        assert!(out.contains("cross-format bit-identical: true"), "{out}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_json).unwrap()).unwrap();
+        assert_eq!(doc.get("threads").and_then(|v| v.as_u64()), Some(2));
+        let serde_json::Value::Array(stages) = doc.get("stages").unwrap() else {
+            panic!("stages must be an array")
+        };
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| match s.get("stage").unwrap() {
+                serde_json::Value::Str(name) => name.as_str(),
+                other => panic!("stage name must be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["model_load", "score_kernel"]);
+        for s in stages {
+            assert_eq!(s.get("bit_identical"), Some(&serde_json::Value::Bool(true)), "{s:?}");
+            assert!(s.get("speedup").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+        // The ratchet machinery accepts a model-io baseline too.
+        let baseline = tmp("BENCH_model_io_baseline.json");
+        std::fs::write(
+            &baseline,
+            r#"{"schema":1,"threads":2,"stages":[{"stage":"model_load","speedup":0.000001},{"stage":"score_kernel","speedup":0.000001}]}"#,
+        )
+        .unwrap();
+        let out = run_words(&[
+            "bench",
+            "--model-io",
+            "--scale",
+            "400",
+            "--iterations",
+            "5000",
+            "--dim",
+            "16",
+            "--threads",
+            "2",
+            "--out",
+            &out_json,
+            "--baseline",
+            &baseline,
+        ])
+        .unwrap();
+        assert!(out.contains("ratchet ok"), "{out}");
     }
 
     #[test]

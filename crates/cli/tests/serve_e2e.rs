@@ -1,7 +1,9 @@
-//! End-to-end serving test against the real `dd` binary: generate a graph,
+//! End-to-end serving tests against the real `dd` binary: generate a graph,
 //! train a model, start `dd serve` on an ephemeral port as a child process,
 //! hammer it from many client threads, check every served score bit-for-bit
 //! against the model loaded offline, then verify graceful SIGINT shutdown.
+//! A second test serves an exported binary `.ddm` and pins the cross-format
+//! contract live: same fingerprint, bit-identical scores.
 //!
 //! Unix-only: the graceful-shutdown half of the contract is SIGINT-driven.
 #![cfg(unix)]
@@ -201,4 +203,98 @@ fn serve_e2e_train_query_shutdown() {
         served.iter().all(|e| e.trace_id.is_some() && e.span_id.is_some()),
         "every logged request carries a trace identity"
     );
+}
+
+#[test]
+fn serve_e2e_binary_model_is_bit_identical_to_json() {
+    let edges = tmp("graph_bin.edges");
+    let model_json = tmp("model_bin_src.json");
+    let model_ddm = tmp("model_bin.ddm");
+
+    // Train a small JSON model and export it to the binary container with
+    // the binary itself — the exact artifact flow the CI model-io-smoke
+    // job exercises.
+    let out = dd()
+        .args(["generate", "twitter", "--scale", "250", "--out", &edges])
+        .output()
+        .expect("dd generate runs");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = dd()
+        .args([
+            "train",
+            &edges,
+            "--out",
+            &model_json,
+            "--dim",
+            "8",
+            "--iterations",
+            "6000",
+            "--seed",
+            "23",
+        ])
+        .output()
+        .expect("dd train runs");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = dd()
+        .args(["export", &model_json, "--out", &model_ddm, "--binary"])
+        .output()
+        .expect("dd export runs");
+    assert!(out.status.success(), "export failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Serve the *binary* artifact.
+    let mut child = dd()
+        .args(["serve", &model_ddm, "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dd serve spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut guard = ChildGuard(Some(child));
+    let mut reader = BufReader::new(stdout);
+
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "dd serve exited before printing its listening line");
+        if let Some(rest) = line.trim().strip_prefix("dd-serve listening on http://") {
+            break rest.to_string();
+        }
+    };
+
+    // Offline reference comes from the *JSON* artifact: every served score
+    // must be bit-identical across the format boundary.
+    let model = DirectionalityModel::load_from_path(&model_json).unwrap();
+    let retry = client::RetryPolicy::default();
+
+    // /healthz must report the JSON model's content fingerprint — the
+    // container never leaks into model identity.
+    let health = client::get_with_retry(&addr, "/healthz", &retry).unwrap();
+    assert_eq!(health.status, 200);
+    let expected_fp = format!("\"model_fingerprint\":\"{:016x}\"", model.fingerprint());
+    assert!(
+        health.body.contains(&expected_fp),
+        "healthz fingerprint differs from the JSON artifact's: {}",
+        health.body
+    );
+
+    for &(src, dst) in model.ties().iter().take(24) {
+        let resp = client::get(&addr, &format!("/score?src={src}&dst={dst}")).expect("score");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let parsed: ScoreResponse = serde_json::from_str(&resp.body).unwrap();
+        let expected = model.score(NodeId(src), NodeId(dst)).unwrap();
+        assert_eq!(
+            parsed.score.unwrap().to_bits(),
+            expected.to_bits(),
+            "binary-served score for ({src},{dst}) differs from the JSON-loaded model"
+        );
+    }
+
+    // Graceful SIGINT shutdown holds for binary-served processes too.
+    let status =
+        Command::new("kill").args(["-INT", &guard.pid().to_string()]).status().expect("kill runs");
+    assert!(status.success());
+    let exit = guard.0.as_mut().unwrap().wait().expect("server exits");
+    assert!(exit.success(), "dd serve should exit cleanly on SIGINT, got {exit:?}");
+    guard.0.take();
 }

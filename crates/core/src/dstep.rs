@@ -27,11 +27,19 @@ pub enum DirectionalityHead {
 }
 
 impl DirectionalityHead {
-    /// Directionality value `d(e) ∈ [0, 1]` for an embedding row.
+    /// Directionality value `d(e) ∈ [0, 1]` for a feature vector.
+    ///
+    /// The logistic head scores through [`dd_linalg::kernels::dot8_f64`]
+    /// with f64 accumulation in the kernel's fixed lane order — the same
+    /// policy as the model's hot path, so fold-in scores share its
+    /// bit-compatibility guarantees. Training is untouched: it goes through
+    /// [`dd_linalg::LogisticRegression`]'s own f32 loops.
     #[inline]
     pub fn score(&self, embedding: &[f32]) -> f64 {
         match self {
-            DirectionalityHead::Logistic(lr) => lr.predict_proba(embedding) as f64,
+            DirectionalityHead::Logistic(lr) => dd_linalg::sigmoid64(
+                dd_linalg::kernels::dot8_f64(&lr.w, embedding) + f64::from(lr.b),
+            ),
             DirectionalityHead::Mlp(mlp) => mlp.predict_proba(embedding) as f64,
         }
     }

@@ -49,15 +49,14 @@ impl<'m> FoldInScorer<'m> {
     /// Returns `None` when `v` has no usable in-ties.
     pub fn foldin_embedding(&self, u: NodeId, v: NodeId) -> Option<Vec<f32>> {
         let rows = self.in_rows.get(v.index())?;
-        let m = self.model.embedding_matrix();
-        let mut acc = vec![0.0f32; m.cols()];
+        let mut acc = vec![0.0f32; self.model.dim()];
         let mut count = 0usize;
         for &row in rows {
             let (src, _) = self.model.ties()[row as usize];
             if src == u.0 {
                 continue;
             }
-            for (a, &b) in acc.iter_mut().zip(m.row(row as usize)) {
+            for (a, &b) in acc.iter_mut().zip(self.model.embedding_row(row as usize)) {
                 *a += b;
             }
             count += 1;

@@ -26,6 +26,10 @@
 //! * [`estep`] — sampled SGD over Eqs. 20–25, sequential or Hogwild.
 //! * [`dstep`] — the directionality head (logistic regression or MLP).
 //! * [`model`] — the public [`DeepDirect`] / [`DirectionalityModel`] API.
+//! * [`binfmt`] — the checksummed little-endian binary model container
+//!   (zero-copy loading; DESIGN.md §7.13).
+//! * [`store`] — structure-of-arrays embedding storage behind the scoring
+//!   hot path.
 //! * [`apps`] — the two applications of Sec. 5 plus the bidirectionality
 //!   future-work extension: direction discovery, direction quantification
 //!   (directionality adjacency matrix), bidirectionality scoring.
@@ -64,13 +68,16 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod binfmt;
 pub mod config;
 pub mod dstep;
 pub mod estep;
 pub mod foldin;
 pub mod model;
+pub mod store;
 pub mod universe;
 
+pub use binfmt::BinaryFormatError;
 pub use config::{DStepHead, DeepDirectConfig};
 /// Re-export of the telemetry crate, so downstream users can build sinks
 /// ([`telemetry::JsonlSink`], [`telemetry::ProgressSink`]) without a direct

@@ -6,13 +6,18 @@ use std::path::Path;
 
 use dd_graph::hash::FxHashMap;
 use dd_graph::{MixedSocialNetwork, NodeId};
+use dd_linalg::bytes::{fnv1a64, AlignedBuf, FNV64_SEED};
+use dd_linalg::kernels::{dot8_f64, dot_scalar_f64};
 use dd_linalg::matrix::DenseMatrix;
 use dd_linalg::rng::Pcg32;
+use dd_linalg::sigmoid64;
 use serde::{Deserialize, Serialize};
 
+use crate::binfmt;
 use crate::config::DeepDirectConfig;
 use crate::dstep::{self, DirectionalityHead};
 use crate::estep;
+use crate::store::TieStore;
 use crate::universe::TieUniverse;
 
 /// The DeepDirect learner (Sec. 4). Construct with a config, call
@@ -99,12 +104,21 @@ impl DeepDirect {
         }
         root.finish();
         obs.flush();
+        let m = &estep_out.params.m;
+        let store = TieStore::from_parts(
+            m.cols(),
+            m.rows(),
+            m.as_slice(),
+            contexts.as_ref().map(|c| c.as_slice()),
+        )
+        .expect("fit produced consistent embedding shapes");
+        let fingerprint = fingerprint_of(&store, &ties, &head);
         DirectionalityModel {
             cfg: self.cfg.clone(),
             ties,
             pair_index,
-            embeddings: estep_out.params.m,
-            contexts,
+            store,
+            fingerprint,
             head,
             estep_iterations: estep_out.params.iterations,
             estep_seconds: estep_out.elapsed_seconds,
@@ -130,17 +144,41 @@ pub const MODEL_SCHEMA_VERSION: u32 = 1;
 #[derive(Debug, Clone)]
 pub struct DirectionalityModel {
     cfg: DeepDirectConfig,
-    /// Ordered universe ties as raw id pairs, row-aligned with `embeddings`.
+    /// Ordered universe ties as raw id pairs, row-aligned with the store.
     ties: Vec<(u32, u32)>,
     pair_index: FxHashMap<(u32, u32), u32>,
-    embeddings: DenseMatrix,
-    /// Connection matrix rows, kept only under the `context_features`
-    /// extension (they double the persisted size otherwise for no benefit).
-    contexts: Option<DenseMatrix>,
+    /// Structure-of-arrays embedding storage: the embedding block (and the
+    /// optional connection block under the `context_features` extension) as
+    /// contiguous cache-aligned rows the scoring kernels stream directly.
+    store: TieStore,
+    /// Content fingerprint over shapes, ties, blocks and head parameters —
+    /// stable across save/load round-trips of both formats within one
+    /// build/architecture. Namespaces the serve-side score cache.
+    fingerprint: u64,
     head: DirectionalityHead,
     estep_iterations: u64,
     estep_seconds: f64,
     estep_iters_per_sec: f64,
+}
+
+/// FNV-1a fingerprint over everything that affects scores. Per-process
+/// identity (native-endian block bytes), not a portable digest — the binary
+/// format's CRC-32 sections cover on-disk integrity.
+fn fingerprint_of(store: &TieStore, ties: &[(u32, u32)], head: &DirectionalityHead) -> u64 {
+    let mut h = fnv1a64(&(store.dim() as u64).to_le_bytes(), FNV64_SEED);
+    h = fnv1a64(&(store.rows() as u64).to_le_bytes(), h);
+    for &(u, v) in ties {
+        h = fnv1a64(&u.to_le_bytes(), h);
+        h = fnv1a64(&v.to_le_bytes(), h);
+    }
+    h = fnv1a64(store.embedding_bytes(), h);
+    if let Some(c) = store.context_bytes() {
+        h = fnv1a64(c, h);
+    }
+    match serde_json::to_string(head) {
+        Ok(js) => fnv1a64(js.as_bytes(), h),
+        Err(_) => h,
+    }
 }
 
 /// Serializable snapshot of a [`DirectionalityModel`].
@@ -213,12 +251,26 @@ impl DirectionalityModel {
 
     /// Embedding vector `m_{uv}`, if the ordered tie was embedded.
     pub fn embedding(&self, u: NodeId, v: NodeId) -> Option<&[f32]> {
-        self.tie_row(u, v).map(|i| self.embeddings.row(i))
+        self.tie_row(u, v).map(|i| self.store.embedding_row(i))
     }
 
-    /// The full embedding matrix `M` (rows align with [`Self::ties`]).
-    pub fn embedding_matrix(&self) -> &DenseMatrix {
-        &self.embeddings
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    /// Embedding row `m_e` by universe row index (rows align with
+    /// [`Self::ties`]).
+    pub fn embedding_row(&self, row: usize) -> &[f32] {
+        self.store.embedding_row(row)
+    }
+
+    /// Content fingerprint over shapes, ties, embedding blocks and head
+    /// parameters. Two models with the same fingerprint score identically;
+    /// `dd-serve` uses it to namespace its score cache and report identity
+    /// in `/healthz`. Not portable across architectures or builds.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The embedded ordered ties, row-aligned with the embedding matrix.
@@ -238,25 +290,68 @@ impl DirectionalityModel {
     }
 
     /// Directionality value by embedding row.
+    ///
+    /// The logistic hot path is allocation-free: the weight vector is split
+    /// at `dim` and each half dotted against its cache-aligned block with
+    /// [`dd_linalg::kernels::dot8_f64`]. Accumulation order is fixed
+    /// (kernel lanes, then `emb + ctx + b` left to right), so scores are
+    /// bit-identical regardless of load path or thread count.
     pub fn score_row(&self, row: usize) -> f64 {
-        match &self.contexts {
-            None => self.head.score(self.embeddings.row(row)),
-            Some(n) => {
-                let mut x = self.embeddings.row(row).to_vec();
-                x.extend_from_slice(n.row(row));
-                self.head.score(&x)
+        let emb = self.store.embedding_row(row);
+        match &self.head {
+            DirectionalityHead::Logistic(lr) => {
+                let (w_emb, w_ctx) = lr.w.split_at(self.store.dim().min(lr.w.len()));
+                let mut z = dot8_f64(w_emb, emb);
+                if let Some(ctx) = self.store.context_row(row) {
+                    z += dot8_f64(w_ctx, ctx);
+                }
+                sigmoid64(z + f64::from(lr.b))
             }
+            DirectionalityHead::Mlp(_) => match self.store.context_row(row) {
+                None => self.head.score(emb),
+                Some(ctx) => {
+                    let mut x = emb.to_vec();
+                    x.extend_from_slice(ctx);
+                    self.head.score(&x)
+                }
+            },
         }
     }
 
-    /// Serializes the model as JSON.
+    /// Reference scoring path: the same math as [`Self::score_row`] through
+    /// the strict left-to-right scalar kernel instead of the unrolled one.
+    /// Exists so `dd bench --model-io` can report what the 8-wide kernel
+    /// buys; serving always goes through [`Self::score_row`]. The two may
+    /// differ in the last ulp (different f64 accumulation order).
+    pub fn score_row_scalar(&self, row: usize) -> f64 {
+        let emb = self.store.embedding_row(row);
+        match &self.head {
+            DirectionalityHead::Logistic(lr) => {
+                let (w_emb, w_ctx) = lr.w.split_at(self.store.dim().min(lr.w.len()));
+                let mut z = dot_scalar_f64(w_emb, emb);
+                if let Some(ctx) = self.store.context_row(row) {
+                    z += dot_scalar_f64(w_ctx, ctx);
+                }
+                sigmoid64(z + f64::from(lr.b))
+            }
+            DirectionalityHead::Mlp(_) => self.score_row(row),
+        }
+    }
+
+    /// Serializes the model as JSON (the portable interchange format).
     pub fn save<W: Write>(&self, w: W) -> Result<(), String> {
+        let dim = self.store.dim();
+        let rows = self.store.rows();
         let snap = ModelSnapshot {
             schema: MODEL_SCHEMA_VERSION,
             cfg: self.cfg.clone(),
             ties: self.ties.clone(),
-            embeddings: self.embeddings.clone(),
-            contexts: self.contexts.clone(),
+            embeddings: DenseMatrix::from_fn(rows, dim, |r, c| self.store.embedding_row(r)[c]),
+            contexts: self.store.has_contexts().then(|| {
+                DenseMatrix::from_fn(rows, dim, |r, c| {
+                    self.store.context_row(r).map_or(0.0, |x| x[c])
+                })
+            }),
             head: self.head.clone(),
             estep_iterations: self.estep_iterations,
             estep_seconds: 0.0,
@@ -265,20 +360,62 @@ impl DirectionalityModel {
         serde_json::to_writer(w, &snap).map_err(|e| e.to_string())
     }
 
-    /// Saves the model to a file.
+    /// Saves the model to a file (JSON).
     pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), String> {
         let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
         self.save(std::io::BufWriter::new(f))
     }
 
-    /// Deserializes a model saved with [`Self::save`].
+    /// Serializes the model in the binary container format (DESIGN.md
+    /// §7.13): little-endian, checksummed sections, 64-byte-aligned blocks.
+    pub fn save_binary<W: Write>(&self, w: W) -> Result<(), String> {
+        binfmt::encode(w, &self.cfg, &self.head, self.estep_iterations, &self.ties, &self.store)
+    }
+
+    /// Saves the model to a file in the binary container format.
+    pub fn save_binary_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), String> {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        self.save_binary(std::io::BufWriter::new(f))
+    }
+
+    /// Builds a model from a validated binary buffer (zero-copy adoption of
+    /// the embedding blocks).
+    fn load_binary_buf(buf: AlignedBuf) -> Result<Self, String> {
+        let decoded = binfmt::decode(buf).map_err(|e| format!("invalid binary model: {e}"))?;
+        let mut pair_index = FxHashMap::default();
+        pair_index.reserve(decoded.ties.len());
+        for (i, &(u, v)) in decoded.ties.iter().enumerate() {
+            pair_index.insert((u, v), i as u32);
+        }
+        let fingerprint = fingerprint_of(&decoded.store, &decoded.ties, &decoded.head);
+        Ok(DirectionalityModel {
+            cfg: decoded.cfg,
+            ties: decoded.ties,
+            pair_index,
+            store: decoded.store,
+            fingerprint,
+            head: decoded.head,
+            estep_iterations: decoded.estep_iterations,
+            estep_seconds: 0.0,
+            estep_iters_per_sec: 0.0,
+        })
+    }
+
+    /// Deserializes a model saved with [`Self::save`] or
+    /// [`Self::save_binary`] — the format is sniffed from the magic bytes.
     ///
-    /// Fails with a schema-version message (rather than a field-level serde
-    /// error) when the file is not a model file at all, predates schema
-    /// versioning, or was written by a newer build.
+    /// JSON failures carry a schema-version message (rather than a
+    /// field-level serde error) when the file is not a model file at all,
+    /// predates schema versioning, or was written by a newer build; binary
+    /// failures name the offending section.
     pub fn load<R: Read>(mut r: R) -> Result<Self, String> {
-        let mut text = String::new();
-        r.read_to_string(&mut text).map_err(|e| format!("reading model: {e}"))?;
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw).map_err(|e| format!("reading model: {e}"))?;
+        if binfmt::is_binary(&raw) {
+            return Self::load_binary_buf(AlignedBuf::from_slice(&raw));
+        }
+        let text = String::from_utf8(raw)
+            .map_err(|e| format!("reading model: stream did not contain valid UTF-8 ({e})"))?;
         let value: serde_json::Value = serde_json::from_str(&text)
             .map_err(|e| format!("not a DeepDirect model file (invalid JSON: {e})"))?;
         let schema = match value.get("schema") {
@@ -306,17 +443,32 @@ impl DirectionalityModel {
         }
         let snap: ModelSnapshot = serde_json::from_value(&value)
             .map_err(|e| format!("corrupt model file (schema {schema}): {e}"))?;
+        if snap.embeddings.rows() != snap.ties.len() {
+            return Err(format!(
+                "corrupt model file (schema {schema}): {} embedding rows for {} ties",
+                snap.embeddings.rows(),
+                snap.ties.len()
+            ));
+        }
+        let store = TieStore::from_parts(
+            snap.embeddings.cols(),
+            snap.embeddings.rows(),
+            snap.embeddings.as_slice(),
+            snap.contexts.as_ref().map(|c| c.as_slice()),
+        )
+        .map_err(|e| format!("corrupt model file (schema {schema}): {e}"))?;
         let mut pair_index = FxHashMap::default();
         pair_index.reserve(snap.ties.len());
         for (i, &(u, v)) in snap.ties.iter().enumerate() {
             pair_index.insert((u, v), i as u32);
         }
+        let fingerprint = fingerprint_of(&store, &snap.ties, &snap.head);
         Ok(DirectionalityModel {
             cfg: snap.cfg,
             ties: snap.ties,
             pair_index,
-            embeddings: snap.embeddings,
-            contexts: snap.contexts,
+            store,
+            fingerprint,
             head: snap.head,
             estep_iterations: snap.estep_iterations,
             estep_seconds: snap.estep_seconds,
@@ -324,13 +476,24 @@ impl DirectionalityModel {
         })
     }
 
-    /// Loads a model from a file. Errors name the offending path.
+    /// Loads a model from a file, sniffing JSON vs binary from the magic
+    /// bytes. The binary path is read-once: the file lands directly in a
+    /// 64-byte-aligned buffer whose embedding blocks the model borrows
+    /// zero-copy. Errors name the offending path.
     pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, String> {
         let path = path.as_ref();
-        let f = std::fs::File::open(path)
+        let wrap = |e: String| format!("loading model '{}': {e}", path.display());
+        let mut f = std::fs::File::open(path)
             .map_err(|e| format!("opening model '{}': {e}", path.display()))?;
-        Self::load(std::io::BufReader::new(f))
-            .map_err(|e| format!("loading model '{}': {e}", path.display()))
+        let len =
+            f.metadata().map_err(|e| format!("opening model '{}': {e}", path.display()))?.len();
+        let len = usize::try_from(len).map_err(|e| wrap(format!("file too large: {e}")))?;
+        let buf = AlignedBuf::read_exact_from(&mut f, len)
+            .map_err(|e| wrap(format!("reading model: {e}")))?;
+        if binfmt::is_binary(buf.as_bytes()) {
+            return Self::load_binary_buf(buf).map_err(wrap);
+        }
+        Self::load(buf.as_bytes()).map_err(wrap)
     }
 }
 
@@ -375,7 +538,7 @@ mod tests {
         let (g, model) = fit_small(2);
         let (_, u, v) = g.directed_ties().next().unwrap();
         assert_eq!(model.embedding(u, v).unwrap().len(), 16);
-        assert_eq!(model.embedding_matrix().cols(), 16);
+        assert_eq!(model.dim(), 16);
         assert_eq!(model.n_ties(), model.ties().len());
         assert!(model.estep_iterations() > 0);
     }
@@ -392,6 +555,136 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         assert_eq!(loaded.config().dim, model.config().dim);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_identical_and_sniffed() {
+        let (g, model) = fit_small(6);
+        let mut bin = Vec::new();
+        model.save_binary(&mut bin).unwrap();
+        assert!(crate::binfmt::is_binary(&bin));
+        // `load` sniffs the format from the magic bytes.
+        let loaded = DirectionalityModel::load(bin.as_slice()).unwrap();
+        assert_eq!(loaded.n_ties(), model.n_ties());
+        assert_eq!(loaded.dim(), model.dim());
+        assert_eq!(loaded.fingerprint(), model.fingerprint());
+        for (_, t) in g.iter_ties() {
+            let a = model.score(t.src, t.dst).unwrap();
+            let b = loaded.score(t.src, t.dst).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "binary-loaded score diverged");
+        }
+        // Binary is the compact format.
+        let mut json = Vec::new();
+        model.save(&mut json).unwrap();
+        assert!(bin.len() < json.len(), "binary {} >= json {}", bin.len(), json.len());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_context_blocks() {
+        let gen_cfg = SocialNetConfig { n_nodes: 60, ..Default::default() };
+        let mut grng = StdRng::seed_from_u64(13);
+        let net = social_network(&gen_cfg, &mut grng).network;
+        let cfg = DeepDirectConfig {
+            dim: 12,
+            max_iterations: Some(10_000),
+            context_features: true,
+            ..DeepDirectConfig::default()
+        };
+        let model = DeepDirect::new(cfg).fit(&net);
+        let mut bin = Vec::new();
+        model.save_binary(&mut bin).unwrap();
+        let loaded = DirectionalityModel::load(bin.as_slice()).unwrap();
+        assert!(loaded.config().context_features);
+        for row in 0..model.n_ties() {
+            assert_eq!(
+                model.score_row(row).to_bits(),
+                loaded.score_row(row).to_bits(),
+                "context-model score diverged at row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_load_rejects_each_corruption_class_with_named_sections() {
+        use crate::binfmt::{BinaryFormatError as E, ENTRY_LEN, HEADER_LEN};
+        let (_, model) = fit_small(7);
+        let mut valid = Vec::new();
+        model.save_binary(&mut valid).unwrap();
+
+        let decode = |bytes: &[u8]| {
+            DirectionalityModel::load(bytes).map_err(|e| {
+                assert!(e.contains("invalid binary model"), "{e}");
+                e
+            })
+        };
+        // Truncated header.
+        let err = decode(&valid[..10]).unwrap_err();
+        assert!(err.contains("truncated header"), "{err}");
+        // Wrong magic falls through to the JSON sniff and fails as JSON.
+        let mut bad = valid.clone();
+        bad[0] = b'X';
+        let err = DirectionalityModel::load(&bad[..]).unwrap_err();
+        assert!(err.contains("not a DeepDirect model file") || err.contains("UTF-8"), "{err}");
+        // Future container version.
+        let mut bad = valid.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("container format version 9"), "{err}");
+        // Schema mismatch.
+        let mut bad = valid.clone();
+        bad[12..16].copy_from_slice(&77u32.to_le_bytes());
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("model schema version 77"), "{err}");
+        // Corrupted section table (checksum named).
+        let mut bad = valid.clone();
+        bad[HEADER_LEN + 8] ^= 0x01;
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("section table checksum"), "{err}");
+        // Misaligned block: patch the embeddings offset *and* re-checksum the
+        // table so only the alignment check can fire.
+        let mut bad = valid.clone();
+        let n_sections = u32::from_le_bytes(bad[16..20].try_into().unwrap()) as usize;
+        let table = HEADER_LEN..HEADER_LEN + n_sections * ENTRY_LEN;
+        let emb_entry = (0..n_sections)
+            .map(|i| HEADER_LEN + i * ENTRY_LEN)
+            .find(|&e| u32::from_le_bytes(bad[e..e + 4].try_into().unwrap()) == 4)
+            .unwrap();
+        let off = u64::from_le_bytes(bad[emb_entry + 8..emb_entry + 16].try_into().unwrap());
+        let len = u64::from_le_bytes(bad[emb_entry + 16..emb_entry + 24].try_into().unwrap());
+        bad[emb_entry + 8..emb_entry + 16].copy_from_slice(&(off + 4).to_le_bytes());
+        bad[emb_entry + 16..emb_entry + 24].copy_from_slice(&(len - 4).to_le_bytes());
+        let crc = dd_linalg::bytes::crc32(&bad[table.clone()]);
+        bad[20..24].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("'embeddings'") && err.contains("aligned"), "{err}");
+        // NaN payload with a fixed-up section checksum: only the finiteness
+        // scan can reject it, naming the section and element.
+        let mut bad = valid.clone();
+        let off =
+            u64::from_le_bytes(bad[emb_entry + 8..emb_entry + 16].try_into().unwrap()) as usize;
+        let len =
+            u64::from_le_bytes(bad[emb_entry + 16..emb_entry + 24].try_into().unwrap()) as usize;
+        bad[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let crc = dd_linalg::bytes::crc32(&bad[off..off + len]);
+        bad[emb_entry + 4..emb_entry + 8].copy_from_slice(&crc.to_le_bytes());
+        let crc = dd_linalg::bytes::crc32(&bad[table.clone()]);
+        bad[20..24].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("'embeddings'") && err.contains("non-finite"), "{err}");
+        // Flipped payload byte without checksum fix-up.
+        let mut bad = valid.clone();
+        bad[off + 1] ^= 0xFF;
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("'embeddings'") && err.contains("checksum"), "{err}");
+        // Trailing garbage.
+        let mut bad = valid.clone();
+        bad.extend_from_slice(b"junk");
+        let err = decode(&bad).unwrap_err();
+        assert!(err.contains("trailing bytes"), "{err}");
+        // The typed error enum is reachable directly for programmatic use.
+        assert_eq!(E::MissingSection("meta").to_string(), "missing required section 'meta'");
+        // And the pristine file still loads.
+        assert!(decode(&valid).is_ok());
     }
 
     #[test]
@@ -529,15 +822,14 @@ mod tests {
         };
         let traced = DeepDirect::new(traced_cfg).fit(&net);
 
-        let a = silent.embedding_matrix();
-        let b = traced.embedding_matrix();
-        assert_eq!(a.rows(), b.rows());
-        assert_eq!(a.cols(), b.cols());
-        for r in 0..a.rows() {
-            for (x, y) in a.row(r).iter().zip(b.row(r)) {
+        assert_eq!(silent.n_ties(), traced.n_ties());
+        assert_eq!(silent.dim(), traced.dim());
+        for r in 0..silent.n_ties() {
+            for (x, y) in silent.embedding_row(r).iter().zip(traced.embedding_row(r)) {
                 assert_eq!(x.to_bits(), y.to_bits(), "embedding row {r} diverged under tracing");
             }
         }
+        assert_eq!(silent.fingerprint(), traced.fingerprint(), "fingerprints diverged");
         for (i, _) in silent.ties().iter().enumerate() {
             assert_eq!(
                 silent.score_row(i).to_bits(),

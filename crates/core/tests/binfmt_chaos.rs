@@ -1,0 +1,103 @@
+//! Fuzz-style hostile-input sweep for the binary model loader — the mirror
+//! of the corrupt-JSON suite in `dd-serve`'s http_chaos tests.
+//!
+//! 2000 seeded corruptions of a valid `.ddm` go through the loader. The
+//! contract: every buffer that still differs from the pristine file must
+//! produce a typed `Err` naming the offending section or structural region
+//! — and nothing may panic. (A few strategies can no-op — e.g. a byte flip
+//! writing the byte already there — those must load and score identically.)
+
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_linalg::Pcg32;
+use dd_testkit::gen::corrupt_binary;
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every region/section name the loader's errors are allowed to cite. An
+/// error naming none of these is a vague error and fails the sweep.
+const KNOWN_REGIONS: &[&str] = &[
+    "header",
+    "section table",
+    "section count",
+    "magic",
+    "format version",
+    "schema version",
+    "'meta'",
+    "'tie.src'",
+    "'tie.dst'",
+    "'embeddings'",
+    "'contexts'",
+    "unknown section",
+    "trailing bytes",
+    "reading model",
+    // Wrong-magic buffers fall through to the JSON sniff, whose errors are
+    // typed too.
+    "not a DeepDirect model file",
+    "UTF-8",
+];
+
+fn valid_container() -> (DirectionalityModel, Vec<u8>) {
+    let gen_cfg = SocialNetConfig { n_nodes: 70, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(501);
+    let net = social_network(&gen_cfg, &mut rng).network;
+    let cfg =
+        DeepDirectConfig { dim: 12, max_iterations: Some(8_000), ..DeepDirectConfig::default() };
+    let model = DeepDirect::new(cfg).fit(&net);
+    let mut bytes = Vec::new();
+    model.save_binary(&mut bytes).unwrap();
+    (model, bytes)
+}
+
+#[test]
+fn loader_survives_2000_corrupt_binaries_with_typed_errors() {
+    let (model, valid) = valid_container();
+    assert!(DirectionalityModel::load(valid.as_slice()).is_ok(), "pristine file must load");
+
+    let mut n_err = 0usize;
+    let mut n_noop = 0usize;
+    for seed in 0..2000u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mangled = corrupt_binary(&mut rng, &valid);
+        if mangled == valid {
+            n_noop += 1;
+            continue;
+        }
+        match DirectionalityModel::load(mangled.as_slice()) {
+            Err(e) => {
+                n_err += 1;
+                assert!(
+                    KNOWN_REGIONS.iter().any(|r| e.contains(r)),
+                    "seed {seed}: error does not name a known region/section: {e}"
+                );
+            }
+            Ok(loaded) => {
+                // Corruption survived validation — only acceptable if it was
+                // semantically invisible (e.g. a flip restoring a byte):
+                // every score must be bit-identical to the original.
+                assert_eq!(loaded.n_ties(), model.n_ties(), "seed {seed}: ties changed");
+                for row in 0..model.n_ties() {
+                    assert_eq!(
+                        loaded.score_row(row).to_bits(),
+                        model.score_row(row).to_bits(),
+                        "seed {seed}: corrupted-but-accepted file scores differently at row {row}"
+                    );
+                }
+            }
+        }
+    }
+    // The sweep is only meaningful if corruption overwhelmingly produced
+    // typed rejections.
+    assert!(n_err >= 1800, "expected ≥1800 rejections out of 2000, got {n_err} ({n_noop} no-ops)");
+}
+
+#[test]
+fn loader_rejects_short_and_empty_buffers() {
+    for bytes in [&b""[..], &b"\x89"[..], &b"\x89DDMDL\r\n"[..]] {
+        let err = DirectionalityModel::load(bytes).unwrap_err();
+        assert!(
+            KNOWN_REGIONS.iter().any(|r| err.contains(r)),
+            "short buffer error is vague: {err}"
+        );
+    }
+}

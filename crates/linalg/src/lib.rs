@@ -18,14 +18,20 @@
 //! * feature standardization — [`scaler`] — and summary statistics
 //!   — [`stats`],
 //! * explicit float comparisons (`is_zero`, `approx_eq`) backing the
-//!   `float-eq` lint — [`float`].
+//!   `float-eq` lint — [`float`],
+//! * aligned byte buffers, checked byte↔typed casts, CRC-32 and FNV-1a —
+//!   the audited substrate of the binary model format — [`bytes`],
+//! * unrolled dot-product kernels with a fixed f64 accumulation order for
+//!   the scoring hot path — [`kernels`].
 
 #![warn(missing_docs)]
 
 pub mod activations;
 pub mod adagrad;
 pub mod alias;
+pub mod bytes;
 pub mod float;
+pub mod kernels;
 pub mod logreg;
 pub mod matrix;
 pub mod mlp;
@@ -37,6 +43,7 @@ pub mod vecops;
 pub use activations::{cross_entropy, log_sigmoid, sigmoid, sigmoid64};
 pub use adagrad::{fit_logreg_adagrad, AdaGrad};
 pub use alias::AliasTable;
+pub use bytes::AlignedBuf;
 pub use float::{approx_eq, is_zero, is_zero32};
 pub use logreg::{LogRegConfig, LogisticRegression};
 pub use matrix::DenseMatrix;

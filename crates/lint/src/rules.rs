@@ -24,6 +24,7 @@ pub const DOC_REQUIRED: &[&str] = &["core", "graph", "linalg", "baselines", "eva
 pub const RULE_NAMES: &[&str] = &[
     "thread-confinement",
     "unwind-confinement",
+    "binary-io",
     "determinism",
     "trace-hygiene",
     "panic-hygiene",
@@ -119,6 +120,7 @@ pub fn check_file(path: &str, src: &str) -> FileReport {
     collect_pragmas(path, &lexed.comments, &mut pragmas, &mut raw);
     thread_confinement(path, sc, &lexed.toks, &mut raw);
     unwind_confinement(path, sc, &lexed.toks, &mut raw);
+    binary_io(path, sc, &lexed.toks, &mut raw);
     determinism(path, sc, &lexed.toks, &test_tok, &mut raw);
     trace_hygiene(path, sc, &lexed.toks, &test_tok, &mut raw);
     panic_hygiene(path, sc, &lexed.toks, &test_tok, &mut raw);
@@ -304,6 +306,37 @@ fn unwind_confinement(path: &str, _sc: Scope, toks: &[Tok], out: &mut Vec<Violat
                 "catch_unwind outside crates/serve and crates/runtime; library code stays \
                  panic-transparent (DESIGN.md §7.10)"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// `binary-io`: the slice-reinterpretation primitives (`from_raw_parts`,
+/// `from_raw_parts_mut`, `transmute`) are confined to the one audited
+/// byte-cast module, `crates/linalg/src/bytes.rs` (DESIGN.md §7.13). All
+/// other code borrows typed slices from `AlignedBuf` through its checked
+/// cast helpers; the E-Step's Hogwild raw-pointer writes are a separately
+/// audited mechanism that never reinterprets memory, so it does not need
+/// these tokens. Applies to test code too — byte-cast discipline is global.
+fn binary_io(path: &str, _sc: Scope, toks: &[Tok], out: &mut Vec<Violation>) {
+    if path == "crates/linalg/src/bytes.rs" {
+        return;
+    }
+    for t in toks {
+        if is_ident(t, "from_raw_parts")
+            || is_ident(t, "from_raw_parts_mut")
+            || is_ident(t, "transmute")
+        {
+            push(
+                out,
+                path,
+                t.line,
+                "binary-io",
+                format!(
+                    "{} outside crates/linalg/src/bytes.rs; slice reinterpretation is confined \
+                     to the one audited byte-cast module (DESIGN.md §7.13)",
+                    t.text
+                ),
             );
         }
     }

@@ -1,0 +1,11 @@
+//! Deliberate violations: slice reinterpretation outside the audited module.
+
+/// Reinterprets a byte buffer as floats without the checked helpers.
+pub fn cast(bytes: &[u8]) -> &[f32] {
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
+}
+
+/// Launders a slice through transmute.
+pub fn launder(x: &[u8]) -> &[u8] {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,12 @@
+//! `from_raw_parts` and `transmute` in prose, strings, and look-alikes only.
+
+/// The audited casts live in `crates/linalg/src/bytes.rs`; a doc comment
+/// mentioning `from_raw_parts` or `transmute` must never fire.
+pub fn doc_only() -> &'static str {
+    "from_raw_parts and transmute belong in dd-linalg's bytes module"
+}
+
+/// A look-alike identifier is not the primitive.
+pub fn from_raw_parts_checked(n: usize) -> usize {
+    n
+}

@@ -54,6 +54,29 @@ fn thread_confinement_allows_runtime_and_ignores_prose() {
 }
 
 #[test]
+fn binary_io_fires_outside_the_audited_module() {
+    let report =
+        check_file("crates/core/src/fixture.rs", include_str!("fixtures/binary_io/bad.rs"));
+    let expected = vec![(5, "binary-io".to_string()), (10, "binary-io".to_string())];
+    assert_eq!(hits(&report), expected);
+    // The rule patrols test files too — byte-cast discipline is global.
+    let report =
+        check_file("crates/core/tests/fixture.rs", include_str!("fixtures/binary_io/bad.rs"));
+    assert_eq!(hits(&report), expected);
+}
+
+#[test]
+fn binary_io_allows_bytes_module_and_ignores_prose() {
+    // The very same casts are legal inside the one audited module.
+    let report =
+        check_file("crates/linalg/src/bytes.rs", include_str!("fixtures/binary_io/bad.rs"));
+    assert_clean(&report, "bad.rs checked as crates/linalg/src/bytes.rs");
+    let report =
+        check_file("crates/core/src/fixture.rs", include_str!("fixtures/binary_io/clean.rs"));
+    assert_clean(&report, "binary_io/clean.rs");
+}
+
+#[test]
 fn unwind_confinement_fires_outside_boundaries() {
     let report = check_file(
         "crates/core/src/fixture.rs",

@@ -2,15 +2,19 @@
 //!
 //! Scores are pure functions of the frozen model, so cached entries can
 //! never go stale (see DESIGN.md §7.7) — eviction exists only to bound
-//! memory. Sharding by key hash keeps lock contention off the worker pool:
-//! each shard is an independent mutex around an intrusive-list LRU, so two
-//! workers scoring different ties almost never touch the same lock.
+//! memory. Keys carry the model's content fingerprint as a generation
+//! namespace: if a future `dd serve` ever swaps the model in place, entries
+//! computed against the old weights simply stop matching instead of being
+//! served stale. Sharding by key hash keeps lock contention off the worker
+//! pool: each shard is an independent mutex around an intrusive-list LRU,
+//! so two workers scoring different ties almost never touch the same lock.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Cache key: an ordered tie as raw node ids.
-pub type TieKey = (u32, u32);
+/// Cache key: the model generation (its content fingerprint) plus an
+/// ordered tie as raw node ids.
+pub type TieKey = (u64, u32, u32);
 
 const NIL: u32 = u32::MAX;
 
@@ -158,9 +162,9 @@ impl ScoreCache {
     }
 
     fn shard(&self, key: TieKey) -> &Mutex<Shard> {
-        // Fibonacci hashing over the packed pair; the high bits decide the
-        // shard so adjacent ids spread out.
-        let packed = (u64::from(key.0) << 32) | u64::from(key.1);
+        // Fibonacci hashing over the generation-xor-packed-pair; the high
+        // bits decide the shard so adjacent ids spread out.
+        let packed = key.0 ^ ((u64::from(key.1) << 32) | u64::from(key.2));
         let h = packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
@@ -192,30 +196,46 @@ impl ScoreCache {
 mod tests {
     use super::*;
 
+    /// Model generation stand-in for single-generation tests.
+    const GEN: u64 = 0x00C0_FFEE_0DDB_A110;
+
     #[test]
     fn get_and_insert_round_trip() {
         let c = ScoreCache::new(16).unwrap();
-        assert_eq!(c.get((1, 2)), None);
-        assert!(!c.insert((1, 2), 0.75));
-        assert_eq!(c.get((1, 2)), Some(0.75));
+        assert_eq!(c.get((GEN, 1, 2)), None);
+        assert!(!c.insert((GEN, 1, 2), 0.75));
+        assert_eq!(c.get((GEN, 1, 2)), Some(0.75));
         // Refresh with a new value, no eviction.
-        assert!(!c.insert((1, 2), 0.5));
-        assert_eq!(c.get((1, 2)), Some(0.5));
+        assert!(!c.insert((GEN, 1, 2), 0.5));
+        assert_eq!(c.get((GEN, 1, 2)), Some(0.5));
         assert_eq!(c.len(), 1);
         assert!(ScoreCache::new(0).is_none());
     }
 
     #[test]
+    fn generations_do_not_collide() {
+        // The same tie under two model fingerprints is two distinct
+        // entries — a swapped model can never read the old model's score.
+        let c = ScoreCache::new(16).unwrap();
+        c.insert((1, 7, 9), 0.25);
+        c.insert((2, 7, 9), 0.75);
+        assert_eq!(c.get((1, 7, 9)), Some(0.25));
+        assert_eq!(c.get((2, 7, 9)), Some(0.75));
+        assert_eq!(c.get((3, 7, 9)), None, "unseen generation must miss");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
     fn evicts_least_recently_used_first() {
         let c = ScoreCache::with_shards(2, 1);
-        c.insert((1, 0), 0.1);
-        c.insert((2, 0), 0.2);
+        c.insert((GEN, 1, 0), 0.1);
+        c.insert((GEN, 2, 0), 0.2);
         // Touch (1,0) so (2,0) is now the LRU entry.
-        assert_eq!(c.get((1, 0)), Some(0.1));
-        assert!(c.insert((3, 0), 0.3), "full shard must evict");
-        assert_eq!(c.get((2, 0)), None, "LRU entry evicted");
-        assert_eq!(c.get((1, 0)), Some(0.1), "recently used entry kept");
-        assert_eq!(c.get((3, 0)), Some(0.3));
+        assert_eq!(c.get((GEN, 1, 0)), Some(0.1));
+        assert!(c.insert((GEN, 3, 0), 0.3), "full shard must evict");
+        assert_eq!(c.get((GEN, 2, 0)), None, "LRU entry evicted");
+        assert_eq!(c.get((GEN, 1, 0)), Some(0.1), "recently used entry kept");
+        assert_eq!(c.get((GEN, 3, 0)), Some(0.3));
         assert_eq!(c.len(), 2);
     }
 
@@ -224,13 +244,13 @@ mod tests {
         let c = ScoreCache::with_shards(8, 2);
         assert_eq!(c.capacity(), 8);
         for i in 0..1000u32 {
-            c.insert((i, i + 1), f64::from(i));
+            c.insert((GEN, i, i + 1), f64::from(i));
         }
         // Exact bound: 1000 hashed keys fill both shards, and churn can
         // never push occupancy past the requested capacity.
         assert_eq!(c.len(), 8, "churned cache must sit exactly at capacity");
         // The most recent keys of each shard survive.
-        let survivors = (0..1000u32).filter(|&i| c.get((i, i + 1)).is_some()).count();
+        let survivors = (0..1000u32).filter(|&i| c.get((GEN, i, i + 1)).is_some()).count();
         assert_eq!(survivors, c.len());
     }
 
@@ -246,7 +266,7 @@ mod tests {
                 "with_shards({capacity}, {n_shards}) must not over-allocate"
             );
             for i in 0..1000u32 {
-                c.insert((i, i.wrapping_mul(2654435761)), f64::from(i));
+                c.insert((GEN, i, i.wrapping_mul(2654435761)), f64::from(i));
             }
             assert!(
                 c.len() <= capacity,
@@ -264,7 +284,7 @@ mod tests {
                 let c = std::sync::Arc::clone(&c);
                 s.spawn(move || {
                     for i in 0..2000u32 {
-                        let key = (i % 64, t);
+                        let key = (GEN, i % 64, t);
                         c.insert(key, f64::from(i % 64) + f64::from(t) * 100.0);
                         if let Some(v) = c.get(key) {
                             assert_eq!(v, f64::from(i % 64) + f64::from(t) * 100.0);

@@ -190,11 +190,16 @@ impl AppState {
 
     /// Scores `(src, dst)` through the LRU cache. `None` when the ordered
     /// tie is not in the trained universe (never cached).
+    ///
+    /// Entries are keyed by the model's content fingerprint in addition to
+    /// the tie, so a future in-place model swap invalidates the whole cache
+    /// by construction — stale scores can never be served.
     fn score_cached(&self, src: u32, dst: u32, stats: &mut RouteStats) -> Option<f64> {
         let Some(cache) = &self.cache else {
             return self.model.score(NodeId(src), NodeId(dst));
         };
-        if let Some(v) = cache.get((src, dst)) {
+        let key = (self.model.fingerprint(), src, dst);
+        if let Some(v) = cache.get(key) {
             self.cache_hits.incr();
             stats.cache_hits += 1;
             return Some(v);
@@ -202,7 +207,7 @@ impl AppState {
         let v = self.model.score(NodeId(src), NodeId(dst))?;
         self.cache_misses.incr();
         stats.cache_misses += 1;
-        if cache.insert((src, dst), v) {
+        if cache.insert(key, v) {
             self.cache_evictions.incr();
         }
         self.cache_occupancy.set(cache.len() as f64);
@@ -216,6 +221,9 @@ struct HealthResponse {
     status: String,
     ties: usize,
     model_schema: u32,
+    /// Content fingerprint of the served model (16 lowercase hex digits);
+    /// identical whether the model was loaded from JSON or `.ddm`.
+    model_fingerprint: String,
 }
 
 /// A tie pair, as accepted by `/score` query params and `/batch` JSONL lines.
@@ -254,6 +262,7 @@ fn route(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Route
                 status: "ok".to_string(),
                 ties: state.model.n_ties(),
                 model_schema: MODEL_SCHEMA_VERSION,
+                model_fingerprint: format!("{:016x}", state.model.fingerprint()),
             };
             ("healthz", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }

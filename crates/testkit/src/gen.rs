@@ -155,6 +155,161 @@ pub fn corrupt_json(rng: &mut Pcg32, valid: &str) -> Vec<u8> {
     bytes
 }
 
+/// Byte offsets of the binary model container (DESIGN.md §7.13), duplicated
+/// here because dd-testkit sits *below* dd-core in the dependency graph —
+/// the format-aware corruption strategies patch headers and re-checksum
+/// sections against these documented positions.
+mod ddm {
+    /// Fixed header length: magic(8) + version(4) + schema(4) + count(4) +
+    /// table crc(4).
+    pub const HEADER_LEN: usize = 24;
+    /// One section-table entry: kind(4) + crc(4) + offset(8) + len(8).
+    pub const ENTRY_LEN: usize = 24;
+}
+
+/// Parses `(kind, entry_offset)` pairs out of a valid container's section
+/// table. Returns an empty list when `valid` is too short to carry one.
+fn ddm_entries(valid: &[u8]) -> Vec<(u32, usize)> {
+    if valid.len() < ddm::HEADER_LEN {
+        return Vec::new();
+    }
+    let n = u32::from_le_bytes([valid[16], valid[17], valid[18], valid[19]]) as usize;
+    (0..n)
+        .map(|i| ddm::HEADER_LEN + i * ddm::ENTRY_LEN)
+        .filter(|&e| e + ddm::ENTRY_LEN <= valid.len())
+        .map(|e| (u32::from_le_bytes([valid[e], valid[e + 1], valid[e + 2], valid[e + 3]]), e))
+        .collect()
+}
+
+fn ddm_entry_field(bytes: &[u8], entry: usize, field_off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[entry + field_off..entry + field_off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Re-checksums the section table (bytes 20..24) after an entry was
+/// patched, so only the *intended* downstream check can fire.
+fn ddm_fix_table_crc(bytes: &mut [u8]) {
+    let n = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
+    let end = ddm::HEADER_LEN + n * ddm::ENTRY_LEN;
+    if end <= bytes.len() {
+        let crc = dd_linalg::bytes::crc32(&bytes[ddm::HEADER_LEN..end]);
+        bytes[20..24].copy_from_slice(&crc.to_le_bytes());
+    }
+}
+
+/// Corrupts a valid binary model container the way truncated downloads,
+/// bad disks, text-mode transfers, and buggy writers do — the mirror of
+/// [`corrupt_json`] for the `.ddm` format. Strategies range from blind
+/// (truncation, bit flips, splices, trailing garbage) to format-aware
+/// (wrong magic, bumped versions, misaligned block lengths, NaN payloads
+/// with *fixed-up* checksums so only deep validation can catch them).
+///
+/// The contract under test: the loader must return a typed error naming
+/// the offending section on every output that no longer equals `valid`,
+/// and must never panic.
+pub fn corrupt_binary(rng: &mut Pcg32, valid: &[u8]) -> Vec<u8> {
+    let mut bytes = valid.to_vec();
+    if bytes.len() < ddm::HEADER_LEN {
+        return vec![0u8; 1 + rng.gen_range(16)];
+    }
+    match rng.gen_range(12) {
+        0 => {
+            // Truncate inside the fixed header.
+            bytes.truncate(rng.gen_range(ddm::HEADER_LEN));
+        }
+        1 => {
+            // Truncate at an arbitrary byte.
+            bytes.truncate(rng.gen_range(bytes.len()));
+        }
+        2 => {
+            // Clobber the magic.
+            let i = rng.gen_range(8);
+            bytes[i] ^= 1 + (rng.gen_range(255)) as u8;
+        }
+        3 => {
+            // Bump the container format version.
+            let v = 2 + rng.gen_range(1000) as u32;
+            bytes[8..12].copy_from_slice(&v.to_le_bytes());
+        }
+        4 => {
+            // Bump the model schema version.
+            let v = 2 + rng.gen_range(1000) as u32;
+            bytes[12..16].copy_from_slice(&v.to_le_bytes());
+        }
+        5 => {
+            // Flip a handful of bytes anywhere in the file.
+            for _ in 0..=rng.gen_range(8) {
+                let i = rng.gen_range(bytes.len());
+                bytes[i] = (rng.gen_range(256)) as u8;
+            }
+        }
+        6 => {
+            // Misalign or overrun a numeric section: patch its table offset
+            // or length and re-checksum the table so the block checks fire.
+            let entries = ddm_entries(&bytes);
+            let numeric: Vec<&(u32, usize)> = entries.iter().filter(|(k, _)| *k != 1).collect();
+            if let Some(&&(_, e)) = numeric.get(rng.gen_range(numeric.len().max(1))) {
+                let field = if rng.gen_bool(0.5) { 8 } else { 16 };
+                let v = ddm_entry_field(&bytes, e, field);
+                let delta = [1u64, 2, 3, 4][rng.gen_range(4)];
+                let patched =
+                    if rng.gen_bool(0.5) { v.wrapping_add(delta) } else { v.wrapping_sub(delta) };
+                bytes[e + field..e + field + 8].copy_from_slice(&patched.to_le_bytes());
+                ddm_fix_table_crc(&mut bytes);
+            }
+        }
+        7 => {
+            // NaN-patch a float payload and *fix every checksum*, so only
+            // the finiteness scan stands between the bytes and the scorer.
+            let entries = ddm_entries(&bytes);
+            if let Some(&(_, e)) = entries.iter().find(|(k, _)| *k == 4 || *k == 5) {
+                let off = ddm_entry_field(&bytes, e, 8) as usize;
+                let len = ddm_entry_field(&bytes, e, 16) as usize;
+                if len >= 4 && off + len <= bytes.len() {
+                    let slot = off + 4 * rng.gen_range(len / 4);
+                    let nan = f32::from_bits(0x7FC0_0000 | rng.next_u32() & 0x003F_FFFF);
+                    bytes[slot..slot + 4].copy_from_slice(&nan.to_le_bytes());
+                    let crc = dd_linalg::bytes::crc32(&bytes[off..off + len]);
+                    bytes[e + 4..e + 8].copy_from_slice(&crc.to_le_bytes());
+                    ddm_fix_table_crc(&mut bytes);
+                }
+            }
+        }
+        8 => {
+            // Splice a chunk of the file over another region.
+            let a = rng.gen_range(bytes.len());
+            let len = rng.gen_range(64).min(bytes.len() - a);
+            let chunk = bytes[a..a + len].to_vec();
+            let b = rng.gen_range(bytes.len());
+            bytes.splice(b..b, chunk);
+        }
+        9 => {
+            // Trailing garbage after the last section.
+            let n = 1 + rng.gen_range(64);
+            for _ in 0..n {
+                bytes.push((rng.gen_range(256)) as u8);
+            }
+        }
+        10 => {
+            // Rewrite a table entry's kind to an unknown tag (table CRC
+            // fixed so the kind check itself must fire).
+            let entries = ddm_entries(&bytes);
+            if let Some(&(_, e)) = entries.get(rng.gen_range(entries.len().max(1))) {
+                let kind = 6 + rng.gen_range(250) as u32;
+                bytes[e..e + 4].copy_from_slice(&kind.to_le_bytes());
+                ddm_fix_table_crc(&mut bytes);
+            }
+        }
+        _ => {
+            // Implausible section count.
+            let n = if rng.gen_bool(0.5) { 0u32 } else { 9 + rng.gen_range(1000) as u32 };
+            bytes[16..20].copy_from_slice(&n.to_le_bytes());
+        }
+    }
+    bytes
+}
+
 /// A degenerate directed edge list: self-loops, exact duplicates,
 /// reciprocal pairs, isolated stars, and huge id gaps — the shapes that
 /// break naive graph builders.
@@ -245,6 +400,52 @@ mod tests {
         assert_eq!(degenerate_weights(&mut a, 9), degenerate_weights(&mut b, 9));
         assert_eq!(degenerate_rows(&mut a, 4, 3), degenerate_rows(&mut b, 4, 3));
         assert_eq!(corrupt_json(&mut a, "{\"k\":1}"), corrupt_json(&mut b, "{\"k\":1}"));
+        let ddm = synthetic_container();
+        assert_eq!(corrupt_binary(&mut a, &ddm), corrupt_binary(&mut b, &ddm));
+    }
+
+    /// A minimal structurally-valid container (one zero-length numeric
+    /// section) — enough for the format-aware strategies to find a table.
+    fn synthetic_container() -> Vec<u8> {
+        let mut table = Vec::new();
+        let payload = [0u8; 64];
+        table.extend_from_slice(&4u32.to_le_bytes()); // kind = embeddings
+        table.extend_from_slice(&dd_linalg::bytes::crc32(&payload).to_le_bytes());
+        table.extend_from_slice(&64u64.to_le_bytes()); // offset (aligned)
+        table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut out = vec![0x89, b'D', b'D', b'M', b'D', b'L', b'\r', b'\n'];
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&dd_linalg::bytes::crc32(&table).to_le_bytes());
+        out.extend_from_slice(&table);
+        out.resize(64, 0);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn binary_corruptor_hits_every_region() {
+        let ddm = synthetic_container();
+        let mut rng = Pcg32::seed_from_u64(3);
+        let (mut n_short, mut n_magic, mut n_long, mut n_same_len) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let out = corrupt_binary(&mut rng, &ddm);
+            if out.len() < ddm.len() {
+                n_short += 1;
+            } else if out.len() > ddm.len() {
+                n_long += 1;
+            } else {
+                n_same_len += 1;
+            }
+            if out.len() >= 8 && out[..8] != ddm[..8] {
+                n_magic += 1;
+            }
+        }
+        assert!(n_short > 20, "mix includes truncations: {n_short}");
+        assert!(n_long > 20, "mix includes splices/trailing garbage: {n_long}");
+        assert!(n_same_len > 50, "mix includes in-place patches: {n_same_len}");
+        assert!(n_magic > 5, "mix includes magic clobbers: {n_magic}");
     }
 
     #[test]
