@@ -83,7 +83,12 @@ USAGE:
                                        Input format is sniffed — converts either way)
   dd serve   <model>          [--host H] [--port P] [--workers N] [--cache-size N]
                                       [--request-timeout-ms MS] [--queue-depth N]
-                                      (HTTP endpoints: /healthz /score /batch /metrics)
+                                      (HTTP endpoints: /healthz /score /batch
+                                       /admin/reload /metrics)
+  dd serve   <model> --shards N       fleet mode: spawns N shard processes and a
+                                      consistent-hash router in front (--port is the
+                                      router's; shards take ephemeral ports; ctrl-c
+                                      drains router first, then shards)
   dd eval    <edges>          [--hide F] [--dim N] [--iterations N] [--methods a,b]
                                       [--threads T] [--seed S]
                                       (direction-discovery accuracy per method, Sec. 6.2)
@@ -96,6 +101,11 @@ USAGE:
                                       (JSON parse vs binary .ddm load wall time, plus the
                                        scalar vs unrolled scoring kernel; verifies that
                                        both load paths score bit-identically)
+  dd bench --serve [--requests N] [--threads T] [--out BENCH_serve.json]
+                                      [--baseline f] [--tolerance F]
+                                      (fleet QPS + p50/p99 at 1/2/4 shards behind the
+                                       router; verifies every response bit-identical
+                                       to offline scoring)
   dd trace export <telemetry.jsonl>   --chrome <trace.json>
                                       (Chrome trace-event JSON for chrome://tracing / Perfetto)
   dd trace summarize <telemetry.jsonl>
@@ -373,7 +383,13 @@ fn export(args: &Args) -> Result<String, String> {
 }
 
 /// `dd serve <model>`: blocks until SIGINT/SIGTERM, then drains gracefully.
+/// With `--shards N` it becomes the fleet supervisor instead: N shard
+/// processes behind an in-process router (see [`serve_fleet`]).
 fn serve(args: &Args) -> Result<String, String> {
+    let shards: usize = args.get_num("shards", 0usize)?;
+    if shards > 0 {
+        return serve_fleet(args, shards);
+    }
     let model_path = args.positional(0, "model")?;
     let observer = serve_observer(args)?;
     let model = Arc::new(load_model_traced(model_path, &observer)?);
@@ -421,6 +437,173 @@ fn serve_observer(args: &Args) -> Result<ObserverHandle, String> {
         fan.push(Arc::new(sink));
     }
     Ok(fan.into_handle())
+}
+
+/// `dd serve <model> --shards N`: fleet mode. Spawns N shard processes of
+/// this same binary (`dd serve <model> --port 0`), parses each shard's
+/// listening line for its resolved address, fronts them with an in-process
+/// consistent-hash router, and supervises the children: an unexpected shard
+/// exit is reported (the router fails over to the survivors), and SIGINT
+/// drains the router first, then cascades SIGINT to every shard
+/// (DESIGN.md §7.14 drain ordering).
+fn serve_fleet(args: &Args, shards: usize) -> Result<String, String> {
+    use std::io::{BufRead, Read};
+
+    let model_path = args.positional(0, "model")?;
+    let host = args.get("host", "127.0.0.1");
+    let port: u16 = args.get_num("port", 8080u16)?;
+    let workers: usize = args.get_num("workers", 4usize)?;
+    let observer = serve_observer(args)?;
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+
+    // Install handlers before spawning so a SIGINT during startup still
+    // reaches the cleanup path below.
+    dd_serve::signal::install_handlers();
+
+    let kill_all = |children: &mut Vec<std::process::Child>| {
+        for child in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(shards);
+    let mut shard_addrs = Vec::with_capacity(shards);
+    // Shard stdout readers stay alive for the whole fleet lifetime:
+    // dropping one closes the pipe, and the shard's own drain summary
+    // would then die on a broken stdout instead of exiting cleanly.
+    let mut readers = Vec::with_capacity(shards);
+    for i in 0..shards {
+        // Each shard loads the model itself on an ephemeral port; stderr is
+        // inherited so shard failures surface in the supervisor's terminal.
+        let spawned = std::process::Command::new(&exe)
+            .args([
+                "serve",
+                model_path,
+                "--host",
+                &host,
+                "--port",
+                "0",
+                "--workers",
+                &workers.to_string(),
+                "--cache-size",
+                &args.get_num("cache-size", 4096usize)?.to_string(),
+                "--request-timeout-ms",
+                &args.get_num("request-timeout-ms", 5000u64)?.to_string(),
+                "--queue-depth",
+                &args.get_num("queue-depth", 64usize)?.to_string(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn();
+        let mut child = match spawned {
+            Ok(c) => c,
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(format!("spawning shard {i}: {e}"));
+            }
+        };
+        let Some(stdout) = child.stdout.take() else {
+            children.push(child);
+            kill_all(&mut children);
+            return Err(format!("shard {i}: no stdout pipe"));
+        };
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    children.push(child);
+                    kill_all(&mut children);
+                    return Err(format!(
+                        "shard {i} exited before printing its listening line (is '{model_path}' \
+                         a valid model?)"
+                    ));
+                }
+                Ok(_) => {
+                    if let Some(rest) = line.trim().strip_prefix("dd-serve listening on http://") {
+                        break rest.to_string();
+                    }
+                }
+                Err(e) => {
+                    children.push(child);
+                    kill_all(&mut children);
+                    return Err(format!("reading shard {i} stdout: {e}"));
+                }
+            }
+        };
+        println!("shard {i} (pid {}) listening on http://{addr}", child.id());
+        shard_addrs.push(addr);
+        children.push(child);
+        readers.push(reader);
+    }
+
+    let router_cfg = dd_serve::RouterConfig {
+        addr: format!("{host}:{port}"),
+        shards: shard_addrs,
+        workers,
+        queue_depth: args.get_num("queue-depth", 64usize)?,
+        request_timeout: Duration::from_millis(args.get_num("request-timeout-ms", 5000u64)?),
+        observer,
+        ..Default::default()
+    };
+    let router = match dd_serve::Router::start(router_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            kill_all(&mut children);
+            return Err(e);
+        }
+    };
+    // The parseable contract line, mirroring single-process `dd serve`.
+    println!("dd-router listening on http://{}", router.addr());
+    println!(
+        "fleet: {shards} shards  routes: /healthz /score /batch /admin/reload /metrics   (ctrl-c drains)"
+    );
+    let _ = std::io::stdout().flush();
+
+    // Supervision loop: poll for shutdown and reap shards that die early.
+    // A dead shard is not fatal — the router quarantines it and answers
+    // from the survivors — but it is loudly reported.
+    let mut exited = vec![false; children.len()];
+    while !dd_serve::signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+        for (i, child) in children.iter_mut().enumerate() {
+            if exited[i] {
+                continue;
+            }
+            if let Ok(Some(status)) = child.try_wait() {
+                exited[i] = true;
+                eprintln!(
+                    "dd-serve: shard {i} exited unexpectedly ({status}); \
+                     router fails over to the survivors"
+                );
+            }
+        }
+    }
+
+    // Drain ordering: router first (it finishes queued forwards against
+    // still-live shards), then cascade SIGINT to the shards and wait.
+    let served = router.shutdown();
+    let mut drained = 0usize;
+    for (i, mut child) in children.into_iter().enumerate() {
+        if exited[i] {
+            continue;
+        }
+        if !dd_serve::signal::interrupt_process(child.id()) {
+            let _ = child.kill();
+        }
+        // Drain the shard's remaining stdout (its own drain summary) so
+        // the pipe empties before we reap it.
+        let mut tail = String::new();
+        let _ = readers[i].read_to_string(&mut tail);
+        if matches!(child.wait(), Ok(status) if status.success()) {
+            drained += 1;
+        }
+    }
+    Ok(format!(
+        "dd-fleet: drained and stopped after {served} routed requests \
+         ({drained}/{shards} shards drained cleanly)"
+    ))
 }
 
 /// `dd eval <edges>`: hides the direction of `--hide` of the directed ties,
@@ -484,7 +667,19 @@ struct BenchStage {
     bit_identical: bool,
 }
 
-/// The `BENCH_runtime.json` document `dd bench` writes.
+/// One fleet size measured by `dd bench --serve`: sustained `/score`
+/// throughput and tail latency through the router at `shards` replicas.
+#[derive(serde::Serialize)]
+struct ServePoint {
+    shards: usize,
+    qps: f64,
+    p50_seconds: f64,
+    p99_seconds: f64,
+    requests: usize,
+}
+
+/// The `BENCH_runtime.json` document `dd bench` writes (also the container
+/// for `BENCH_model_io.json` and `BENCH_serve.json` — same ratchet).
 #[derive(serde::Serialize)]
 struct BenchReport {
     schema: u32,
@@ -498,6 +693,9 @@ struct BenchReport {
     pool_calls: u64,
     pool_chunks: u64,
     pool_utilization: f64,
+    /// `dd bench --serve` only: QPS/latency per fleet size. `None` (and
+    /// omitted from the JSON) for the runtime and model-io benches.
+    serve: Option<Vec<ServePoint>>,
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -633,6 +831,9 @@ fn bench(args: &Args) -> Result<String, String> {
     if args.get_bool("model-io") {
         return bench_model_io(args);
     }
+    if args.get_bool("serve") {
+        return bench_serve(args);
+    }
     let threads = resolve_threads(args)?;
     // `scale` is the dataset divisor (crawl size / scale): the default 60
     // yields a ~1100-node Twitter analog, big enough that the timed stages
@@ -695,6 +896,7 @@ fn bench(args: &Args) -> Result<String, String> {
             pool_calls: pstats.calls,
             pool_chunks: pstats.chunks,
             pool_utilization: pstats.utilization(),
+            serve: None,
         }
     };
 
@@ -880,6 +1082,7 @@ fn bench_model_io(args: &Args) -> Result<String, String> {
             pool_calls: 0,
             pool_chunks: 0,
             pool_utilization: 0.0,
+            serve: None,
         })
     };
 
@@ -927,6 +1130,253 @@ fn bench_model_io(args: &Args) -> Result<String, String> {
         (rows * REPS) as f64 / kern.parallel_seconds.max(1e-12),
         load.bit_identical,
     );
+    if !baseline_path.is_empty() {
+        out.push_str(&format!(
+            "ratchet ok against {baseline_path} (tolerance {:.0}%{})\n",
+            tolerance * 100.0,
+            if rebenched { ", after one re-bench" } else { "" },
+        ));
+    }
+    Ok(out)
+}
+
+/// `dd bench --serve`: the serving-fleet bench behind the
+/// `BENCH_serve.json` ratchet. Fits one model, then for each fleet size in
+/// {1, 2, 4} starts that many in-process shard servers behind a router and
+/// drives `--requests` sustained `/score` queries from `--threads` client
+/// threads, verifying every response bit-for-bit against offline scoring.
+///
+/// Reported stages follow the serial-vs-parallel convention so the ratchet
+/// machinery applies unchanged: `serve_scale_2x` is the 1-shard wall time
+/// (`serial_seconds`) vs the 2-shard wall time (`parallel_seconds`) for
+/// the same request count — speedup = throughput scaling — and
+/// `serve_scale_4x` likewise at 4 shards. The raw QPS and p50/p99
+/// latencies per fleet size land in the report's `serve` array. Shards run
+/// with one worker and no score cache so the shard CPU, not the cache, is
+/// what scales.
+fn bench_serve(args: &Args) -> Result<String, String> {
+    let threads = resolve_threads(args)?;
+    let clients = threads.get();
+    let requests: usize = args.get_num("requests", 1200usize)?;
+    if requests == 0 {
+        return Err("flag --requests must be positive".into());
+    }
+    let scale: usize = args.get_num("scale", 60usize)?;
+    let seed: u64 = args.get_num("seed", 7u64)?;
+    let out_path = args.get("out", "BENCH_serve.json");
+    let baseline_path = args.get("baseline", "");
+    let tolerance: f64 = args.get_num("tolerance", 0.35f64)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("flag --tolerance must be in [0, 1), got {tolerance}"));
+    }
+    let name = args.get("dataset", "twitter").to_lowercase();
+    let spec =
+        all_datasets().into_iter().find(|s| s.name.to_lowercase() == name).ok_or_else(|| {
+            format!("unknown dataset '{name}' (try: twitter livejournal epinions slashdot tencent)")
+        })?;
+    let g = spec.generate(scale, seed).network;
+    let cfg = DeepDirectConfig {
+        dim: args.get_num("dim", 32usize)?,
+        threads: threads.get(),
+        seed,
+        max_iterations: Some(args.get_num("iterations", 20_000u64)?),
+        ..Default::default()
+    };
+    cfg.validate()?;
+    let model = Arc::new(DeepDirect::new(cfg).fit(&g));
+    let ties: Vec<(u32, u32)> = model.ties().to_vec();
+    if ties.is_empty() {
+        return Err("bench --serve: trained model has no ties".into());
+    }
+
+    let per_thread = (requests / clients).max(1);
+    let total = per_thread * clients;
+
+    // Measures one fleet size: N one-worker shards (cache off, so every
+    // request exercises the scoring path) behind a router, `total` scored
+    // requests, every response checked bit-for-bit. Returns the point, the
+    // wall time, and whether all responses were correct.
+    let measure = |n_shards: usize| -> Result<(ServePoint, f64, bool), String> {
+        let mut servers = Vec::with_capacity(n_shards);
+        let mut shard_addrs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let handle = dd_serve::Server::start(
+                Arc::clone(&model),
+                dd_serve::ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: 1,
+                    cache_size: 0,
+                    queue_depth: 512,
+                    ..Default::default()
+                },
+            )?;
+            shard_addrs.push(handle.addr().to_string());
+            servers.push(handle);
+        }
+        let router = dd_serve::Router::start(dd_serve::RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: shard_addrs,
+            workers: clients.max(2),
+            queue_depth: 512,
+            ..Default::default()
+        })?;
+        let addr = router.addr().to_string();
+        // Warm up connections and code paths outside the timed window.
+        for i in 0..8 {
+            let (src, dst) = ties[i % ties.len()];
+            let resp = dd_serve::client::get(&addr, &format!("/score?src={src}&dst={dst}"))?;
+            if resp.status != 200 {
+                return Err(format!("bench --serve warmup got {}: {}", resp.status, resp.body));
+            }
+        }
+
+        let latencies = std::sync::Mutex::new(Vec::with_capacity(total));
+        let failures = std::sync::atomic::AtomicUsize::new(0);
+        let (_, wall) = timed(|| {
+            dd_runtime::scope(|s| {
+                for t in 0..clients {
+                    let addr = &addr;
+                    let ties = &ties;
+                    let model = Arc::clone(&model);
+                    let latencies = &latencies;
+                    let failures = &failures;
+                    s.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_thread);
+                        for i in 0..per_thread {
+                            let (src, dst) = ties[(t * 7919 + i) % ties.len()];
+                            // dd-lint: allow(trace-hygiene) — per-request
+                            // latency sample; this bench's own output.
+                            let t0 = Instant::now();
+                            let ok = match dd_serve::client::get(
+                                addr,
+                                &format!("/score?src={src}&dst={dst}"),
+                            ) {
+                                Ok(resp) if resp.status == 200 => {
+                                    let parsed: Result<dd_serve::ScoreResponse, _> =
+                                        serde_json::from_str(&resp.body);
+                                    match (parsed, model.score(NodeId(src), NodeId(dst))) {
+                                        (Ok(r), Some(want)) => r
+                                            .score
+                                            .map(|got| got.to_bits() == want.to_bits())
+                                            .unwrap_or(false),
+                                        _ => false,
+                                    }
+                                }
+                                _ => false,
+                            };
+                            lat.push(t0.elapsed().as_secs_f64());
+                            if !ok {
+                                failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        latencies
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .extend(lat);
+                    });
+                }
+            });
+        });
+        drop(router);
+        drop(servers);
+
+        let mut lat = latencies.into_inner().unwrap_or_else(|p| p.into_inner());
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| lat[((lat.len() as f64 * p) as usize).min(lat.len() - 1)];
+        let point = ServePoint {
+            shards: n_shards,
+            qps: total as f64 / wall.max(1e-12),
+            p50_seconds: pct(0.50),
+            p99_seconds: pct(0.99),
+            requests: total,
+        };
+        Ok((point, wall, failures.load(std::sync::atomic::Ordering::Relaxed) == 0))
+    };
+
+    let run_once = || -> Result<BenchReport, String> {
+        let (p1, wall1, ok1) = measure(1)?;
+        let (p2, wall2, ok2) = measure(2)?;
+        let (p4, wall4, ok4) = measure(4)?;
+        Ok(BenchReport {
+            schema: 1,
+            dataset: spec.name.to_string(),
+            scale,
+            nodes: g.n_nodes(),
+            ties: g.counts().total(),
+            threads: clients,
+            available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            stages: vec![
+                BenchStage {
+                    stage: "serve_scale_2x",
+                    serial_seconds: wall1,
+                    parallel_seconds: wall2,
+                    speedup: wall1 / wall2.max(1e-12),
+                    bit_identical: ok1 && ok2,
+                },
+                BenchStage {
+                    stage: "serve_scale_4x",
+                    serial_seconds: wall1,
+                    parallel_seconds: wall4,
+                    speedup: wall1 / wall4.max(1e-12),
+                    bit_identical: ok1 && ok4,
+                },
+            ],
+            // The client scope is not a dd-runtime Pool; the serve array
+            // carries the fleet-specific numbers instead.
+            pool_calls: 0,
+            pool_chunks: 0,
+            pool_utilization: 0.0,
+            serve: Some(vec![p1, p2, p4]),
+        })
+    };
+
+    let mut report = run_once()?;
+    let mut rebenched = false;
+    if !baseline_path.is_empty() {
+        if let Err(first) = check_ratchet(&report, &baseline_path, tolerance) {
+            // One re-bench: a single noisy run must not fail the gate.
+            report = run_once()?;
+            rebenched = true;
+            if let Err(second) = check_ratchet(&report, &baseline_path, tolerance) {
+                return Err(format!(
+                    "{second}\n(first attempt: {first})\n\
+                     If this slowdown is intentional, refresh the committed baseline:\n  \
+                     cargo run --release -p dd-cli -- bench --serve --threads {} --out {baseline_path}\n\
+                     and commit the updated {baseline_path}.",
+                    report.threads,
+                ));
+            }
+        }
+    }
+
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating '{out_path}': {e}"))?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing '{out_path}': {e}"))?;
+
+    let mut out = format!(
+        "serve bench on {} analog ({} ties, dim {}), {} client threads, {total} requests per fleet:\n",
+        report.dataset,
+        model.n_ties(),
+        model.dim(),
+        clients,
+    );
+    if let Some(points) = &report.serve {
+        for p in points {
+            out.push_str(&format!(
+                "  {} shard(s): {:>8.0} req/s   p50 {:>9.6}s   p99 {:>9.6}s\n",
+                p.shards, p.qps, p.p50_seconds, p.p99_seconds,
+            ));
+        }
+    }
+    for s in &report.stages {
+        out.push_str(&format!(
+            "  {:<14} speedup {:>5.2}x   bit-identical: {}\n",
+            s.stage, s.speedup, s.bit_identical,
+        ));
+    }
+    out.push_str(&format!("report written to {out_path}\n"));
     if !baseline_path.is_empty() {
         out.push_str(&format!(
             "ratchet ok against {baseline_path} (tolerance {:.0}%{})\n",

@@ -298,3 +298,111 @@ fn serve_e2e_binary_model_is_bit_identical_to_json() {
     assert!(exit.success(), "dd serve should exit cleanly on SIGINT, got {exit:?}");
     guard.0.take();
 }
+
+/// Fleet mode end-to-end: `dd serve --shards 2` spawns two shard processes
+/// plus the in-process router, routed scores stay bit-identical to offline
+/// scoring, and SIGINT drains the whole fleet (router first, then shards).
+#[test]
+fn serve_e2e_fleet_mode_routes_and_drains() {
+    let edges = tmp("graph_fleet.edges");
+    let model_path = tmp("model_fleet.json");
+
+    let out = dd()
+        .args(["generate", "twitter", "--scale", "300", "--out", &edges])
+        .output()
+        .expect("dd generate runs");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = dd()
+        .args([
+            "train",
+            &edges,
+            "--out",
+            &model_path,
+            "--dim",
+            "8",
+            "--iterations",
+            "8000",
+            "--seed",
+            "31",
+        ])
+        .output()
+        .expect("dd train runs");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let mut child = dd()
+        .args(["serve", &model_path, "--shards", "2", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("dd serve --shards spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut guard = ChildGuard(Some(child));
+    let mut reader = BufReader::new(stdout);
+
+    // The supervisor prints one line per shard, then the router contract
+    // line — that one carries the address clients use.
+    let mut shard_lines = 0usize;
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read fleet stdout");
+        assert!(n > 0, "fleet exited before printing its router line");
+        if line.trim_start().starts_with("shard ") && line.contains("listening on http://") {
+            shard_lines += 1;
+        }
+        if let Some(rest) = line.trim().strip_prefix("dd-router listening on http://") {
+            break rest.to_string();
+        }
+    };
+    assert_eq!(shard_lines, 2, "supervisor should report both shards before the router");
+
+    let model = Arc::new(DirectionalityModel::load_from_path(&model_path).unwrap());
+    let retry = client::RetryPolicy::default();
+
+    // Router health: both shards up, serving the same fingerprint.
+    let health = client::get_with_retry(&addr, "/healthz", &retry).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+    assert!(health.body.contains("\"healthy_shards\":2"), "{}", health.body);
+    let fp = format!("{:016x}", model.fingerprint());
+    assert_eq!(
+        health.body.matches(&fp).count(),
+        2,
+        "both shards report the model: {}",
+        health.body
+    );
+
+    // Routed scores are bit-identical to the offline model.
+    for &(src, dst) in model.ties().iter().take(24) {
+        let resp = client::get(&addr, &format!("/score?src={src}&dst={dst}")).expect("score");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let parsed: ScoreResponse = serde_json::from_str(&resp.body).unwrap();
+        let expected = model.score(NodeId(src), NodeId(dst)).unwrap();
+        assert_eq!(parsed.score.unwrap().to_bits(), expected.to_bits());
+    }
+
+    // Aggregated router metrics carry per-shard forward counts.
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.body.contains("dd_router_shard_forwards_total{shard="),
+        "router metrics missing per-shard labels: {}",
+        metrics.body
+    );
+
+    // SIGINT the supervisor: router drains first, then both shards; the
+    // fleet summary reports both shards exiting cleanly.
+    let status =
+        Command::new("kill").args(["-INT", &guard.pid().to_string()]).status().expect("kill runs");
+    assert!(status.success());
+    let exit = guard.0.as_mut().unwrap().wait().expect("fleet exits");
+    assert!(exit.success(), "fleet should exit cleanly on SIGINT, got {exit:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("dd-fleet: drained and stopped"),
+        "missing fleet drain summary: {rest:?}"
+    );
+    assert!(rest.contains("(2/2 shards drained cleanly)"), "shards must drain cleanly: {rest:?}");
+    guard.0.take();
+}

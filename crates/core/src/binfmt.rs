@@ -286,8 +286,7 @@ fn read_u64(bytes: &[u8], off: usize) -> u64 {
 
 /// Byte ranges of the validated sections, in kind order: meta, tie.src,
 /// tie.dst, embeddings, and the optional contexts block.
-type SectionRanges =
-    (Range<usize>, Range<usize>, Range<usize>, Range<usize>, Option<Range<usize>>);
+type SectionRanges = (Range<usize>, Range<usize>, Range<usize>, Range<usize>, Option<Range<usize>>);
 
 /// Structural validation: header, table checksum, section bounds, alignment
 /// and payload checksums. Returns the byte range of each section. Runs

@@ -1,0 +1,80 @@
+//! `dd-router` — standalone fleet router in front of `dd-serve` shards.
+//!
+//! ```text
+//! dd-router --shard 127.0.0.1:9001 --shard 127.0.0.1:9002 [--addr 127.0.0.1:8070]
+//!           [--workers N] [--queue-depth N] [--unhealthy-after N] [--vnodes N]
+//! ```
+//!
+//! Prints `dd-router listening on http://<addr>` once ready (the same
+//! contract line `dd serve` prints, so scripts parse both identically),
+//! then serves until SIGINT/SIGTERM, draining gracefully. The usual fleet
+//! entry point is `dd serve --shards N`, which spawns shards and embeds
+//! this router in-process; the standalone binary exists for routing over
+//! shards managed elsewhere (separate hosts, external supervisors).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dd_serve::{signal, Router, RouterConfig};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dd-router: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<usize>().map_err(|_| format!("{flag} must be a number, got '{raw}'"))
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut cfg = RouterConfig::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shard" => {
+                cfg.shards.push(it.next().ok_or("--shard needs a host:port value")?);
+            }
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs a host:port value")?,
+            "--workers" => cfg.workers = parse_usize("--workers", it.next())?,
+            "--queue-depth" => cfg.queue_depth = parse_usize("--queue-depth", it.next())?,
+            "--vnodes" => cfg.vnodes = parse_usize("--vnodes", it.next())?,
+            "--unhealthy-after" => {
+                cfg.unhealthy_after = parse_usize("--unhealthy-after", it.next())? as u32;
+            }
+            "--timeout-secs" => {
+                cfg.request_timeout =
+                    Duration::from_secs(parse_usize("--timeout-secs", it.next())? as u64);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dd-router --shard <host:port> [--shard …] [--addr <host:port>]\n\
+                     \x20      [--workers N] [--queue-depth N] [--vnodes N]\n\
+                     \x20      [--unhealthy-after N] [--timeout-secs N]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if cfg.shards.is_empty() {
+        return Err("need at least one --shard <host:port>".to_string());
+    }
+
+    signal::install_handlers();
+    let handle = Router::start(cfg)?;
+    println!("dd-router listening on http://{}", handle.addr());
+    println!("routes: /healthz /score /batch /admin/reload /metrics");
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let served = handle.shutdown();
+    println!("dd-router: drained and stopped after {served} requests");
+    Ok(())
+}

@@ -1,12 +1,16 @@
 //! Minimal blocking HTTP/1.1 client over `TcpStream`, shared by the smoke
-//! binary, the example client, and the integration tests. One request per
-//! connection, matching the server's `Connection: close` contract.
+//! binary, the router, the example client, and the integration tests. One
+//! request per connection, matching the server's `Connection: close`
+//! contract.
 //!
 //! [`get_with_retry`] layers capped exponential backoff with jitter on top
 //! of [`get`] for transient failures (refused connects during startup,
-//! `503` queue overflow, torn responses). Retries are restricted to GETs —
-//! they are idempotent here — a `POST /batch` that dies mid-flight may
-//! already have been scored, so replaying it is the caller's decision.
+//! `503` queue overflow, torn responses). Refused connects fail instantly
+//! at the OS level, so they sleep a short fixed [`RetryPolicy::refused_delay`]
+//! instead of the exponential schedule — a shard mid-restart should not
+//! burn the wall-clock budget on a dead socket. Retries are restricted to
+//! GETs — they are idempotent here — a `POST /batch` that dies mid-flight
+//! may already have been scored, so replaying it is the caller's decision.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -23,9 +27,37 @@ pub struct ClientResponse {
     pub body: String,
 }
 
+/// A transport-level failure, classified so retry loops can treat an
+/// instantly-failing refused connect differently from a timeout or a torn
+/// response that already cost real wall-clock time.
+#[derive(Debug, Clone)]
+pub struct TransportError {
+    /// `true` when the OS refused the connection outright — nothing is
+    /// bound to the port (typical of a shard mid-restart). The failure was
+    /// instant, so retrying after a short fixed delay is cheap.
+    pub refused: bool,
+    /// Human-readable description naming the failing stage.
+    pub message: String,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Issues `GET path` against `addr` (`host:port`, no scheme).
 pub fn get(addr: &str, path: &str) -> Result<ClientResponse, String> {
-    request(addr, "GET", path, None)
+    get_with_headers(addr, path, &[])
+}
+
+/// [`get`] with extra request headers (e.g. `traceparent` propagation).
+pub fn get_with_headers(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+) -> Result<ClientResponse, String> {
+    request(addr, "GET", path, None, headers).map_err(|e| e.message)
 }
 
 /// Retry policy for [`get_with_retry`]: capped exponential backoff with
@@ -36,7 +68,9 @@ pub fn get(addr: &str, path: &str) -> Result<ClientResponse, String> {
 /// `d = min(base_delay · 2ⁿ, max_delay)` — the deterministic half keeps a
 /// real backoff floor, the jittered half de-synchronises clients hammering
 /// a recovering server. The same seed always yields the same sleep
-/// schedule, so a failing run is replayable.
+/// schedule, so a failing run is replayable. Refused connects are the
+/// exception: they sleep the fixed [`refused_delay`](Self::refused_delay)
+/// because the failed attempt itself consumed no time.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (`1` disables retries).
@@ -48,6 +82,11 @@ pub struct RetryPolicy {
     /// Wall-clock budget across all attempts and sleeps: no retry starts
     /// after this much time has elapsed.
     pub budget: Duration,
+    /// Fixed sleep before retrying a connection the OS refused outright.
+    /// Refused connects fail in microseconds — during a shard restart the
+    /// listener reappears quickly, so a short fixed delay converges faster
+    /// than the exponential schedule and spends almost none of `budget`.
+    pub refused_delay: Duration,
     /// Seed for the jitter stream.
     pub seed: u64,
 }
@@ -59,6 +98,7 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(1),
             budget: Duration::from_secs(10),
+            refused_delay: Duration::from_millis(10),
             seed: 0x9E3779B97F4A7C15,
         }
     }
@@ -66,7 +106,9 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The capped, jittered sleep before retry number `attempt` (0-based).
-    fn backoff(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
+    /// Crate-visible so the router's failover loop can pace its retry
+    /// rounds on the same schedule.
+    pub(crate) fn backoff(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
         let doubling = 1u64 << attempt.min(20);
         let capped = self
             .base_delay
@@ -76,14 +118,47 @@ impl RetryPolicy {
     }
 }
 
-/// Whether a request outcome is worth retrying: transport errors (refused
-/// connect, reset, torn response) and `503` (bounded accept queue full —
-/// transient by design). Anything the server answered deliberately
-/// (2xx/4xx/500) is final.
-fn retryable(outcome: &Result<ClientResponse, String>) -> bool {
+/// Why (or whether) a request outcome is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transient {
+    /// A deliberate server answer (2xx/4xx/500) — final, do not retry.
+    No,
+    /// The OS refused the connect: nothing bound (shard restarting).
+    Refused,
+    /// Any other transport failure: reset, timeout, torn response.
+    Transport,
+    /// `503`: the bounded accept queue is full — transient by design.
+    OverCapacity,
+}
+
+fn classify(outcome: &Result<ClientResponse, TransportError>) -> Transient {
     match outcome {
-        Ok(resp) => resp.status == 503,
-        Err(_) => true,
+        Ok(resp) if resp.status == 503 => Transient::OverCapacity,
+        Ok(_) => Transient::No,
+        Err(e) if e.refused => Transient::Refused,
+        Err(_) => Transient::Transport,
+    }
+}
+
+/// Per-cause retry tallies, accumulated by [`get_with_retry_counted`]. The
+/// router feeds these into its `/metrics` so failovers are attributable:
+/// a burst of `refused` means a shard restarted, `over_capacity` means the
+/// fleet is undersized.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RetryCounters {
+    /// Retries after the OS refused the connection outright.
+    pub refused: u64,
+    /// Retries after any other transport failure (reset, timeout, torn
+    /// response).
+    pub other_transport: u64,
+    /// Retries after a `503` over-capacity answer.
+    pub over_capacity: u64,
+}
+
+impl RetryCounters {
+    /// Total retries across all causes.
+    pub fn total(&self) -> u64 {
+        self.refused + self.other_transport + self.over_capacity
     }
 }
 
@@ -98,29 +173,87 @@ pub fn get_with_retry(
     path: &str,
     policy: &RetryPolicy,
 ) -> Result<ClientResponse, String> {
+    get_with_retry_counted(addr, path, &[], policy, &mut RetryCounters::default())
+}
+
+/// [`get_with_retry`] with extra headers and per-cause retry accounting.
+///
+/// Refused connects sleep [`RetryPolicy::refused_delay`] instead of the
+/// exponential backoff; every retry increments the matching field of
+/// `counters` so callers can export attribution metrics.
+pub fn get_with_retry_counted(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+    counters: &mut RetryCounters,
+) -> Result<ClientResponse, String> {
     let mut rng = Pcg32::seed_from_u64(policy.seed);
     // dd-lint: allow(trace-hygiene) — retry-budget accounting; the client
     // library has no observer to attach a span to.
     let start = Instant::now();
     let attempts = policy.attempts.max(1);
-    let mut outcome = get(addr, path);
+    let mut outcome = request(addr, "GET", path, None, headers);
     for attempt in 0..attempts - 1 {
-        if !retryable(&outcome) {
-            return outcome;
-        }
-        let sleep = policy.backoff(attempt, &mut rng);
+        let sleep = match classify(&outcome) {
+            Transient::No => break,
+            Transient::Refused => {
+                counters.refused += 1;
+                policy.refused_delay
+            }
+            Transient::Transport => {
+                counters.other_transport += 1;
+                policy.backoff(attempt, &mut rng)
+            }
+            Transient::OverCapacity => {
+                counters.over_capacity += 1;
+                policy.backoff(attempt, &mut rng)
+            }
+        };
         if start.elapsed() + sleep > policy.budget {
             break;
         }
         std::thread::sleep(sleep);
-        outcome = get(addr, path);
+        outcome = request(addr, "GET", path, None, headers);
     }
-    outcome
+    outcome.map_err(|e| e.message)
+}
+
+/// Issues `GET path` with headers, surfacing the classified
+/// [`TransportError`] on failure. The router's failover loop needs
+/// [`TransportError::refused`] to pick the right retry pacing.
+pub fn get_classified(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+) -> Result<ClientResponse, TransportError> {
+    request(addr, "GET", path, None, headers)
+}
+
+/// Issues `POST path` with headers, surfacing the classified
+/// [`TransportError`] on failure.
+pub fn post_classified(
+    addr: &str,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> Result<ClientResponse, TransportError> {
+    request(addr, "POST", path, Some(body), headers)
 }
 
 /// Issues `POST path` with `body` against `addr` (`host:port`, no scheme).
 pub fn post(addr: &str, path: &str, body: &str) -> Result<ClientResponse, String> {
-    request(addr, "POST", path, Some(body))
+    post_with_headers(addr, path, body, &[])
+}
+
+/// [`post`] with extra request headers (e.g. `traceparent` propagation).
+pub fn post_with_headers(
+    addr: &str,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> Result<ClientResponse, String> {
+    request(addr, "POST", path, Some(body), headers).map_err(|e| e.message)
 }
 
 fn request(
@@ -128,36 +261,50 @@ fn request(
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> Result<ClientResponse, String> {
+    headers: &[(&str, &str)],
+) -> Result<ClientResponse, TransportError> {
     let addr = addr.strip_prefix("http://").unwrap_or(addr).trim_end_matches('/');
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let fail = |stage: String, e: &std::io::Error| TransportError {
+        refused: e.kind() == std::io::ErrorKind::ConnectionRefused,
+        message: format!("{stage}: {e}"),
+    };
+    let mut stream = TcpStream::connect(addr).map_err(|e| fail(format!("connect {addr}"), &e))?;
     let timeout = Some(Duration::from_secs(30));
-    stream.set_read_timeout(timeout).map_err(|e| e.to_string())?;
-    stream.set_write_timeout(timeout).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(timeout).map_err(|e| fail("set timeout".to_string(), &e))?;
+    stream.set_write_timeout(timeout).map_err(|e| fail("set timeout".to_string(), &e))?;
 
     let body = body.unwrap_or("");
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len(),
     );
-    stream.write_all(req.as_bytes()).map_err(|e| format!("send {method} {path}: {e}"))?;
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes()).map_err(|e| fail(format!("send {method} {path}"), &e))?;
 
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(|e| format!("read {method} {path}: {e}"))?;
-    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    stream.read_to_end(&mut raw).map_err(|e| fail(format!("read {method} {path}"), &e))?;
+    let text = String::from_utf8(raw).map_err(|_| TransportError {
+        refused: false,
+        message: "response is not UTF-8".to_string(),
+    })?;
     parse_response(&text)
 }
 
-fn parse_response(text: &str) -> Result<ClientResponse, String> {
+fn parse_response(text: &str) -> Result<ClientResponse, TransportError> {
+    let torn = |message: String| TransportError { refused: false, message };
     let (head, body) = text
         .split_once("\r\n\r\n")
-        .ok_or_else(|| format!("response without header terminator: {text:.80}"))?;
+        .ok_or_else(|| torn(format!("response without header terminator: {text:.80}")))?;
     let status_line = head.lines().next().unwrap_or("");
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+        .ok_or_else(|| torn(format!("bad status line '{status_line}'")))?;
     Ok(ClientResponse { status, body: body.to_string() })
 }
 
@@ -199,10 +346,19 @@ mod tests {
 
     #[test]
     fn transport_errors_and_503_retry_but_real_answers_do_not() {
-        assert!(retryable(&Err("connect: refused".to_string())));
-        assert!(retryable(&Ok(ClientResponse { status: 503, body: String::new() })));
-        for status in [200, 400, 404, 408, 500] {
-            assert!(!retryable(&Ok(ClientResponse { status, body: String::new() })));
+        let refused = TransportError { refused: true, message: "connect: refused".into() };
+        assert_eq!(classify(&Err(refused)), Transient::Refused);
+        let torn = TransportError { refused: false, message: "read: reset".into() };
+        assert_eq!(classify(&Err(torn)), Transient::Transport);
+        assert_eq!(
+            classify(&Ok(ClientResponse { status: 503, body: String::new() })),
+            Transient::OverCapacity
+        );
+        for status in [200, 400, 404, 408, 500, 502] {
+            assert_eq!(
+                classify(&Ok(ClientResponse { status, body: String::new() })),
+                Transient::No
+            );
         }
     }
 
@@ -215,15 +371,29 @@ mod tests {
         };
         let policy = RetryPolicy {
             attempts: 3,
-            base_delay: Duration::from_millis(1),
-            max_delay: Duration::from_millis(2),
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(100),
             budget: Duration::from_secs(5),
+            refused_delay: Duration::from_millis(1),
             seed: 1,
         };
+        let mut counters = RetryCounters::default();
         let start = Instant::now();
-        let out = get_with_retry(&format!("127.0.0.1:{port}"), "/healthz", &policy);
+        let out = get_with_retry_counted(
+            &format!("127.0.0.1:{port}"),
+            "/healthz",
+            &[],
+            &policy,
+            &mut counters,
+        );
         assert!(out.is_err(), "nothing listens there");
         assert!(out.unwrap_err().contains("connect"), "error names the failing stage");
-        assert!(start.elapsed() < Duration::from_secs(4), "three tiny backoffs, not hangs");
+        // Refused connects take the fixed short delay, not the exponential
+        // schedule: two 1 ms sleeps, far under the 50–100 ms backoff floor.
+        assert!(start.elapsed() < Duration::from_millis(75), "refused retries must be cheap");
+        assert_eq!(counters.refused, 2, "both retries were refused connects");
+        assert_eq!(counters.other_transport, 0);
+        assert_eq!(counters.over_capacity, 0);
+        assert_eq!(counters.total(), 2);
     }
 }

@@ -1,6 +1,6 @@
-//! `dd-serve` — a concurrent directionality query server.
+//! `dd-serve` — a concurrent directionality query fleet.
 //!
-//! Serves tie-direction scores from a frozen, trained
+//! Serves tie-direction scores from a trained
 //! [`DirectionalityModel`](deepdirect::DirectionalityModel) over HTTP/1.1,
 //! built entirely on `std` networking (the build is offline/vendored — no
 //! tokio, no hyper). The design is deliberately production-shaped:
@@ -8,36 +8,55 @@
 //! - **Worker pool + bounded accept queue** ([`server`]): a fixed number of
 //!   threads drain a `sync_channel` of accepted connections; overflow is
 //!   answered with `503` instead of queueing without bound.
+//! - **Hot model reload** ([`slot`]): the model lives in an `Arc`-swappable
+//!   [`ModelSlot`]; `POST /admin/reload` swaps a new artifact in with zero
+//!   downtime while in-flight requests finish on the model they started
+//!   with. The fingerprint-keyed cache makes stale entries structurally
+//!   impossible.
+//! - **Sharded fleet** ([`router`]): `dd-router` consistent-hashes ties
+//!   across N shard processes, fails over on shard death, quarantines and
+//!   re-probes unhealthy shards, and aggregates `/metrics` with per-shard
+//!   labels. `dd serve --shards N` supervises a whole fleet.
 //! - **Per-request timeouts** ([`http`]): slow or hostile clients hit
 //!   read/write deadlines and size limits, never pinning a worker.
-//! - **Sharded LRU score cache** ([`lru`]): scores are pure functions of
-//!   the frozen model, so cache entries cannot go stale; eviction only
-//!   bounds memory.
+//! - **Sharded LRU score cache** ([`lru`]): entries are keyed by the
+//!   model's content fingerprint, so scores from a swapped-out model
+//!   simply stop matching; eviction only bounds memory.
 //! - **Observability**: per-endpoint request counters and latency
 //!   histograms in a [`Registry`](dd_telemetry::Registry) exported at
-//!   `GET /metrics`, plus structured JSONL request logs through the
-//!   dd-telemetry event sink.
+//!   `GET /metrics`, plus structured JSONL request logs (with model
+//!   fingerprint + reload generation on every trace root) through the
+//!   dd-telemetry event sink. `traceparent` propagates client → router →
+//!   shard, so a routed request is one trace across processes.
 //! - **Graceful shutdown** ([`signal`]): SIGINT/SIGTERM set a flag; the
-//!   server stops accepting, drains in-flight requests, and flushes logs.
+//!   fleet drains router first, then shards, flushing logs.
 //!
-//! # Endpoints
+//! # Endpoints (shard and router)
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness + model summary |
+//! | `GET /healthz` | liveness + model identity (router: per-shard fan-out) |
 //! | `GET /score?src=A&dst=B` | one directionality score (404 on unknown tie) |
 //! | `POST /batch` | JSONL of `{"src":A,"dst":B}` → JSONL of scores |
-//! | `GET /metrics` | plain-text registry dump |
+//! | `POST /admin/reload` | `{"path":"…"}` → swap in a new model artifact |
+//! | `GET /metrics` | Prometheus text exposition |
 //!
-//! See README.md "Serving" for the full wire contract and examples.
+//! See README.md "Serving" / "Fleet serving" for the full wire contract.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod http;
 pub mod lru;
+pub mod router;
 pub mod server;
 pub mod signal;
+pub mod slot;
 
 pub use lru::ScoreCache;
-pub use server::{ScoreResponse, ServeConfig, Server, ServerHandle, TiePair};
+pub use router::{Router, RouterConfig, RouterHandle, RouterHealth, ShardHealth};
+pub use server::{
+    HealthResponse, ReloadRequest, ReloadResponse, ScoreResponse, ServeConfig, Server,
+    ServerHandle, TiePair,
+};
+pub use slot::{ModelSlot, SlotReader};

@@ -1,11 +1,12 @@
 //! Sharded LRU cache for directionality scores.
 //!
-//! Scores are pure functions of the frozen model, so cached entries can
-//! never go stale (see DESIGN.md §7.7) — eviction exists only to bound
+//! Scores are pure functions of a loaded model, so cached entries can
+//! never go stale (see DESIGN.md §7.14) — eviction exists only to bound
 //! memory. Keys carry the model's content fingerprint as a generation
-//! namespace: if a future `dd serve` ever swaps the model in place, entries
-//! computed against the old weights simply stop matching instead of being
-//! served stale. Sharding by key hash keeps lock contention off the worker
+//! namespace: when `POST /admin/reload` hot-swaps the served model,
+//! entries computed against the old weights simply stop matching instead
+//! of being served stale — no flush, no invalidation protocol.
+//! Sharding by key hash keeps lock contention off the worker
 //! pool: each shard is an independent mutex around an intrusive-list LRU,
 //! so two workers scoring different ties almost never touch the same lock.
 

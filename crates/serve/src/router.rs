@@ -1,0 +1,926 @@
+//! The fleet router: consistent-hash request fan-out over shard replicas.
+//!
+//! A [`Router`] sits in front of N `dd-serve` shard processes (full
+//! replicas today; the hash ring makes a future embedding partition a
+//! config change, not a redesign — DESIGN.md §7.14). `(src, dst)` queries
+//! are consistent-hashed onto the ring, forwarded to the owning shard with
+//! `traceparent` propagated so a routed request is one trace across
+//! processes, and failed over to the next ring candidate on transport
+//! errors. Shards accumulate consecutive failures, get marked unhealthy,
+//! and are re-probed via `/healthz` by a background prober until they
+//! rejoin. `/metrics` aggregates router traffic with per-shard labels.
+//!
+//! The router never holds a model: `/score` and `/batch` are pure
+//! forwards, `/admin/reload` fans out to every shard, `/healthz` reports
+//! fleet state with per-shard fingerprints and reload generations.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dd_linalg::bytes::{fnv1a64, FNV64_SEED};
+use dd_linalg::Pcg32;
+use dd_runtime::{spawn_named, Threads, WorkerPool};
+use dd_telemetry::export::{prometheus_text, PromFamily};
+use dd_telemetry::trace::{
+    derive_span_id, derive_trace_id, format_traceparent, now_seconds, parse_traceparent,
+    SpanContext,
+};
+use dd_telemetry::{Counter, Event, Gauge, Histogram, MetricSnapshot, ObserverHandle, Registry};
+use serde::{Deserialize, Serialize};
+
+use crate::client::{self, ClientResponse, RetryPolicy};
+use crate::http;
+use crate::server::TiePair;
+
+const JSON: &str = "application/json";
+const NDJSON: &str = "application/x-ndjson";
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Router configuration. `Default` must be given `shards` before use.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Shard addresses (`host:port`), one per `dd-serve` process.
+    pub shards: Vec<String>,
+    /// Worker threads forwarding requests.
+    pub workers: usize,
+    /// Accepted connections that may queue before `503`.
+    pub queue_depth: usize,
+    /// Per-request read/write timeout on the client side of the router.
+    pub request_timeout: Duration,
+    /// Pacing for failover rounds after every candidate shard failed once.
+    pub retry: RetryPolicy,
+    /// Consecutive forward failures before a shard is marked unhealthy and
+    /// demoted to last-resort candidate until a probe revives it.
+    pub unhealthy_after: u32,
+    /// Background `/healthz` probe cadence for unhealthy shards.
+    pub probe_interval: Duration,
+    /// Virtual nodes per shard on the hash ring. More vnodes smooth the
+    /// key distribution; 32 keeps the ring a few hundred entries.
+    pub vnodes: usize,
+    /// Structured request-log sink.
+    pub observer: ObserverHandle,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:8070".to_string(),
+            shards: Vec::new(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            unhealthy_after: 3,
+            probe_interval: Duration::from_millis(200),
+            vnodes: 32,
+            observer: ObserverHandle::none(),
+        }
+    }
+}
+
+impl RouterConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.shards.is_empty() {
+            return Err("router: need at least one shard address".into());
+        }
+        if self.workers == 0 {
+            return Err("router: need at least one worker".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("router: queue depth must be positive".into());
+        }
+        if self.vnodes == 0 {
+            return Err("router: need at least one vnode per shard".into());
+        }
+        Ok(())
+    }
+}
+
+/// Consistent-hash ring: sorted `(hash, shard_index)` points, `vnodes`
+/// entries per shard. Lookup walks clockwise from the key's position and
+/// yields each distinct shard once — the natural failover order.
+struct Ring {
+    points: Vec<(u64, usize)>,
+    n_shards: usize,
+}
+
+impl Ring {
+    fn build(shards: &[String], vnodes: usize) -> Self {
+        let mut points: Vec<(u64, usize)> = Vec::with_capacity(shards.len() * vnodes);
+        for (i, addr) in shards.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a64(format!("{addr}#{v}").as_bytes(), FNV64_SEED), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, n_shards: shards.len() }
+    }
+
+    /// Every shard index, ordered by ring distance from `key` (the first
+    /// entry owns the key; the rest are the failover sequence).
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        let mut out = Vec::with_capacity(self.n_shards);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == self.n_shards {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Hash key for a tie: the router's unit of placement.
+fn tie_hash(src: u32, dst: u32) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&src.to_le_bytes());
+    bytes[4..].copy_from_slice(&dst.to_le_bytes());
+    fnv1a64(&bytes, FNV64_SEED)
+}
+
+/// Live state for one shard behind the router.
+struct ShardState {
+    addr: String,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    forwards: Arc<Counter>,
+    failures: Arc<Counter>,
+    healthy_gauge: Arc<Gauge>,
+}
+
+impl ShardState {
+    fn mark_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.healthy.store(true, Ordering::Release);
+        self.healthy_gauge.set(1.0);
+    }
+
+    fn mark_failure(&self, unhealthy_after: u32) {
+        self.failures.incr();
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= unhealthy_after && self.healthy.swap(false, Ordering::AcqRel) {
+            self.healthy_gauge.set(0.0);
+        }
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+}
+
+/// Endpoint labels for router metrics and request-log events.
+const ENDPOINTS: [&str; 8] =
+    ["healthz", "score", "batch", "metrics", "admin", "other", "timeout", "malformed"];
+
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+struct RouterState {
+    shards: Vec<ShardState>,
+    ring: Ring,
+    registry: Arc<Registry>,
+    observer: ObserverHandle,
+    endpoints: Vec<(&'static str, EndpointMetrics)>,
+    retry: RetryPolicy,
+    unhealthy_after: u32,
+    request_timeout: Duration,
+    queue_rejections: Arc<Counter>,
+    failovers: Arc<Counter>,
+    retry_refused: Arc<Counter>,
+    retry_transport: Arc<Counter>,
+    retry_over_capacity: Arc<Counter>,
+    request_seq: AtomicU64,
+}
+
+impl RouterState {
+    fn new(cfg: &RouterConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|&name| {
+                let m = EndpointMetrics {
+                    requests: registry.counter(&format!("router.requests.{name}")),
+                    latency: registry.histogram(&format!("router.latency.{name}"), 1e-5, 2.0, 23),
+                };
+                (name, m)
+            })
+            .collect();
+        let shards = cfg
+            .shards
+            .iter()
+            .map(|addr| {
+                let healthy_gauge = registry.gauge(&format!("router.shard.healthy.{addr}"));
+                healthy_gauge.set(1.0);
+                ShardState {
+                    addr: addr.clone(),
+                    healthy: AtomicBool::new(true),
+                    consecutive_failures: AtomicU32::new(0),
+                    forwards: registry.counter(&format!("router.shard.forwards.{addr}")),
+                    failures: registry.counter(&format!("router.shard.failures.{addr}")),
+                    healthy_gauge,
+                }
+            })
+            .collect();
+        registry.gauge("router.shards").set(cfg.shards.len() as f64);
+        RouterState {
+            shards,
+            ring: Ring::build(&cfg.shards, cfg.vnodes),
+            observer: cfg.observer.clone(),
+            endpoints,
+            retry: cfg.retry.clone(),
+            unhealthy_after: cfg.unhealthy_after,
+            request_timeout: cfg.request_timeout,
+            queue_rejections: registry.counter("router.rejected.queue_full"),
+            failovers: registry.counter("router.failovers"),
+            retry_refused: registry.counter("router.retry.refused"),
+            retry_transport: registry.counter("router.retry.transport"),
+            retry_over_capacity: registry.counter("router.retry.over_capacity"),
+            request_seq: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    fn endpoint(&self, name: &str) -> Option<&EndpointMetrics> {
+        self.endpoints.iter().find(|(n, _)| *n == name).map(|(_, m)| m)
+    }
+
+    /// Candidate order for a key: ring order, healthy shards first. An
+    /// unhealthy shard stays a last-resort candidate — with every replica
+    /// down it is still better to try than to fail outright.
+    fn ordered_candidates(&self, key: u64) -> Vec<usize> {
+        let ring_order = self.ring.candidates(key);
+        let mut healthy: Vec<usize> = Vec::with_capacity(ring_order.len());
+        let mut unhealthy: Vec<usize> = Vec::new();
+        for i in ring_order {
+            if self.shards[i].is_healthy() {
+                healthy.push(i);
+            } else {
+                unhealthy.push(i);
+            }
+        }
+        healthy.extend(unhealthy);
+        healthy
+    }
+
+    /// Forwards one GET to the first candidate that answers, failing over
+    /// through `candidates` and pacing full failed rounds with the retry
+    /// policy's backoff schedule. Returns the shard index that answered.
+    fn forward_get(
+        &self,
+        candidates: &[usize],
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<(usize, ClientResponse), String> {
+        self.forward(candidates, headers, |shard, hdrs| client::get_classified(shard, path, hdrs))
+    }
+
+    /// [`forward_get`] for POST bodies. Replay across shards is safe here
+    /// even though POST is not idempotent in general: shard scoring is a
+    /// pure read, so a sub-batch that died mid-flight can be re-sent to a
+    /// replica without double effects.
+    fn forward_post(
+        &self,
+        candidates: &[usize],
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<(usize, ClientResponse), String> {
+        self.forward(candidates, headers, |shard, hdrs| {
+            client::post_classified(shard, path, body, hdrs)
+        })
+    }
+
+    fn forward<F>(
+        &self,
+        candidates: &[usize],
+        headers: &[(&str, &str)],
+        send: F,
+    ) -> Result<(usize, ClientResponse), String>
+    where
+        F: Fn(&str, &[(&str, &str)]) -> Result<ClientResponse, client::TransportError>,
+    {
+        let mut rng = Pcg32::seed_from_u64(self.retry.seed);
+        // dd-lint: allow(trace-hygiene) — failover-budget accounting on the
+        // forwarding path; latency is reported via the endpoint histogram.
+        let start = Instant::now();
+        let rounds = self.retry.attempts.max(1);
+        let mut last_err = String::from("no shards configured");
+        for round in 0..rounds {
+            for (nth, &i) in candidates.iter().enumerate() {
+                let shard = &self.shards[i];
+                shard.forwards.incr();
+                match send(&shard.addr, headers) {
+                    Ok(resp) if resp.status != 503 => {
+                        shard.mark_success();
+                        if nth > 0 || round > 0 {
+                            self.failovers.incr();
+                        }
+                        return Ok((i, resp));
+                    }
+                    Ok(resp) => {
+                        // Shard alive but over capacity: not a health
+                        // strike, but try the next replica.
+                        self.retry_over_capacity.incr();
+                        last_err = format!("{}: 503 {}", shard.addr, resp.body);
+                    }
+                    Err(e) => {
+                        if e.refused {
+                            self.retry_refused.incr();
+                        } else {
+                            self.retry_transport.incr();
+                        }
+                        shard.mark_failure(self.unhealthy_after);
+                        last_err = format!("{}: {}", shard.addr, e.message);
+                    }
+                }
+            }
+            // Every candidate failed this round; pace the next round. A
+            // refused connect fails instantly, so without this sleep a dead
+            // fleet would burn all rounds in microseconds.
+            let sleep = self.retry.backoff(round, &mut rng).max(self.retry.refused_delay);
+            if round + 1 >= rounds || start.elapsed() + sleep > self.retry.budget {
+                break;
+            }
+            std::thread::sleep(sleep);
+        }
+        Err(last_err)
+    }
+}
+
+/// `GET /healthz` payload: fleet state with per-shard model identity.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RouterHealth {
+    /// `"ok"` when every shard answers, `"degraded"` when some (but not
+    /// all) are down — the ring fails over, so this still serves — and
+    /// `"down"` (with a 503) when no shard answers.
+    pub status: String,
+    /// Shards currently answering their `/healthz`.
+    pub healthy_shards: usize,
+    /// Per-shard detail, in configuration order.
+    pub shards: Vec<ShardHealth>,
+}
+
+/// One shard's entry in [`RouterHealth`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard address (`host:port`).
+    pub addr: String,
+    /// Whether the shard answered the live probe for this request.
+    pub healthy: bool,
+    /// The shard's model content fingerprint, when it answered.
+    pub fingerprint: Option<String>,
+    /// The shard's reload generation, when it answered.
+    pub generation: Option<u64>,
+}
+
+type Routed = (&'static str, u16, &'static str, Vec<u8>);
+
+fn error_body(msg: &str) -> Vec<u8> {
+    format!("{{\"error\":{}}}", serde_json::to_string(&msg.to_string()).unwrap_or_default())
+        .into_bytes()
+}
+
+fn route(state: &RouterState, req: &http::Request, traceparent: &str) -> Routed {
+    let fwd_headers: [(&str, &str); 1] = [("traceparent", traceparent)];
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz_endpoint(state),
+        ("GET", "/score") => score_endpoint(state, req, &fwd_headers),
+        ("POST", "/batch") => batch_endpoint(state, req, &fwd_headers),
+        ("POST", "/admin/reload") => reload_endpoint(state, req, &fwd_headers),
+        ("GET", "/metrics") => {
+            let families = [
+                PromFamily {
+                    prefix: "router.requests.",
+                    family: "dd_router_requests",
+                    label: "endpoint",
+                    help: "Requests handled by the router, by endpoint.",
+                },
+                PromFamily {
+                    prefix: "router.latency.",
+                    family: "dd_router_latency_seconds",
+                    label: "endpoint",
+                    help: "Router request wall latency in seconds, by endpoint.",
+                },
+                PromFamily {
+                    prefix: "router.shard.forwards.",
+                    family: "dd_router_shard_forwards",
+                    label: "shard",
+                    help: "Forward attempts, by shard address.",
+                },
+                PromFamily {
+                    prefix: "router.shard.failures.",
+                    family: "dd_router_shard_failures",
+                    label: "shard",
+                    help: "Failed forward attempts, by shard address.",
+                },
+                PromFamily {
+                    prefix: "router.shard.healthy.",
+                    family: "dd_router_shard_healthy",
+                    label: "shard",
+                    help: "1 when the shard is in rotation, 0 while quarantined.",
+                },
+            ];
+            let body = prometheus_text(&state.registry.snapshot(), &families).into_bytes();
+            ("metrics", 200, PROM_TEXT, body)
+        }
+        (_, "/healthz" | "/score" | "/batch" | "/metrics" | "/admin/reload") => {
+            ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
+        }
+        (_, path) => ("other", 404, JSON, error_body(&format!("no such endpoint '{path}'"))),
+    }
+}
+
+fn healthz_endpoint(state: &RouterState) -> Routed {
+    let mut shards = Vec::with_capacity(state.shards.len());
+    let mut healthy_shards = 0usize;
+    for shard in &state.shards {
+        let mut entry = ShardHealth {
+            addr: shard.addr.clone(),
+            healthy: false,
+            fingerprint: None,
+            generation: None,
+        };
+        if let Ok(resp) = client::get_classified(&shard.addr, "/healthz", &[]) {
+            if resp.status == 200 {
+                entry.healthy = true;
+                healthy_shards += 1;
+                shard.mark_success();
+                if let Ok(h) = serde_json::from_str::<crate::server::HealthResponse>(&resp.body) {
+                    entry.fingerprint = Some(h.model_fingerprint);
+                    entry.generation = h.generation;
+                }
+            } else {
+                shard.mark_failure(state.unhealthy_after);
+            }
+        } else {
+            shard.mark_failure(state.unhealthy_after);
+        }
+        shards.push(entry);
+    }
+    let status_word = if healthy_shards == 0 {
+        "down"
+    } else if healthy_shards < state.shards.len() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = RouterHealth { status: status_word.to_string(), healthy_shards, shards };
+    // Partial outages still serve (the ring fails over), so only a fully
+    // dead fleet is a 503.
+    let status = if healthy_shards == 0 { 503 } else { 200 };
+    ("healthz", status, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
+}
+
+fn parse_id(req: &http::Request, key: &str) -> Result<u32, String> {
+    match req.query_param(key) {
+        None => Err(format!("missing query parameter '{key}' (expected /score?src=A&dst=B)")),
+        Some(raw) => raw
+            .parse::<u32>()
+            .map_err(|_| format!("query parameter '{key}' must be a node id, got '{raw}'")),
+    }
+}
+
+fn score_endpoint(state: &RouterState, req: &http::Request, headers: &[(&str, &str)]) -> Routed {
+    let (src, dst) = match (parse_id(req, "src"), parse_id(req, "dst")) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(e), _) | (_, Err(e)) => return ("score", 400, JSON, error_body(&e)),
+    };
+    let candidates = state.ordered_candidates(tie_hash(src, dst));
+    let path = format!("/score?src={src}&dst={dst}");
+    match state.forward_get(&candidates, &path, headers) {
+        Ok((_, resp)) => {
+            // Shard verdicts (200 score, 404 unknown tie, 400) pass through
+            // verbatim — the router adds routing, not semantics.
+            ("score", resp.status, JSON, resp.body.into_bytes())
+        }
+        Err(e) => ("score", 502, JSON, error_body(&format!("all shards failed: {e}"))),
+    }
+}
+
+fn batch_endpoint(state: &RouterState, req: &http::Request, headers: &[(&str, &str)]) -> Routed {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return ("batch", 400, JSON, error_body("body must be UTF-8 JSONL"));
+    };
+    // Parse every line up front so a malformed batch is rejected before any
+    // shard sees a partial forward.
+    let mut pairs: Vec<TiePair> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TiePair>(line) {
+            Ok(p) => pairs.push(p),
+            Err(e) => {
+                return (
+                    "batch",
+                    400,
+                    JSON,
+                    error_body(&format!("line {}: expected {{\"src\":A,\"dst\":B}}: {e}", i + 1)),
+                )
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return ("batch", 400, JSON, error_body("empty batch: send one JSON pair per line"));
+    }
+
+    // Group pairs by owning shard (ring candidate order is per-tie, so the
+    // groups also carry their failover sequences), forward each sub-batch,
+    // then reassemble responses in the original request order.
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new(); // (candidates, pair indices)
+    for (idx, p) in pairs.iter().enumerate() {
+        let candidates = state.ordered_candidates(tie_hash(p.src, p.dst));
+        match groups.iter_mut().find(|(c, _)| c.first() == candidates.first()) {
+            Some((_, members)) => members.push(idx),
+            None => groups.push((candidates, vec![idx])),
+        }
+    }
+
+    let mut lines: Vec<Option<String>> = vec![None; pairs.len()];
+    for (candidates, members) in &groups {
+        let mut body = String::new();
+        for &idx in members {
+            body.push_str(&serde_json::to_string(&pairs[idx]).unwrap_or_default());
+            body.push('\n');
+        }
+        let resp = match state.forward_post(candidates, "/batch", &body, headers) {
+            Ok((_, resp)) if resp.status == 200 => resp,
+            Ok((i, resp)) => {
+                return (
+                    "batch",
+                    502,
+                    JSON,
+                    error_body(&format!(
+                        "shard {} rejected sub-batch with {}: {}",
+                        state.shards[i].addr, resp.status, resp.body
+                    )),
+                )
+            }
+            Err(e) => return ("batch", 502, JSON, error_body(&format!("all shards failed: {e}"))),
+        };
+        let mut got = resp.body.lines().filter(|l| !l.trim().is_empty());
+        for &idx in members {
+            match got.next() {
+                Some(line) => lines[idx] = Some(line.to_string()),
+                None => {
+                    return (
+                        "batch",
+                        502,
+                        JSON,
+                        error_body("shard returned fewer lines than its sub-batch"),
+                    )
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for line in lines.into_iter().flatten() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    ("batch", 200, NDJSON, out.into_bytes())
+}
+
+/// `POST /admin/reload` fans out to every shard so the whole fleet swaps to
+/// the new artifact. The response aggregates each shard's verdict; the
+/// status is `200` only when every shard reloaded.
+fn reload_endpoint(state: &RouterState, req: &http::Request, headers: &[(&str, &str)]) -> Routed {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return ("admin", 400, JSON, error_body("body must be UTF-8 JSON"));
+    };
+    let mut results = Vec::with_capacity(state.shards.len());
+    let mut all_ok = true;
+    for shard in &state.shards {
+        let (ok, detail) =
+            match client::post_classified(&shard.addr, "/admin/reload", body, headers) {
+                Ok(resp) if resp.status == 200 => (true, resp.body),
+                Ok(resp) => (false, format!("status {}: {}", resp.status, resp.body)),
+                Err(e) => (false, e.message),
+            };
+        all_ok &= ok;
+        results.push(format!(
+            "{{\"addr\":{},\"ok\":{ok},\"detail\":{}}}",
+            serde_json::to_string(&shard.addr).unwrap_or_default(),
+            if ok { detail } else { serde_json::to_string(&detail).unwrap_or_default() },
+        ));
+    }
+    let status = if all_ok { 200 } else { 502 };
+    let body = format!("{{\"shards\":[{}]}}", results.join(","));
+    ("admin", status, JSON, body.into_bytes())
+}
+
+fn handle_connection(state: &RouterState, stream: TcpStream, accepted: Instant) {
+    // dd-lint: allow(trace-hygiene) — request latency measurement for the
+    // router's endpoint histograms and access log.
+    let start = Instant::now();
+    let start_seconds = now_seconds();
+    let queue_seconds = start.saturating_duration_since(accepted).as_secs_f64();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.request_timeout));
+    let _ = stream.set_write_timeout(Some(state.request_timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let parsed = http::read_request(&mut reader);
+
+    let seq = state.request_seq.fetch_add(1, Ordering::Relaxed);
+    let client_trace =
+        parsed.as_ref().ok().and_then(|r| r.header("traceparent")).and_then(parse_traceparent);
+    let trace_id = client_trace.unwrap_or_else(|| derive_trace_id(seq, "router.request"));
+    let root_sid = derive_span_id(trace_id, 0, "router.request", seq);
+    // The shard sees the router's span as its parent: one trace, three
+    // processes (client → router → shard).
+    let fwd_traceparent = format_traceparent(SpanContext { trace_id, span_id: root_sid });
+
+    let (endpoint, status, content_type, body) = match parsed {
+        Ok(req) => match catch_unwind(AssertUnwindSafe(|| route(state, &req, &fwd_traceparent))) {
+            Ok(routed) => routed,
+            Err(_) => ("other", 500, JSON, error_body("internal error: router panicked")),
+        },
+        Err(http::ParseError::ConnectionClosed) => return,
+        Err(http::ParseError::Timeout) => {
+            ("timeout", 408, JSON, error_body("timed out reading request"))
+        }
+        Err(e @ http::ParseError::TooLarge(_)) => {
+            ("malformed", 413, JSON, error_body(&e.to_string()))
+        }
+        Err(e @ http::ParseError::Malformed(_)) => {
+            ("malformed", 400, JSON, error_body(&e.to_string()))
+        }
+        Err(http::ParseError::Io(_)) => return,
+    };
+    let mut write_half = stream;
+    let echo = format_traceparent(SpanContext { trace_id, span_id: root_sid });
+    let _ = http::write_response_with_headers(
+        &mut write_half,
+        status,
+        content_type,
+        &[("traceparent", echo)],
+        &body,
+    );
+    let seconds = start.elapsed().as_secs_f64();
+    if let Some(m) = state.endpoint(endpoint) {
+        m.requests.incr();
+        m.latency.record(seconds);
+    }
+    if state.observer.is_enabled() {
+        let mut e =
+            Event::serve_request(endpoint, status, seconds).with_trace(trace_id, root_sid, None);
+        e.name = Some(format!("router.{endpoint}"));
+        e.start_seconds = Some(start_seconds);
+        e.fields = Some(vec![("queue_seconds".to_string(), queue_seconds)]);
+        state.observer.on_event(&e);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<(TcpStream, Instant)>,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<RouterState>,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            // dd-lint: allow(trace-hygiene) — queue-wait enqueue timestamp.
+            Ok(stream) => match tx.try_send((stream, Instant::now())) {
+                Ok(()) => {}
+                Err(TrySendError::Full((stream, _))) => {
+                    state.queue_rejections.incr();
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        JSON,
+                        &error_body("router queue full, retry later"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(_) if shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => {}
+        }
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<RouterState>) {
+    loop {
+        let next = { rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv() };
+        match next {
+            Ok((stream, accepted)) => {
+                let _ =
+                    catch_unwind(AssertUnwindSafe(|| handle_connection(&state, stream, accepted)));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Re-probes quarantined shards until they answer `/healthz` again, then
+/// puts them back in rotation. Healthy shards are left alone — the request
+/// path itself is their health signal.
+fn prober_loop(state: Arc<RouterState>, shutdown: Arc<AtomicBool>, interval: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        for shard in &state.shards {
+            if shard.is_healthy() {
+                continue;
+            }
+            if let Ok(resp) = client::get_classified(&shard.addr, "/healthz", &[]) {
+                if resp.status == 200 {
+                    shard.mark_success();
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// The router factory. See [`Router::start`].
+pub struct Router;
+
+impl Router {
+    /// Binds `cfg.addr`, spawns the acceptor, worker pool, and health
+    /// prober, and returns a handle. The router owns no model — every
+    /// score is answered by a shard.
+    pub fn start(cfg: RouterConfig) -> Result<RouterHandle, String> {
+        cfg.validate()?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let state = Arc::new(RouterState::new(&cfg));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(cfg.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = {
+            let state = Arc::clone(&state);
+            WorkerPool::start(
+                "dd-router-worker",
+                Threads::new(cfg.workers).map_err(|e| format!("router workers: {e}"))?,
+                move |_| worker_loop(Arc::clone(&rx), Arc::clone(&state)),
+            )?
+        };
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            spawn_named("dd-router-acceptor", move || accept_loop(listener, tx, shutdown, state))?
+        };
+        let prober = {
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            let interval = cfg.probe_interval;
+            spawn_named("dd-router-prober", move || prober_loop(state, shutdown, interval))?
+        };
+
+        Ok(RouterHandle {
+            addr,
+            registry: Arc::clone(&state.registry),
+            observer: cfg.observer,
+            shutdown,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+            workers,
+        })
+    }
+}
+
+/// A running router. Dropping the handle shuts it down gracefully; call
+/// [`RouterHandle::shutdown`] to do it explicitly and get the request
+/// count back. Drain order for a fleet is router first, then shards —
+/// the router finishes its queued forwards against still-live shards.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    observer: ObserverHandle,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    workers: WorkerPool,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metric registry (same data `/metrics` renders).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Total requests handled so far, across all endpoints.
+    pub fn requests_total(&self) -> u64 {
+        self.registry
+            .snapshot()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("router.requests."))
+            .map(|(_, snap)| match snap {
+                MetricSnapshot::Counter(c) => c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued forwards, join the
+    /// pool and prober. Returns the total number of requests handled.
+    pub fn shutdown(mut self) -> u64 {
+        self.shutdown_impl();
+        self.requests_total()
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.workers.join();
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+        self.observer.flush();
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_assignment_is_stable_and_complete() {
+        let shards = vec![
+            "127.0.0.1:9001".to_string(),
+            "127.0.0.1:9002".to_string(),
+            "127.0.0.1:9003".to_string(),
+        ];
+        let ring = Ring::build(&shards, 32);
+        for key in [0u64, 1, u64::MAX, tie_hash(7, 9), tie_hash(9, 7)] {
+            let c = ring.candidates(key);
+            assert_eq!(c.len(), 3, "every shard appears exactly once");
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            // Stable: the same key always maps to the same order.
+            assert_eq!(c, ring.candidates(key));
+        }
+        // Orientation matters: (src,dst) and (dst,src) are distinct keys.
+        assert_ne!(tie_hash(7, 9), tie_hash(9, 7));
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let three = vec![
+            "127.0.0.1:9001".to_string(),
+            "127.0.0.1:9002".to_string(),
+            "127.0.0.1:9003".to_string(),
+        ];
+        let ring3 = Ring::build(&three, 32);
+        let ring2 = Ring::build(&three[..2], 32);
+        let mut moved = 0usize;
+        let mut kept = 0usize;
+        for src in 0..40u32 {
+            for dst in 0..40u32 {
+                let key = tie_hash(src, dst);
+                let owner3 = ring3.candidates(key)[0];
+                let owner2 = ring2.candidates(key)[0];
+                if owner3 == 2 {
+                    // Keys owned by the removed shard must land somewhere.
+                    assert!(owner2 < 2);
+                } else if owner3 == owner2 {
+                    kept += 1;
+                } else {
+                    moved += 1;
+                }
+            }
+        }
+        // Consistent hashing: keys not owned by the removed shard stay put.
+        assert_eq!(moved, 0, "{moved} keys moved that should have been stable ({kept} kept)");
+        assert!(kept > 0);
+    }
+}

@@ -1,13 +1,16 @@
 //! The query server: a fixed worker pool behind a bounded accept queue,
-//! serving scores out of a frozen [`DirectionalityModel`].
+//! serving scores out of a hot-swappable [`DirectionalityModel`].
 //!
 //! Production shape, not framework shape: the acceptor thread pushes
 //! connections into a bounded `sync_channel` (overflow → immediate `503`
 //! instead of unbounded memory), each worker parses one request per
 //! connection under per-request read/write timeouts, scores through the
 //! sharded LRU cache, and records per-endpoint counters + latency
-//! histograms into a [`Registry`] that `/metrics` exports. Shutdown is
-//! graceful: stop accepting, drain every queued connection, join the pool.
+//! histograms into a [`Registry`] that `/metrics` exports. The model lives
+//! in a [`ModelSlot`]: `POST /admin/reload` swaps a new artifact in while
+//! in-flight requests finish on the `Arc` they started with (DESIGN.md
+//! §7.14). Shutdown is graceful: stop accepting, drain every queued
+//! connection, join the pool.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::http;
 use crate::lru::ScoreCache;
+use crate::slot::{ModelSlot, SlotReader};
 
 const JSON: &str = "application/json";
 const NDJSON: &str = "application/x-ndjson";
@@ -98,7 +102,7 @@ struct EndpointMetrics {
 
 /// Everything a worker needs to answer requests.
 struct AppState {
-    model: Arc<DirectionalityModel>,
+    slot: Arc<ModelSlot>,
     cache: Option<ScoreCache>,
     registry: Arc<Registry>,
     observer: ObserverHandle,
@@ -111,6 +115,11 @@ struct AppState {
     queue_rejections: Arc<Counter>,
     panics: Arc<Counter>,
     pool_utilization: Arc<Gauge>,
+    /// Current reload generation, exported so dashboards can correlate
+    /// latency shifts with model swaps.
+    model_generation: Arc<Gauge>,
+    /// Successful `POST /admin/reload` swaps.
+    model_reloads: Arc<Counter>,
     started: Instant,
     n_workers: usize,
     panic_route: bool,
@@ -129,11 +138,11 @@ struct RouteStats {
 }
 
 /// Endpoint labels used in metric names and request-log events.
-const ENDPOINTS: [&str; 8] =
-    ["healthz", "score", "batch", "metrics", "other", "timeout", "malformed", "panic"];
+const ENDPOINTS: [&str; 9] =
+    ["healthz", "score", "batch", "metrics", "admin", "other", "timeout", "malformed", "panic"];
 
 impl AppState {
-    fn new(model: Arc<DirectionalityModel>, cfg: &ServeConfig) -> Self {
+    fn new(slot: Arc<ModelSlot>, cfg: &ServeConfig) -> Self {
         let registry = Arc::new(Registry::new());
         let endpoints = ENDPOINTS
             .iter()
@@ -147,8 +156,10 @@ impl AppState {
             })
             .collect();
         registry.gauge("serve.pool.workers").set(cfg.workers as f64);
+        let model_generation = registry.gauge("serve.model.generation");
+        model_generation.set(slot.generation() as f64);
         AppState {
-            model,
+            slot,
             cache: ScoreCache::new(cfg.cache_size),
             cache_hits: registry.counter("serve.cache.hits"),
             cache_misses: registry.counter("serve.cache.misses"),
@@ -156,6 +167,8 @@ impl AppState {
             cache_occupancy: registry.gauge("serve.cache.occupancy"),
             queue_rejections: registry.counter("serve.rejected.queue_full"),
             panics: registry.counter("serve.panics"),
+            model_generation,
+            model_reloads: registry.counter("serve.model.reloads"),
             observer: cfg.observer.clone(),
             request_timeout: cfg.request_timeout,
             endpoints,
@@ -188,23 +201,30 @@ impl AppState {
         self.endpoints.iter().find(|(n, _)| *n == name).map(|(_, m)| m)
     }
 
-    /// Scores `(src, dst)` through the LRU cache. `None` when the ordered
-    /// tie is not in the trained universe (never cached).
+    /// Scores `(src, dst)` against `model` through the LRU cache. `None`
+    /// when the ordered tie is not in the trained universe (never cached).
     ///
     /// Entries are keyed by the model's content fingerprint in addition to
-    /// the tie, so a future in-place model swap invalidates the whole cache
-    /// by construction — stale scores can never be served.
-    fn score_cached(&self, src: u32, dst: u32, stats: &mut RouteStats) -> Option<f64> {
+    /// the tie, so a hot reload invalidates the whole cache by construction
+    /// — stale scores can never be served, even while requests on two model
+    /// generations are in flight at once.
+    fn score_cached(
+        &self,
+        model: &DirectionalityModel,
+        src: u32,
+        dst: u32,
+        stats: &mut RouteStats,
+    ) -> Option<f64> {
         let Some(cache) = &self.cache else {
-            return self.model.score(NodeId(src), NodeId(dst));
+            return model.score(NodeId(src), NodeId(dst));
         };
-        let key = (self.model.fingerprint(), src, dst);
+        let key = (model.fingerprint(), src, dst);
         if let Some(v) = cache.get(key) {
             self.cache_hits.incr();
             stats.cache_hits += 1;
             return Some(v);
         }
-        let v = self.model.score(NodeId(src), NodeId(dst))?;
+        let v = model.score(NodeId(src), NodeId(dst))?;
         self.cache_misses.incr();
         stats.cache_misses += 1;
         if cache.insert(key, v) {
@@ -216,14 +236,20 @@ impl AppState {
 }
 
 /// `GET /healthz` payload.
-#[derive(Serialize, Deserialize)]
-struct HealthResponse {
-    status: String,
-    ties: usize,
-    model_schema: u32,
+#[derive(Debug, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"` while the server is accepting requests.
+    pub status: String,
+    /// Ties in the served model's training universe.
+    pub ties: usize,
+    /// Model artifact schema version the server was built against.
+    pub model_schema: u32,
     /// Content fingerprint of the served model (16 lowercase hex digits);
     /// identical whether the model was loaded from JSON or `.ddm`.
-    model_fingerprint: String,
+    pub model_fingerprint: String,
+    /// Reload generation: 1 for the model the process started with,
+    /// incremented by every successful `POST /admin/reload`.
+    pub generation: Option<u64>,
 }
 
 /// A tie pair, as accepted by `/score` query params and `/batch` JSONL lines.
@@ -246,6 +272,33 @@ pub struct ScoreResponse {
     pub score: Option<f64>,
     /// Error description; absent on success.
     pub error: Option<String>,
+    /// Content fingerprint (16 lowercase hex digits) of the model that
+    /// produced this score. Under hot reload this is the ground truth for
+    /// which generation answered — scores are bit-identical to offline
+    /// scoring against the artifact with this fingerprint.
+    pub fingerprint: Option<String>,
+}
+
+/// `POST /admin/reload` request body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReloadRequest {
+    /// Path to the new model artifact (JSON or binary `.ddm`, sniffed).
+    pub path: String,
+}
+
+/// `POST /admin/reload` success payload.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// `"reloaded"` on success.
+    pub status: String,
+    /// Fingerprint of the model that was swapped out.
+    pub old_fingerprint: String,
+    /// Fingerprint of the model now being served.
+    pub new_fingerprint: String,
+    /// Reload generation after the swap.
+    pub generation: u64,
+    /// Ties in the new model's training universe.
+    pub ties: usize,
 }
 
 fn error_body(msg: &str) -> Vec<u8> {
@@ -255,19 +308,27 @@ fn error_body(msg: &str) -> Vec<u8> {
 
 type Routed = (&'static str, u16, &'static str, Vec<u8>);
 
-fn route(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
+fn route(
+    state: &AppState,
+    model: &Arc<DirectionalityModel>,
+    generation: u64,
+    req: &http::Request,
+    stats: &mut RouteStats,
+) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let body = HealthResponse {
                 status: "ok".to_string(),
-                ties: state.model.n_ties(),
+                ties: model.n_ties(),
                 model_schema: MODEL_SCHEMA_VERSION,
-                model_fingerprint: format!("{:016x}", state.model.fingerprint()),
+                model_fingerprint: format!("{:016x}", model.fingerprint()),
+                generation: Some(generation),
             };
             ("healthz", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }
-        ("GET", "/score") => score_endpoint(state, req, stats),
-        ("POST", "/batch") => batch_endpoint(state, req, stats),
+        ("GET", "/score") => score_endpoint(state, model, req, stats),
+        ("POST", "/batch") => batch_endpoint(state, model, req, stats),
+        ("POST", "/admin/reload") => reload_endpoint(state, req),
         // Fault injection for the chaos suite (ServeConfig::panic_route);
         // with the flag off this falls through to the 404 arm.
         ("GET", "/__panic") if state.panic_route => {
@@ -278,9 +339,24 @@ fn route(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Route
                 state.cache_occupancy.set(cache.len() as f64);
             }
             state.update_pool_utilization();
-            ("metrics", 200, PROM_TEXT, render_metrics(&state.registry))
+            state.model_generation.set(state.slot.generation() as f64);
+            let mut body = render_metrics(&state.registry);
+            // The 64-bit fingerprint cannot ride in an f64 gauge without
+            // precision loss, so it rides as an info-style label instead
+            // (value = generation, like Prometheus build_info).
+            body.extend_from_slice(
+                format!(
+                    "# HELP dd_serve_model_info Identity of the currently served model.\n\
+                     # TYPE dd_serve_model_info gauge\n\
+                     dd_serve_model_info{{fingerprint=\"{:016x}\"}} {}\n",
+                    model.fingerprint(),
+                    generation,
+                )
+                .as_bytes(),
+            );
+            ("metrics", 200, PROM_TEXT, body)
         }
-        (_, "/healthz" | "/score" | "/batch" | "/metrics") => {
+        (_, "/healthz" | "/score" | "/batch" | "/metrics" | "/admin/reload") => {
             ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
         }
         (_, path) => ("other", 404, JSON, error_body(&format!("no such endpoint '{path}'"))),
@@ -296,14 +372,20 @@ fn parse_id(req: &http::Request, key: &str) -> Result<u32, String> {
     }
 }
 
-fn score_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
+fn score_endpoint(
+    state: &AppState,
+    model: &Arc<DirectionalityModel>,
+    req: &http::Request,
+    stats: &mut RouteStats,
+) -> Routed {
     let (src, dst) = match (parse_id(req, "src"), parse_id(req, "dst")) {
         (Ok(s), Ok(d)) => (s, d),
         (Err(e), _) | (_, Err(e)) => return ("score", 400, JSON, error_body(&e)),
     };
-    match state.score_cached(src, dst, stats) {
+    let fingerprint = Some(format!("{:016x}", model.fingerprint()));
+    match state.score_cached(model, src, dst, stats) {
         Some(score) => {
-            let body = ScoreResponse { src, dst, score: Some(score), error: None };
+            let body = ScoreResponse { src, dst, score: Some(score), error: None, fingerprint };
             ("score", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }
         None => {
@@ -312,16 +394,23 @@ fn score_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats)
                 dst,
                 score: None,
                 error: Some("unknown tie: pair was not in the training universe".to_string()),
+                fingerprint,
             };
             ("score", 404, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }
     }
 }
 
-fn batch_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats) -> Routed {
+fn batch_endpoint(
+    state: &AppState,
+    model: &Arc<DirectionalityModel>,
+    req: &http::Request,
+    stats: &mut RouteStats,
+) -> Routed {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return ("batch", 400, JSON, error_body("body must be UTF-8 JSONL"));
     };
+    let fingerprint = format!("{:016x}", model.fingerprint());
     let mut out = String::new();
     let mut n_pairs = 0usize;
     for (i, line) in text.lines().enumerate() {
@@ -340,15 +429,20 @@ fn batch_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats)
             }
         };
         n_pairs += 1;
-        let resp = match state.score_cached(pair.src, pair.dst, stats) {
-            Some(score) => {
-                ScoreResponse { src: pair.src, dst: pair.dst, score: Some(score), error: None }
-            }
+        let resp = match state.score_cached(model, pair.src, pair.dst, stats) {
+            Some(score) => ScoreResponse {
+                src: pair.src,
+                dst: pair.dst,
+                score: Some(score),
+                error: None,
+                fingerprint: Some(fingerprint.clone()),
+            },
             None => ScoreResponse {
                 src: pair.src,
                 dst: pair.dst,
                 score: None,
                 error: Some("unknown tie".to_string()),
+                fingerprint: Some(fingerprint.clone()),
             },
         };
         out.push_str(&serde_json::to_string(&resp).unwrap_or_default());
@@ -358,6 +452,46 @@ fn batch_endpoint(state: &AppState, req: &http::Request, stats: &mut RouteStats)
         return ("batch", 400, JSON, error_body("empty batch: send one JSON pair per line"));
     }
     ("batch", 200, NDJSON, out.into_bytes())
+}
+
+/// `POST /admin/reload`: loads the artifact named in the body off the hot
+/// path, validates it, and swaps it into the slot. In-flight requests keep
+/// the old `Arc`; the fingerprint-keyed cache makes their entries
+/// unreachable to the new generation automatically. The load runs on this
+/// worker thread — other workers keep serving throughout.
+fn reload_endpoint(state: &AppState, req: &http::Request) -> Routed {
+    let parsed: Result<ReloadRequest, _> = match std::str::from_utf8(&req.body) {
+        Ok(text) => serde_json::from_str(text),
+        Err(_) => return ("admin", 400, JSON, error_body("body must be UTF-8 JSON")),
+    };
+    let reload = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            return ("admin", 400, JSON, error_body(&format!("expected {{\"path\":\"…\"}}: {e}")))
+        }
+    };
+    let new = match DirectionalityModel::load_from_path(&reload.path) {
+        Ok(m) => m,
+        Err(e) => return ("admin", 400, JSON, error_body(&format!("reload failed: {e}"))),
+    };
+    if new.n_ties() == 0 {
+        return ("admin", 400, JSON, error_body("reload rejected: model has no ties"));
+    }
+    let new_fingerprint = format!("{:016x}", new.fingerprint());
+    let ties = new.n_ties();
+    let old = state.slot.swap(Arc::new(new));
+    let generation = state.slot.generation();
+    state.model_generation.set(generation as f64);
+    state.model_reloads.incr();
+    state.observer.on_event(&Event::metric("serve.model.reload", generation as f64, None));
+    let body = ReloadResponse {
+        status: "reloaded".to_string(),
+        old_fingerprint: format!("{:016x}", old.fingerprint()),
+        new_fingerprint,
+        generation,
+        ties,
+    };
+    ("admin", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
 }
 
 /// Renders the registry in Prometheus text exposition format (0.0.4).
@@ -383,7 +517,12 @@ fn render_metrics(registry: &Registry) -> Vec<u8> {
     prometheus_text(&registry.snapshot(), &families).into_bytes()
 }
 
-fn handle_connection(state: &AppState, stream: TcpStream, accepted: Instant) {
+fn handle_connection(
+    state: &AppState,
+    reader_slot: &mut SlotReader,
+    stream: TcpStream,
+    accepted: Instant,
+) {
     // dd-lint: allow(trace-hygiene) — request latency/queue-wait measurement
     // is the serving path's own instrumentation, reported via telemetry.
     let start = Instant::now();
@@ -395,6 +534,12 @@ fn handle_connection(state: &AppState, stream: TcpStream, accepted: Instant) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let parsed = http::read_request(&mut reader);
+
+    // The request's model snapshot: cloned once here so a reload mid-request
+    // cannot change what this request scores against, and so the response
+    // fingerprint always names the model that actually answered.
+    let model = Arc::clone(reader_slot.current());
+    let generation = reader_slot.generation();
 
     // Request trace identity: a client-supplied `traceparent` wins (the
     // request joins the caller's trace); otherwise each request opens its
@@ -416,14 +561,18 @@ fn handle_connection(state: &AppState, stream: TcpStream, accepted: Instant) {
         // serving. The state captured here is only read behind its own
         // locks/atomics, so `AssertUnwindSafe` cannot observe broken
         // invariants.
-        Ok(req) => match catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut stats))) {
-            Ok(routed) => routed,
-            Err(_) => {
-                state.panics.incr();
-                state.observer.on_event(&Event::serve_panic(&req.path));
-                ("panic", 500, JSON, error_body("internal error: request handler panicked"))
+        Ok(req) => {
+            match catch_unwind(AssertUnwindSafe(|| {
+                route(state, &model, generation, &req, &mut stats)
+            })) {
+                Ok(routed) => routed,
+                Err(_) => {
+                    state.panics.incr();
+                    state.observer.on_event(&Event::serve_panic(&req.path));
+                    ("panic", 500, JSON, error_body("internal error: request handler panicked"))
+                }
             }
-        },
+        }
         // Port probes (and the shutdown wakeup) connect and say nothing;
         // not a request, nothing to log.
         Err(http::ParseError::ConnectionClosed) => return,
@@ -467,6 +616,10 @@ fn handle_connection(state: &AppState, stream: TcpStream, accepted: Instant) {
     let mut e =
         Event::serve_request(endpoint, status, seconds).with_trace(trace_id, root_sid, None);
     e.start_seconds = Some(start_seconds);
+    // The serving model's identity rides on the trace root so a dashboard
+    // can slice request latency by reload generation.
+    e.model_fingerprint = Some(format!("{:016x}", model.fingerprint()));
+    e.fields = Some(vec![("model.generation".to_string(), generation as f64)]);
     state.observer.on_event(&e);
 }
 
@@ -561,6 +714,10 @@ fn accept_loop(
 }
 
 fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppState>) {
+    // Each worker owns a slot reader: steady-state requests cost one atomic
+    // generation load; only the first request after a reload re-locks the
+    // slot to refresh the cached Arc.
+    let mut reader_slot = state.slot.reader();
     loop {
         // Holding the lock while blocked in `recv` is the shared-receiver
         // pattern: exactly one worker waits in recv, the rest wait on the
@@ -575,8 +732,9 @@ fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppSta
                 // panics, but a panic anywhere else on the connection path
                 // (response write, metrics) must not kill the worker either
                 // — a dead worker would silently shrink the pool.
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| handle_connection(&state, stream, accepted)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(&state, &mut reader_slot, stream, accepted)
+                }));
                 if outcome.is_err() {
                     state.panics.incr();
                 }
@@ -598,11 +756,18 @@ impl Server {
         model: Arc<DirectionalityModel>,
         cfg: ServeConfig,
     ) -> Result<ServerHandle, String> {
+        Self::start_with_slot(Arc::new(ModelSlot::new(model)), cfg)
+    }
+
+    /// [`Server::start`] with a caller-owned [`ModelSlot`], for embedders
+    /// that want to drive swaps directly instead of via `POST /admin/reload`
+    /// (tests, future streaming fold-in).
+    pub fn start_with_slot(slot: Arc<ModelSlot>, cfg: ServeConfig) -> Result<ServerHandle, String> {
         cfg.validate()?;
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
-        let state = Arc::new(AppState::new(model, &cfg));
+        let state = Arc::new(AppState::new(Arc::clone(&slot), &cfg));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(cfg.queue_depth);
@@ -626,6 +791,7 @@ impl Server {
             addr,
             registry: Arc::clone(&state.registry),
             observer: cfg.observer,
+            slot,
             shutdown,
             acceptor: Some(acceptor),
             workers,
@@ -640,6 +806,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     registry: Arc<Registry>,
     observer: ObserverHandle,
+    slot: Arc<ModelSlot>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: WorkerPool,
@@ -654,6 +821,11 @@ impl ServerHandle {
     /// The server's metric registry (same data `/metrics` renders).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The hot-swappable model slot the server scores from.
+    pub fn slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.slot)
     }
 
     /// Total requests handled so far, across all endpoints.

@@ -42,6 +42,28 @@ pub fn install_handlers() {
 #[cfg(not(unix))]
 pub fn install_handlers() {}
 
+/// Sends SIGINT to `pid`, asking it for a graceful drain — the fleet
+/// supervisor uses this to cascade its own shutdown to shard children.
+/// Returns `false` when the signal could not be delivered (process already
+/// gone). `kill(2)` comes from the libc std already links, mirroring
+/// [`install_handlers`].
+#[cfg(unix)]
+pub fn interrupt_process(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, signum: i32) -> i32;
+    }
+    const SIGINT: i32 = 2;
+    let Ok(pid) = i32::try_from(pid) else { return false };
+    unsafe { kill(pid, SIGINT) == 0 }
+}
+
+/// Sends SIGINT to `pid`. Always `false` on non-unix targets: the fleet
+/// supervisor falls back to killing the child outright.
+#[cfg(not(unix))]
+pub fn interrupt_process(_pid: u32) -> bool {
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,207 @@
+//! Hot-swappable model slot: the shared state of a serving fleet.
+//!
+//! A [`ModelSlot`] holds the `Arc<DirectionalityModel>` a server scores
+//! from and lets an admin endpoint swap in a freshly trained model while
+//! in-flight requests keep scoring against the one they started with.
+//! The design goal is that the *request path never blocks on a reload*:
+//!
+//! - Each worker thread owns a [`SlotReader`], a per-thread cache of the
+//!   current `Arc` plus the generation it was read at. The steady-state
+//!   read is one relaxed-to-acquire atomic load of the generation counter
+//!   — no lock, no contended cache line beyond the counter itself.
+//! - [`ModelSlot::swap`] stores the new `Arc` under a mutex (held only
+//!   for the pointer store) and then bumps the generation. Readers notice
+//!   the bump on their next request, take the mutex once to refresh their
+//!   cached `Arc`, and go back to lock-free reads.
+//! - In-flight requests finish on the old `Arc` they cloned at request
+//!   start; the old model is freed when the last such request drops it.
+//!   Nothing is ever torn down under a reader.
+//!
+//! Staleness is structurally impossible downstream: the score cache keys
+//! every entry by the model's content fingerprint (DESIGN.md §7.8/§7.14),
+//! so entries computed against a swapped-out model simply stop matching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use deepdirect::DirectionalityModel;
+
+/// Recovers a poisoned slot lock. The critical section only clones or
+/// stores an `Arc` — neither can panic — so poison here means a panic on
+/// an unrelated code path while unwinding through a guard; the `Arc`
+/// inside is still structurally sound.
+fn lock_current(
+    current: &Mutex<Arc<DirectionalityModel>>,
+) -> std::sync::MutexGuard<'_, Arc<DirectionalityModel>> {
+    current.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An atomically swappable holder for the served model.
+///
+/// Generation starts at 1 for the model the slot was created with and
+/// increments on every successful [`swap`](ModelSlot::swap); dashboards
+/// correlate it with latency shifts via the `serve.model.generation`
+/// gauge and the `model.generation` field on `serve.request` events.
+pub struct ModelSlot {
+    current: Mutex<Arc<DirectionalityModel>>,
+    generation: AtomicU64,
+}
+
+impl ModelSlot {
+    /// A slot serving `model` at generation 1.
+    pub fn new(model: Arc<DirectionalityModel>) -> Self {
+        ModelSlot { current: Mutex::new(model), generation: AtomicU64::new(1) }
+    }
+
+    /// The current reload generation (1 until the first swap).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones the current model `Arc`. Takes the slot mutex for the
+    /// duration of one `Arc::clone`; the request path goes through
+    /// [`SlotReader::current`] instead, which only pays this on a
+    /// generation change.
+    pub fn load(&self) -> Arc<DirectionalityModel> {
+        Arc::clone(&lock_current(&self.current))
+    }
+
+    /// Content fingerprint of the currently served model.
+    pub fn fingerprint(&self) -> u64 {
+        self.load().fingerprint()
+    }
+
+    /// Swaps `new` in and returns the previous model. In-flight requests
+    /// holding the old `Arc` finish undisturbed; new requests observe the
+    /// bumped generation and refresh. The store-then-bump order means a
+    /// reader that refreshes early at most sees the new model *before*
+    /// the new generation number — never a stale model after it.
+    pub fn swap(&self, new: Arc<DirectionalityModel>) -> Arc<DirectionalityModel> {
+        let old = {
+            let mut guard = lock_current(&self.current);
+            std::mem::replace(&mut *guard, new)
+        };
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        old
+    }
+
+    /// A per-thread reader over this slot. Each server worker owns one.
+    pub fn reader(self: &Arc<Self>) -> SlotReader {
+        let cached = self.load();
+        let generation = self.generation();
+        SlotReader { slot: Arc::clone(self), cached, generation }
+    }
+}
+
+/// A worker-local view of a [`ModelSlot`].
+///
+/// `current()` is the per-request entry point: one atomic generation load
+/// in the steady state, one mutex-guarded `Arc` clone per reload event.
+pub struct SlotReader {
+    slot: Arc<ModelSlot>,
+    cached: Arc<DirectionalityModel>,
+    generation: u64,
+}
+
+impl SlotReader {
+    /// The model to score this request with. The returned `Arc` is cloned
+    /// by the caller for the request's lifetime, so a swap mid-request
+    /// cannot pull the model out from under it.
+    pub fn current(&mut self) -> &Arc<DirectionalityModel> {
+        let live = self.slot.generation.load(Ordering::Acquire);
+        if live != self.generation {
+            self.cached = self.slot.load();
+            self.generation = live;
+        }
+        &self.cached
+    }
+
+    /// The generation of the model `current()` would return.
+    pub fn generation(&mut self) -> u64 {
+        let _ = self.current();
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+    use deepdirect::{DeepDirect, DeepDirectConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Arc<DirectionalityModel> {
+        let gen_cfg = SocialNetConfig { n_nodes: 30, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = social_network(&gen_cfg, &mut rng).network;
+        let cfg =
+            DeepDirectConfig { dim: 4, max_iterations: Some(500), seed, ..Default::default() };
+        Arc::new(DeepDirect::new(cfg).fit(&net))
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_returns_the_old_model() {
+        let a = tiny_model(1);
+        let b = tiny_model(2);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "seeds must give distinct models");
+
+        let slot = Arc::new(ModelSlot::new(Arc::clone(&a)));
+        assert_eq!(slot.generation(), 1);
+        assert_eq!(slot.fingerprint(), a.fingerprint());
+
+        let old = slot.swap(Arc::clone(&b));
+        assert_eq!(old.fingerprint(), a.fingerprint(), "swap returns the displaced model");
+        assert_eq!(slot.generation(), 2);
+        assert_eq!(slot.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn readers_see_swaps_without_holding_old_models_hostage() {
+        let a = tiny_model(1);
+        let b = tiny_model(2);
+        let slot = Arc::new(ModelSlot::new(Arc::clone(&a)));
+        let mut reader = slot.reader();
+        assert_eq!(reader.current().fingerprint(), a.fingerprint());
+        assert_eq!(reader.generation(), 1);
+
+        // A "request in flight" clones the Arc before the swap…
+        let in_flight = Arc::clone(reader.current());
+        slot.swap(Arc::clone(&b));
+        // …and keeps its old model while new requests get the new one.
+        assert_eq!(in_flight.fingerprint(), a.fingerprint());
+        assert_eq!(reader.current().fingerprint(), b.fingerprint());
+        assert_eq!(reader.generation(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_always_observe_a_coherent_model() {
+        let models: Vec<Arc<DirectionalityModel>> = (1..=3).map(tiny_model).collect();
+        let fingerprints: Vec<u64> = models.iter().map(|m| m.fingerprint()).collect();
+        let slot = Arc::new(ModelSlot::new(Arc::clone(&models[0])));
+
+        dd_runtime::scope(|s| {
+            for _ in 0..4 {
+                let slot = Arc::clone(&slot);
+                let fingerprints = fingerprints.clone();
+                s.spawn(move || {
+                    let mut reader = slot.reader();
+                    for _ in 0..2000 {
+                        let m = Arc::clone(reader.current());
+                        // Whatever generation we land on, the model is one
+                        // of the known ones, never a torn intermediate.
+                        assert!(fingerprints.contains(&m.fingerprint()));
+                    }
+                });
+            }
+            let slot = Arc::clone(&slot);
+            let models = models.clone();
+            s.spawn(move || {
+                for i in 0..20 {
+                    slot.swap(Arc::clone(&models[i % models.len()]));
+                }
+            });
+        });
+        assert_eq!(slot.generation(), 21);
+    }
+}

@@ -1,0 +1,180 @@
+//! Hot-reload integration tests: `POST /admin/reload` must swap models with
+//! zero downtime. The acceptance test sustains multi-threaded load through
+//! at least three swaps with zero failed requests, and checks every single
+//! response bit-for-bit against offline scoring with whichever model the
+//! response's `fingerprint` field says answered it — the strongest possible
+//! statement that a reader never sees a torn or stale model.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dd_graph::generators::{social_network, SocialNetConfig};
+use dd_graph::sampling::hide_directions;
+use dd_graph::NodeId;
+use dd_serve::client;
+use dd_serve::{HealthResponse, ReloadResponse, ScoreResponse, ServeConfig, Server};
+use deepdirect::{DeepDirect, DeepDirectConfig, DirectionalityModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fits several models over the *same* hidden network (identical tie set)
+/// with different training seeds, so every model answers every query but
+/// with distinguishable scores — exactly the hot-reload scenario.
+fn fit_family(n: usize) -> Vec<DirectionalityModel> {
+    let gen_cfg = SocialNetConfig { n_nodes: 60, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(11);
+    let net = social_network(&gen_cfg, &mut rng).network;
+    let hidden = hide_directions(&net, 0.5, &mut rng).network;
+    (0..n)
+        .map(|i| {
+            let cfg = DeepDirectConfig {
+                dim: 8,
+                max_iterations: Some(5_000),
+                seed: 100 + i as u64,
+                ..DeepDirectConfig::default()
+            };
+            DeepDirect::new(cfg).fit(&hidden)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_load_across_three_reloads_never_fails_and_stays_bit_exact() {
+    let models = fit_family(4);
+    let by_fingerprint: HashMap<String, &DirectionalityModel> =
+        models.iter().map(|m| (format!("{:016x}", m.fingerprint()), m)).collect();
+    assert_eq!(by_fingerprint.len(), 4, "training seeds must produce distinct fingerprints");
+
+    // Artifacts for generations 2..4, alternating JSON and binary so the
+    // reload path exercises the format sniffer too.
+    let dir = std::env::temp_dir().join(format!("dd_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut artifacts = Vec::new();
+    for (i, m) in models.iter().enumerate().skip(1) {
+        let path = if i % 2 == 0 {
+            let p = dir.join(format!("gen{i}.json"));
+            m.save_to_path(&p).unwrap();
+            p
+        } else {
+            let p = dir.join(format!("gen{i}.ddm"));
+            m.save_binary_to_path(&p).unwrap();
+            p
+        };
+        artifacts.push(path);
+    }
+
+    let first = Arc::new(models[0].clone());
+    let ties: Vec<(u32, u32)> = first.ties().to_vec();
+    let handle = Server::start(
+        Arc::clone(&first),
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 4, ..ServeConfig::default() },
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let stop = AtomicBool::new(false);
+    let completed = AtomicUsize::new(0);
+    const N_CLIENTS: usize = 8;
+
+    dd_runtime::scope(|s| {
+        for t in 0..N_CLIENTS {
+            let addr = &addr;
+            let ties = &ties;
+            let stop = &stop;
+            let completed = &completed;
+            let by_fingerprint = &by_fingerprint;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (src, dst) = ties[(t * 131 + i) % ties.len()];
+                    let resp = client::get(addr, &format!("/score?src={src}&dst={dst}"))
+                        .expect("request must never fail during reload");
+                    assert_eq!(resp.status, 200, "zero-downtime violated: {}", resp.body);
+                    let parsed: ScoreResponse = serde_json::from_str(&resp.body).unwrap();
+                    let fp = parsed.fingerprint.as_deref().expect("score carries fingerprint");
+                    let offline = by_fingerprint
+                        .get(fp)
+                        .unwrap_or_else(|| panic!("unknown fingerprint {fp}"));
+                    let want = offline.score(NodeId(src), NodeId(dst)).unwrap();
+                    assert_eq!(
+                        parsed.score.unwrap().to_bits(),
+                        want.to_bits(),
+                        "response not bit-identical to the model it claims ({fp})"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // The admin thread: three reloads spaced across the sustained load.
+        s.spawn(|| {
+            for (i, path) in artifacts.iter().enumerate() {
+                std::thread::sleep(Duration::from_millis(120));
+                let body = format!(
+                    "{{\"path\":{}}}",
+                    serde_json::to_string(&path.display().to_string()).unwrap()
+                );
+                let resp = client::post(&addr, "/admin/reload", &body).expect("reload request");
+                assert_eq!(resp.status, 200, "reload {i} failed: {}", resp.body);
+                let parsed: ReloadResponse = serde_json::from_str(&resp.body).unwrap();
+                assert_eq!(parsed.status, "reloaded");
+                assert_eq!(parsed.generation, i as u64 + 2, "generation bumps per swap");
+                assert_eq!(parsed.new_fingerprint, format!("{:016x}", models[i + 1].fingerprint()));
+            }
+            std::thread::sleep(Duration::from_millis(120));
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let total = completed.load(Ordering::Relaxed);
+    assert!(total >= 200, "load loop too short to be meaningful: {total} requests");
+
+    // After three swaps the fleet reports the final model and generation 4.
+    let health = client::get(&addr, "/healthz").unwrap();
+    let parsed: HealthResponse = serde_json::from_str(&health.body).unwrap();
+    assert_eq!(parsed.generation, Some(4));
+    assert_eq!(parsed.model_fingerprint, format!("{:016x}", models[3].fingerprint()));
+
+    // /metrics carries the live fingerprint + generation as an info metric.
+    let metrics = client::get(&addr, "/metrics").unwrap().body;
+    assert!(
+        metrics.contains(&format!(
+            "dd_serve_model_info{{fingerprint=\"{:016x}\"}} 4",
+            models[3].fingerprint()
+        )),
+        "missing model info metric: {metrics}"
+    );
+    assert!(metrics.contains("dd_serve_model_reloads_total 3"), "{metrics}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_error_paths_reject_without_disturbing_the_served_model() {
+    let models = fit_family(1);
+    let model = Arc::new(models.into_iter().next().unwrap());
+    let handle = Server::start(
+        Arc::clone(&model),
+        ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let fingerprint = format!("{:016x}", model.fingerprint());
+
+    // Nonexistent artifact, malformed body, wrong method.
+    let resp = client::post(&addr, "/admin/reload", "{\"path\":\"/no/such/model.json\"}").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert_eq!(client::post(&addr, "/admin/reload", "not json").unwrap().status, 400);
+    assert_eq!(client::get(&addr, "/admin/reload").unwrap().status, 405);
+
+    // A failed reload leaves generation and fingerprint untouched.
+    let health: HealthResponse =
+        serde_json::from_str(&client::get(&addr, "/healthz").unwrap().body).unwrap();
+    assert_eq!(health.generation, Some(1));
+    assert_eq!(health.model_fingerprint, fingerprint);
+    handle.shutdown();
+}

@@ -112,6 +112,10 @@ pub struct Event {
     pub peak_rss_bytes: Option<u64>,
     /// 0-based worker index for per-thread spans (pool chunks; schema ≥ 2).
     pub thread: Option<u64>,
+    /// Content fingerprint (16 lowercase hex digits) of the model that
+    /// served this request; on `serve.request` roots under hot reload it
+    /// names which generation answered (schema ≥ 2, additive).
+    pub model_fingerprint: Option<String>,
 }
 
 impl Event {
@@ -145,6 +149,7 @@ impl Event {
             alloc_bytes: None,
             peak_rss_bytes: None,
             thread: None,
+            model_fingerprint: None,
         }
     }
 

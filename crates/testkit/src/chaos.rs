@@ -183,6 +183,47 @@ impl<S: Write> Write for ChaosStream<S> {
     }
 }
 
+/// A seeded schedule of shard-kill events for fleet chaos tests.
+///
+/// Fleet failover tests kill shard processes (or in-process servers)
+/// mid-stream and assert clients never observe a failure. *When* to kill
+/// and *whom* must come from a seeded schedule — otherwise the test only
+/// ever exercises one interleaving. Each draw yields "let this many more
+/// requests complete, then kill this shard"; the sequence is a pure
+/// function of the seed, so a failing seed replays the exact kill order.
+#[derive(Debug, Clone)]
+pub struct KillSchedule {
+    rng: Pcg32,
+}
+
+impl KillSchedule {
+    /// A schedule derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        KillSchedule { rng: Pcg32::seed_from_u64(seed) }
+    }
+
+    /// Draws the next kill event: `(requests_before_kill, victim)` with
+    /// `requests_before_kill` in `[min_requests, max_requests]` and
+    /// `victim` in `[0, n_shards)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards == 0` or `max_requests < min_requests`.
+    pub fn next_kill(
+        &mut self,
+        n_shards: usize,
+        min_requests: usize,
+        max_requests: usize,
+    ) -> (usize, usize) {
+        assert!(n_shards > 0, "need at least one shard to kill");
+        assert!(max_requests >= min_requests, "empty request range");
+        let span = max_requests - min_requests + 1;
+        let wait = min_requests + self.rng.gen_range(span);
+        let victim = self.rng.gen_range(n_shards);
+        (wait, victim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +314,22 @@ mod tests {
             }
             assert_eq!(s.into_inner().into_inner(), data, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn kill_schedule_is_deterministic_and_in_range() {
+        let mut a = KillSchedule::new(9);
+        let mut b = KillSchedule::new(9);
+        let mut victims = [0usize; 3];
+        for _ in 0..200 {
+            let (wait_a, victim_a) = a.next_kill(3, 10, 40);
+            let (wait_b, victim_b) = b.next_kill(3, 10, 40);
+            assert_eq!((wait_a, victim_a), (wait_b, victim_b), "same seed, same schedule");
+            assert!((10..=40).contains(&wait_a));
+            assert!(victim_a < 3);
+            victims[victim_a] += 1;
+        }
+        assert!(victims.iter().all(|&c| c > 0), "every shard eventually drawn: {victims:?}");
     }
 
     #[test]

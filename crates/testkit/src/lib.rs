@@ -13,7 +13,9 @@
 //!
 //! - [`chaos`] — [`ChaosStream`], a `Read + Write` wrapper that injects
 //!   faults from a seeded [`FaultPlan`] between a caller and any inner
-//!   stream (an in-memory cursor, a real `TcpStream`).
+//!   stream (an in-memory cursor, a real `TcpStream`), plus
+//!   [`KillSchedule`], a seeded shard-kill schedule for fleet failover
+//!   tests.
 //! - [`gen`] — seeded generators for malformed/adversarial HTTP request
 //!   bytes, corrupt model JSON, and degenerate edge lists / weight
 //!   vectors / feature rows.
@@ -29,4 +31,4 @@
 pub mod chaos;
 pub mod gen;
 
-pub use chaos::{ChaosStream, Fault, FaultPlan};
+pub use chaos::{ChaosStream, Fault, FaultPlan, KillSchedule};
