@@ -11,6 +11,9 @@
 //! | `score <model> <src> <dst>` | print one raw score (machine-readable) |
 //! | `export <model> --out f` | re-encode a model (binary `.ddm` by default) |
 //! | `serve <model> --port P` | HTTP query server (see `dd-serve`) |
+//! | `events <edges> --out f` | generate a temporal tie-event stream (JSONL) |
+//! | `ingest --to ADDR` | pipe a tie-event log into a streaming `dd serve` |
+//! | `ingest <model> --events f` | offline replay: fold a log into a frozen model |
 //! | `eval <edges>` | direction-discovery accuracy per method (Sec. 6.2) |
 //! | `bench` | serial vs parallel wall time for the hot stages |
 //! | `bench --model-io` | JSON vs binary load time + scoring-kernel bench |
@@ -53,6 +56,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "score" => score(args),
         "export" => export(args),
         "serve" => serve(args),
+        "events" => events_cmd(args),
+        "ingest" => ingest(args),
         "eval" => eval(args),
         "bench" => bench(args),
         "trace" => trace_cmd(args),
@@ -82,13 +87,28 @@ USAGE:
                                        binary .ddm container, --json the portable JSON.
                                        Input format is sniffed — converts either way)
   dd serve   <model>          [--host H] [--port P] [--workers N] [--cache-size N]
-                                      [--request-timeout-ms MS] [--queue-depth N]
+                                      [--request-timeout-ms MS] [--queue-depth N] [--stream]
                                       (HTTP endpoints: /healthz /score /batch
-                                       /admin/reload /metrics)
+                                       /admin/reload /metrics; --stream adds POST /ingest
+                                       for live tie events, scored via fold-in)
   dd serve   <model> --shards N       fleet mode: spawns N shard processes and a
                                       consistent-hash router in front (--port is the
                                       router's; shards take ephemeral ports; ctrl-c
                                       drains router first, then shards)
+  dd events  <edges>          --out <file.jsonl> [--count N] [--seed S] [--burstiness F]
+                                      [--churn F] [--reciprocation F]
+                                      (generate a temporal follow/unfollow/reciprocation
+                                       event stream over the network — bursty arrivals,
+                                       hot heads, churn; deterministic per seed)
+  dd ingest  --to <addr>      [--events <file.jsonl>] [--batch N]
+                                      (pipe a tie-event log — file or stdin — into a
+                                       streaming `dd serve`/fleet as POST /ingest
+                                       batches of N events, default 64)
+  dd ingest  <model>          --events <file.jsonl> [--score SRC DST]
+                                      (offline replay: fold the log into the frozen
+                                       model and print applied/live counts + state
+                                       digest; --score prints one raw fold-in score,
+                                       byte-identical to the streaming server's)
   dd eval    <edges>          [--hide F] [--dim N] [--iterations N] [--methods a,b]
                                       [--threads T] [--seed S]
                                       (direction-discovery accuracy per method, Sec. 6.2)
@@ -403,16 +423,24 @@ fn serve(args: &Args) -> Result<String, String> {
         request_timeout: Duration::from_millis(args.get_num("request-timeout-ms", 5000u64)?),
         queue_depth: args.get_num("queue-depth", 64usize)?,
         observer,
+        stream: args.get_bool("stream"),
         // Fault injection stays off in production; only tests flip it.
         panic_route: false,
     };
+    let streaming = cfg.stream;
 
     dd_serve::signal::install_handlers();
     let handle = dd_serve::Server::start(model, cfg)?;
     // The parseable contract line: tooling (and the e2e test) reads the
     // resolved address from here, which is how `--port 0` is usable.
     println!("dd-serve listening on http://{}", handle.addr());
-    println!("endpoints: /healthz  /score?src=A&dst=B  /batch  /metrics   (ctrl-c stops)");
+    if streaming {
+        println!(
+            "endpoints: /healthz  /score?src=A&dst=B  /batch  /ingest  /metrics   (ctrl-c stops)"
+        );
+    } else {
+        println!("endpoints: /healthz  /score?src=A&dst=B  /batch  /metrics   (ctrl-c stops)");
+    }
     let _ = std::io::stdout().flush();
 
     while !dd_serve::signal::shutdown_requested() {
@@ -476,23 +504,31 @@ fn serve_fleet(args: &Args, shards: usize) -> Result<String, String> {
     for i in 0..shards {
         // Each shard loads the model itself on an ephemeral port; stderr is
         // inherited so shard failures surface in the supervisor's terminal.
+        let mut shard_args: Vec<String> = [
+            "serve",
+            model_path,
+            "--host",
+            &host,
+            "--port",
+            "0",
+            "--workers",
+            &workers.to_string(),
+            "--cache-size",
+            &args.get_num("cache-size", 4096usize)?.to_string(),
+            "--request-timeout-ms",
+            &args.get_num("request-timeout-ms", 5000u64)?.to_string(),
+            "--queue-depth",
+            &args.get_num("queue-depth", 64usize)?.to_string(),
+        ]
+        .map(str::to_string)
+        .to_vec();
+        if args.get_bool("stream") {
+            // Every shard folds in the same event stream: the router fans
+            // `/ingest` to all of them, keeping their overlays identical.
+            shard_args.push("--stream".to_string());
+        }
         let spawned = std::process::Command::new(&exe)
-            .args([
-                "serve",
-                model_path,
-                "--host",
-                &host,
-                "--port",
-                "0",
-                "--workers",
-                &workers.to_string(),
-                "--cache-size",
-                &args.get_num("cache-size", 4096usize)?.to_string(),
-                "--request-timeout-ms",
-                &args.get_num("request-timeout-ms", 5000u64)?.to_string(),
-                "--queue-depth",
-                &args.get_num("queue-depth", 64usize)?.to_string(),
-            ])
+            .args(&shard_args)
             .stdout(std::process::Stdio::piped())
             .spawn();
         let mut child = match spawned {
@@ -556,9 +592,15 @@ fn serve_fleet(args: &Args, shards: usize) -> Result<String, String> {
     };
     // The parseable contract line, mirroring single-process `dd serve`.
     println!("dd-router listening on http://{}", router.addr());
-    println!(
-        "fleet: {shards} shards  routes: /healthz /score /batch /admin/reload /metrics   (ctrl-c drains)"
-    );
+    if args.get_bool("stream") {
+        println!(
+            "fleet: {shards} shards  routes: /healthz /score /batch /ingest /admin/reload /metrics   (ctrl-c drains)"
+        );
+    } else {
+        println!(
+            "fleet: {shards} shards  routes: /healthz /score /batch /admin/reload /metrics   (ctrl-c drains)"
+        );
+    }
     let _ = std::io::stdout().flush();
 
     // Supervision loop: poll for shutdown and reap shards that die early.
@@ -603,6 +645,135 @@ fn serve_fleet(args: &Args, shards: usize) -> Result<String, String> {
     Ok(format!(
         "dd-fleet: drained and stopped after {served} routed requests \
          ({drained}/{shards} shards drained cleanly)"
+    ))
+}
+
+/// `dd events <edges> --out <file.jsonl>`: generates a temporal
+/// follow/unfollow/reciprocation event stream over the network — bursty
+/// arrivals on hot heads, new-arrival followers, tie churn — and writes it
+/// as the JSONL wire format `dd ingest` and `POST /ingest` consume. The
+/// stream is a pure function of `(network, seed, config)` (DESIGN.md §7.15).
+fn events_cmd(args: &Args) -> Result<String, String> {
+    let input = args.positional(0, "edges")?;
+    let out = args.flags.get("out").ok_or("events requires --out <file.jsonl>")?;
+    let g = load_net(input)?;
+    let cfg = dd_datasets::EventStreamConfig {
+        count: args.get_num("count", 256usize)?,
+        seed: args.get_num("seed", 7u64)?,
+        burstiness: args.get_num("burstiness", 0.7f64)?,
+        churn: args.get_num("churn", 0.15f64)?,
+        reciprocation: args.get_num("reciprocation", 0.1f64)?,
+    };
+    cfg.validate()?;
+    let events = dd_datasets::temporal_event_stream(&g, &cfg);
+    std::fs::write(out, dd_stream::to_jsonl(&events))
+        .map_err(|e| format!("writing '{out}': {e}"))?;
+    let follows = events.iter().filter(|e| e.op != dd_stream::EventOp::Unfollow).count();
+    Ok(format!(
+        "wrote {} events ({follows} follows/reciprocations, {} unfollows, seed {}) to {out}",
+        events.len(),
+        events.len() - follows,
+        cfg.seed,
+    ))
+}
+
+/// `dd ingest`: two modes sharing the same event-log wire format.
+///
+/// - **Online** (`--to <addr>`): reads a JSONL tie-event log from
+///   `--events <file>` or stdin and POSTs it to a streaming server's
+///   `/ingest` in batches of `--batch` events. Prints the applied /
+///   invalidated totals and the server's final state digest.
+/// - **Offline replay** (`<model> --events <file>`): folds the log into the
+///   frozen model locally with the same [`dd_stream::StreamEngine`] the
+///   server runs, printing applied/live counts and the state digest — the
+///   digest must equal the online run's, which is how CI proves replay
+///   determinism. `--score SRC DST` instead prints the single raw fold-in
+///   score with `{}` formatting, byte-identical to the server's JSON field.
+fn ingest(args: &Args) -> Result<String, String> {
+    let events_path = args.get("events", "");
+    let read_log = || -> Result<Vec<dd_stream::TieEvent>, String> {
+        if events_path.is_empty() {
+            dd_stream::read_events(std::io::stdin().lock())
+                .map_err(|e| format!("reading event log from stdin: {e}"))
+        } else {
+            let text = std::fs::read_to_string(&events_path)
+                .map_err(|e| format!("reading '{events_path}': {e}"))?;
+            dd_stream::parse_events(&text).map_err(|e| format!("'{events_path}': {e}"))
+        }
+    };
+
+    let to = args.get("to", "");
+    if !to.is_empty() {
+        // Online mode: stream the log into a live server in batches.
+        let events = read_log()?;
+        if events.is_empty() {
+            return Err("ingest: the event log is empty".into());
+        }
+        let batch: usize = args.get_num("batch", 64usize)?;
+        if batch == 0 {
+            return Err("flag --batch must be positive".into());
+        }
+        let mut applied = 0usize;
+        let mut invalidated = 0usize;
+        let mut last: Option<dd_serve::IngestResponse> = None;
+        for chunk in events.chunks(batch) {
+            let resp = dd_serve::client::post(&to, "/ingest", &dd_stream::to_jsonl(chunk))?;
+            if resp.status != 200 {
+                return Err(format!(
+                    "ingest: server rejected a batch with {}: {}",
+                    resp.status,
+                    resp.body.trim(),
+                ));
+            }
+            let parsed: dd_serve::IngestResponse = serde_json::from_str(&resp.body)
+                .map_err(|e| format!("ingest: unparseable /ingest response: {e}"))?;
+            applied += parsed.applied;
+            invalidated += parsed.invalidated;
+            last = Some(parsed);
+        }
+        // events is non-empty and batch > 0, so at least one chunk ran.
+        let Some(last) = last else {
+            return Err("ingest: no batches were sent".into());
+        };
+        return Ok(format!(
+            "ingested {applied} events in {} batches ({invalidated} cache entries \
+             invalidated, {} live dynamic ties)\ndigest: {}",
+            events.len().div_ceil(batch),
+            last.live_dynamic,
+            last.digest,
+        ));
+    }
+
+    // Offline replay mode: fold the log into the model locally.
+    let model_path = args.positional(0, "model").map_err(|_| {
+        "ingest needs either --to <addr> (online) or <model> --events <file> (offline replay)"
+            .to_string()
+    })?;
+    if events_path.is_empty() {
+        return Err("offline replay requires --events <file.jsonl>".into());
+    }
+    let model = Arc::new(load_model_traced(model_path, &telemetry_observer(args)?)?);
+    let events = read_log()?;
+    let engine = dd_stream::StreamEngine::replay(model, &events);
+
+    if let Some(src_s) = args.flags.get("score") {
+        // `--score SRC DST`: SRC rides as the flag value, DST as the next
+        // positional. Prints the raw value alone, exactly like `dd score`.
+        let src: u32 = src_s.parse().map_err(|_| "flag --score expects a node id")?;
+        let dst: u32 = args.positional(1, "dst")?.parse().map_err(|_| "dst must be a node id")?;
+        let mut scratch = Vec::new();
+        return match engine.score(NodeId(src), NodeId(dst), &mut scratch) {
+            Some(v) => Ok(format!("{v}")),
+            None => Err(format!("tie ({src},{dst}) is neither trained nor live in the log")),
+        };
+    }
+    Ok(format!(
+        "replayed {} events ({} applied, {} live dynamic ties, {} trained ties removed)\ndigest: {:016x}",
+        events.len(),
+        engine.events_applied(),
+        engine.live_dynamic(),
+        engine.removed_trained(),
+        engine.state_digest(),
     ))
 }
 
@@ -1885,5 +2056,95 @@ mod tests {
         assert!(run_words(&["predict", "nofile.json"]).is_err());
         let edges = demo_network_file();
         assert!(run_words(&["train", &edges]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn events_writes_a_deterministic_jsonl_log() {
+        let edges = demo_network_file();
+        let log_a = tmp("events_a.jsonl");
+        let log_b = tmp("events_b.jsonl");
+        let out = run_words(&["events", &edges, "--out", &log_a, "--count", "40", "--seed", "5"])
+            .unwrap();
+        assert!(out.contains("wrote 40 events"), "{out}");
+        run_words(&["events", &edges, "--out", &log_b, "--count", "40", "--seed", "5"]).unwrap();
+        let a = std::fs::read_to_string(&log_a).unwrap();
+        assert_eq!(a, std::fs::read_to_string(&log_b).unwrap(), "same seed, same bytes");
+        let parsed = dd_stream::parse_events(&a).unwrap();
+        assert_eq!(parsed.len(), 40, "the log round-trips through the wire parser");
+        // Bad probabilities are rejected before any file is written.
+        assert!(run_words(&["events", &edges, "--out", &log_a, "--churn", "2.0"]).is_err());
+    }
+
+    #[test]
+    fn ingest_offline_replay_reports_state_and_scores() {
+        let edges = demo_network_file();
+        let model = tmp("replay_model.json");
+        run_words(&["train", &edges, "--out", &model, "--dim", "8", "--iterations", "2000"])
+            .unwrap();
+        let log = tmp("replay_log.jsonl");
+        std::fs::write(
+            &log,
+            "{\"op\":\"follow\",\"src\":50,\"dst\":1}\n\
+             {\"op\":\"follow\",\"src\":51,\"dst\":2}\n\
+             {\"op\":\"unfollow\",\"src\":51,\"dst\":2}\n",
+        )
+        .unwrap();
+        let out = run_words(&["ingest", &model, "--events", &log]).unwrap();
+        assert!(out.contains("replayed 3 events"), "{out}");
+        assert!(out.contains("1 live dynamic ties"), "{out}");
+        let again = run_words(&["ingest", &model, "--events", &log]).unwrap();
+        assert_eq!(out, again, "offline replay is deterministic");
+        // The live fold-in tie scores; the unfollowed one errors cleanly.
+        let score = run_words(&["ingest", &model, "--events", &log, "--score", "50", "1"]).unwrap();
+        let v: f64 = score.parse().expect("a raw float");
+        assert!((0.0..=1.0).contains(&v), "{score}");
+        assert!(run_words(&["ingest", &model, "--events", &log, "--score", "51", "2"]).is_err());
+        // Neither --to nor a model path is a usage error, not a panic.
+        let err = run_words(&["ingest"]).unwrap_err();
+        assert!(err.contains("--to"), "{err}");
+    }
+
+    #[test]
+    fn ingest_streams_a_log_into_a_live_server_matching_offline_replay() {
+        let edges = demo_network_file();
+        let model_path = tmp("ingest_model.json");
+        run_words(&["train", &edges, "--out", &model_path, "--dim", "8", "--iterations", "2000"])
+            .unwrap();
+        let obs = Fanout::new().into_handle();
+        let model = Arc::new(load_model_traced(&model_path, &obs).unwrap());
+        let cfg = dd_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            stream: true,
+            ..Default::default()
+        };
+        let handle = dd_serve::Server::start(model, cfg).unwrap();
+        let addr = handle.addr().to_string();
+        let log = tmp("ingest_log.jsonl");
+        std::fs::write(
+            &log,
+            "{\"op\":\"follow\",\"src\":50,\"dst\":1}\n\
+             {\"op\":\"reciprocate\",\"src\":51,\"dst\":2}\n\
+             {\"op\":\"unfollow\",\"src\":51,\"dst\":2}\n",
+        )
+        .unwrap();
+        let out = run_words(&["ingest", "--to", &addr, "--events", &log, "--batch", "2"]).unwrap();
+        assert!(out.contains("ingested 3 events in 2 batches"), "{out}");
+        // The server's post-ingest digest equals an offline replay of the
+        // same log — the replay-determinism contract, end to end.
+        let offline = run_words(&["ingest", &model_path, "--events", &log]).unwrap();
+        assert_eq!(
+            out.lines().last().unwrap(),
+            offline.lines().last().unwrap(),
+            "online and offline digests must match:\n{out}\n---\n{offline}"
+        );
+        // And the served fold-in score is byte-identical to the offline one.
+        let served = dd_serve::client::get(&addr, "/score?src=50&dst=1").unwrap();
+        assert_eq!(served.status, 200);
+        let resp: dd_serve::ScoreResponse = serde_json::from_str(&served.body).unwrap();
+        let offline_score =
+            run_words(&["ingest", &model_path, "--events", &log, "--score", "50", "1"]).unwrap();
+        let served_score = resp.score.expect("a streaming /score hit carries a score");
+        assert_eq!(format!("{served_score}"), offline_score, "served vs offline replay score");
+        handle.shutdown();
     }
 }

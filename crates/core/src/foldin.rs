@@ -7,8 +7,11 @@
 //! aligns with the connection vectors of the out-ties of its head `v`, so
 //! all ties sharing the head `v` cluster together. A new tie `(u, v)` would
 //! land in that cluster; its fold-in embedding is therefore the mean of the
-//! trained embeddings of the existing in-ties of `v` (excluding the reverse
-//! pair `(v, u)`-mirrors if present).
+//! trained embeddings of the existing in-ties of `v`, excluding the pair
+//! `(u, v)` itself — which can already be embedded as the universe mirror
+//! of a trained `(v, u)` tie — so the estimate never leaks the very edge
+//! being scored. (The reverse pair `(v, u)` points into `u`, not `v`, so it
+//! is never part of `v`'s head cluster in the first place.)
 //!
 //! This is an extension of this implementation (documented in DESIGN.md §6),
 //! not part of the paper.
@@ -17,6 +20,113 @@ use dd_graph::NodeId;
 
 use crate::model::DirectionalityModel;
 
+/// Owned per-head index of embedded ties, decoupled from any model borrow.
+///
+/// [`FoldInScorer`] wraps this with a borrowed model for one-shot use; the
+/// streaming layer owns one alongside an `Arc`'d model so a long-lived
+/// engine can answer fold-in queries without a self-referential borrow.
+/// All methods take the model explicitly — callers must pass the same model
+/// the index was built from (row numbers are meaningless across models).
+pub struct FoldInIndex {
+    /// For each node id, the embedding rows of ties pointing *into* it.
+    in_rows: Vec<Vec<u32>>,
+}
+
+impl FoldInIndex {
+    /// Builds the per-head in-tie index (`O(|ties|)`), under a
+    /// `foldin.build` telemetry span when the model's config carries an
+    /// observer.
+    pub fn build(model: &DirectionalityModel) -> Self {
+        let (index, _) = model.config().observer.time("foldin.build", || {
+            let max_node =
+                model.ties().iter().map(|&(u, v)| u.max(v)).max().map_or(0, |m| m as usize + 1);
+            let mut in_rows: Vec<Vec<u32>> = vec![Vec::new(); max_node];
+            for (row, &(_, dst)) in model.ties().iter().enumerate() {
+                in_rows[dst as usize].push(row as u32);
+            }
+            FoldInIndex { in_rows }
+        });
+        index
+    }
+
+    /// Buffer-reusing fold-in: writes the mean embedding of `v`'s in-ties
+    /// (excluding the pair `(u, v)` itself) into `acc` and returns `true`,
+    /// or returns `false` when `v` has no usable in-ties (leaving `acc`
+    /// cleared). Reusing `acc` across calls makes this the allocation-free
+    /// hot path for streaming and serving; the arithmetic is identical to
+    /// the allocating [`FoldInScorer::foldin_embedding`], bit for bit.
+    pub fn foldin_embedding_into(
+        &self,
+        model: &DirectionalityModel,
+        u: NodeId,
+        v: NodeId,
+        acc: &mut Vec<f32>,
+    ) -> bool {
+        acc.clear();
+        let Some(rows) = self.in_rows.get(v.index()) else { return false };
+        acc.resize(model.dim(), 0.0);
+        let mut count = 0usize;
+        for &row in rows {
+            let (src, _) = model.ties()[row as usize];
+            if src == u.0 {
+                continue;
+            }
+            for (a, &b) in acc.iter_mut().zip(model.embedding_row(row as usize)) {
+                *a += b;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            acc.clear();
+            return false;
+        }
+        for a in acc.iter_mut() {
+            *a /= count as f32;
+        }
+        true
+    }
+
+    /// Directionality value for any ordered pair: exact when embedded,
+    /// fold-in otherwise, `0.5` when nothing is known about the head.
+    /// `scratch` is the reusable fold-in buffer (see
+    /// [`foldin_embedding_into`](Self::foldin_embedding_into)).
+    ///
+    /// Fold-in scoring uses the embedding half of the feature vector only;
+    /// under the `context_features` extension the context half is
+    /// approximated by zeros (its warm-start value).
+    pub fn score_into(
+        &self,
+        model: &DirectionalityModel,
+        u: NodeId,
+        v: NodeId,
+        scratch: &mut Vec<f32>,
+    ) -> f64 {
+        if let Some(d) = model.score(u, v) {
+            return d;
+        }
+        self.foldin_score_into(model, u, v, scratch).unwrap_or(0.5)
+    }
+
+    /// Pure fold-in score (never consults the exact path): `None` when the
+    /// head has no usable in-ties. The streaming engine uses this directly
+    /// for dynamic ties, which are untrained by construction.
+    pub fn foldin_score_into(
+        &self,
+        model: &DirectionalityModel,
+        u: NodeId,
+        v: NodeId,
+        scratch: &mut Vec<f32>,
+    ) -> Option<f64> {
+        if !self.foldin_embedding_into(model, u, v, scratch) {
+            return None;
+        }
+        if model.config().context_features {
+            scratch.resize(2 * model.config().dim, 0.0);
+        }
+        Some(model.head().score(scratch))
+    }
+}
+
 /// Fold-in scorer over a trained [`DirectionalityModel`].
 ///
 /// Builds a per-head index of embedded ties once, then scores arbitrary
@@ -24,71 +134,51 @@ use crate::model::DirectionalityModel;
 /// fold-in, and pairs with an unseen head neutrally (`0.5`).
 pub struct FoldInScorer<'m> {
     model: &'m DirectionalityModel,
-    /// For each node id, the embedding rows of ties pointing *into* it.
-    in_rows: Vec<Vec<u32>>,
+    index: FoldInIndex,
 }
 
 impl<'m> FoldInScorer<'m> {
     /// Builds the fold-in index (`O(|ties|)`), under a `foldin.build`
     /// telemetry span when the model's config carries an observer.
     pub fn new(model: &'m DirectionalityModel) -> Self {
-        let (scorer, _) = model.config().observer.time("foldin.build", || {
-            let max_node =
-                model.ties().iter().map(|&(u, v)| u.max(v)).max().map_or(0, |m| m as usize + 1);
-            let mut in_rows: Vec<Vec<u32>> = vec![Vec::new(); max_node];
-            for (row, &(_, dst)) in model.ties().iter().enumerate() {
-                in_rows[dst as usize].push(row as u32);
-            }
-            FoldInScorer { model, in_rows }
-        });
-        scorer
+        FoldInScorer { model, index: FoldInIndex::build(model) }
     }
 
     /// The fold-in embedding for an *unseen* pair `(u, v)`: the mean
-    /// embedding of `v`'s existing in-ties, excluding any tie from `u`.
-    /// Returns `None` when `v` has no usable in-ties.
+    /// embedding of `v`'s existing in-ties, excluding the pair `(u, v)`
+    /// itself. Returns `None` when `v` has no usable in-ties.
+    ///
+    /// Allocates a fresh buffer per call; hot paths should hold a scratch
+    /// `Vec<f32>` and use [`foldin_embedding_into`](Self::foldin_embedding_into).
     pub fn foldin_embedding(&self, u: NodeId, v: NodeId) -> Option<Vec<f32>> {
-        let rows = self.in_rows.get(v.index())?;
-        let mut acc = vec![0.0f32; self.model.dim()];
-        let mut count = 0usize;
-        for &row in rows {
-            let (src, _) = self.model.ties()[row as usize];
-            if src == u.0 {
-                continue;
-            }
-            for (a, &b) in acc.iter_mut().zip(self.model.embedding_row(row as usize)) {
-                *a += b;
-            }
-            count += 1;
+        let mut acc = Vec::new();
+        if self.index.foldin_embedding_into(self.model, u, v, &mut acc) {
+            Some(acc)
+        } else {
+            None
         }
-        if count == 0 {
-            return None;
-        }
-        for a in &mut acc {
-            *a /= count as f32;
-        }
-        Some(acc)
+    }
+
+    /// Buffer-reusing variant of [`foldin_embedding`](Self::foldin_embedding);
+    /// see [`FoldInIndex::foldin_embedding_into`].
+    pub fn foldin_embedding_into(&self, u: NodeId, v: NodeId, acc: &mut Vec<f32>) -> bool {
+        self.index.foldin_embedding_into(self.model, u, v, acc)
     }
 
     /// Directionality value for any ordered pair: exact when embedded,
     /// fold-in otherwise, `0.5` when nothing is known about the head.
     ///
-    /// Fold-in scoring uses the embedding half of the feature vector only;
-    /// under the `context_features` extension the context half is
-    /// approximated by zeros (its warm-start value).
+    /// Routed through the buffer-reusing path ([`score_into`](Self::score_into))
+    /// so both spellings share one code path and stay bit-identical.
     pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
-        if let Some(d) = self.model.score(u, v) {
-            return d;
-        }
-        match self.foldin_embedding(u, v) {
-            None => 0.5,
-            Some(mut x) => {
-                if self.model.config().context_features {
-                    x.resize(2 * self.model.config().dim, 0.0);
-                }
-                self.model.head().score(&x)
-            }
-        }
+        let mut scratch = Vec::new();
+        self.score_into(u, v, &mut scratch)
+    }
+
+    /// Buffer-reusing variant of [`score`](Self::score) for hot loops;
+    /// see [`FoldInIndex::score_into`].
+    pub fn score_into(&self, u: NodeId, v: NodeId, scratch: &mut Vec<f32>) -> f64 {
+        self.index.score_into(self.model, u, v, scratch)
     }
 }
 
@@ -149,6 +239,113 @@ mod tests {
             }
         }
         assert!(tested > 0, "found unseen pairs to test");
+    }
+
+    #[test]
+    fn buffer_reuse_is_bit_identical_to_allocating_path() {
+        let (g, model) = trained_model();
+        let scorer = FoldInScorer::new(&model);
+        // One scratch reused across every query — stale contents from the
+        // previous iteration must not leak into the next result.
+        let mut scratch = Vec::new();
+        let mut checked_emb = 0usize;
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        for (i, &u) in nodes.iter().enumerate().take(40) {
+            let v = nodes[(i * 7 + 3) % nodes.len()];
+            if u == v {
+                continue;
+            }
+            assert_eq!(
+                scorer.score(u, v).to_bits(),
+                scorer.score_into(u, v, &mut scratch).to_bits()
+            );
+            let alloc = scorer.foldin_embedding(u, v);
+            let mut reused = vec![f32::NAN; 3]; // poisoned: _into must clear it
+            let ok = scorer.foldin_embedding_into(u, v, &mut reused);
+            match alloc {
+                Some(a) => {
+                    assert!(ok);
+                    assert_eq!(a.len(), reused.len());
+                    for (x, y) in a.iter().zip(&reused) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    checked_emb += 1;
+                }
+                None => {
+                    assert!(!ok);
+                    assert!(reused.is_empty(), "failed fold-in must clear the buffer");
+                }
+            }
+        }
+        assert!(checked_emb > 10, "exercised real fold-in embeddings");
+    }
+
+    #[test]
+    fn foldin_excludes_the_queried_pair_itself_not_the_reverse() {
+        // Pinning the satellite-3 decision: for a query (u, v) the mean over
+        // v's in-ties drops exactly the row (u, v) — which exists whenever
+        // the reverse (v, u) was a trained directed tie, because the
+        // universe embeds its mirror — and keeps everything else. A reverse
+        // row (v, u) points into u, never into v, so there is nothing else
+        // to exclude.
+        let (g, model) = trained_model();
+        let scorer = FoldInScorer::new(&model);
+        let dim = model.dim();
+        let (_, v, u) = g
+            .directed_ties()
+            .find(|&(_, s, d)| {
+                // A trained tie (v, u): its mirror (u, v) is embedded, and v
+                // must keep at least one other in-tie so the mean exists.
+                model.tie_row(d, s).is_some()
+                    && model.ties().iter().filter(|&&(src, dst)| dst == s.0 && src != d.0).count()
+                        >= 1
+            })
+            .expect("a directed tie with an embedded mirror");
+        assert!(model.tie_row(u, v).is_some(), "mirror (u,v) must be embedded");
+
+        // Manual mean over in-rows of v excluding src == u, mirroring the
+        // documented contract, bit for bit.
+        let mut mean = vec![0.0f32; dim];
+        let mut count = 0usize;
+        for (row, &(src, dst)) in model.ties().iter().enumerate() {
+            if dst != v.0 || src == u.0 {
+                continue;
+            }
+            for (a, &b) in mean.iter_mut().zip(model.embedding_row(row)) {
+                *a += b;
+            }
+            count += 1;
+        }
+        assert!(count >= 1);
+        for a in mean.iter_mut() {
+            *a /= count as f32;
+        }
+        let got = scorer.foldin_embedding(u, v).expect("fold-in mean exists");
+        for (x, y) in got.iter().zip(&mean) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // And the excluded row really was in v's head cluster: including it
+        // changes the mean, so the exclusion is observable.
+        let mut mean_all = vec![0.0f32; dim];
+        let mut count_all = 0usize;
+        for (row, &(_, dst)) in model.ties().iter().enumerate() {
+            if dst != v.0 {
+                continue;
+            }
+            for (a, &b) in mean_all.iter_mut().zip(model.embedding_row(row)) {
+                *a += b;
+            }
+            count_all += 1;
+        }
+        for a in mean_all.iter_mut() {
+            *a /= count_all as f32;
+        }
+        assert_eq!(count_all, count + 1, "exactly the (u,v) row is excluded");
+        assert!(
+            got.iter().zip(&mean_all).any(|(x, y)| x.to_bits() != y.to_bits()),
+            "excluding (u,v) must be observable in the mean"
+        );
     }
 
     #[test]

@@ -84,6 +84,6 @@ pub use config::{DStepHead, DeepDirectConfig};
 /// dependency.
 pub use dd_telemetry as telemetry;
 pub use dstep::DirectionalityHead;
-pub use foldin::FoldInScorer;
+pub use foldin::{FoldInIndex, FoldInScorer};
 pub use model::{DeepDirect, DirectionalityModel, MODEL_SCHEMA_VERSION};
 pub use universe::{TieUniverse, UniverseKind, UniverseTie};

@@ -1,0 +1,198 @@
+//! Temporal tie-event streams: what a live crawl of one of the evaluation
+//! networks would emit after the training snapshot was taken.
+//!
+//! Real follow streams are **bursty** (a visible account gains a pile of
+//! followers in a short window), **churny** (some follows are retracted),
+//! and partly **reciprocal**. [`temporal_event_stream`] reproduces those
+//! three properties over an existing network: bursts target hot heads
+//! (high in-degree nodes), new-arrival nodes appear with ids above the
+//! snapshot's, and a configurable fraction of emitted follows is later
+//! unfollowed. The output is a plain [`TieEvent`] log — exactly what
+//! `dd ingest` and `POST /ingest` consume — and is a pure function of
+//! `(network, config)`, so the same seed replays the same stream
+//! (DESIGN.md §7.15).
+
+use dd_graph::MixedSocialNetwork;
+use dd_stream::{EventOp, TieEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated event stream.
+#[derive(Debug, Clone)]
+pub struct EventStreamConfig {
+    /// Events to emit.
+    pub count: usize,
+    /// RNG seed; the stream is a pure function of `(network, config)`.
+    pub seed: u64,
+    /// Probability that a burst targets a hot head (top-decile in-degree)
+    /// instead of a uniformly drawn node. `0.7` mimics the concentration
+    /// of real follow streams.
+    pub burstiness: f64,
+    /// Probability that an emitted follow is later retracted by an
+    /// unfollow event (tie churn).
+    pub churn: f64,
+    /// Probability that a follow arrives as a reciprocation (both orders
+    /// at once).
+    pub reciprocation: f64,
+}
+
+impl Default for EventStreamConfig {
+    fn default() -> Self {
+        EventStreamConfig { count: 256, seed: 7, burstiness: 0.7, churn: 0.15, reciprocation: 0.1 }
+    }
+}
+
+impl EventStreamConfig {
+    /// Validates probabilities and the event budget.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("event stream: count must be positive".into());
+        }
+        for (name, p) in [
+            ("burstiness", self.burstiness),
+            ("churn", self.churn),
+            ("reciprocation", self.reciprocation),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("event stream: {name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates `cfg.count` follow/unfollow/reciprocation events over `g`.
+///
+/// Mechanics, per burst:
+/// - a head is drawn — with probability `burstiness` from the network's
+///   top-decile in-degree nodes (hot accounts), otherwise uniformly;
+/// - 1–4 followers follow it in a burst; each follower is either a
+///   *new arrival* (a node id past the snapshot's, so the pair is
+///   guaranteed untrained and exercises the fold-in path) or an existing
+///   node (which may hit trained pairs and exercise tombstone/refollow);
+/// - each follow reciprocates with probability `reciprocation`;
+/// - after each follow, with probability `churn` a previously emitted
+///   live tie is unfollowed.
+///
+/// Self-ties are never emitted (the wire format rejects them).
+pub fn temporal_event_stream(g: &MixedSocialNetwork, cfg: &EventStreamConfig) -> Vec<TieEvent> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut by_in: Vec<(usize, u32)> = g.nodes().map(|u| (g.in_ties(u).len(), u.0)).collect();
+    // Sort hottest-first; ties broken by id so the stream is deterministic.
+    by_in.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let all: Vec<u32> = by_in.iter().map(|&(_, u)| u).collect();
+    let hot: Vec<u32> = all.iter().copied().take(all.len().div_ceil(10).max(1)).collect();
+    assert!(!all.is_empty(), "temporal_event_stream: network has no nodes");
+    let n = g.n_nodes() as u32;
+
+    let mut events = Vec::with_capacity(cfg.count);
+    // Ties emitted and still live — the churn pool.
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    while events.len() < cfg.count {
+        let head = if rng.gen_bool(cfg.burstiness) {
+            hot[rng.gen_range(0..hot.len())]
+        } else {
+            all[rng.gen_range(0..all.len())]
+        };
+        let burst = rng.gen_range(1..=4usize);
+        for _ in 0..burst {
+            if events.len() >= cfg.count {
+                break;
+            }
+            // New arrivals (untrained ids) vs existing followers, 60/40.
+            let src = if rng.gen_bool(0.6) {
+                n + rng.gen_range(0..n.max(8))
+            } else {
+                all[rng.gen_range(0..all.len())]
+            };
+            if src == head {
+                continue;
+            }
+            let op = if rng.gen_bool(cfg.reciprocation) {
+                EventOp::Reciprocate
+            } else {
+                EventOp::Follow
+            };
+            events.push(TieEvent::new(op, src, head));
+            live.push((src, head));
+            if events.len() < cfg.count && !live.is_empty() && rng.gen_bool(cfg.churn) {
+                let idx = rng.gen_range(0..live.len());
+                let (a, b) = live.swap_remove(idx);
+                events.push(TieEvent::new(EventOp::Unfollow, a, b));
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_graph::generators::{social_network, SocialNetConfig};
+
+    fn net() -> MixedSocialNetwork {
+        let mut rng = StdRng::seed_from_u64(3);
+        social_network(&SocialNetConfig { n_nodes: 120, ..Default::default() }, &mut rng).network
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_exactly_count_events() {
+        let g = net();
+        let cfg = EventStreamConfig { count: 300, seed: 42, ..Default::default() };
+        let a = temporal_event_stream(&g, &cfg);
+        let b = temporal_event_stream(&g, &cfg);
+        assert_eq!(a, b, "same (network, config) must replay the same stream");
+        assert_eq!(a.len(), 300);
+        let c = temporal_event_stream(&g, &EventStreamConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "a different seed must give a different stream");
+    }
+
+    #[test]
+    fn stream_has_bursts_churn_and_reciprocation() {
+        let g = net();
+        let cfg = EventStreamConfig { count: 500, seed: 7, ..Default::default() };
+        let events = temporal_event_stream(&g, &cfg);
+        let follows = events.iter().filter(|e| e.op == EventOp::Follow).count();
+        let unfollows = events.iter().filter(|e| e.op == EventOp::Unfollow).count();
+        let recips = events.iter().filter(|e| e.op == EventOp::Reciprocate).count();
+        assert!(follows > 0 && unfollows > 0 && recips > 0, "{follows}/{unfollows}/{recips}");
+        // Churn only retracts previously emitted ties.
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for e in &events {
+            match e.op {
+                EventOp::Follow | EventOp::Reciprocate => seen.push((e.src, e.dst)),
+                EventOp::Unfollow => {
+                    assert!(seen.contains(&(e.src, e.dst)), "unfollow of a never-followed tie")
+                }
+            }
+        }
+        // No self-ties — the wire format would reject the whole batch.
+        assert!(events.iter().all(|e| e.src != e.dst));
+        // New arrivals (ids past the snapshot) exercise the fold-in path.
+        let n = g.n_nodes() as u32;
+        assert!(events.iter().any(|e| e.src >= n), "some followers must be new arrivals");
+        // Bursts concentrate on hot heads: the most-followed head in the
+        // stream should absorb well above a uniform share.
+        let mut heads: Vec<u32> = events.iter().map(|e| e.dst).collect();
+        heads.sort_unstable();
+        let max_run = {
+            let mut best = 0usize;
+            let mut run = 0usize;
+            let mut prev = None;
+            for h in heads {
+                run = if prev == Some(h) { run + 1 } else { 1 };
+                best = best.max(run);
+                prev = Some(h);
+            }
+            best
+        };
+        assert!(max_run * g.n_nodes() > events.len() * 2, "hot heads must be over-represented");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_probabilities() {
+        assert!(EventStreamConfig::default().validate().is_ok());
+        assert!(EventStreamConfig { count: 0, ..Default::default() }.validate().is_err());
+        assert!(EventStreamConfig { churn: 1.5, ..Default::default() }.validate().is_err());
+    }
+}

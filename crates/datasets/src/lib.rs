@@ -18,9 +18,11 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod spec;
 pub mod stats;
 
+pub use events::{temporal_event_stream, EventStreamConfig};
 pub use spec::{
     all_datasets, bidirectional_heavy_datasets, epinions, livejournal, slashdot, tencent, twitter,
     DatasetSpec,

@@ -15,10 +15,12 @@ use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
 /// substrate's chunk structure is the determinism contract itself — its two
 /// wall-clock stats reads carry audited pragmas cross-checked against
 /// DESIGN.md (`--check-exemptions`).
-pub const RESULT_AFFECTING: &[&str] = &["core", "graph", "linalg", "baselines", "eval", "runtime"];
+pub const RESULT_AFFECTING: &[&str] =
+    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream"];
 
 /// Crates whose top-level public items the `pub-doc` rule requires docs on.
-pub const DOC_REQUIRED: &[&str] = &["core", "graph", "linalg", "baselines", "eval", "runtime"];
+pub const DOC_REQUIRED: &[&str] =
+    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream"];
 
 /// All rule names, in reporting order.
 pub const RULE_NAMES: &[&str] = &[

@@ -21,7 +21,13 @@
 //!   read/write deadlines and size limits, never pinning a worker.
 //! - **Sharded LRU score cache** ([`lru`]): entries are keyed by the
 //!   model's content fingerprint, so scores from a swapped-out model
-//!   simply stop matching; eviction only bounds memory.
+//!   simply stop matching; eviction only bounds memory, and reloads purge
+//!   dead-generation entries so they never squat on capacity.
+//! - **Streaming ingestion** (`--stream`): `POST /ingest` folds JSONL
+//!   follow/unfollow/reciprocation events into the frozen embedding space
+//!   through a [`StreamEngine`](dd_stream::StreamEngine) — new ties score
+//!   within one request, no retraining, with exact per-key cache
+//!   invalidation and bit-identical replay (DESIGN.md §7.15).
 //! - **Observability**: per-endpoint request counters and latency
 //!   histograms in a [`Registry`](dd_telemetry::Registry) exported at
 //!   `GET /metrics`, plus structured JSONL request logs (with model
@@ -38,6 +44,7 @@
 //! | `GET /healthz` | liveness + model identity (router: per-shard fan-out) |
 //! | `GET /score?src=A&dst=B` | one directionality score (404 on unknown tie) |
 //! | `POST /batch` | JSONL of `{"src":A,"dst":B}` → JSONL of scores |
+//! | `POST /ingest` | JSONL tie events → incremental fold-in (`--stream`; router: all-shard fan-out) |
 //! | `POST /admin/reload` | `{"path":"…"}` → swap in a new model artifact |
 //! | `GET /metrics` | Prometheus text exposition |
 //!
@@ -56,7 +63,7 @@ pub mod slot;
 pub use lru::ScoreCache;
 pub use router::{Router, RouterConfig, RouterHandle, RouterHealth, ShardHealth};
 pub use server::{
-    HealthResponse, ReloadRequest, ReloadResponse, ScoreResponse, ServeConfig, Server,
-    ServerHandle, TiePair,
+    HealthResponse, IngestResponse, ReloadRequest, ReloadResponse, ScoreResponse, ServeConfig,
+    Server, ServerHandle, TiePair,
 };
 pub use slot::{ModelSlot, SlotReader};

@@ -5,7 +5,12 @@
 //! memory. Keys carry the model's content fingerprint as a generation
 //! namespace: when `POST /admin/reload` hot-swaps the served model,
 //! entries computed against the old weights simply stop matching instead
-//! of being served stale — no flush, no invalidation protocol.
+//! of being served stale — no flush, no invalidation protocol. They do,
+//! however, keep occupying capacity: the reload path calls
+//! [`ScoreCache::purge_other_generations`] so dead-generation entries stop
+//! crowding out (and charging phantom evictions against) the live model.
+//! Streaming ingestion (DESIGN.md §7.15) removes exactly the affected keys
+//! with [`ScoreCache::remove`] instead of flushing.
 //! Sharding by key hash keeps lock contention off the worker
 //! pool: each shard is an independent mutex around an intrusive-list LRU,
 //! so two workers scoring different ties almost never touch the same lock.
@@ -33,6 +38,8 @@ struct Shard {
     head: u32,
     tail: u32,
     cap: usize,
+    /// Slots of removed/purged nodes, reusable before `nodes` grows again.
+    free: Vec<u32>,
 }
 
 impl Shard {
@@ -43,6 +50,7 @@ impl Shard {
             head: NIL,
             tail: NIL,
             cap,
+            free: Vec::new(),
         }
     }
 
@@ -97,11 +105,39 @@ impl Shard {
             self.map.insert(key, victim);
             return true;
         }
-        let i = self.nodes.len() as u32;
-        self.nodes.push(Node { key, val, prev: NIL, next: NIL });
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize].key = key;
+                self.nodes[slot as usize].val = val;
+                slot
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(Node { key, val, prev: NIL, next: NIL });
+                i
+            }
+        };
         self.push_front(i);
         self.map.insert(key, i);
         false
+    }
+
+    /// Drops `key` if present; its slot goes on the free list for reuse.
+    fn remove(&mut self, key: TieKey) -> bool {
+        let Some(i) = self.map.remove(&key) else { return false };
+        self.detach(i);
+        self.free.push(i);
+        true
+    }
+
+    /// Drops every entry whose generation differs from `keep`; returns the
+    /// number of entries purged.
+    fn purge_other_generations(&mut self, keep: u64) -> usize {
+        let dead: Vec<TieKey> = self.map.keys().filter(|k| k.0 != keep).copied().collect();
+        for key in &dead {
+            self.remove(*key);
+        }
+        dead.len()
     }
 }
 
@@ -191,6 +227,22 @@ impl ScoreCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Invalidates exactly one entry; returns whether it was present.
+    /// Streaming ingestion calls this for each `(generation, src, dst)`
+    /// affected by an applied event (DESIGN.md §7.15).
+    pub fn remove(&self, key: TieKey) -> bool {
+        lock_shard(self.shard(key)).remove(key)
+    }
+
+    /// Drops every entry whose generation is not `keep`, returning how many
+    /// were purged. The reload path calls this after a slot swap: entries
+    /// keyed by a swapped-out fingerprint can never hit again but would
+    /// otherwise occupy capacity (and produce phantom evictions) until
+    /// churned out.
+    pub fn purge_other_generations(&self, keep: u64) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).purge_other_generations(keep)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +326,52 @@ mod tests {
                 "with_shards({capacity}, {n_shards}): len {} exceeds budget",
                 c.len()
             );
+        }
+    }
+
+    #[test]
+    fn remove_invalidates_exactly_one_entry_and_recycles_its_slot() {
+        let c = ScoreCache::with_shards(3, 1);
+        c.insert((GEN, 1, 2), 0.1);
+        c.insert((GEN, 3, 4), 0.2);
+        c.insert((GEN, 5, 6), 0.3);
+        assert!(c.remove((GEN, 3, 4)));
+        assert!(!c.remove((GEN, 3, 4)), "double remove is a no-op");
+        assert_eq!(c.get((GEN, 3, 4)), None);
+        assert_eq!(c.get((GEN, 1, 2)), Some(0.1), "neighbors survive removal");
+        assert_eq!(c.get((GEN, 5, 6)), Some(0.3));
+        assert_eq!(c.len(), 2);
+        // The freed slot is reused: refilling to capacity evicts nothing.
+        assert!(!c.insert((GEN, 7, 8), 0.4), "freed slot must absorb the insert");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn purge_reclaims_dead_generation_capacity_without_phantom_evictions() {
+        // Regression (reload bloat): after a hot swap, old-fingerprint
+        // entries can never hit again, yet before the purge they kept
+        // occupying capacity — a reloaded server refilling its cache
+        // reported one eviction per insert while serving a half-dead cache.
+        const OLD: u64 = 0xDEAD;
+        const NEW: u64 = 0xBEEF;
+        let c = ScoreCache::with_shards(4, 1);
+        for i in 0..4u32 {
+            c.insert((OLD, i, i), 0.5);
+        }
+        assert_eq!(c.len(), 4, "old generation fills the cache");
+        // A live-generation entry inserted before the purge must survive it.
+        assert!(c.insert((NEW, 9, 9), 0.9), "full cache evicts to admit the new generation");
+        assert_eq!(c.purge_other_generations(NEW), 3, "exactly the dead entries are purged");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get((NEW, 9, 9)), Some(0.9), "live generation survives the purge");
+        // Refilling with the live generation reports zero evictions: the
+        // purge actually reclaimed the slots instead of leaving zombies.
+        for i in 0..3u32 {
+            assert!(!c.insert((NEW, i, i), 0.1), "purged capacity absorbs insert {i}");
+        }
+        assert_eq!(c.len(), 4);
+        for i in 0..3u32 {
+            assert_eq!(c.get((NEW, i, i)), Some(0.1));
         }
     }
 

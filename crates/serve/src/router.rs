@@ -11,8 +11,10 @@
 //! rejoin. `/metrics` aggregates router traffic with per-shard labels.
 //!
 //! The router never holds a model: `/score` and `/batch` are pure
-//! forwards, `/admin/reload` fans out to every shard, `/healthz` reports
-//! fleet state with per-shard fingerprints and reload generations.
+//! forwards, `/admin/reload` and `/ingest` fan out to every shard (shards
+//! are full replicas, so every one must see every reload and every tie
+//! event), `/healthz` reports fleet state with per-shard fingerprints and
+//! reload generations.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -181,8 +183,8 @@ impl ShardState {
 }
 
 /// Endpoint labels for router metrics and request-log events.
-const ENDPOINTS: [&str; 8] =
-    ["healthz", "score", "batch", "metrics", "admin", "other", "timeout", "malformed"];
+const ENDPOINTS: [&str; 9] =
+    ["healthz", "score", "batch", "ingest", "metrics", "admin", "other", "timeout", "malformed"];
 
 struct EndpointMetrics {
     requests: Arc<Counter>,
@@ -400,6 +402,7 @@ fn route(state: &RouterState, req: &http::Request, traceparent: &str) -> Routed 
         ("GET", "/healthz") => healthz_endpoint(state),
         ("GET", "/score") => score_endpoint(state, req, &fwd_headers),
         ("POST", "/batch") => batch_endpoint(state, req, &fwd_headers),
+        ("POST", "/ingest") => ingest_endpoint(state, req, &fwd_headers),
         ("POST", "/admin/reload") => reload_endpoint(state, req, &fwd_headers),
         ("GET", "/metrics") => {
             let families = [
@@ -437,7 +440,7 @@ fn route(state: &RouterState, req: &http::Request, traceparent: &str) -> Routed 
             let body = prometheus_text(&state.registry.snapshot(), &families).into_bytes();
             ("metrics", 200, PROM_TEXT, body)
         }
-        (_, "/healthz" | "/score" | "/batch" | "/metrics" | "/admin/reload") => {
+        (_, "/healthz" | "/score" | "/batch" | "/ingest" | "/metrics" | "/admin/reload") => {
             ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
         }
         (_, path) => ("other", 404, JSON, error_body(&format!("no such endpoint '{path}'"))),
@@ -621,6 +624,36 @@ fn reload_endpoint(state: &RouterState, req: &http::Request, headers: &[(&str, &
     let status = if all_ok { 200 } else { 502 };
     let body = format!("{{\"shards\":[{}]}}", results.join(","));
     ("admin", status, JSON, body.into_bytes())
+}
+
+/// `POST /ingest` fans the event batch out to every shard: shards are full
+/// replicas, so each must fold in the same events to keep serving
+/// bit-identical scores. The response aggregates per-shard verdicts; the
+/// status is `200` only when every shard applied the batch. No failover
+/// here — a shard that missed a batch would silently diverge, so a partial
+/// fan-out is reported as `502` for the operator to replay the event log.
+fn ingest_endpoint(state: &RouterState, req: &http::Request, headers: &[(&str, &str)]) -> Routed {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return ("ingest", 400, JSON, error_body("body must be UTF-8 JSONL"));
+    };
+    let mut results = Vec::with_capacity(state.shards.len());
+    let mut all_ok = true;
+    for shard in &state.shards {
+        let (ok, detail) = match client::post_classified(&shard.addr, "/ingest", body, headers) {
+            Ok(resp) if resp.status == 200 => (true, resp.body),
+            Ok(resp) => (false, format!("status {}: {}", resp.status, resp.body)),
+            Err(e) => (false, e.message),
+        };
+        all_ok &= ok;
+        results.push(format!(
+            "{{\"addr\":{},\"ok\":{ok},\"detail\":{}}}",
+            serde_json::to_string(&shard.addr).unwrap_or_default(),
+            if ok { detail } else { serde_json::to_string(&detail).unwrap_or_default() },
+        ));
+    }
+    let status = if all_ok { 200 } else { 502 };
+    let body = format!("{{\"shards\":[{}]}}", results.join(","));
+    ("ingest", status, JSON, body.into_bytes())
 }
 
 fn handle_connection(state: &RouterState, stream: TcpStream, accepted: Instant) {

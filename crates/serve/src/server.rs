@@ -11,18 +11,25 @@
 //! in-flight requests finish on the `Arc` they started with (DESIGN.md
 //! §7.14). Shutdown is graceful: stop accepting, drain every queued
 //! connection, join the pool.
+//!
+//! With [`ServeConfig::stream`] on, the server also accepts `POST /ingest`:
+//! JSONL tie events fold into the frozen embedding space through a
+//! [`StreamEngine`] (DESIGN.md §7.15), and exactly the touched
+//! `(fingerprint, src, dst)` cache entries are invalidated — new ties score
+//! within one request of being ingested, without retraining.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dd_graph::NodeId;
 use dd_runtime::{spawn_named, Threads, WorkerPool};
+use dd_stream::{parse_events, StreamEngine};
 use dd_telemetry::export::{prometheus_text, PromFamily};
 use dd_telemetry::trace::{
     derive_span_id, derive_trace_id, format_traceparent, now_seconds, parse_traceparent,
@@ -57,6 +64,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Structured request-log sink (JSONL events of kind `serve.request`).
     pub observer: ObserverHandle,
+    /// Enables streaming tie ingestion: `POST /ingest` accepts JSONL tie
+    /// events and folds them into the frozen embedding space (DESIGN.md
+    /// §7.15). Off by default — with it off, `/ingest` answers `400`.
+    pub stream: bool,
     /// Test-only fault injection: when `true`, `GET /__panic` panics inside
     /// the request handler. The chaos suite uses it to prove panic
     /// isolation (500 to the client, `serve.panics` incremented, worker
@@ -73,6 +84,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(5),
             queue_depth: 64,
             observer: ObserverHandle::none(),
+            stream: false,
             panic_route: false,
         }
     }
@@ -100,10 +112,42 @@ struct EndpointMetrics {
     latency: Arc<Histogram>,
 }
 
+/// Streaming-ingest state: the engine plus its instruments. Present only
+/// when [`ServeConfig::stream`] is on.
+struct StreamState {
+    /// Scoring takes read locks (one per cache miss); `POST /ingest` and
+    /// reload rebinds take the write lock.
+    engine: RwLock<StreamEngine>,
+    /// Events applied over the server's lifetime (`serve.ingest.events`).
+    events_applied: Arc<Counter>,
+    /// Ingest batches accepted (`serve.ingest.batches`).
+    batches: Arc<Counter>,
+    /// Cache entries invalidated by ingests (`serve.ingest.invalidations`).
+    invalidations: Arc<Counter>,
+    /// Live dynamic (untrained, followed) ties (`serve.stream.live`).
+    live: Arc<Gauge>,
+}
+
+impl StreamState {
+    // Poison recovery mirrors the slot/worker locks: the guarded sections
+    // only mutate the engine's own plain data structures, so a poisoned
+    // lock means a panic elsewhere unwound through a guard — the engine
+    // state is still coherent (apply/rebind never partially apply).
+    fn read_engine(&self) -> RwLockReadGuard<'_, StreamEngine> {
+        self.engine.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write_engine(&self) -> RwLockWriteGuard<'_, StreamEngine> {
+        self.engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// Everything a worker needs to answer requests.
 struct AppState {
     slot: Arc<ModelSlot>,
     cache: Option<ScoreCache>,
+    /// Streaming-ingest engine; `None` unless [`ServeConfig::stream`].
+    stream: Option<StreamState>,
     registry: Arc<Registry>,
     observer: ObserverHandle,
     request_timeout: Duration,
@@ -112,6 +156,8 @@ struct AppState {
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     cache_occupancy: Arc<Gauge>,
+    /// Dead-generation entries reclaimed on reload (`serve.cache.purged`).
+    cache_purged: Arc<Counter>,
     queue_rejections: Arc<Counter>,
     panics: Arc<Counter>,
     pool_utilization: Arc<Gauge>,
@@ -138,8 +184,18 @@ struct RouteStats {
 }
 
 /// Endpoint labels used in metric names and request-log events.
-const ENDPOINTS: [&str; 9] =
-    ["healthz", "score", "batch", "metrics", "admin", "other", "timeout", "malformed", "panic"];
+const ENDPOINTS: [&str; 10] = [
+    "healthz",
+    "score",
+    "batch",
+    "ingest",
+    "metrics",
+    "admin",
+    "other",
+    "timeout",
+    "malformed",
+    "panic",
+];
 
 impl AppState {
     fn new(slot: Arc<ModelSlot>, cfg: &ServeConfig) -> Self {
@@ -158,13 +214,26 @@ impl AppState {
         registry.gauge("serve.pool.workers").set(cfg.workers as f64);
         let model_generation = registry.gauge("serve.model.generation");
         model_generation.set(slot.generation() as f64);
+        let stream = if cfg.stream {
+            Some(StreamState {
+                engine: RwLock::new(StreamEngine::new(slot.load())),
+                events_applied: registry.counter("serve.ingest.events"),
+                batches: registry.counter("serve.ingest.batches"),
+                invalidations: registry.counter("serve.ingest.invalidations"),
+                live: registry.gauge("serve.stream.live"),
+            })
+        } else {
+            None
+        };
         AppState {
             slot,
             cache: ScoreCache::new(cfg.cache_size),
+            stream,
             cache_hits: registry.counter("serve.cache.hits"),
             cache_misses: registry.counter("serve.cache.misses"),
             cache_evictions: registry.counter("serve.cache.evictions"),
             cache_occupancy: registry.gauge("serve.cache.occupancy"),
+            cache_purged: registry.counter("serve.cache.purged"),
             queue_rejections: registry.counter("serve.rejected.queue_full"),
             panics: registry.counter("serve.panics"),
             model_generation,
@@ -213,10 +282,11 @@ impl AppState {
         model: &DirectionalityModel,
         src: u32,
         dst: u32,
+        scratch: &mut Vec<f32>,
         stats: &mut RouteStats,
     ) -> Option<f64> {
         let Some(cache) = &self.cache else {
-            return model.score(NodeId(src), NodeId(dst));
+            return self.score_live(model, src, dst, scratch);
         };
         let key = (model.fingerprint(), src, dst);
         if let Some(v) = cache.get(key) {
@@ -224,7 +294,7 @@ impl AppState {
             stats.cache_hits += 1;
             return Some(v);
         }
-        let v = model.score(NodeId(src), NodeId(dst))?;
+        let v = self.score_live(model, src, dst, scratch)?;
         self.cache_misses.incr();
         stats.cache_misses += 1;
         if cache.insert(key, v) {
@@ -232,6 +302,31 @@ impl AppState {
         }
         self.cache_occupancy.set(cache.len() as f64);
         Some(v)
+    }
+
+    /// Resolves one uncached score. With streaming on, the engine answers
+    /// (exact trained scores for untouched pairs, fold-in for dynamic ones,
+    /// `None` for tombstones); without it, the model answers directly.
+    /// `scratch` is the worker-owned fold-in buffer, so the streaming path
+    /// never allocates per request.
+    fn score_live(
+        &self,
+        model: &DirectionalityModel,
+        src: u32,
+        dst: u32,
+        scratch: &mut Vec<f32>,
+    ) -> Option<f64> {
+        if let Some(stream) = &self.stream {
+            let engine = stream.read_engine();
+            if engine.fingerprint() == model.fingerprint() {
+                return engine.score(NodeId(src), NodeId(dst), scratch);
+            }
+            // A reload is racing this request: the engine already rebound to
+            // the new generation while this request holds the old snapshot.
+            // Fall through to the plain trained score for the old model —
+            // its cache entries die with the generation purge anyway.
+        }
+        model.score(NodeId(src), NodeId(dst))
     }
 }
 
@@ -250,6 +345,9 @@ pub struct HealthResponse {
     /// Reload generation: 1 for the model the process started with,
     /// incremented by every successful `POST /admin/reload`.
     pub generation: Option<u64>,
+    /// Live dynamic ties folded in via streaming ingestion; absent when the
+    /// server runs without [`ServeConfig::stream`].
+    pub live_dynamic: Option<u64>,
 }
 
 /// A tie pair, as accepted by `/score` query params and `/batch` JSONL lines.
@@ -299,6 +397,31 @@ pub struct ReloadResponse {
     pub generation: u64,
     /// Ties in the new model's training universe.
     pub ties: usize,
+    /// Dead-generation cache entries reclaimed by the swap; absent when the
+    /// cache is disabled.
+    pub cache_purged: Option<u64>,
+}
+
+/// `POST /ingest` success payload.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct IngestResponse {
+    /// `"applied"` on success (application is atomic: a malformed batch is
+    /// rejected whole with a `400` and applies nothing).
+    pub status: String,
+    /// Events applied from this batch.
+    pub applied: usize,
+    /// Cache entries invalidated by this batch.
+    pub invalidated: usize,
+    /// Live dynamic ties after this batch.
+    pub live_dynamic: usize,
+    /// Events applied over the engine's lifetime (the event-log length).
+    pub events_total: usize,
+    /// Engine state digest after this batch (16 lowercase hex digits);
+    /// replaying the same event log against the same model reproduces it
+    /// bit for bit (DESIGN.md §7.15).
+    pub digest: String,
+    /// Content fingerprint of the model the events folded into.
+    pub fingerprint: String,
 }
 
 fn error_body(msg: &str) -> Vec<u8> {
@@ -313,6 +436,7 @@ fn route(
     model: &Arc<DirectionalityModel>,
     generation: u64,
     req: &http::Request,
+    scratch: &mut Vec<f32>,
     stats: &mut RouteStats,
 ) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
@@ -323,11 +447,13 @@ fn route(
                 model_schema: MODEL_SCHEMA_VERSION,
                 model_fingerprint: format!("{:016x}", model.fingerprint()),
                 generation: Some(generation),
+                live_dynamic: state.stream.as_ref().map(|s| s.read_engine().live_dynamic() as u64),
             };
             ("healthz", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
         }
-        ("GET", "/score") => score_endpoint(state, model, req, stats),
-        ("POST", "/batch") => batch_endpoint(state, model, req, stats),
+        ("GET", "/score") => score_endpoint(state, model, req, scratch, stats),
+        ("POST", "/batch") => batch_endpoint(state, model, req, scratch, stats),
+        ("POST", "/ingest") => ingest_endpoint(state, req),
         ("POST", "/admin/reload") => reload_endpoint(state, req),
         // Fault injection for the chaos suite (ServeConfig::panic_route);
         // with the flag off this falls through to the 404 arm.
@@ -356,7 +482,7 @@ fn route(
             );
             ("metrics", 200, PROM_TEXT, body)
         }
-        (_, "/healthz" | "/score" | "/batch" | "/metrics" | "/admin/reload") => {
+        (_, "/healthz" | "/score" | "/batch" | "/ingest" | "/metrics" | "/admin/reload") => {
             ("other", 405, JSON, error_body(&format!("method {} not allowed", req.method)))
         }
         (_, path) => ("other", 404, JSON, error_body(&format!("no such endpoint '{path}'"))),
@@ -376,6 +502,7 @@ fn score_endpoint(
     state: &AppState,
     model: &Arc<DirectionalityModel>,
     req: &http::Request,
+    scratch: &mut Vec<f32>,
     stats: &mut RouteStats,
 ) -> Routed {
     let (src, dst) = match (parse_id(req, "src"), parse_id(req, "dst")) {
@@ -383,7 +510,7 @@ fn score_endpoint(
         (Err(e), _) | (_, Err(e)) => return ("score", 400, JSON, error_body(&e)),
     };
     let fingerprint = Some(format!("{:016x}", model.fingerprint()));
-    match state.score_cached(model, src, dst, stats) {
+    match state.score_cached(model, src, dst, scratch, stats) {
         Some(score) => {
             let body = ScoreResponse { src, dst, score: Some(score), error: None, fingerprint };
             ("score", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
@@ -405,6 +532,7 @@ fn batch_endpoint(
     state: &AppState,
     model: &Arc<DirectionalityModel>,
     req: &http::Request,
+    scratch: &mut Vec<f32>,
     stats: &mut RouteStats,
 ) -> Routed {
     let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -429,7 +557,7 @@ fn batch_endpoint(
             }
         };
         n_pairs += 1;
-        let resp = match state.score_cached(model, pair.src, pair.dst, stats) {
+        let resp = match state.score_cached(model, pair.src, pair.dst, scratch, stats) {
             Some(score) => ScoreResponse {
                 src: pair.src,
                 dst: pair.dst,
@@ -452,6 +580,66 @@ fn batch_endpoint(
         return ("batch", 400, JSON, error_body("empty batch: send one JSON pair per line"));
     }
     ("batch", 200, NDJSON, out.into_bytes())
+}
+
+/// `POST /ingest`: applies a JSONL tie-event batch to the streaming engine
+/// and invalidates exactly the touched `(fingerprint, src, dst)` cache
+/// entries, so the very next request scores against the new state.
+/// Application is atomic — any malformed line rejects the whole batch with
+/// a `400` before the engine sees a single event (DESIGN.md §7.15).
+fn ingest_endpoint(state: &AppState, req: &http::Request) -> Routed {
+    let Some(stream) = &state.stream else {
+        return (
+            "ingest",
+            400,
+            JSON,
+            error_body("streaming ingestion is disabled; start `dd serve` with --stream"),
+        );
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return ("ingest", 400, JSON, error_body("body must be UTF-8 JSONL"));
+    };
+    let events = match parse_events(text) {
+        Ok(ev) => ev,
+        Err(e) => return ("ingest", 400, JSON, error_body(&format!("rejected batch: {e}"))),
+    };
+    if events.is_empty() {
+        return ("ingest", 400, JSON, error_body("empty batch: send one JSON event per line"));
+    }
+    // One write-lock hold per batch; scoring reads queue behind it only for
+    // the duration of the overlay fold (no I/O, no allocation spikes).
+    let ((fingerprint, report, live, events_total, digest), seconds) =
+        state.observer.time("ingest.apply", || {
+            let mut engine = stream.write_engine();
+            let fingerprint = engine.fingerprint();
+            let report = engine.apply_all(&events);
+            let live = engine.live_dynamic();
+            (fingerprint, report, live, engine.events_applied(), engine.state_digest())
+        });
+    let mut invalidated = 0usize;
+    if let Some(cache) = &state.cache {
+        for &(u, v) in &report.touched {
+            if cache.remove((fingerprint, u, v)) {
+                invalidated += 1;
+            }
+        }
+        state.cache_occupancy.set(cache.len() as f64);
+    }
+    stream.events_applied.add(report.applied as u64);
+    stream.batches.incr();
+    stream.invalidations.add(invalidated as u64);
+    stream.live.set(live as f64);
+    state.observer.on_event(&Event::ingest_apply(report.applied, invalidated, seconds));
+    let body = IngestResponse {
+        status: "applied".to_string(),
+        applied: report.applied,
+        invalidated,
+        live_dynamic: live,
+        events_total,
+        digest: format!("{digest:016x}"),
+        fingerprint: format!("{fingerprint:016x}"),
+    };
+    ("ingest", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
 }
 
 /// `POST /admin/reload`: loads the artifact named in the body off the hot
@@ -479,8 +667,25 @@ fn reload_endpoint(state: &AppState, req: &http::Request) -> Routed {
     }
     let new_fingerprint = format!("{:016x}", new.fingerprint());
     let ties = new.n_ties();
-    let old = state.slot.swap(Arc::new(new));
+    let new_arc = Arc::new(new);
+    let old = state.slot.swap(Arc::clone(&new_arc));
     let generation = state.slot.generation();
+    // Rebind the streaming engine: the retained event log re-normalizes
+    // against the new model's trained tie set, as if replayed from scratch.
+    if let Some(stream) = &state.stream {
+        let mut engine = stream.write_engine();
+        engine.rebind(Arc::clone(&new_arc));
+        stream.live.set(engine.live_dynamic() as f64);
+    }
+    // Entries keyed by dead generations can never be served again (the
+    // fingerprint key changed), but until purged they squat on LRU capacity
+    // and force phantom evictions of live entries.
+    let cache_purged = state.cache.as_ref().map(|cache| {
+        let purged = cache.purge_other_generations(new_arc.fingerprint()) as u64;
+        state.cache_purged.add(purged);
+        state.cache_occupancy.set(cache.len() as f64);
+        purged
+    });
     state.model_generation.set(generation as f64);
     state.model_reloads.incr();
     state.observer.on_event(&Event::metric("serve.model.reload", generation as f64, None));
@@ -490,6 +695,7 @@ fn reload_endpoint(state: &AppState, req: &http::Request) -> Routed {
         new_fingerprint,
         generation,
         ties,
+        cache_purged,
     };
     ("admin", 200, JSON, serde_json::to_string(&body).unwrap_or_default().into_bytes())
 }
@@ -520,6 +726,7 @@ fn render_metrics(registry: &Registry) -> Vec<u8> {
 fn handle_connection(
     state: &AppState,
     reader_slot: &mut SlotReader,
+    scratch: &mut Vec<f32>,
     stream: TcpStream,
     accepted: Instant,
 ) {
@@ -563,7 +770,7 @@ fn handle_connection(
         // invariants.
         Ok(req) => {
             match catch_unwind(AssertUnwindSafe(|| {
-                route(state, &model, generation, &req, &mut stats)
+                route(state, &model, generation, &req, scratch, &mut stats)
             })) {
                 Ok(routed) => routed,
                 Err(_) => {
@@ -716,8 +923,10 @@ fn accept_loop(
 fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppState>) {
     // Each worker owns a slot reader: steady-state requests cost one atomic
     // generation load; only the first request after a reload re-locks the
-    // slot to refresh the cached Arc.
+    // slot to refresh the cached Arc. The scratch vector is the worker's
+    // reusable fold-in buffer — the streaming score path never allocates.
     let mut reader_slot = state.slot.reader();
+    let mut scratch: Vec<f32> = Vec::new();
     loop {
         // Holding the lock while blocked in `recv` is the shared-receiver
         // pattern: exactly one worker waits in recv, the rest wait on the
@@ -733,10 +942,14 @@ fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppSta
                 // (response write, metrics) must not kill the worker either
                 // — a dead worker would silently shrink the pool.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(&state, &mut reader_slot, stream, accepted)
+                    handle_connection(&state, &mut reader_slot, &mut scratch, stream, accepted)
                 }));
                 if outcome.is_err() {
                     state.panics.incr();
+                    // A panic can leave the scratch buffer mid-fill; a fresh
+                    // buffer restores the all-paths-identical invariant
+                    // (the fold-in clears it anyway, but cheap certainty).
+                    scratch = Vec::new();
                 }
             }
             // Sender dropped and queue drained: graceful exit.
@@ -761,7 +974,7 @@ impl Server {
 
     /// [`Server::start`] with a caller-owned [`ModelSlot`], for embedders
     /// that want to drive swaps directly instead of via `POST /admin/reload`
-    /// (tests, future streaming fold-in).
+    /// (tests, embedding hosts).
     pub fn start_with_slot(slot: Arc<ModelSlot>, cfg: ServeConfig) -> Result<ServerHandle, String> {
         cfg.validate()?;
         let listener =

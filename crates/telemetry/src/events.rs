@@ -48,6 +48,10 @@ pub mod kind {
     /// A request handler panicked and was isolated (the request got a 500,
     /// the worker survived). Fields: `name` (request path).
     pub const SERVE_PANIC: &str = "serve.panic";
+    /// One applied streaming-ingest event batch (`dd ingest` /
+    /// `POST /ingest`). Fields: `value` (events applied), `seconds` (apply
+    /// wall time), `fields` (`invalidated` cache entries).
+    pub const INGEST_APPLY: &str = "ingest.apply";
 }
 
 /// One telemetry event. Produced by instrumentation, consumed by
@@ -184,6 +188,15 @@ impl Event {
     pub fn serve_panic(path: &str) -> Self {
         let mut e = Event::new(kind::SERVE_PANIC);
         e.name = Some(path.to_string());
+        e
+    }
+
+    /// An applied streaming-ingest batch (`dd serve` ingest log).
+    pub fn ingest_apply(applied: usize, invalidated: usize, seconds: f64) -> Self {
+        let mut e = Event::new(kind::INGEST_APPLY);
+        e.value = Some(applied as f64);
+        e.seconds = Some(seconds);
+        e.fields = Some(vec![("invalidated".to_string(), invalidated as f64)]);
         e
     }
 

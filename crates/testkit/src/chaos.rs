@@ -183,6 +183,18 @@ impl<S: Write> Write for ChaosStream<S> {
     }
 }
 
+/// Seeded Fisher–Yates shuffle for reordering chaos tests (e.g. event
+/// batches arriving out of order). A pure function of the seed, so a
+/// failing reordering replays from one integer.
+pub fn shuffled<T>(mut items: Vec<T>, seed: u64) -> Vec<T> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(i + 1);
+        items.swap(i, j);
+    }
+    items
+}
+
 /// A seeded schedule of shard-kill events for fleet chaos tests.
 ///
 /// Fleet failover tests kill shard processes (or in-process servers)

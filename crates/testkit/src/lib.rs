@@ -31,4 +31,4 @@
 pub mod chaos;
 pub mod gen;
 
-pub use chaos::{ChaosStream, Fault, FaultPlan, KillSchedule};
+pub use chaos::{shuffled, ChaosStream, Fault, FaultPlan, KillSchedule};
