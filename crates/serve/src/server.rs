@@ -277,6 +277,16 @@ impl AppState {
     /// the tie, so a hot reload invalidates the whole cache by construction
     /// — stale scores can never be served, even while requests on two model
     /// generations are in flight at once.
+    ///
+    /// With streaming on, the compute *and* the insert both happen under
+    /// the engine read lock. `POST /ingest` takes the write lock to apply a
+    /// batch and removes the touched keys after releasing it; if the insert
+    /// ran outside the read lock, a whole ingest (apply + invalidate) could
+    /// slip between this request's compute and its insert, and the
+    /// pre-ingest score would be cached — and served — indefinitely.
+    /// Holding the read lock across both steps means a racing ingest either
+    /// waits for this insert (its removal then kills the entry) or has
+    /// already applied (this request computes the post-ingest score).
     fn score_cached(
         &self,
         model: &DirectionalityModel,
@@ -294,21 +304,46 @@ impl AppState {
             stats.cache_hits += 1;
             return Some(v);
         }
-        let v = self.score_live(model, src, dst, scratch)?;
-        self.cache_misses.incr();
-        stats.cache_misses += 1;
-        if cache.insert(key, v) {
-            self.cache_evictions.incr();
-        }
+        let v = if let Some(stream) = &self.stream {
+            let engine = stream.read_engine();
+            if engine.fingerprint() != model.fingerprint() {
+                // A reload is racing this request: the slot and the engine
+                // disagree on the generation for the duration of the swap.
+                // Serve the plain trained score but never cache it — the
+                // engine's overlay (tombstones, dynamic ties) was not
+                // consulted, so a cached entry could outlive the race and
+                // keep serving an overlay-blind score.
+                drop(engine);
+                let v = model.score(NodeId(src), NodeId(dst))?;
+                self.cache_misses.incr();
+                stats.cache_misses += 1;
+                return Some(v);
+            }
+            let v = engine.score(NodeId(src), NodeId(dst), scratch)?;
+            self.cache_misses.incr();
+            stats.cache_misses += 1;
+            if cache.insert(key, v) {
+                self.cache_evictions.incr();
+            }
+            v
+        } else {
+            let v = model.score(NodeId(src), NodeId(dst))?;
+            self.cache_misses.incr();
+            stats.cache_misses += 1;
+            if cache.insert(key, v) {
+                self.cache_evictions.incr();
+            }
+            v
+        };
         self.cache_occupancy.set(cache.len() as f64);
         Some(v)
     }
 
-    /// Resolves one uncached score. With streaming on, the engine answers
-    /// (exact trained scores for untouched pairs, fold-in for dynamic ones,
-    /// `None` for tombstones); without it, the model answers directly.
-    /// `scratch` is the worker-owned fold-in buffer, so the streaming path
-    /// never allocates per request.
+    /// Resolves one uncached score (the cache-disabled path). With
+    /// streaming on, the engine answers (exact trained scores for untouched
+    /// pairs, fold-in for dynamic ones, `None` for tombstones); without it,
+    /// the model answers directly. `scratch` is the worker-owned fold-in
+    /// buffer, so the streaming path never allocates per request.
     fn score_live(
         &self,
         model: &DirectionalityModel,
@@ -321,10 +356,11 @@ impl AppState {
             if engine.fingerprint() == model.fingerprint() {
                 return engine.score(NodeId(src), NodeId(dst), scratch);
             }
-            // A reload is racing this request: the engine already rebound to
-            // the new generation while this request holds the old snapshot.
-            // Fall through to the plain trained score for the old model —
-            // its cache entries die with the generation purge anyway.
+            // A reload is racing this request: the engine rebinds to the
+            // new generation before the slot swap, so this request's model
+            // snapshot is one generation behind the engine. Fall through
+            // to the plain trained score for that snapshot — nothing is
+            // cached on this path, so nothing can go stale.
         }
         model.score(NodeId(src), NodeId(dst))
     }
@@ -668,15 +704,26 @@ fn reload_endpoint(state: &AppState, req: &http::Request) -> Routed {
     let new_fingerprint = format!("{:016x}", new.fingerprint());
     let ties = new.n_ties();
     let new_arc = Arc::new(new);
-    let old = state.slot.swap(Arc::clone(&new_arc));
-    let generation = state.slot.generation();
-    // Rebind the streaming engine: the retained event log re-normalizes
-    // against the new model's trained tie set, as if replayed from scratch.
-    if let Some(stream) = &state.stream {
+    // Rebind the streaming engine — the retained event log re-normalizes
+    // against the new model's trained tie set, as if replayed from scratch
+    // — *before* the slot swap, holding the engine write lock across the
+    // swap. That ordering means no request can ever observe the new model
+    // with an engine still bound to the old generation: that interleaving
+    // would make the scorer fall through to the overlay-blind trained
+    // score and cache it under the new fingerprint, where it survives the
+    // generation purge below (e.g. a tombstoned tie serving its trained
+    // score until churned out). The benign reverse — a request holding the
+    // old slot snapshot against the rebound engine — stays uncached (see
+    // `score_cached`).
+    let old = if let Some(stream) = &state.stream {
         let mut engine = stream.write_engine();
         engine.rebind(Arc::clone(&new_arc));
         stream.live.set(engine.live_dynamic() as f64);
-    }
+        state.slot.swap(Arc::clone(&new_arc))
+    } else {
+        state.slot.swap(Arc::clone(&new_arc))
+    };
+    let generation = state.slot.generation();
     // Entries keyed by dead generations can never be served again (the
     // fingerprint key changed), but until purged they squat on LRU capacity
     // and force phantom evictions of live entries.

@@ -141,6 +141,53 @@ fn unfollow_invalidates_the_cached_entry_and_refollow_restores_the_exact_score()
     );
 }
 
+/// Regression for a lost-invalidation race: the scorer used to compute a
+/// score under the engine read lock, drop the lock, and only then insert
+/// into the LRU — so an entire `/ingest` batch (apply under the write lock,
+/// then invalidate the touched keys) could slip between the compute and the
+/// insert, after which the pre-ingest score was cached and served forever.
+/// The fix inserts while still holding the read lock; this test hammers the
+/// window from a concurrent scorer and asserts the tombstone always holds
+/// once the ingest response has returned.
+#[test]
+fn concurrent_scores_never_resurrect_a_tombstoned_tie() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let model = Arc::new(fit_model(28));
+    let &(u, v) = model.ties().first().expect("a trained tie");
+    let handle = start_streaming(&model, |cfg| cfg.workers = 4);
+    let addr = handle.addr().to_string();
+    let path = format!("/score?src={u}&dst={v}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    dd_runtime::scope(|s| {
+        {
+            let (addr, path, stop) = (addr.clone(), path.clone(), Arc::clone(&stop));
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = client::get(&addr, &path);
+                }
+            });
+        }
+        for round in 0..30 {
+            let _ = ingest(&addr, &[TieEvent::new(EventOp::Unfollow, u, v)]);
+            // By the time the ingest response returns, its invalidation is
+            // complete — no interleaving with the concurrent scorer may
+            // leave (or later insert) a pre-ingest score in the cache.
+            for probe in 0..5 {
+                let resp = client::get(&addr, &path).expect("score");
+                assert_eq!(
+                    resp.status, 404,
+                    "round {round}, probe {probe}: tombstoned tie served a stale score: {}",
+                    resp.body
+                );
+            }
+            let _ = ingest(&addr, &[TieEvent::new(EventOp::Follow, u, v)]);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
 #[test]
 fn reload_rebinds_the_engine_and_purges_dead_generation_cache_entries() {
     let model = Arc::new(fit_model(23));
@@ -162,6 +209,10 @@ fn reload_rebinds_the_engine_and_purges_dead_generation_cache_entries() {
     }
     let (du, dv) = unseen_pair(&model);
     let _ = ingest(&addr, &[TieEvent::new(EventOp::Follow, du, dv)]);
+    // Tombstone a trained tie outside the warmed set (so the purge count
+    // below stays exact): the tombstone must survive the reload.
+    let &(tu, tv) = model.ties().get(10).expect("an 11th trained tie");
+    let _ = ingest(&addr, &[TieEvent::new(EventOp::Unfollow, tu, tv)]);
 
     let body =
         format!("{{\"path\":{}}}", serde_json::to_string(&artifact.display().to_string()).unwrap());
@@ -183,6 +234,12 @@ fn reload_rebinds_the_engine_and_purges_dead_generation_cache_entries() {
     let score = client::get(&addr, &format!("/score?src={du}&dst={dv}")).expect("score");
     assert_eq!(score.status, 200, "refolded tie must stay live: {}", score.body);
     assert!(live <= 1, "at most the one refolded dynamic tie: {live}");
+    // The pre-reload tombstone holds on the very next request: whether
+    // (tu, tv) is trained under the new model (tombstone re-applied from
+    // the log) or untrained (no trained row), it must 404 — never serve an
+    // overlay-blind trained score cached during the swap window.
+    let dead = client::get(&addr, &format!("/score?src={tu}&dst={tv}")).expect("score");
+    assert_eq!(dead.status, 404, "tombstone must survive the reload: {}", dead.body);
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -124,10 +124,14 @@ impl StreamEngine {
         }
     }
 
-    /// Applies one event; returns the ordered pairs it touched (changed or
-    /// not — invalidating an unchanged pair is cheap and always safe).
-    pub fn apply(&mut self, ev: TieEvent) -> Vec<(u32, u32)> {
-        let touched = match ev.op {
+    /// Applies one event's op to the overlay — the single dispatch point
+    /// shared by [`apply`](Self::apply) (live ingestion) and
+    /// [`rebind`](Self::rebind) (replay after a reload), so the two paths
+    /// cannot drift semantically. Returns the ordered pairs the op touched
+    /// (changed or not — invalidating an unchanged pair is cheap and
+    /// always safe). Does not log the event.
+    fn apply_op(&mut self, ev: TieEvent) -> Vec<(u32, u32)> {
+        match ev.op {
             EventOp::Follow => {
                 self.apply_follow(ev.src, ev.dst);
                 vec![(ev.src, ev.dst)]
@@ -141,7 +145,13 @@ impl StreamEngine {
                 self.apply_follow(ev.dst, ev.src);
                 vec![(ev.src, ev.dst), (ev.dst, ev.src)]
             }
-        };
+        }
+    }
+
+    /// Applies one event; returns the ordered pairs it touched (changed or
+    /// not — invalidating an unchanged pair is cheap and always safe).
+    pub fn apply(&mut self, ev: TieEvent) -> Vec<(u32, u32)> {
+        let touched = self.apply_op(ev);
         self.log.push(ev);
         touched
     }
@@ -193,18 +203,7 @@ impl StreamEngine {
         self.overlay.clear();
         let log = std::mem::take(&mut self.log);
         for &ev in &log {
-            match ev.op {
-                EventOp::Follow => {
-                    self.apply_follow(ev.src, ev.dst);
-                }
-                EventOp::Unfollow => {
-                    self.apply_unfollow(ev.src, ev.dst);
-                }
-                EventOp::Reciprocate => {
-                    self.apply_follow(ev.src, ev.dst);
-                    self.apply_follow(ev.dst, ev.src);
-                }
-            }
+            self.apply_op(ev);
         }
         self.log = log;
     }

@@ -98,29 +98,46 @@ pub fn parse_events(text: &str) -> Result<Vec<TieEvent>, String> {
     Ok(events)
 }
 
+/// Consecutive zero-progress `WouldBlock`/`TimedOut` retries before
+/// [`read_events`] gives up on a stream that is never ready.
+const MAX_STALL_RETRIES: u32 = 256;
+
 /// Reads a JSONL event batch from any [`Read`](std::io::Read) stream
-/// (stdin, a file, a chaos-wrapped socket): transient I/O faults
-/// (`Interrupted`, `WouldBlock`, `TimedOut`) are retried, EOF ends the
-/// stream, and the collected text goes through [`parse_events`] — so a
-/// stream torn mid-line rejects the whole batch, and a stream torn on a
-/// line boundary yields a clean prefix of the log, never a half-parsed
-/// event.
+/// (stdin, a file, a chaos-wrapped socket): `Interrupted` is retried
+/// silently (no bytes moved; the call can simply be reissued), while
+/// `WouldBlock`/`TimedOut` back off for a millisecond per retry and fail
+/// after [`MAX_STALL_RETRIES`] consecutive retries without progress — so a
+/// non-blocking reader that is never ready errors out instead of
+/// busy-spinning forever. EOF ends the stream, and the collected text goes
+/// through [`parse_events`] — so a stream torn mid-line rejects the whole
+/// batch, and a stream torn on a line boundary yields a clean prefix of
+/// the log, never a half-parsed event.
 pub fn read_events<R: std::io::Read>(mut r: R) -> Result<Vec<TieEvent>, String> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut stalls = 0u32;
     loop {
         match r.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                stalls = 0;
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
                 if matches!(
                     e.kind(),
-                    std::io::ErrorKind::Interrupted
-                        | std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                continue;
+                stalls += 1;
+                if stalls >= MAX_STALL_RETRIES {
+                    return Err(format!(
+                        "event stream stalled: {e} ({MAX_STALL_RETRIES} consecutive retries \
+                         without progress)"
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
             Err(e) => return Err(format!("reading event stream: {e}")),
         }
@@ -168,6 +185,24 @@ mod tests {
         let text = "\n{\"op\":\"follow\",\"src\":1,\"dst\":2}\n\n";
         assert_eq!(parse_events(text).unwrap(), vec![TieEvent::new(EventOp::Follow, 1, 2)]);
         assert!(parse_events("").unwrap().is_empty());
+    }
+
+    /// A non-blocking reader that is never ready.
+    struct NeverReady;
+
+    impl std::io::Read for NeverReady {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "not ready"))
+        }
+    }
+
+    #[test]
+    fn permanently_stalled_stream_errors_instead_of_spinning_forever() {
+        // Regression: WouldBlock used to be retried with a bare `continue`,
+        // so a never-ready non-blocking reader busy-spun at 100% CPU and
+        // read_events never returned.
+        let err = read_events(NeverReady).unwrap_err();
+        assert!(err.contains("stalled"), "{err}");
     }
 
     #[test]
