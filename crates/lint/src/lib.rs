@@ -12,18 +12,27 @@
 //! |------|-------|----------|
 //! | `thread-confinement` | everywhere but `crates/runtime` | no `thread::spawn`/`thread::scope`; use the dd-runtime substrate |
 //! | `unwind-confinement` | everywhere but `crates/serve`, `crates/runtime` | no `catch_unwind`; library code stays panic-transparent |
-//! | `determinism` | non-test code in core, graph, linalg, baselines, eval, runtime | no `Instant::now`/`SystemTime`, no bare `HashMap`/`HashSet` |
+//! | `determinism` | non-test code in core, graph, linalg, baselines, eval, runtime, stream, datasets | no `Instant::now`/`SystemTime`, no bare `HashMap`/`HashSet` |
 //! | `trace-hygiene` | non-test code outside `crates/telemetry` and the determinism crates | no raw `Instant::now`; time work through telemetry spans |
 //! | `panic-hygiene` | non-test `crates/serve/src`, `crates/runtime/src` | no `.unwrap()`/`.expect(` on the request path or in workers |
 //! | `float-eq` | all non-test code | no `==`/`!=` against float literals |
 //! | `pub-doc` | non-test src of the core crates | top-level `pub` items need doc comments |
-//! | `pragma` | everywhere | `allow()` pragmas must be well-formed, reasoned, and used |
+//! | `guard-scope` | all non-test code | no temporary lock guard in a scrutinee, no guard held across an unrelated loop |
+//! | `blocking-while-locked` | all non-test code | no blocking call (I/O, channels, sleeps, waits) under a live lock guard |
+//! | `lock-order` | whole-workspace graph | no acquisition cycles; `order()` declarations hold |
+//! | `pragma` | everywhere | `allow()`/`order()`/`acquires()` directives must be well-formed, reasoned, and live |
 //!
 //! Violations print as `file:line: rule: message` (JSONL with `--json`).
 //! Suppression is explicit and audited: `// dd-lint: allow(<rule>) — <reason>`
 //! on the violating line or the line above. Legacy debt lives in
 //! `lint-baseline.txt`, a ratchet that fails CI on any new violation *and*
 //! on silently shrunk debt (regenerate with `--write-baseline`).
+//!
+//! The three lock rules come from the [`locks`] intra-function semantic
+//! pass (guard live ranges over a brace-aware block tree) and the
+//! [`graph`] cross-file acquisition-order graph; `--lock-graph FILE`
+//! renders the graph as Graphviz DOT. See DESIGN.md §7.16 for the model
+//! and annotation syntax.
 //!
 //! ## Adding a rule
 //!
@@ -32,9 +41,11 @@
 //!    `rules.rs`: iterate the token stream ([`lexer::Tok`]), skip indices
 //!    where `test_mask[i]` is true if the rule should ignore tests, and
 //!    push [`rules::Violation`]s with a message that names the fix.
-//!    Scoping is path-based — reuse `Scope` or prefix checks.
-//! 3. Call it from [`rules::check_file`]. Pragmas and the baseline work
-//!    automatically for any pushed violation.
+//!    Scoping is path-based — reuse `Scope` or prefix checks. Rules that
+//!    need block structure or guard ranges build on [`locks`] instead.
+//! 3. Call it from `rules::analyze_file` (per-file phase A) or, for
+//!    cross-file checks, from `rules::finish` (serial phase B). Pragmas
+//!    and the baseline work automatically for any pushed violation.
 //! 4. Add two fixtures under `tests/fixtures/<rule>/` — `bad.rs` (expected
 //!    hits) and `clean.rs` (look-alikes that must not fire: the string /
 //!    doc-comment / `#[cfg(test)]` traps) — and wire them up in
@@ -43,17 +54,24 @@
 //!    `cargo run -p dd-lint -- --workspace --write-baseline` if it lands
 //!    with legacy debt.
 //!
-//! The crate is std-only and offline; the CI lint job builds and runs it
-//! before anything heavier compiles.
+//! The crate depends only on std and dd-runtime (phase A fans out over the
+//! deterministic `Pool`); the CI lint job builds and runs it before
+//! anything heavier compiles.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
 
+use dd_runtime::{Pool, Threads};
+
+pub use graph::{find_path, lock_cycles, render_lock_graph};
+pub use locks::{LockEdge, OrderDecl};
 pub use rules::{check_file, FileReport, Pragma, Violation};
 
 /// Directories scanned relative to the workspace root (mirrors what the old
@@ -67,11 +85,14 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Every pragma encountered (the suppression audit trail).
     pub pragmas: Vec<Pragma>,
+    /// The lock-acquisition-order graph's edges, sorted and deduplicated
+    /// (render with [`render_lock_graph`], check with [`lock_cycles`]).
+    pub edges: Vec<LockEdge>,
     /// Number of files analyzed.
     pub files: usize,
 }
 
-/// Analyzes the whole workspace rooted at `root`.
+/// Analyzes the whole workspace rooted at `root`, serially.
 ///
 /// Walks `crates/`, `tests/`, and `examples/` for `*.rs` files, skipping
 /// `target/`, `vendor/`,
@@ -80,6 +101,14 @@ pub struct Report {
 /// and files are visited in sorted order so output and baselines are
 /// deterministic.
 pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    check_workspace_with(root, Threads::serial())
+}
+
+/// [`check_workspace`] with an explicit thread count for the per-file
+/// analysis phase. Output is bit-identical at any thread count: phase A is
+/// pure per-file work reduced in path order, and the cross-file phase is
+/// always serial.
+pub fn check_workspace_with(root: &Path, threads: Threads) -> Result<Report, String> {
     let mut files = Vec::new();
     for scan in SCAN_ROOTS {
         let dir = root.join(scan);
@@ -88,15 +117,29 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
         }
     }
     files.sort();
-    check_paths(root, &files)
+    check_paths_with(root, &files, threads)
 }
 
-/// Analyzes an explicit set of files (absolute or root-relative). Unlike
-/// [`check_workspace`], no `fixtures/` filtering is applied — an explicitly
-/// named path is always checked (the CI lint-smoke step relies on this to
-/// point dd-lint at a known-bad fixture).
+/// Analyzes an explicit set of files (absolute or root-relative),
+/// serially. Unlike [`check_workspace`], no `fixtures/` filtering is
+/// applied — an explicitly named path is always checked (the CI lint-smoke
+/// step relies on this to point dd-lint at a known-bad fixture).
 pub fn check_paths(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
-    let mut report = Report::default();
+    check_paths_with(root, files, Threads::serial())
+}
+
+/// [`check_paths`] with an explicit thread count. Sources are read up
+/// front, phase A (lexing + single-file rules) fans out over
+/// `dd_runtime::Pool::par_map` — whose results come back in index order,
+/// so findings are deterministic — and the cross-file phase B (helper
+/// table, lock graph, pragma settlement) runs serially on the ordered
+/// results.
+pub fn check_paths_with(
+    root: &Path,
+    files: &[PathBuf],
+    threads: Threads,
+) -> Result<Report, String> {
+    let mut sources = Vec::with_capacity(files.len());
     for file in files {
         let rel = match file.strip_prefix(root) {
             Ok(rel) => rel.to_path_buf(),
@@ -105,13 +148,21 @@ pub fn check_paths(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
         let rel = rel.to_string_lossy().replace('\\', "/");
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
-        let mut file_report = rules::check_file(&rel, &src);
-        report.violations.append(&mut file_report.violations);
-        report.pragmas.append(&mut file_report.pragmas);
-        report.files += 1;
+        sources.push((rel, src));
     }
-    report.violations.sort();
-    Ok(report)
+    let analyses = if threads.is_serial() || sources.len() < 2 {
+        sources.iter().map(|(rel, src)| rules::analyze_file(rel, src)).collect()
+    } else {
+        let pool = Pool::new("lint", threads);
+        pool.par_map(sources.len(), |i| rules::analyze_file(&sources[i].0, &sources[i].1))
+    };
+    let fin = rules::finish(analyses);
+    Ok(Report {
+        violations: fin.violations,
+        pragmas: fin.pragmas,
+        edges: fin.edges,
+        files: sources.len(),
+    })
 }
 
 /// Recursively collects `*.rs` files under `dir`, skipping directories that

@@ -1,0 +1,962 @@
+//! Lock-discipline analysis: guard lifetimes, blocking calls under locks,
+//! and the cross-file acquisition-order graph (DESIGN.md §7.16).
+//!
+//! The two worst bugs this repo ever shipped were lock-scope/lock-order
+//! defects caught only by human review: PR 3's `while let` scrutinee kept a
+//! `MutexGuard` alive across every chunk body (serializing the whole pool),
+//! and PR 9's engine-lock vs cache-insert ordering could lose `/ingest`
+//! invalidations forever. This module makes both machine-checked.
+//!
+//! It is a *lightweight intra-function semantic pass* over the flat token
+//! stream: a brace tree + function table give block structure, guard
+//! bindings get live ranges (including the temporary-guard scrutinee
+//! extension in `while let` / `if let` / `match`), and three rules run on
+//! top:
+//!
+//! - **`guard-scope`** — a temporary guard in a scrutinee position lives
+//!   across the whole body/arms (the PR 3 bug), or a bound guard is held
+//!   across a loop that never touches it (gratuitous serialization).
+//! - **`blocking-while-locked`** — a known blocking call (`recv`, `send`,
+//!   `sleep`, `wait*`, `read_to_end`, `write_all`, `flush`, `accept`,
+//!   `connect`, …) runs inside a guard's live range. Condvar waits that
+//!   *take the guard as an argument* are exempt: parking releases the lock
+//!   by contract.
+//! - **`lock-order`** — nested acquisitions feed a cross-file
+//!   acquisition-order graph (edge `a → b` = "b acquired while a held");
+//!   cycles are potential deadlocks, and declarative
+//!   `// dd-lint: order(a < b) — reason` annotations are checked against
+//!   graph reachability.
+//!
+//! Two visibility mechanisms make the repo's idiom analyzable. First,
+//! *guard-returning helpers* (`fn read_engine(&self) -> Guard { self
+//! .engine.read().unwrap_or_else(…) }`) are auto-detected per file and
+//! unioned into a workspace table, so a call to `read_engine()` counts as
+//! acquiring `engine`. Second, guard-*consuming* methods (a call that locks
+//! and unlocks internally, like `ScoreCache::insert`) are declared at the
+//! call site with `// dd-lint: acquires(shard) — reason`, which records an
+//! acquisition of `shard` on the next line. Locks are named by the
+//! receiver field/variable (`self.engine.read()` → `engine`), which is
+//! also what the annotations use; names merge globally, which is the point
+//! — the graph is cross-file.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Violation;
+
+/// One directed acquisition-order edge: while a guard of `from` was live,
+/// code acquired `to`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// Workspace-relative file of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+/// One `// dd-lint: order(first < second) — reason` declaration: `first`
+/// must always be acquired before `second`.
+#[derive(Debug, Clone)]
+pub struct OrderDecl {
+    /// The lock that must be taken first.
+    pub first: String,
+    /// The lock that may only be taken while `first` is (or after it).
+    pub second: String,
+    /// Declaring file.
+    pub file: String,
+    /// 1-based line of the declaration comment.
+    pub line: u32,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// One `// dd-lint: acquires(lock) — reason` call-site directive: the next
+/// line calls something that acquires and releases `lock` internally.
+#[derive(Debug, Clone)]
+pub(crate) struct AcquiresDirective {
+    /// 1-based line of the directive comment's end; the directive covers
+    /// `end_line + 1`.
+    pub end_line: u32,
+    /// The lock the covered call acquires.
+    pub lock: String,
+}
+
+/// Methods that block the calling thread: I/O, channels, sleeps, waits.
+const BLOCKING: &[&str] = &[
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "write_all",
+    "flush",
+    "send",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "wait_timeout_while",
+    "wait_while",
+    "connect",
+    "accept",
+    "park",
+    "park_timeout",
+];
+
+/// Guard-preserving adapters: a chain that only passes through these still
+/// carries the guard (so `m.lock().unwrap_or_else(…)` binds a guard, while
+/// `m.lock().unwrap().pop()` extracts a value through a hidden temporary).
+const ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else", "ok"];
+
+/// Receivers that make `.lock()` *not* a mutex acquisition (`stdin().lock()`
+/// returns a buffered handle, not a guard).
+const STDIO: &[&str] = &["stdin", "stdout", "stderr"];
+
+/// Keywords that terminate a backward receiver walk — they introduce the
+/// expression (`match x.lock()…`) rather than belonging to the chain.
+const KEYWORDS: &[&str] = &[
+    "as", "await", "break", "else", "for", "if", "in", "let", "loop", "match", "move", "return",
+    "while",
+];
+
+fn is_ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Precomputed block structure: brace matching and per-token brace depth.
+struct BlockTree {
+    /// `close[i]` is the index of the `}` matching an opening `{` at `i`.
+    close: BTreeMap<usize, usize>,
+    /// Brace depth *at* each token (an opener carries its outer depth, its
+    /// contents carry depth + 1).
+    depth: Vec<u32>,
+}
+
+impl BlockTree {
+    fn build(toks: &[Tok]) -> Self {
+        let mut close = BTreeMap::new();
+        let mut depth = Vec::with_capacity(toks.len());
+        let mut stack = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if is_punct(t, "{") {
+                depth.push(stack.len() as u32);
+                stack.push(i);
+            } else if is_punct(t, "}") {
+                if let Some(open) = stack.pop() {
+                    close.insert(open, i);
+                }
+                depth.push(stack.len() as u32);
+            } else {
+                depth.push(stack.len() as u32);
+            }
+        }
+        BlockTree { close, depth }
+    }
+
+    /// Index of the `}` closing the innermost block containing token `i`
+    /// (or `toks.len() - 1` at the top level).
+    fn enclosing_close(&self, i: usize, len: usize) -> usize {
+        let mut best = len.saturating_sub(1);
+        for (&open, &cl) in &self.close {
+            if open < i && i < cl && cl < best {
+                best = cl;
+            }
+        }
+        best
+    }
+}
+
+/// One `fn` item: its name and body token range.
+struct FnItem {
+    name: String,
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Scans the token stream for `fn name … { … }` items (trait-declaration
+/// bodies ending in `;` are skipped — nothing to analyze).
+fn fn_table(toks: &[Tok], tree: &BlockTree) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_ident(&toks[i], "fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            // Walk the signature: the body is the first `{` outside any
+            // paren/bracket group; a `;` first means a bodiless item.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut found = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" if toks[j].kind == TokKind::Punct => paren += 1,
+                    ")" | "]" if toks[j].kind == TokKind::Punct => paren -= 1,
+                    "{" if paren == 0 && toks[j].kind == TokKind::Punct => {
+                        found = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 && toks[j].kind == TokKind::Punct => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = found {
+                let close = tree.close.get(&open).copied().unwrap_or(toks.len() - 1);
+                fns.push(FnItem { name, body_open: open, body_close: close });
+                // Nested fns are rare; scanning on from the signature keeps
+                // them visible.
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// How an acquisition expression is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    /// `let g = m.lock()…;` (adapters only) — a named guard with a live
+    /// range to the end of its block.
+    Bound,
+    /// The chain extracts a value (`m.lock().unwrap().pop()`): the guard is
+    /// an expression temporary confined to its statement.
+    Temp,
+    /// Scrutinee of `while let` / `if let` / `match` with a value-extracting
+    /// chain: the hidden temporary lives across the whole body — the PR 3
+    /// bug shape.
+    ScrutineeTemp,
+    /// Scrutinee whose pattern binds the guard itself (`if let Ok(g) =
+    /// m.lock()`): deliberate, guard live across the body.
+    ScrutineeBound,
+    /// Tail/return position: the guard escapes to the caller (the
+    /// guard-returning-helper shape). Not analyzed at this site.
+    Escaping,
+}
+
+/// One detected acquisition.
+struct Site {
+    /// Token index of the receiver chain's start (for range anchoring).
+    start: usize,
+    /// Token index just past the adapter/extraction chain.
+    chain_end: usize,
+    /// 1-based line of the `.lock()/.read()/.write()`/helper-call token.
+    line: u32,
+    /// The lock's name (receiver field/variable, or the helper's target).
+    lock: String,
+    kind: SiteKind,
+    /// Non-adapter method names extracted through the chain (candidate
+    /// blocking calls on the hidden temporary), with their lines.
+    chain_methods: Vec<(String, u32)>,
+    /// For `Bound`/`ScrutineeBound`: the guard's binding name, if one ident
+    /// names it.
+    binding: Option<String>,
+    /// For `Bound`: token range of the live guard (post-statement to block
+    /// close, truncated at a same-depth `drop(name)`). For `Scrutinee*`:
+    /// the construct's body range.
+    range: Option<(usize, usize)>,
+}
+
+/// The per-file output of [`analyze`].
+pub(crate) struct LockAnalysis {
+    /// Acquisition-order edges found in this file.
+    pub edges: Vec<LockEdge>,
+    /// Every lock name acquired in this file (graph nodes even when no edge
+    /// touches them — `order()` declarations validate against this set).
+    pub nodes: BTreeSet<String>,
+    /// `end_line`s of `acquires()` directives that landed inside a live
+    /// guard range (the rest are stale and get flagged by the caller).
+    pub used_acquires: BTreeSet<u32>,
+}
+
+/// Per-file lock analysis. `helper_table` maps guard-returning helper fn
+/// names to the lock they acquire (unioned across the workspace before this
+/// runs). Returns the acquisition-order edges and node set; violations for
+/// `guard-scope` and `blocking-while-locked` are pushed into `out`.
+pub(crate) fn analyze(
+    path: &str,
+    toks: &[Tok],
+    test_mask: &[bool],
+    helper_table: &BTreeMap<String, String>,
+    acquires: &[AcquiresDirective],
+    out: &mut Vec<Violation>,
+) -> LockAnalysis {
+    let tree = BlockTree::build(toks);
+    let fns = fn_table(toks, &tree);
+    let sites = collect_sites(toks, test_mask, helper_table, &tree, &fns);
+
+    let mut result = LockAnalysis {
+        edges: Vec::new(),
+        nodes: sites.iter().map(|s| s.lock.clone()).collect(),
+        used_acquires: BTreeSet::new(),
+    };
+    result.nodes.extend(acquires.iter().map(|a| a.lock.clone()));
+    for site in &sites {
+        match site.kind {
+            SiteKind::ScrutineeTemp => {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: site.line,
+                    rule: "guard-scope",
+                    message: format!(
+                        "temporary `{}` guard in a scrutinee lives across the whole body (the \
+                         PR 3 pool-serialization bug); bind the value through a `let` inside the \
+                         block, or wrap the scrutinee in braces so the guard drops first",
+                        site.lock
+                    ),
+                });
+            }
+            SiteKind::Bound => {
+                if let Some((lo, hi)) = site.range {
+                    check_loop_hold(path, toks, test_mask, site, lo, hi, out);
+                }
+            }
+            _ => {}
+        }
+        // Blocking calls reached through the hidden temporary's own chain
+        // (`rx.lock().unwrap().recv()` blocks with the lock held).
+        for (m, line) in &site.chain_methods {
+            if BLOCKING.contains(&m.as_str()) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: *line,
+                    rule: "blocking-while-locked",
+                    message: format!(
+                        "`{m}` blocks while the `{}` guard is live in the same expression; \
+                         extract the value first so the guard drops, or audit with an allow \
+                         pragma",
+                        site.lock
+                    ),
+                });
+            }
+        }
+        // Live-range scan: blocking calls and nested acquisitions.
+        let (lo, hi) = match (site.kind, site.range) {
+            (SiteKind::Bound | SiteKind::ScrutineeBound | SiteKind::ScrutineeTemp, Some(r)) => r,
+            _ => continue,
+        };
+        scan_range(path, toks, test_mask, site, lo, hi, &sites, acquires, out, &mut result);
+    }
+    result
+}
+
+/// Detects guard-returning helpers in one file: a `fn` whose tail (or
+/// `return`) expression is an adapters-only acquisition chain. Returns
+/// `(fn_name, lock_name)` pairs.
+pub(crate) fn detect_helpers(toks: &[Tok], test_mask: &[bool]) -> Vec<(String, String)> {
+    let tree = BlockTree::build(toks);
+    let fns = fn_table(toks, &tree);
+    let empty = BTreeMap::new();
+    let sites = collect_sites(toks, test_mask, &empty, &tree, &fns);
+    let mut helpers: BTreeMap<String, Option<String>> = BTreeMap::new();
+    for site in sites.iter().filter(|s| s.kind == SiteKind::Escaping) {
+        let Some(f) = fns.iter().find(|f| f.body_open < site.start && site.start < f.body_close)
+        else {
+            continue;
+        };
+        match helpers.entry(f.name.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Some(site.lock.clone()));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                // Two escaping acquisitions of different locks from one fn:
+                // ambiguous, drop the helper rather than guess.
+                if e.get().as_deref() != Some(site.lock.as_str()) {
+                    e.insert(None);
+                }
+            }
+        }
+    }
+    helpers.into_iter().filter_map(|(name, lock)| lock.map(|l| (name, l))).collect()
+}
+
+/// Finds every acquisition site in the file and classifies it.
+fn collect_sites(
+    toks: &[Tok],
+    test_mask: &[bool],
+    helper_table: &BTreeMap<String, String>,
+    tree: &BlockTree,
+    fns: &[FnItem],
+) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Raw acquisition: `.lock()` / `.read()` / `.write()` with empty
+        // parens (RwLock/Mutex take no arguments; `Read::read(buf)` does).
+        let raw = is_punct(&toks[i], ".")
+            && toks.get(i + 1).is_some_and(|t| {
+                is_ident(t, "lock") || is_ident(t, "read") || is_ident(t, "write")
+            })
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, "("))
+            && toks.get(i + 3).is_some_and(|t| is_punct(t, ")"));
+        // Helper call: a known guard-returning fn name followed by `(`.
+        let helper = !raw
+            && toks[i].kind == TokKind::Ident
+            && helper_table.contains_key(&toks[i].text)
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, "("))
+            && (i == 0 || !is_ident(&toks[i - 1], "fn"));
+        if !raw && !helper {
+            continue;
+        }
+        let (lock, name_tok, call_close, start) = if raw {
+            let Some((lock, start)) = receiver_name(toks, i) else { continue };
+            (lock, i + 1, i + 3, start)
+        } else {
+            let Some(close) = matching_paren(toks, i + 1) else { continue };
+            let start = receiver_name(toks, i).map(|(_, s)| s).unwrap_or(i);
+            (helper_table[&toks[i].text].clone(), i, close, start)
+        };
+        let (chain_end, extended, chain_methods) = walk_chain(toks, call_close + 1);
+        let site = classify(
+            toks,
+            tree,
+            fns,
+            Site {
+                start,
+                chain_end,
+                line: toks[name_tok].line,
+                lock,
+                kind: if extended { SiteKind::Temp } else { SiteKind::Bound },
+                chain_methods,
+                binding: None,
+                range: None,
+            },
+            extended,
+        );
+        sites.push(site);
+    }
+    sites
+}
+
+/// Walks backward from the `.` (or helper-call ident) at `dot` to name the
+/// receiver: the nearest field/variable ident that isn't `self`. Returns
+/// `(name, chain_start_index)`, or `None` for stdio pseudo-locks.
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<(String, usize)> {
+    let mut j = dot;
+    let mut name: Option<String> = None;
+    let mut start = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if is_punct(t, ")") {
+            // Skip a call/paren group backward.
+            let mut depth = 0i32;
+            loop {
+                if is_punct(&toks[j], ")") {
+                    depth += 1;
+                } else if is_punct(&toks[j], "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            start = j;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // Keywords (`match expr.lock()…`, `return x.lock()…`) start the
+            // expression, they are not part of the receiver chain.
+            if KEYWORDS.contains(&t.text.as_str()) {
+                break;
+            }
+            if STDIO.contains(&t.text.as_str()) {
+                return None;
+            }
+            if name.is_none() && t.text != "self" {
+                name = Some(t.text.clone());
+            }
+            start = j;
+            continue;
+        }
+        if is_punct(t, ".") || is_punct(t, "::") {
+            start = j;
+            continue;
+        }
+        break;
+    }
+    name.map(|n| (n, start))
+}
+
+/// Follows the method chain starting at `pos` (just past the acquisition's
+/// closing paren). Returns `(chain_end, extended, non_adapter_methods)`.
+fn walk_chain(toks: &[Tok], mut pos: usize) -> (usize, bool, Vec<(String, u32)>) {
+    let mut extended = false;
+    let mut methods = Vec::new();
+    loop {
+        if toks.get(pos).is_some_and(|t| is_punct(t, "?")) {
+            pos += 1;
+            continue;
+        }
+        let dot = toks.get(pos).is_some_and(|t| is_punct(t, "."));
+        let ident = toks.get(pos + 1).filter(|t| t.kind == TokKind::Ident);
+        if let (true, Some(m)) = (dot, ident) {
+            if toks.get(pos + 2).is_some_and(|t| is_punct(t, "(")) {
+                let Some(close) = matching_paren(toks, pos + 2) else {
+                    return (pos, extended, methods);
+                };
+                if !ADAPTERS.contains(&m.text.as_str()) {
+                    extended = true;
+                    methods.push((m.text.clone(), m.line));
+                }
+                pos = close + 1;
+                continue;
+            }
+            // Field access / tuple index through the guard: extraction.
+            extended = true;
+            pos += 2;
+            continue;
+        }
+        if dot && toks.get(pos + 1).is_some_and(|t| t.kind == TokKind::Int) {
+            extended = true;
+            pos += 2;
+            continue;
+        }
+        return (pos, extended, methods);
+    }
+}
+
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, "(") {
+            depth += 1;
+        } else if is_punct(t, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Settles a site's kind, binding, and live range from its statement
+/// context.
+fn classify(
+    toks: &[Tok],
+    tree: &BlockTree,
+    fns: &[FnItem],
+    mut site: Site,
+    extended: bool,
+) -> Site {
+    let len = toks.len();
+    // Statement start: just past the previous `;`, `{`, or `}`.
+    let mut stmt_start = 0;
+    for j in (0..site.start).rev() {
+        let t = &toks[j];
+        if is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}") {
+            stmt_start = j + 1;
+            break;
+        }
+    }
+    let prefix = &toks[stmt_start..site.start];
+
+    // Scrutinee detection: `match EXPR {`, `while let PAT = EXPR {`,
+    // `if let PAT = EXPR {` with the site inside EXPR (before the body's
+    // depth-0 `{`). A brace-wrapped scrutinee block drops its temporaries
+    // early and is handled naturally: the site's own statement then starts
+    // at the wrapping `{`, so no `match`/`let` shows in the prefix.
+    let mut head = None;
+    for (k, t) in prefix.iter().enumerate() {
+        if is_ident(t, "match") {
+            head = Some((stmt_start + k, false));
+            break;
+        }
+        if (is_ident(t, "while") || is_ident(t, "if"))
+            && prefix.get(k + 1).is_some_and(|n| is_ident(n, "let"))
+        {
+            head = Some((stmt_start + k, true));
+            break;
+        }
+    }
+    if let Some((head_idx, is_let_form)) = head {
+        // Anchor: the `=` for let-forms, the `match` keyword itself.
+        let anchor = if is_let_form {
+            (head_idx..site.start).find(|&j| is_punct(&toks[j], "=")).unwrap_or(head_idx)
+        } else {
+            head_idx
+        };
+        if anchor < site.start {
+            if let Some(body_open) = depth0_brace_after(toks, anchor + 1) {
+                if site.start > anchor && site.chain_end <= body_open {
+                    let body_close = tree.close.get(&body_open).copied().unwrap_or(len - 1);
+                    site.range = Some((body_open, body_close));
+                    if extended {
+                        site.kind = SiteKind::ScrutineeTemp;
+                    } else {
+                        site.kind = SiteKind::ScrutineeBound;
+                        site.binding = if is_let_form {
+                            pattern_binding(&toks[head_idx..anchor])
+                        } else {
+                            None
+                        };
+                    }
+                    return site;
+                }
+            }
+        }
+    }
+
+    if extended {
+        site.kind = SiteKind::Temp;
+        return site;
+    }
+
+    // `return`-position or tail-position adapters-only chains escape.
+    if prefix.iter().any(|t| is_ident(t, "return"))
+        || toks.get(site.chain_end).is_some_and(|t| is_punct(t, "}"))
+    {
+        site.kind = SiteKind::Escaping;
+        return site;
+    }
+
+    // `let g = …;` binds the guard; live range runs from the statement's end
+    // to the close of the enclosing block (clamped to the enclosing fn and
+    // truncated at a same-depth `drop(g)`).
+    if let Some(let_idx) = prefix.iter().position(|t| is_ident(t, "let")) {
+        let eq = (stmt_start + let_idx..site.start).find(|&j| is_punct(&toks[j], "="));
+        site.binding = pattern_binding(&toks[stmt_start + let_idx..eq.unwrap_or(site.start)]);
+        let stmt_end = (site.chain_end..len)
+            .find(|&j| is_punct(&toks[j], ";"))
+            .unwrap_or(len.saturating_sub(1));
+        let mut hi = tree.enclosing_close(site.start, len);
+        if let Some(f) = fns.iter().find(|f| f.body_open < site.start && site.start < f.body_close)
+        {
+            hi = hi.min(f.body_close);
+        }
+        if let Some(name) = &site.binding {
+            let depth = tree.depth[site.start];
+            for j in stmt_end..hi {
+                if tree.depth[j] == depth
+                    && is_ident(&toks[j], "drop")
+                    && toks.get(j + 1).is_some_and(|t| is_punct(t, "("))
+                    && toks.get(j + 2).is_some_and(|t| is_ident(t, name))
+                    && toks.get(j + 3).is_some_and(|t| is_punct(t, ")"))
+                {
+                    hi = j;
+                    break;
+                }
+            }
+        }
+        site.kind = SiteKind::Bound;
+        site.range = Some((stmt_end, hi));
+        return site;
+    }
+
+    // Bare statement temporary (`m.lock().unwrap();`): confined, inert.
+    site.kind = SiteKind::Temp;
+    site
+}
+
+/// First `{` after `from` outside any paren/bracket group (the body opener
+/// of a `match`/`while let`/`if let` whose scrutinee starts at `from`).
+fn depth0_brace_after(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match t.text.as_str() {
+            "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+            ")" | "]" if t.kind == TokKind::Punct => depth -= 1,
+            "{" if depth == 0 && t.kind == TokKind::Punct => return Some(j),
+            ";" if depth == 0 && t.kind == TokKind::Punct => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The guard-binding ident in a `let` pattern: the last plain ident that
+/// isn't a binding-mode keyword or an enum constructor (`Ok(mut g)` → `g`).
+fn pattern_binding(pattern: &[Tok]) -> Option<String> {
+    pattern
+        .iter()
+        .rev()
+        .find(|t| {
+            t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "let" | "mut" | "ref" | "Ok" | "Err" | "Some")
+        })
+        .map(|t| t.text.clone())
+}
+
+/// `guard-scope` half two: a bound guard held across a loop whose head and
+/// body never touch it — pure serialization with no data dependency (the
+/// PR 3 essence). Loops that *use* the guard are presumed intentional
+/// (batch-under-one-lock is a documented §7.15 pattern).
+fn check_loop_hold(
+    path: &str,
+    toks: &[Tok],
+    test_mask: &[bool],
+    site: &Site,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Violation>,
+) {
+    let Some(binding) = &site.binding else { return };
+    let mut j = lo;
+    while j < hi {
+        if test_mask.get(j).copied().unwrap_or(false) {
+            j += 1;
+            continue;
+        }
+        let t = &toks[j];
+        let is_loop = is_ident(t, "for") || is_ident(t, "while") || is_ident(t, "loop");
+        if !is_loop {
+            j += 1;
+            continue;
+        }
+        // The loop's extent: keyword through its body's closing brace.
+        let Some(body_open) = depth0_brace_after(toks, j + 1) else {
+            j += 1;
+            continue;
+        };
+        let body_close = matching_brace(toks, body_open).unwrap_or(hi);
+        if body_close > hi {
+            j = body_open + 1;
+            continue;
+        }
+        let mentions_guard = toks[j..=body_close].iter().any(|t| is_ident(t, binding));
+        if !mentions_guard {
+            out.push(Violation {
+                file: path.to_string(),
+                line: t.line,
+                rule: "guard-scope",
+                message: format!(
+                    "`{binding}` ({} guard, bound line {}) is held across this loop but never \
+                     used in it; drop or scope the guard before looping, or audit an intentional \
+                     hold with an allow pragma",
+                    site.lock, site.line
+                ),
+            });
+        }
+        j = body_close + 1;
+    }
+}
+
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, "}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Scans one guard's live range for blocking calls and nested acquisitions.
+#[allow(clippy::too_many_arguments)]
+fn scan_range(
+    path: &str,
+    toks: &[Tok],
+    test_mask: &[bool],
+    holder: &Site,
+    lo: usize,
+    hi: usize,
+    sites: &[Site],
+    acquires: &[AcquiresDirective],
+    out: &mut Vec<Violation>,
+    result: &mut LockAnalysis,
+) {
+    for j in lo..hi {
+        if test_mask.get(j).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[j];
+        if t.kind != TokKind::Ident
+            || !BLOCKING.contains(&t.text.as_str())
+            || !toks.get(j + 1).is_some_and(|n| is_punct(n, "("))
+        {
+            continue;
+        }
+        // Condvar exemption: `cv.wait(guard)` / `cv.wait_timeout(guard, d)`
+        // releases the lock while parked — that's the API contract, not a
+        // block-while-locked.
+        if matches!(t.text.as_str(), "wait" | "wait_timeout" | "wait_timeout_while" | "wait_while")
+        {
+            if let (Some(name), Some(close)) = (&holder.binding, matching_paren(toks, j + 1)) {
+                if toks[j + 2..close].iter().any(|a| is_ident(a, name)) {
+                    continue;
+                }
+            }
+        }
+        out.push(Violation {
+            file: path.to_string(),
+            line: t.line,
+            rule: "blocking-while-locked",
+            message: format!(
+                "`{}` blocks while the `{}` guard (acquired line {}) is held; move the blocking \
+                 call outside the lock, or audit with an allow pragma",
+                t.text, holder.lock, holder.line
+            ),
+        });
+    }
+    // Nested acquisitions inside the range feed the acquisition-order
+    // graph: edge holder → inner. (Nesting itself is not a violation —
+    // cycles and order() contradictions are, checked globally.)
+    for inner in sites {
+        let anchor = inner.start;
+        if anchor <= lo || anchor >= hi || inner.kind == SiteKind::Escaping {
+            continue;
+        }
+        if std::ptr::eq(inner, holder) {
+            continue;
+        }
+        result.edges.push(LockEdge {
+            from: holder.lock.clone(),
+            to: inner.lock.clone(),
+            file: path.to_string(),
+            line: inner.line,
+        });
+    }
+    for d in acquires {
+        let covered = d.end_line + 1;
+        let lo_line = toks[lo].line;
+        let hi_line = toks[hi.min(toks.len() - 1)].line;
+        if covered >= lo_line && covered <= hi_line {
+            result.used_acquires.insert(d.end_line);
+            result.edges.push(LockEdge {
+                from: holder.lock.clone(),
+                to: d.lock.clone(),
+                file: path.to_string(),
+                line: covered,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Violation>, Vec<LockEdge>) {
+        let lexed = lex(src);
+        let mask = vec![false; lexed.toks.len()];
+        let helpers: BTreeMap<String, String> =
+            detect_helpers(&lexed.toks, &mask).into_iter().collect();
+        let mut out = Vec::new();
+        let la = analyze("t.rs", &lexed.toks, &mask, &helpers, &[], &mut out);
+        (out, la.edges)
+    }
+
+    #[test]
+    fn while_let_scrutinee_temp_guard_fires() {
+        let src = "fn f(q: &Mutex<Vec<u32>>) {\n    while let Some(t) = q.lock().unwrap().pop() {\n        work(t);\n    }\n}\n";
+        let (v, _) = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "guard-scope");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn match_scrutinee_temp_guard_fires() {
+        // The backward receiver walk must stop at the `match` keyword, or
+        // the prefix scan never sees the scrutinee head.
+        let src = "fn f(s: &Mutex<u32>) {\n    match s.lock().unwrap().checked_add(1) {\n        Some(v) => work(v),\n        None => {}\n    }\n}\n";
+        let (v, _) = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "guard-scope");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn brace_wrapped_scrutinee_is_clean() {
+        let src = "fn f(q: &Mutex<Vec<u32>>) {\n    while let Some(t) = { q.lock().unwrap().pop() } {\n        work(t);\n    }\n}\n";
+        let (v, _) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pattern_bound_guard_in_if_let_is_clean() {
+        let src = "fn f(m: &Mutex<u32>) {\n    if let Ok(g) = m.lock() {\n        use_it(&g);\n    }\n}\n";
+        let (v, _) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn recv_through_temporary_guard_fires() {
+        let src = "fn f(rx: &Mutex<Receiver<u32>>) -> Option<u32> {\n    rx.lock().unwrap().recv().ok()\n}\n";
+        let (v, _) = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "blocking-while-locked");
+    }
+
+    #[test]
+    fn blocking_call_in_bound_guard_range_fires_and_drop_truncates() {
+        let src = "fn f(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    sleep(D);\n    drop(g);\n    sleep(D);\n}\n";
+        let (v, _) = run(src);
+        assert_eq!(v.len(), 1, "only the pre-drop sleep fires: {v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn condvar_wait_taking_the_guard_is_exempt() {
+        let src = "fn f(m: &Mutex<usize>, cv: &Condvar) {\n    let mut g = m.lock().unwrap();\n    while *g > 0 {\n        g = cv.wait(g).unwrap();\n    }\n}\n";
+        let (v, _) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn guard_held_across_unrelated_loop_fires() {
+        let src = "fn f(m: &Mutex<u64>, xs: &[u32]) -> u64 {\n    let g = m.lock().unwrap();\n    for x in xs {\n        work(*x);\n    }\n    *g\n}\n";
+        let (v, _) = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "guard-scope");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn loop_using_the_guard_is_clean() {
+        let src = "fn f(m: &Mutex<Vec<u64>>) -> u64 {\n    let g = m.lock().unwrap();\n    let mut s = 0;\n    for x in g.iter() {\n        s += *x;\n    }\n    s\n}\n";
+        let (v, _) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn nested_locks_produce_an_edge_not_a_violation() {
+        let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n    use_both(&ga, &gb);\n}\n";
+        let (v, e) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert_eq!((e[0].from.as_str(), e[0].to.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn helper_detection_and_helper_call_ranges() {
+        let src = "fn read_engine(s: &State) -> Guard {\n    s.engine.read().unwrap_or_else(|p| p.into_inner())\n}\nfn g(s: &State, m: &Mutex<u32>) {\n    let eng = read_engine(s);\n    let inner = m.lock().unwrap();\n    use_both(&eng, &inner);\n}\n";
+        let lexed = lex(src);
+        let mask = vec![false; lexed.toks.len()];
+        let helpers = detect_helpers(&lexed.toks, &mask);
+        assert_eq!(helpers, vec![("read_engine".to_string(), "engine".to_string())]);
+        let (v, e) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert_eq!((e[0].from.as_str(), e[0].to.as_str()), ("engine", "m"));
+    }
+
+    #[test]
+    fn stdio_locks_are_not_mutexes() {
+        let src = "fn f() {\n    let mut out = std::io::stdout().lock();\n    writeln!(out, \"x\").ok();\n}\n";
+        let (v, e) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(e.is_empty());
+    }
+}

@@ -9,6 +9,8 @@
 //!   --write-baseline                       regenerate the ratchet from current violations
 //!   --check-exemptions FILE                require DESIGN.md notes for runtime determinism pragmas
 //!   --list-pragmas                         print the suppression audit trail
+//!   --threads N                            parallel per-file analysis (default: DD_THREADS, then 1)
+//!   --lock-graph FILE                      write the lock-acquisition graph as Graphviz DOT
 //! ```
 //!
 //! Exit codes: `0` clean, `1` contract violations / stale baseline /
@@ -16,8 +18,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use dd_lint::{baseline, check_exemptions, check_paths, check_workspace, json_escape, Report};
+use dd_lint::{
+    baseline, check_exemptions, check_paths_with, check_workspace_with, json_escape,
+    render_lock_graph, Report,
+};
+use dd_runtime::Threads;
 
 struct Options {
     workspace: bool,
@@ -29,11 +36,14 @@ struct Options {
     write_baseline: bool,
     check_exemptions: Option<PathBuf>,
     list_pragmas: bool,
+    threads: Threads,
+    lock_graph: Option<PathBuf>,
 }
 
 fn usage() -> String {
     "usage: dd-lint (--workspace | PATH...) [--root DIR] [--json] [--baseline FILE] \
-     [--no-baseline] [--write-baseline] [--check-exemptions FILE] [--list-pragmas]"
+     [--no-baseline] [--write-baseline] [--check-exemptions FILE] [--list-pragmas] \
+     [--threads N] [--lock-graph FILE]"
         .to_string()
 }
 
@@ -48,7 +58,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         write_baseline: false,
         check_exemptions: None,
         list_pragmas: false,
+        threads: Threads::serial(),
+        lock_graph: None,
     };
+    let mut threads_flag: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,6 +82,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--check-exemptions needs a file path")?;
                 opts.check_exemptions = Some(PathBuf::from(v));
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                threads_flag =
+                    Some(v.parse::<usize>().map_err(|_| format!("--threads: bad count {v:?}"))?);
+            }
+            "--lock-graph" => {
+                let v = it.next().ok_or("--lock-graph needs a file path")?;
+                opts.lock_graph = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(usage()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}\n{}", usage()))
@@ -82,6 +104,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.workspace && !opts.paths.is_empty() {
         return Err(format!("--workspace and explicit paths are mutually exclusive\n{}", usage()));
     }
+    opts.threads = Threads::resolve(threads_flag)?;
     Ok(opts)
 }
 
@@ -158,12 +181,30 @@ fn emit_pragma(p: &dd_lint::Pragma, json: bool) {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
+    // dd-lint: allow(trace-hygiene) — lint wall time is reported in the
+    // run's own --json summary line, not a telemetry trace; the lint binary
+    // has no telemetry dependency by design
+    let start = Instant::now();
     let report: Report = if opts.workspace {
-        check_workspace(&opts.root)?
+        check_workspace_with(&opts.root, opts.threads)?
     } else {
         let files = expand_paths(&opts.paths)?;
-        check_paths(&opts.root, &files)?
+        check_paths_with(&opts.root, &files, opts.threads)?
     };
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    if let Some(graph_path) = &opts.lock_graph {
+        let dot = render_lock_graph(&report.edges);
+        if let Some(parent) = graph_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(graph_path, &dot)
+            .map_err(|e| format!("writing {}: {e}", graph_path.display()))?;
+        eprintln!("dd-lint: wrote {} ({} edges)", graph_path.display(), report.edges.len());
+    }
 
     let baseline_path =
         opts.baseline_path.clone().unwrap_or_else(|| opts.root.join("lint-baseline.txt"));
@@ -236,6 +277,28 @@ fn run(opts: &Options) -> Result<bool, String> {
             emit_pragma(p, opts.json);
         }
     }
+    if opts.json {
+        // The lock-acquisition graph rides along in the artifact too:
+        // cycles found at review time are cheaper than deadlocks found in
+        // production.
+        for e in &report.edges {
+            out(format_args!(
+                "{{\"kind\":\"lock-edge\",\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                json_escape(&e.from),
+                json_escape(&e.to),
+                json_escape(&e.file),
+                e.line
+            ));
+        }
+        out(format_args!(
+            "{{\"kind\":\"summary\",\"files\":{},\"violations\":{},\"pragmas\":{},\"lock_edges\":{},\"threads\":{},\"wall_seconds\":{wall_seconds:.3}}}",
+            report.files,
+            report.violations.len(),
+            report.pragmas.len(),
+            report.edges.len(),
+            opts.threads.get()
+        ));
+    }
 
     if let Some(doc_path) = &opts.check_exemptions {
         let doc = std::fs::read_to_string(opts.root.join(doc_path))
@@ -249,10 +312,15 @@ fn run(opts: &Options) -> Result<bool, String> {
 
     if !failed && !opts.json {
         eprintln!(
-            "dd-lint: {} files clean ({} pragmas, {} baselined violations)",
+            "dd-lint: {} files clean ({} pragmas, {} baselined violations, {} lock edges, \
+             {:.3}s on {} thread{})",
             report.files,
             report.pragmas.len(),
-            report.violations.len()
+            report.violations.len(),
+            report.edges.len(),
+            wall_seconds,
+            opts.threads.get(),
+            if opts.threads.is_serial() { "" } else { "s" }
         );
     }
     Ok(!failed)

@@ -6,21 +6,24 @@
 //! marked `skip_tests` ignore `tests/` files, `#[cfg(test)]` modules and
 //! `#[test]` functions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::graph;
 use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::locks::{self, AcquiresDirective, LockEdge, OrderDecl};
 
 /// Crates whose outputs must be bit-identical run-to-run (DESIGN.md §7.9):
 /// the `determinism` rule patrols these. `runtime` is included because the
 /// substrate's chunk structure is the determinism contract itself — its two
 /// wall-clock stats reads carry audited pragmas cross-checked against
-/// DESIGN.md (`--check-exemptions`).
+/// DESIGN.md (`--check-exemptions`). `datasets` generates the deterministic
+/// synthetic inputs, so it is result-affecting by construction.
 pub const RESULT_AFFECTING: &[&str] =
-    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream"];
+    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream", "datasets"];
 
 /// Crates whose top-level public items the `pub-doc` rule requires docs on.
 pub const DOC_REQUIRED: &[&str] =
-    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream"];
+    &["core", "graph", "linalg", "baselines", "eval", "runtime", "stream", "datasets"];
 
 /// All rule names, in reporting order.
 pub const RULE_NAMES: &[&str] = &[
@@ -32,6 +35,9 @@ pub const RULE_NAMES: &[&str] = &[
     "panic-hygiene",
     "float-eq",
     "pub-doc",
+    "guard-scope",
+    "blocking-while-locked",
+    "lock-order",
     "pragma",
 ];
 
@@ -81,6 +87,8 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// Every well-formed pragma, with its `used` flag settled.
     pub pragmas: Vec<Pragma>,
+    /// Lock-acquisition edges observed in this file (see [`crate::locks`]).
+    pub edges: Vec<crate::locks::LockEdge>,
 }
 
 /// Path-derived scoping facts for one file.
@@ -109,17 +117,51 @@ fn scope(path: &str) -> Scope<'_> {
     Scope { crate_name, test_file, crate_src }
 }
 
-/// Checks one file. `path` must be workspace-relative with `/` separators —
-/// it drives rule scoping, so fixture tests pass synthetic paths like
-/// `crates/serve/src/fixture.rs` to opt into a crate's rule set.
-pub fn check_file(path: &str, src: &str) -> FileReport {
+/// Phase-A output for one file: everything derivable from that file alone.
+/// The lock rules need the *global* helper table and edge set, so lock
+/// analysis and pragma settlement happen later, in [`finish`].
+pub(crate) struct FileAnalysis {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Pre-suppression violations from the single-file rules.
+    pub raw: Vec<Violation>,
+    /// Well-formed `allow()` pragmas, `used` not yet settled.
+    pub pragmas: Vec<Pragma>,
+    /// `order(a < b)` declarations.
+    pub orders: Vec<OrderDecl>,
+    /// `acquires(x)` call-site directives.
+    pub acquires: Vec<AcquiresDirective>,
+    /// Guard-returning helpers detected in this file (`fn` → lock name).
+    pub helpers: Vec<(String, String)>,
+    toks: Vec<Tok>,
+    test_mask: Vec<bool>,
+}
+
+/// The cross-file result of [`finish`].
+pub(crate) struct Finished {
+    /// Unsuppressed violations, sorted.
+    pub violations: Vec<Violation>,
+    /// Every pragma, `used` settled, in file order.
+    pub pragmas: Vec<Pragma>,
+    /// The acquisition-order graph's edges, sorted and global.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Phase A: runs every single-file rule and collects the facts the
+/// cross-file phase needs. `path` must be workspace-relative with `/`
+/// separators — it drives rule scoping, so fixture tests pass synthetic
+/// paths like `crates/serve/src/fixture.rs` to opt into a crate's rule set.
+/// Pure per-file work: safe to run in parallel across files.
+pub(crate) fn analyze_file(path: &str, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let sc = scope(path);
     let test_tok = test_token_mask(&lexed.toks, sc.test_file);
     let mut pragmas = Vec::new();
+    let mut orders = Vec::new();
+    let mut acquires = Vec::new();
     let mut raw: Vec<Violation> = Vec::new();
 
-    collect_pragmas(path, &lexed.comments, &mut pragmas, &mut raw);
+    collect_pragmas(path, &lexed.comments, &mut pragmas, &mut orders, &mut acquires, &mut raw);
     thread_confinement(path, sc, &lexed.toks, &mut raw);
     unwind_confinement(path, sc, &lexed.toks, &mut raw);
     binary_io(path, sc, &lexed.toks, &mut raw);
@@ -128,43 +170,211 @@ pub fn check_file(path: &str, src: &str) -> FileReport {
     panic_hygiene(path, sc, &lexed.toks, &test_tok, &mut raw);
     float_eq(path, sc, &lexed.toks, &test_tok, &mut raw);
     pub_doc(path, sc, &lexed, &test_tok, &mut raw);
+    let helpers = locks::detect_helpers(&lexed.toks, &test_tok);
 
-    // Apply pragma suppression: a pragma covers its own last line and the
-    // line after it, for its named rule only.
-    let mut violations = Vec::new();
-    for v in raw {
-        let mut suppressed = false;
-        if v.rule != "pragma" {
-            for p in pragmas.iter_mut() {
-                if p.rule == v.rule && (v.line == p.end_line || v.line == p.end_line + 1) {
-                    p.used = true;
-                    suppressed = true;
+    FileAnalysis {
+        path: path.to_string(),
+        raw,
+        pragmas,
+        orders,
+        acquires,
+        helpers,
+        toks: lexed.toks,
+        test_mask: test_tok,
+    }
+}
+
+/// Phase B: the cross-file pass. Unions the guard-returning-helper tables,
+/// runs lock analysis per file against the global table, assembles the
+/// acquisition-order graph, checks cycles and `order()` declarations, and
+/// only then settles pragma suppression (so global `lock-order` findings
+/// are suppressible at the site they are attributed to, like any other
+/// violation). Serial and deterministic.
+pub(crate) fn finish(mut analyses: Vec<FileAnalysis>) -> Finished {
+    // Global helper table. A helper name detected with *different* lock
+    // names in different places is ambiguous; dropping it loses edges but
+    // never invents them.
+    let mut table: BTreeMap<String, Option<String>> = BTreeMap::new();
+    for a in &analyses {
+        for (name, lock) in &a.helpers {
+            match table.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Some(lock.clone()));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if e.get().as_deref() != Some(lock.as_str()) {
+                        e.insert(None);
+                    }
                 }
             }
         }
-        if !suppressed {
-            violations.push(v);
-        }
     }
-    // An allow() that allows nothing is itself a violation: stale pragmas
-    // must not linger as false audit entries.
-    for p in &pragmas {
-        if !p.used {
-            violations.push(Violation {
-                file: path.to_string(),
-                line: p.line,
-                rule: "pragma",
+    let helper_table: BTreeMap<String, String> =
+        table.into_iter().filter_map(|(k, v)| v.map(|l| (k, l))).collect();
+
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for a in &mut analyses {
+        let la =
+            locks::analyze(&a.path, &a.toks, &a.test_mask, &helper_table, &a.acquires, &mut a.raw);
+        nodes.extend(la.nodes);
+        // A stale acquires() directive (not under any live guard) is noise
+        // in the audit trail, exactly like an unused allow().
+        for d in &a.acquires {
+            if !la.used_acquires.contains(&d.end_line) {
+                a.raw.push(Violation {
+                    file: a.path.clone(),
+                    line: d.end_line,
+                    rule: "pragma",
+                    message: format!(
+                        "acquires({}) directive covers line {} but no lock guard is live there; \
+                         remove it or move it under the guard",
+                        d.lock,
+                        d.end_line + 1
+                    ),
+                });
+            }
+        }
+        edges.extend(la.edges);
+    }
+    edges.sort();
+    edges.dedup();
+
+    // Global graph checks land as violations on real files so the normal
+    // pragma/baseline machinery applies.
+    let mut global: Vec<Violation> = Vec::new();
+    for cycle in graph::lock_cycles(&edges) {
+        let set: BTreeSet<&str> = cycle.iter().map(|s| s.as_str()).collect();
+        let internal: Vec<&LockEdge> = edges
+            .iter()
+            .filter(|e| set.contains(e.from.as_str()) && set.contains(e.to.as_str()))
+            .collect();
+        let Some(site) = internal.iter().min_by_key(|e| (&e.file, e.line)) else { continue };
+        let sites: Vec<String> = internal
+            .iter()
+            .map(|e| format!("{}:{} ({}→{})", e.file, e.line, e.from, e.to))
+            .collect();
+        global.push(Violation {
+            file: site.file.clone(),
+            line: site.line,
+            rule: "lock-order",
+            message: format!(
+                "potential deadlock: lock acquisition cycle {{{}}}; acquisition sites: {}",
+                cycle.join(" ⇄ "),
+                sites.join(", ")
+            ),
+        });
+    }
+    let all_orders: Vec<&OrderDecl> = analyses.iter().flat_map(|a| &a.orders).collect();
+    for d in &all_orders {
+        for name in [&d.first, &d.second] {
+            if !nodes.contains(name) {
+                global.push(Violation {
+                    file: d.file.clone(),
+                    line: d.line,
+                    rule: "pragma",
+                    message: format!(
+                        "order({} < {}) names lock `{name}` which is never acquired in the \
+                         analyzed files; fix the name or drop the declaration",
+                        d.first, d.second
+                    ),
+                });
+            }
+        }
+        for d2 in &all_orders {
+            if d2.first == d.second
+                && d2.second == d.first
+                && (&d2.file, d2.line) > (&d.file, d.line)
+            {
+                global.push(Violation {
+                    file: d2.file.clone(),
+                    line: d2.line,
+                    rule: "lock-order",
+                    message: format!(
+                        "order({} < {}) conflicts with order({} < {}) declared at {}:{}",
+                        d2.first, d2.second, d.first, d.second, d.file, d.line
+                    ),
+                });
+            }
+        }
+        if let Some(path) = graph::find_path(&edges, &d.second, &d.first) {
+            let e = path[0];
+            let chain: Vec<String> = std::iter::once(d.second.clone())
+                .chain(path.iter().map(|e| e.to.clone()))
+                .collect();
+            global.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lock-order",
                 message: format!(
-                    "unused pragma: allow({}) suppresses nothing on line {} or {}",
-                    p.rule,
-                    p.end_line,
-                    p.end_line + 1
+                    "acquiring `{}` while `{}` is held contradicts order({} < {}) declared at \
+                     {}:{} (acquisition path: {})",
+                    e.to,
+                    e.from,
+                    d.first,
+                    d.second,
+                    d.file,
+                    d.line,
+                    chain.join(" → ")
                 ),
             });
         }
     }
+    for v in global {
+        if let Some(a) = analyses.iter_mut().find(|a| a.path == v.file) {
+            a.raw.push(v);
+        }
+    }
+
+    // Settle pragmas per file: a pragma covers its own last line and the
+    // line after it, for its named rule only.
+    let mut violations = Vec::new();
+    let mut pragmas = Vec::new();
+    for a in &mut analyses {
+        for v in std::mem::take(&mut a.raw) {
+            let mut suppressed = false;
+            if v.rule != "pragma" {
+                for p in a.pragmas.iter_mut() {
+                    if p.rule == v.rule && (v.line == p.end_line || v.line == p.end_line + 1) {
+                        p.used = true;
+                        suppressed = true;
+                    }
+                }
+            }
+            if !suppressed {
+                violations.push(v);
+            }
+        }
+        // An allow() that allows nothing is itself a violation: stale
+        // pragmas must not linger as false audit entries.
+        for p in &a.pragmas {
+            if !p.used {
+                violations.push(Violation {
+                    file: a.path.clone(),
+                    line: p.line,
+                    rule: "pragma",
+                    message: format!(
+                        "unused pragma: allow({}) suppresses nothing on line {} or {}",
+                        p.rule,
+                        p.end_line,
+                        p.end_line + 1
+                    ),
+                });
+            }
+        }
+        pragmas.append(&mut a.pragmas);
+    }
     violations.sort();
-    FileReport { violations, pragmas }
+    Finished { violations, pragmas, edges }
+}
+
+/// Checks one file through the full pipeline (both phases over a singleton
+/// set). Cross-file helper resolution degrades gracefully: only helpers
+/// defined in this same file are visible. Fixture tests and one-off checks
+/// use this; the workspace entry points batch phase A and share phase B.
+pub fn check_file(path: &str, src: &str) -> FileReport {
+    let fin = finish(vec![analyze_file(path, src)]);
+    FileReport { violations: fin.violations, pragmas: fin.pragmas, edges: fin.edges }
 }
 
 /// Marks which tokens sit inside test-only code: whole-file test sources,
@@ -600,12 +810,16 @@ fn has_doc(lexed: &Lexed, toks: &[Tok], i: usize) -> bool {
     !toks.iter().any(|t| t.line > best && t.line < item_line)
 }
 
-/// Parses every `dd-lint:` pragma out of the comment list. Malformed ones
-/// (unknown rule, missing reason) become `pragma` violations.
+/// Parses every `dd-lint:` directive out of the comment list: `allow()`
+/// suppression pragmas, `order(a < b)` lock-order declarations, and
+/// `acquires(x)` call-site hints. Malformed ones (unknown rule, missing
+/// reason, bad lock names) become `pragma` violations.
 fn collect_pragmas(
     path: &str,
     comments: &[Comment],
     pragmas: &mut Vec<Pragma>,
+    orders: &mut Vec<OrderDecl>,
+    acquires: &mut Vec<AcquiresDirective>,
     out: &mut Vec<Violation>,
 ) {
     for (ci, c) in comments.iter().enumerate() {
@@ -616,13 +830,25 @@ fn collect_pragmas(
         }
         let Some(at) = c.text.find("dd-lint:") else { continue };
         let rest = c.text[at + "dd-lint:".len()..].trim_start();
+        if let Some(args) = rest.strip_prefix("order(") {
+            collect_order(path, c, args, orders, out);
+            continue;
+        }
+        if let Some(args) = rest.strip_prefix("acquires(") {
+            collect_acquires(path, c, args, &comments[ci + 1..], acquires, out);
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
             push(
                 out,
                 path,
                 c.line,
                 "pragma",
-                format!("malformed dd-lint pragma (expected `dd-lint: allow(<rule>) — <reason>`): {rest}"),
+                format!(
+                    "malformed dd-lint pragma (expected `dd-lint: allow(<rule>) — <reason>`, \
+                     `dd-lint: order(<lock> < <lock>) — <reason>`, or `dd-lint: acquires(<lock>) \
+                     — <reason>`): {rest}"
+                ),
             );
             continue;
         };
@@ -674,6 +900,114 @@ fn collect_pragmas(
             used: false,
         });
     }
+}
+
+/// Parses `order(a < b) — reason` into an [`OrderDecl`].
+fn collect_order(
+    path: &str,
+    c: &Comment,
+    args: &str,
+    orders: &mut Vec<OrderDecl>,
+    out: &mut Vec<Violation>,
+) {
+    let Some((body, tail)) = args.split_once(')') else {
+        push(out, path, c.line, "pragma", "unterminated order(<lock> < <lock>)".to_string());
+        return;
+    };
+    let Some((first, second)) = body.split_once('<') else {
+        push(
+            out,
+            path,
+            c.line,
+            "pragma",
+            format!("malformed order() declaration (expected `order(<lock> < <lock>)`): {body}"),
+        );
+        return;
+    };
+    let (first, second) = (first.trim(), second.trim());
+    if !is_lock_name(first) || !is_lock_name(second) || first == second {
+        push(
+            out,
+            path,
+            c.line,
+            "pragma",
+            format!("order() needs two distinct lock identifiers, got `{first}` and `{second}`"),
+        );
+        return;
+    }
+    let reason = tail.trim_start_matches([' ', '\t', '—', '–', '-', ':']).trim();
+    if reason.is_empty() {
+        push(
+            out,
+            path,
+            c.line,
+            "pragma",
+            format!("order({first} < {second}) without a reason; every declaration is audited"),
+        );
+        return;
+    }
+    orders.push(OrderDecl {
+        first: first.to_string(),
+        second: second.to_string(),
+        file: path.to_string(),
+        line: c.line,
+        reason: reason.to_string(),
+    });
+}
+
+/// Parses `acquires(x) — reason` into an [`AcquiresDirective`]. Like
+/// `allow()` pragmas, a directive whose reason wraps onto following `//`
+/// lines covers the code line after the whole comment run.
+fn collect_acquires(
+    path: &str,
+    c: &Comment,
+    args: &str,
+    following: &[Comment],
+    acquires: &mut Vec<AcquiresDirective>,
+    out: &mut Vec<Violation>,
+) {
+    let Some((lock, tail)) = args.split_once(')') else {
+        push(out, path, c.line, "pragma", "unterminated acquires(<lock>)".to_string());
+        return;
+    };
+    let lock = lock.trim();
+    if !is_lock_name(lock) {
+        push(
+            out,
+            path,
+            c.line,
+            "pragma",
+            format!("acquires() needs a lock identifier, got `{lock}`"),
+        );
+        return;
+    }
+    let reason = tail.trim_start_matches([' ', '\t', '—', '–', '-', ':']).trim();
+    if reason.is_empty() {
+        push(
+            out,
+            path,
+            c.line,
+            "pragma",
+            format!("acquires({lock}) without a reason; every directive is audited"),
+        );
+        return;
+    }
+    let mut end_line = c.end_line;
+    for next in following {
+        if next.line != next.end_line || next.line != end_line + 1 {
+            break;
+        }
+        end_line = next.line;
+    }
+    acquires.push(AcquiresDirective { end_line, lock: lock.to_string() });
+}
+
+/// Lock names are plain Rust identifiers (they name receiver fields or
+/// variables).
+fn is_lock_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// Aggregates violations to `(file, rule) → count`, the unit the baseline

@@ -1,0 +1,31 @@
+//! Deliberate blocking-under-lock violations (never compiled): channel
+//! waits, sleeps, and socket I/O all while a guard is live.
+
+use std::io::Read;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn recv_through_temporary(rx: &Mutex<Receiver<u32>>) -> Option<u32> {
+    rx.lock().unwrap().recv().ok()
+}
+
+fn sleep_under_guard(counter: &Mutex<u64>) {
+    let guard = counter.lock().unwrap();
+    std::thread::sleep(Duration::from_millis(1));
+    run(*guard as u32);
+}
+
+fn io_under_guard(log: &Mutex<Vec<u8>>, mut stream: std::net::TcpStream) {
+    let guard = log.lock().unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).ok();
+    run(guard.len() as u32);
+}
+
+fn send_under_guard(tx: &Sender<u32>, state: &Mutex<u32>) {
+    let guard = state.lock().unwrap();
+    tx.send(*guard).ok();
+}
+
+fn run(_v: u32) {}

@@ -1,0 +1,55 @@
+//! Blocking-while-locked look-alikes that must not fire: condvar waits
+//! (which release the lock by contract), drop-then-block, non-blocking
+//! extraction, and the string / doc-comment / `#[cfg(test)]` traps.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+
+fn condvar_wait_releases(lock: &Mutex<usize>, cv: &Condvar) {
+    let mut pending = lock.lock().unwrap();
+    while *pending > 0 {
+        pending = cv.wait(pending).unwrap();
+    }
+}
+
+fn drop_then_block(tx: &Sender<u32>, state: &Mutex<u32>) {
+    let guard = state.lock().unwrap();
+    let value = *guard;
+    drop(guard);
+    tx.send(value).ok();
+}
+
+fn extract_then_block(rx: &Mutex<Receiver<u32>>, tx: &Sender<u32>) {
+    let value = { rx.lock().unwrap().try_recv().ok() };
+    if let Some(v) = value {
+        tx.send(v).ok();
+    }
+}
+
+fn stdout_is_not_a_mutex() {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    out.flush().ok();
+}
+
+/// Prose mentioning `rx.lock().unwrap().recv()` never fires from a doc
+/// comment.
+fn prose() {
+    let text = "guard.lock().unwrap().recv() blocks the pool";
+    run(text.len() as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_in_tests_is_exempt() {
+        let state = Mutex::new(0u32);
+        let guard = state.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(guard);
+    }
+}
+
+fn run(_v: u32) {}

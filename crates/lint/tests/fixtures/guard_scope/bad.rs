@@ -1,0 +1,34 @@
+//! Deliberate guard-scope violations (never compiled). The first shape is
+//! the PR 3 pool-serialization bug verbatim: the `while let` scrutinee's
+//! temporary guard lives across every iteration of the body.
+
+use std::sync::Mutex;
+
+fn pr3_shape(queue: &Mutex<Vec<u32>>) {
+    while let Some(task) = queue.lock().unwrap().pop() {
+        run(task);
+    }
+}
+
+fn if_let_extraction(slots: &Mutex<Vec<u32>>) {
+    if let Some(first) = slots.lock().unwrap().first().copied() {
+        run(first);
+    }
+}
+
+fn match_extraction(state: &Mutex<u32>) {
+    match state.lock().unwrap().checked_add(1) {
+        Some(v) => run(v),
+        None => {}
+    }
+}
+
+fn held_across_unrelated_loop(stats: &Mutex<u64>, items: &[u32]) -> u64 {
+    let guard = stats.lock().unwrap();
+    for item in items {
+        run(*item);
+    }
+    *guard
+}
+
+fn run(_v: u32) {}

@@ -1,0 +1,67 @@
+//! Guard-scope look-alikes that must not fire: the PR 3 *fix* shapes
+//! (brace-wrapped scrutinee, let-inside-loop), deliberate guard use, and
+//! the string / doc-comment / `#[cfg(test)]` traps.
+
+use std::sync::Mutex;
+
+fn block_wrapped_scrutinee(queue: &Mutex<Vec<u32>>) {
+    while let Some(task) = { queue.lock().unwrap().pop() } {
+        run(task);
+    }
+}
+
+fn let_inside_loop(queue: &Mutex<Vec<u32>>) {
+    loop {
+        let task = { queue.lock().unwrap().pop() };
+        match task {
+            Some(t) => run(t),
+            None => break,
+        }
+    }
+}
+
+fn guard_used_in_loop(totals: &Mutex<Vec<u64>>) -> u64 {
+    let guard = totals.lock().unwrap();
+    let mut sum = 0;
+    for value in guard.iter() {
+        sum += *value;
+    }
+    sum
+}
+
+fn pattern_bound_guard(state: &Mutex<u32>) {
+    if let Ok(guard) = state.lock() {
+        run(*guard);
+    }
+}
+
+fn dropped_before_loop(stats: &Mutex<u64>, items: &[u32]) {
+    let guard = stats.lock().unwrap();
+    run(*guard as u32);
+    drop(guard);
+    for item in items {
+        run(*item);
+    }
+}
+
+/// Prose describing `queue.lock().unwrap().pop()` inside a `while let`
+/// scrutinee never fires from a doc comment.
+fn prose() {
+    let text = "while let Some(t) = q.lock().unwrap().pop() { serialize() }";
+    run(text.len() as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_shapes_are_exempt() {
+        let queue = Mutex::new(vec![1u32]);
+        while let Some(task) = queue.lock().unwrap().pop() {
+            run(task);
+        }
+    }
+}
+
+fn run(_v: u32) {}

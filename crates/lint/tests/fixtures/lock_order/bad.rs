@@ -1,0 +1,28 @@
+//! Deliberate lock-order violations (never compiled). `pr9_shape` encodes
+//! the PR 9 engine/cache bug: a declared `order(engine < shard)` contract
+//! contradicted by a path that takes `shard` first. The second pair of
+//! functions forms a two-lock cycle without any declaration.
+
+// dd-lint: order(engine < shard) — cache shards nest inside the engine read lock
+
+use std::sync::{Mutex, RwLock};
+
+fn pr9_shape(shard: &Mutex<Vec<u32>>, engine: &RwLock<u32>) {
+    let cache = shard.lock().unwrap();
+    let model = engine.read().unwrap();
+    run(cache.len() as u32 + *model);
+}
+
+fn cycle_left(alpha: &Mutex<u32>, beta: &Mutex<u32>) {
+    let a = alpha.lock().unwrap();
+    let b = beta.lock().unwrap();
+    run(*a + *b);
+}
+
+fn cycle_right(alpha: &Mutex<u32>, beta: &Mutex<u32>) {
+    let b = beta.lock().unwrap();
+    let a = alpha.lock().unwrap();
+    run(*a + *b);
+}
+
+fn run(_v: u32) {}

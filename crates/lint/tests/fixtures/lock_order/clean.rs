@@ -1,0 +1,46 @@
+//! Lock-order shapes that must not fire: nesting consistent with the
+//! declared order, a guard-returning helper feeding the graph, and the
+//! doc-comment / `#[cfg(test)]` traps.
+
+// dd-lint: order(engine < shard) — cache shards nest inside the engine read lock
+
+use std::sync::{Mutex, MutexGuard, RwLock};
+
+fn consistent_nesting(engine: &RwLock<u32>, shard: &Mutex<Vec<u32>>) {
+    let model = engine.read().unwrap();
+    let cache = shard.lock().unwrap();
+    run(*model + cache.len() as u32);
+}
+
+fn slot_guard(slot: &Mutex<u32>) -> MutexGuard<'_, u32> {
+    slot.lock().unwrap()
+}
+
+fn helper_feeds_graph(engine: &RwLock<u32>, slot: &Mutex<u32>) {
+    let model = engine.read().unwrap();
+    let current = slot_guard(slot);
+    run(*model + *current);
+}
+
+/// Prose mentioning `order(shard < engine)` in a doc comment declares
+/// nothing.
+fn prose() {
+    let text = "order(shard < engine) would deadlock against score_cached";
+    run(text.len() as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_order_in_tests_is_exempt() {
+        let shard = Mutex::new(vec![1u32]);
+        let engine = RwLock::new(2u32);
+        let cache = shard.lock().unwrap();
+        let model = engine.read().unwrap();
+        run(cache.len() as u32 + *model);
+    }
+}
+
+fn run(_v: u32) {}

@@ -219,6 +219,80 @@ fn pub_doc_accepts_docs_and_skips_non_api_items() {
 }
 
 #[test]
+fn guard_scope_fires_on_scrutinee_temps_and_loop_holds() {
+    let report =
+        check_file("crates/cli/src/fixture.rs", include_str!("fixtures/guard_scope/bad.rs"));
+    let expected = vec![
+        (8, "guard-scope".to_string()), // PR 3 shape: while-let scrutinee temp
+        (14, "guard-scope".to_string()), // if-let scrutinee temp
+        (20, "guard-scope".to_string()), // match scrutinee temp
+        (28, "guard-scope".to_string()), // bound guard held across unrelated loop
+    ];
+    assert_eq!(hits(&report), expected);
+}
+
+#[test]
+fn guard_scope_allows_fixed_shapes_and_all_three_traps() {
+    let report =
+        check_file("crates/cli/src/fixture.rs", include_str!("fixtures/guard_scope/clean.rs"));
+    assert_clean(&report, "guard_scope/clean.rs");
+}
+
+#[test]
+fn blocking_while_locked_fires_under_live_guards() {
+    let report = check_file(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/blocking_while_locked/bad.rs"),
+    );
+    let expected = vec![
+        (10, "blocking-while-locked".to_string()), // recv through a temporary guard
+        (15, "blocking-while-locked".to_string()), // sleep under a bound guard
+        (22, "blocking-while-locked".to_string()), // socket read under a bound guard
+        (28, "blocking-while-locked".to_string()), // channel send under a bound guard
+    ];
+    assert_eq!(hits(&report), expected);
+}
+
+#[test]
+fn blocking_while_locked_exempts_condvar_drop_and_traps() {
+    let report = check_file(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/blocking_while_locked/clean.rs"),
+    );
+    assert_clean(&report, "blocking_while_locked/clean.rs");
+}
+
+#[test]
+fn lock_order_fires_on_contradictions_and_cycles() {
+    let report =
+        check_file("crates/cli/src/fixture.rs", include_str!("fixtures/lock_order/bad.rs"));
+    let expected = vec![
+        (12, "lock-order".to_string()), // PR 9 shape: shard-then-engine against order(engine < shard)
+        (18, "lock-order".to_string()), // alpha/beta cycle, reported at its first edge
+    ];
+    assert_eq!(hits(&report), expected);
+    // The acquisition-order graph itself is part of the report.
+    assert!(
+        report.edges.iter().any(|e| e.from == "shard" && e.to == "engine"),
+        "shard→engine edge missing from {:?}",
+        report.edges
+    );
+}
+
+#[test]
+fn lock_order_allows_consistent_nesting_helpers_and_traps() {
+    let report =
+        check_file("crates/cli/src/fixture.rs", include_str!("fixtures/lock_order/clean.rs"));
+    assert_clean(&report, "lock_order/clean.rs");
+    // The guard-returning helper must feed the graph: engine→slot.
+    assert!(
+        report.edges.iter().any(|e| e.from == "engine" && e.to == "slot"),
+        "helper-produced engine→slot edge missing from {:?}",
+        report.edges
+    );
+}
+
+#[test]
 fn pragma_misuse_is_itself_a_violation() {
     let report = check_file("crates/graph/src/fixture.rs", include_str!("fixtures/pragma/bad.rs"));
     let expected = vec![

@@ -40,6 +40,26 @@ fn panic_hygiene_and_float_eq_baselines_are_empty() {
 }
 
 #[test]
+fn workspace_lock_graph_is_acyclic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = dd_lint::check_workspace(&root).expect("workspace scan");
+    let cycles = dd_lint::lock_cycles(&report.edges);
+    assert!(
+        cycles.is_empty(),
+        "lock-acquisition-order graph has cycles (potential deadlocks): {cycles:?}"
+    );
+    // Pin the two §7.15 ordering edges so a silent detection regression
+    // (edges vanishing, graph trivially acyclic) also fails this test.
+    for (from, to) in [("engine", "shard"), ("engine", "current")] {
+        assert!(
+            report.edges.iter().any(|e| e.from == from && e.to == to),
+            "expected {from}→{to} edge missing from the workspace lock graph: {:?}",
+            report.edges
+        );
+    }
+}
+
+#[test]
 fn runtime_determinism_pragmas_have_design_exemptions() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = dd_lint::check_workspace(&root).expect("workspace scan");

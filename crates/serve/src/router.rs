@@ -754,6 +754,9 @@ fn accept_loop(
 
 fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<RouterState>) {
     loop {
+        // dd-lint: allow(blocking-while-locked) — shared-receiver idiom:
+        // the mutex IS the recv token for the shard pool, held only for
+        // the blocking recv itself
         let next = { rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv() };
         match next {
             Ok((stream, accepted)) => {

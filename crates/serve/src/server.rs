@@ -322,6 +322,12 @@ impl AppState {
             let v = engine.score(NodeId(src), NodeId(dst), scratch)?;
             self.cache_misses.incr();
             stats.cache_misses += 1;
+            // dd-lint: order(engine < shard) — §7.15 rule 1: cache shards
+            // are only ever locked under the engine lock (this insert, and
+            // ingest's removals run with no engine guard held at all), so
+            // the insert can never deadlock against an ingest invalidation
+            // dd-lint: acquires(shard) — ScoreCache::insert locks the
+            // key's LRU shard internally
             if cache.insert(key, v) {
                 self.cache_evictions.incr();
             }
@@ -719,6 +725,12 @@ fn reload_endpoint(state: &AppState, req: &http::Request) -> Routed {
         let mut engine = stream.write_engine();
         engine.rebind(Arc::clone(&new_arc));
         stream.live.set(engine.live_dynamic() as f64);
+        // dd-lint: order(engine < current) — §7.15 rule 2: the slot swap
+        // happens under the engine write lock (rebind-then-swap), never
+        // the reverse, so no request can see the new model with an engine
+        // still bound to the old generation
+        // dd-lint: acquires(current) — Slot::swap locks the current-model
+        // mutex internally
         state.slot.swap(Arc::clone(&new_arc))
     } else {
         state.slot.swap(Arc::clone(&new_arc))
@@ -981,6 +993,9 @@ fn worker_loop(rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>>, state: Arc<AppSta
         // processes in parallel. Poison recovery is sound because nothing
         // under the lock can panic (it only wraps `recv`); connection
         // handling runs outside it, under `catch_unwind`.
+        // dd-lint: allow(blocking-while-locked) — shared-receiver idiom:
+        // the mutex IS the recv token for the worker pool, held only for
+        // the blocking recv itself
         let next = { rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv() };
         match next {
             Ok((stream, accepted)) => {

@@ -301,14 +301,19 @@ impl JsonlSink {
 
 impl TrainObserver for JsonlSink {
     fn on_event(&self, event: &Event) {
-        if let Ok(line) = serde_json::to_string(event) {
+        if let Ok(mut line) = serde_json::to_string(event) {
+            line.push('\n');
             let mut out = self.out.lock().unwrap();
+            // dd-lint: allow(blocking-while-locked) — the mutex serializes
+            // writers and the buffered write IS the critical section; one
+            // write_all per event also keeps JSONL lines untorn
             let _ = out.write_all(line.as_bytes());
-            let _ = out.write_all(b"\n");
         }
     }
 
     fn flush(&self) {
+        // dd-lint: allow(blocking-while-locked) — flushing the shared
+        // BufWriter is the whole point of holding its mutex here
         let _ = self.out.lock().unwrap().flush();
     }
 }
@@ -316,6 +321,8 @@ impl TrainObserver for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         if let Ok(mut out) = self.out.lock() {
+            // dd-lint: allow(blocking-while-locked) — final drain on drop;
+            // no other thread can hold the sink once Drop runs
             let _ = out.flush();
         }
     }
